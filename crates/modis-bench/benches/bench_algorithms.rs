@@ -1,0 +1,30 @@
+//! End-to-end benchmarks of the MODis algorithms on a small tabular
+//! workload — the Criterion counterpart of the efficiency experiments
+//! (Fig. 10 / Fig. 13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use modis_bench::{task_t3, ModisVariant};
+use modis_core::prelude::*;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let workload = task_t3(5);
+    let substrate = workload.substrate();
+    let config = ModisConfig::default()
+        .with_epsilon(0.2)
+        .with_max_states(15)
+        .with_max_level(2)
+        .with_estimator(EstimatorMode::Surrogate { warmup: 6, refresh: 10 });
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for variant in ModisVariant::all() {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| modis_bench::run_variant(variant, &substrate, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the primitive data operators: Augment, Reduct,
+//! hash/outer joins and universal-table construction (§3, §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_data::{augment, hash_join, reduct, universal_table, JoinKind, Literal};
+use modis_datagen::tables::{generate_table_pool, TablePoolConfig};
+
+fn pool_of(rows: usize) -> Vec<modis_data::Dataset> {
+    generate_table_pool(&TablePoolConfig { n_rows: rows, seed: 1, ..Default::default() }).tables
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+
+    for &rows in &[200usize, 800] {
+        let tables = pool_of(rows);
+        let base = &tables[0];
+        let other = &tables[1];
+        let attr = other
+            .schema()
+            .names()
+            .iter()
+            .find(|n| **n != "id")
+            .unwrap()
+            .to_string();
+
+        group.bench_with_input(BenchmarkId::new("augment", rows), &rows, |b, _| {
+            let lit = Literal::not_null(&attr);
+            b.iter(|| augment(base, other, &attr, &lit).unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("reduct", rows), &rows, |b, _| {
+            let lit = Literal::range("weak_signal", -10.0, 0.0);
+            b.iter(|| reduct(base, &lit));
+        });
+
+        group.bench_with_input(BenchmarkId::new("full_outer_join", rows), &rows, |b, _| {
+            b.iter(|| hash_join(base, other, "id", JoinKind::FullOuter).unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("universal_table", rows), &rows, |b, _| {
+            b.iter(|| universal_table(&tables, "id").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 6: comparison of data-discovery methods on T1 (movie-gross
+//! regression) and T3 (avocado-price regression).
+
+use modis_bench::{print_method_table, run_table_methods, task_t1, task_t3};
+use modis_core::prelude::*;
+
+fn main() {
+    let config = ModisConfig::default()
+        .with_epsilon(0.1)
+        .with_max_states(60)
+        .with_max_level(6)
+        .with_estimator(EstimatorMode::Surrogate { warmup: 15, refresh: 10 });
+
+    let t1 = task_t1(42);
+    let rows = run_table_methods(&t1, &config);
+    print_method_table("Table 6 (T1: Movie)", &t1.task.measures.names(), &rows);
+
+    let t3 = task_t3(42);
+    let rows = run_table_methods(&t3, &config);
+    print_method_table("Table 6 (T3: Avocado)", &t3.task.measures.names(), &rows);
+
+    println!("\nExpected shape (paper): NOBiMODis/BiMODis take the top spots on p_Acc (T1)");
+    println!("and MSE/MAE (T3); SkSFM/H2O trade accuracy for the lowest training time.");
+}

@@ -1,0 +1,17 @@
+//! # modis-bench
+//!
+//! Experiment harness for the MODis reproduction: task definitions matching
+//! the paper's T1–T5 (§6, Table 3), method runners producing the rows of
+//! Tables 4–6, and plain-text report helpers used by the `fig*`/`table*`
+//! binaries and the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{print_method_table, print_series, print_table, Row};
+pub use workloads::{
+    run_graph_methods, run_table_methods, run_variant, skyline_to_row, t5_measures, task_t1,
+    task_t2, task_t3, task_t4, MethodRow, ModisVariant, Workload,
+};

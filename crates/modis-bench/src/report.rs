@@ -1,0 +1,111 @@
+//! Plain-text report helpers: the experiment binaries print the same rows /
+//! series the paper's tables and figures report.
+
+use crate::workloads::MethodRow;
+
+/// A generic labelled row of numeric cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (method name, parameter value, …).
+    pub label: String,
+    /// Numeric cells.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Row { label: label.into(), values }
+    }
+}
+
+/// Prints a fixed-width table with a header.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{:<14}", "");
+    for c in columns {
+        header.push_str(&format!("{c:>12}"));
+    }
+    println!("{header}");
+    for row in rows {
+        let mut line = format!("{:<14}", truncate(&row.label, 14));
+        for v in &row.values {
+            line.push_str(&format!("{v:>12.4}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Prints a labelled series (figure data): one line per x value.
+pub fn print_series(title: &str, x_label: &str, series_names: &[&str], xs: &[f64], ys: &[Vec<f64>]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{x_label:>10}");
+    for s in series_names {
+        header.push_str(&format!("{s:>14}"));
+    }
+    println!("{header}");
+    for (i, x) in xs.iter().enumerate() {
+        let mut line = format!("{x:>10.3}");
+        for series in ys {
+            let v = series.get(i).copied().unwrap_or(f64::NAN);
+            line.push_str(&format!("{v:>14.4}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Prints method-comparison rows (Tables 4–6): raw metric values followed by
+/// the output size.
+pub fn print_method_table(title: &str, measure_names: &[&str], rows: &[MethodRow]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{:<14}", "Method");
+    for m in measure_names {
+        header.push_str(&format!("{m:>12}"));
+    }
+    header.push_str(&format!("{:>18}", "Output Size"));
+    println!("{header}");
+    for row in rows {
+        let mut line = format!("{:<14}", truncate(&row.method, 14));
+        for i in 0..measure_names.len() {
+            match row.raw.get(i) {
+                Some(v) => line.push_str(&format!("{v:>12.4}")),
+                None => line.push_str(&format!("{:>12}", "-")),
+            }
+        }
+        line.push_str(&format!("{:>18}", format!("({}, {})", row.size.0, row.size.1)));
+        println!("{line}");
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_tables_do_not_panic() {
+        let rows = vec![Row::new("a", vec![1.0, 2.0]), Row::new("a-very-long-label-here", vec![3.0])];
+        print_table("t", &["c1", "c2"], &rows);
+        print_series("s", "x", &["y1"], &[1.0, 2.0], &[vec![0.1, 0.2]]);
+        let mrows = vec![MethodRow {
+            method: "Original".into(),
+            raw: vec![0.5],
+            size: (10, 3),
+            discovery_seconds: 0.0,
+        }];
+        print_method_table("m", &["p_Acc", "p_F1"], &mrows);
+    }
+
+    #[test]
+    fn truncate_shortens_long_labels() {
+        assert_eq!(truncate("abc", 14), "abc");
+        assert!(truncate("abcdefghijklmnopq", 10).len() <= 12);
+    }
+}

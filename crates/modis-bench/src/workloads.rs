@@ -1,0 +1,370 @@
+//! Task definitions and method runners for the paper's experiments.
+//!
+//! Each task Tᵢ pairs a generated workload (from `modis-datagen`) with the
+//! measure set of Table 3 and the model of §6. `run_table_methods` produces
+//! one [`MethodRow`] per method — Original, METAM, METAM-MO, Starmie, SkSFM,
+//! H2O, ApxMODis, NOBiMODis, BiMODis, DivMODis — exactly the columns of
+//! Tables 4 and 6; `run_graph_methods` produces the MODis-only rows of
+//! Table 5.
+
+use modis_core::prelude::*;
+use modis_datagen::tables::TablePool;
+use modis_ml::graph::BipartiteGraph;
+
+/// One row of a method-comparison table: the raw metric values (aligned with
+/// the task's measures) and the output size.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// Method name.
+    pub method: String,
+    /// Raw metric values (same order as the task's measures).
+    pub raw: Vec<f64>,
+    /// Output size `(rows, columns)` / `(edges, feature dims)`.
+    pub size: (usize, usize),
+    /// Wall-clock discovery time in seconds (0 for baselines evaluated once).
+    pub discovery_seconds: f64,
+}
+
+/// A tabular workload: the generated pool plus its task specification.
+pub struct Workload {
+    /// The generated table pool.
+    pub pool: TablePool,
+    /// The downstream task.
+    pub task: TaskSpec,
+    /// Search-space construction parameters.
+    pub space: TableSpaceConfig,
+}
+
+impl Workload {
+    /// Builds the tabular substrate (universal table + units) for MODis runs.
+    pub fn substrate(&self) -> TableSubstrate {
+        TableSubstrate::from_pool(&self.pool.tables, self.task.clone(), &self.space)
+    }
+}
+
+fn default_space(join_key: &str) -> TableSpaceConfig {
+    TableSpaceConfig {
+        join_key: join_key.to_string(),
+        max_clusters_per_attr: 2,
+        ..TableSpaceConfig::default()
+    }
+}
+
+/// T1 (GBmovie): gradient-boosting regression with measures
+/// `{p_Acc (R²), p_Train, p_Fsc, p_MI}`.
+pub fn task_t1(seed: u64) -> Workload {
+    let pool = modis_datagen::t1_movie(seed);
+    let task = TaskSpec {
+        name: "T1-movie".into(),
+        model: ModelKind::GradientBoostingRegressor,
+        target: pool.target.clone(),
+        key: Some(pool.join_key.clone()),
+        measures: MeasureSet::new(vec![
+            MeasureSpec::maximise("p_Acc"),
+            MeasureSpec::minimise("p_Train", 5.0),
+            MeasureSpec::maximise("p_Fsc"),
+            MeasureSpec::maximise("p_MI"),
+        ]),
+        metric_kinds: vec![
+            MetricKind::R2,
+            MetricKind::TrainTime,
+            MetricKind::FisherScore,
+            MetricKind::MutualInfo,
+        ],
+        train_ratio: 0.7,
+        seed,
+    };
+    let space = default_space(&pool.join_key);
+    Workload { pool, task, space }
+}
+
+/// T2 (RFhouse): random-forest classification with measures
+/// `{p_F1, p_Acc, p_Train, p_Fsc, p_MI}`.
+pub fn task_t2(seed: u64) -> Workload {
+    let pool = modis_datagen::t2_house(seed);
+    let task = TaskSpec {
+        name: "T2-house".into(),
+        model: ModelKind::RandomForestClassifier,
+        target: pool.target.clone(),
+        key: Some(pool.join_key.clone()),
+        measures: MeasureSet::new(vec![
+            MeasureSpec::maximise("p_F1"),
+            MeasureSpec::maximise("p_Acc"),
+            MeasureSpec::minimise("p_Train", 5.0),
+            MeasureSpec::maximise("p_Fsc"),
+            MeasureSpec::maximise("p_MI"),
+        ]),
+        metric_kinds: vec![
+            MetricKind::F1,
+            MetricKind::Accuracy,
+            MetricKind::TrainTime,
+            MetricKind::FisherScore,
+            MetricKind::MutualInfo,
+        ],
+        train_ratio: 0.7,
+        seed,
+    };
+    let space = default_space(&pool.join_key);
+    Workload { pool, task, space }
+}
+
+/// T3 (LRavocado): linear regression with measures `{MSE, MAE, Train}`.
+pub fn task_t3(seed: u64) -> Workload {
+    let pool = modis_datagen::t3_avocado(seed);
+    let task = TaskSpec {
+        name: "T3-avocado".into(),
+        model: ModelKind::LinearRegressor,
+        target: pool.target.clone(),
+        key: Some(pool.join_key.clone()),
+        measures: MeasureSet::new(vec![
+            MeasureSpec::minimise("p_MSE", 4.0),
+            MeasureSpec::minimise("p_MAE", 2.0),
+            MeasureSpec::minimise("p_Train", 5.0),
+        ]),
+        metric_kinds: vec![MetricKind::Mse, MetricKind::Mae, MetricKind::TrainTime],
+        train_ratio: 0.7,
+        seed,
+    };
+    let space = default_space(&pool.join_key);
+    Workload { pool, task, space }
+}
+
+/// T4 (LGCmental): gradient-boosting classification with measures
+/// `{p_Acc, p_Pc, p_Rc, p_F1, p_AUC, p_Train}`.
+pub fn task_t4(seed: u64) -> Workload {
+    let pool = modis_datagen::t4_mental(seed);
+    let task = TaskSpec {
+        name: "T4-mental".into(),
+        model: ModelKind::GradientBoostingClassifier,
+        target: pool.target.clone(),
+        key: Some(pool.join_key.clone()),
+        measures: MeasureSet::new(vec![
+            MeasureSpec::maximise("p_Acc"),
+            MeasureSpec::maximise("p_Pc"),
+            MeasureSpec::maximise("p_Rc"),
+            MeasureSpec::maximise("p_F1"),
+            MeasureSpec::maximise("p_AUC"),
+            MeasureSpec::minimise("p_Train", 5.0),
+        ]),
+        metric_kinds: vec![
+            MetricKind::Accuracy,
+            MetricKind::Precision,
+            MetricKind::Recall,
+            MetricKind::F1,
+            MetricKind::Auc,
+            MetricKind::TrainTime,
+        ],
+        train_ratio: 0.7,
+        seed,
+    };
+    let space = default_space(&pool.join_key);
+    Workload { pool, task, space }
+}
+
+/// Measure set of task T5 (Table 5): P@5/10, R@5/10, NDCG@5/10, training time.
+pub fn t5_measures() -> MeasureSet {
+    MeasureSet::new(vec![
+        MeasureSpec::maximise("p_Pc5"),
+        MeasureSpec::maximise("p_Pc10"),
+        MeasureSpec::maximise("p_Rc5"),
+        MeasureSpec::maximise("p_Rc10"),
+        MeasureSpec::maximise("p_Nc5"),
+        MeasureSpec::maximise("p_Nc10"),
+        MeasureSpec::minimise("p_Train", 10.0),
+    ])
+}
+
+/// The four MODis variants compared throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModisVariant {
+    /// ApxMODis (reduce from universal).
+    Apx,
+    /// NOBiMODis (bi-directional, no pruning).
+    NoBi,
+    /// BiMODis (bi-directional with pruning).
+    Bi,
+    /// DivMODis (diversified).
+    Div,
+}
+
+impl ModisVariant {
+    /// All variants in the order the paper's tables use.
+    pub fn all() -> [ModisVariant; 4] {
+        [ModisVariant::Apx, ModisVariant::NoBi, ModisVariant::Bi, ModisVariant::Div]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModisVariant::Apx => "ApxMODis",
+            ModisVariant::NoBi => "NOBiMODis",
+            ModisVariant::Bi => "BiMODis",
+            ModisVariant::Div => "DivMODis",
+        }
+    }
+}
+
+/// Runs one MODis variant over a substrate.
+pub fn run_variant<S: Substrate + ?Sized>(
+    variant: ModisVariant,
+    substrate: &S,
+    config: &ModisConfig,
+) -> SkylineResult {
+    match variant {
+        ModisVariant::Apx => apx_modis(substrate, config),
+        ModisVariant::NoBi => nobi_modis(substrate, config),
+        ModisVariant::Bi => bi_modis(substrate, config),
+        ModisVariant::Div => div_modis(substrate, config),
+    }
+}
+
+/// Converts a skyline result into a comparison row by picking the member with
+/// the best *primary* measure (index 0), as the paper does when comparing
+/// against single-output baselines.
+pub fn skyline_to_row(
+    name: &str,
+    result: &SkylineResult,
+    primary_higher_is_better: bool,
+) -> MethodRow {
+    let best = result
+        .best_by_raw(0, primary_higher_is_better)
+        .cloned()
+        .unwrap_or_else(|| SkylineEntry {
+            bitmap: modis_data::StateBitmap::empty(0),
+            perf: Vec::new(),
+            raw: Vec::new(),
+            size: (0, 0),
+            level: 0,
+        });
+    MethodRow {
+        method: name.to_string(),
+        raw: best.raw,
+        size: best.size,
+        discovery_seconds: result.elapsed_seconds,
+    }
+}
+
+/// Runs every baseline and every MODis variant on a tabular workload,
+/// producing the rows of Tables 4 / 6.
+pub fn run_table_methods(workload: &Workload, config: &ModisConfig) -> Vec<MethodRow> {
+    let pool = &workload.pool;
+    let task = &workload.task;
+    let base = pool.base();
+    let primary_hib = task.metric_kinds[0].higher_is_better();
+
+    let mut rows = Vec::new();
+    let baseline_row = |out: BaselineOutput| MethodRow {
+        method: out.method.clone(),
+        raw: out.evaluation.raw.clone(),
+        size: out.evaluation.size,
+        discovery_seconds: 0.0,
+    };
+
+    rows.push(baseline_row(original(base, task)));
+    rows.push(baseline_row(metam(base, &pool.tables, task, &pool.join_key, 0)));
+    rows.push(baseline_row(metam_mo(base, &pool.tables, task, &pool.join_key)));
+    rows.push(baseline_row(starmie(base, &pool.tables, task, &pool.join_key, 3)));
+
+    // Feature-selection baselines run on the universal table, as in §6.
+    let substrate = workload.substrate();
+    let universal = substrate.universal().clone();
+    rows.push(baseline_row(sksfm(&universal, task)));
+    rows.push(baseline_row(h2o(&universal, task)));
+
+    for variant in ModisVariant::all() {
+        let result = run_variant(variant, &substrate, config);
+        rows.push(skyline_to_row(variant.name(), &result, primary_hib));
+    }
+    rows
+}
+
+/// Runs the MODis variants on the T5 graph workload (Table 5 compares only
+/// MODis methods plus the original graph).
+pub fn run_graph_methods(
+    graph: &BipartiteGraph,
+    config: &ModisConfig,
+    space: &GraphSpaceConfig,
+) -> Vec<MethodRow> {
+    let substrate = GraphSubstrate::new(graph.clone(), t5_measures(), space.clone());
+    let mut rows = Vec::new();
+
+    // "Original": the full input graph.
+    let full = substrate.forward_start();
+    let raw = substrate.evaluate_raw(&full);
+    rows.push(MethodRow {
+        method: "Original".into(),
+        raw,
+        size: substrate.artifact_size(&full),
+        discovery_seconds: 0.0,
+    });
+
+    for variant in ModisVariant::all() {
+        let result = run_variant(variant, &substrate, config);
+        rows.push(skyline_to_row(variant.name(), &result, true));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ModisConfig {
+        ModisConfig::default()
+            .with_max_states(20)
+            .with_max_level(3)
+            .with_estimator(EstimatorMode::Surrogate { warmup: 8, refresh: 8 })
+    }
+
+    #[test]
+    fn task_definitions_are_consistent() {
+        for (w, n_measures) in [
+            (task_t1(1), 4usize),
+            (task_t2(1), 5),
+            (task_t3(1), 3),
+            (task_t4(1), 6),
+        ] {
+            assert_eq!(w.task.measures.len(), n_measures);
+            assert_eq!(w.task.metric_kinds.len(), n_measures);
+            assert!(w.pool.tables.len() >= 2);
+        }
+        assert_eq!(t5_measures().len(), 7);
+    }
+
+    #[test]
+    fn substrate_builds_for_every_task() {
+        for w in [task_t1(2), task_t3(2)] {
+            let s = w.substrate();
+            assert!(s.num_units() > 0);
+            assert!(s.universal().num_rows() > 0);
+        }
+    }
+
+    #[test]
+    fn variant_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            ModisVariant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn skyline_to_row_handles_empty_result() {
+        let row = skyline_to_row("X", &SkylineResult::default(), true);
+        assert_eq!(row.method, "X");
+        assert!(row.raw.is_empty());
+    }
+
+    #[test]
+    fn run_table_methods_produces_all_rows() {
+        let w = task_t3(4);
+        let rows = run_table_methods(&w, &small_config());
+        assert_eq!(rows.len(), 10);
+        let names: Vec<&str> = rows.iter().map(|r| r.method.as_str()).collect();
+        assert!(names.contains(&"Original"));
+        assert!(names.contains(&"BiMODis"));
+        // Every MODis row carries the full measure vector.
+        for r in rows.iter().filter(|r| r.method.contains("MODis")) {
+            assert_eq!(r.raw.len(), w.task.measures.len(), "row {}", r.method);
+        }
+    }
+}

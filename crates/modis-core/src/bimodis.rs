@@ -1,0 +1,224 @@
+//! BiMODis: bi-directional skyline set generation with correlation-based
+//! pruning (Alg. 2 / Alg. 4), and its pruning-free variant NOBiMODis.
+//!
+//! A forward frontier reduces from the universal state `s_U` while a backward
+//! frontier augments from the minimal state `s_b` produced by `BackSt`. The
+//! correlation graph `G_C` over the measures (Spearman ρ ≥ θ on the valuated
+//! tests `T`) and globally observed per-transition deltas give parameterised
+//! performance bounds `[p̂_l, p̂_u]` for unvaluated children; children whose
+//! optimistic bound is already ε-dominated by a skyline member are pruned
+//! without valuation (Lemma 4).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use modis_data::StateBitmap;
+
+use crate::config::{ModisConfig, SkylineResult};
+use crate::correlation::{CorrelationGraph, DeltaTracker, PerfBounds};
+use crate::estimator::ValuationContext;
+use crate::pareto::EpsilonSkyline;
+use crate::search_common::{finalize_result, op_gen, Direction, VisitedSet};
+use crate::substrate::Substrate;
+
+/// Runs BiMODis (with correlation-based pruning) over a substrate.
+pub fn bi_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> SkylineResult {
+    run_bidirectional(substrate, config, true)
+}
+
+/// Runs NOBiMODis: the bi-directional search without correlation pruning.
+pub fn nobi_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> SkylineResult {
+    run_bidirectional(substrate, config, false)
+}
+
+/// Statistics specific to the bi-directional search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BiStats {
+    /// Number of children skipped by correlation-based pruning.
+    pub pruned: usize,
+    /// Number of levels processed before the frontiers met or emptied.
+    pub levels: usize,
+}
+
+/// Bi-directional search result together with its pruning statistics.
+pub fn bi_modis_with_stats<S: Substrate + ?Sized>(
+    substrate: &S,
+    config: &ModisConfig,
+    prune: bool,
+) -> (SkylineResult, BiStats) {
+    let ctx = ValuationContext::new(substrate, config.estimator);
+    run_with_context(&ctx, config, prune)
+}
+
+fn run_bidirectional<S: Substrate + ?Sized>(
+    substrate: &S,
+    config: &ModisConfig,
+    prune: bool,
+) -> SkylineResult {
+    bi_modis_with_stats(substrate, config, prune).0
+}
+
+fn run_with_context<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+    prune: bool,
+) -> (SkylineResult, BiStats) {
+    let start = Instant::now();
+    let substrate = ctx.substrate();
+    let measures = substrate.measures().clone();
+    let protected = substrate.protected_units();
+    let m = measures.len();
+    let mut skyline = EpsilonSkyline::new(measures, config.epsilon, config.decisive);
+    let mut visited = VisitedSet::new();
+    let mut deltas = DeltaTracker::new(m);
+    let mut stats = BiStats::default();
+
+    let s_u = substrate.forward_start();
+    let s_b = substrate.backward_start();
+    let perf_u = ctx.valuate(&s_u);
+    skyline.offer(&s_u, &perf_u, 0);
+    visited.insert(&s_u);
+    let perf_b = if s_b != s_u {
+        let p = ctx.valuate(&s_b);
+        skyline.offer(&s_b, &p, 0);
+        visited.insert(&s_b);
+        p
+    } else {
+        perf_u.clone()
+    };
+
+    let mut forward: VecDeque<(StateBitmap, Vec<f64>, usize)> = VecDeque::new();
+    let mut backward: VecDeque<(StateBitmap, Vec<f64>, usize)> = VecDeque::new();
+    forward.push_back((s_u, perf_u, 0));
+    backward.push_back((s_b, perf_b, 0));
+
+    while !forward.is_empty() || !backward.is_empty() {
+        if ctx.num_valuated() >= config.max_states {
+            break;
+        }
+        // Frontier meeting condition: a state reachable from both ends has
+        // been visited by both searches; with a shared `visited` set this is
+        // detected implicitly when a child is already visited by the other
+        // frontier — the paper's Q_f ∩ Q_b ≠ ∅ termination is approximated by
+        // the level cap below.
+        let corr = CorrelationGraph::from_series(&ctx.measure_series(), config.theta);
+
+        for (queue, direction) in [(&mut forward, Direction::Forward), (&mut backward, Direction::Backward)] {
+            let Some((state, parent_perf, level)) = queue.pop_front() else {
+                continue;
+            };
+            if level >= config.max_level {
+                continue;
+            }
+            stats.levels = stats.levels.max(level + 1);
+            for child in op_gen(&state, direction, &protected) {
+                if ctx.num_valuated() >= config.max_states {
+                    break;
+                }
+                if !visited.insert(&child) {
+                    continue;
+                }
+                if prune && deltas.observations() >= 3 {
+                    let bounds =
+                        PerfBounds::from_parent(&parent_perf, &deltas.min, &deltas.max, &corr);
+                    let dominated = skyline
+                        .entries()
+                        .iter()
+                        .any(|e| bounds.epsilon_dominated_by(&e.perf, config.epsilon));
+                    if dominated {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+                let perf = ctx.valuate(&child);
+                deltas.observe(&parent_perf, &perf);
+                skyline.offer(&child, &perf, level + 1);
+                queue.push_back((child, perf, level + 1));
+            }
+        }
+        if forward.is_empty() && backward.is_empty() {
+            break;
+        }
+    }
+
+    let result = finalize_result(&skyline, ctx, config, start.elapsed().as_secs_f64());
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apx::apx_modis;
+    use crate::estimator::EstimatorMode;
+    use crate::substrate::mock::MockSubstrate;
+
+    fn oracle_config() -> ModisConfig {
+        ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_epsilon(0.1)
+            .with_max_states(300)
+            .with_max_level(6)
+    }
+
+    #[test]
+    fn bimodis_produces_nonempty_skyline() {
+        let sub = MockSubstrate::new(8);
+        let res = bi_modis(&sub, &oracle_config());
+        assert!(!res.is_empty());
+        for a in &res.entries {
+            for b in &res.entries {
+                assert!(!crate::dominance::dominates(&a.perf, &b.perf) || a.bitmap == b.bitmap);
+            }
+        }
+    }
+
+    #[test]
+    fn nobimodis_matches_or_beats_bimodis_quality() {
+        let sub = MockSubstrate::new(8);
+        let cfg = oracle_config();
+        let with = bi_modis(&sub, &cfg);
+        let without = nobi_modis(&sub, &cfg);
+        let best_quality = |r: &SkylineResult| {
+            r.entries
+                .iter()
+                .map(|e| e.perf[0])
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Pruning may only skip states, never invent better ones.
+        assert!(best_quality(&without) <= best_quality(&with) + 1e-9);
+    }
+
+    #[test]
+    fn pruning_reduces_valuations() {
+        let sub = MockSubstrate::new(10);
+        let cfg = oracle_config().with_max_states(500).with_max_level(5);
+        let (with, stats_with) = bi_modis_with_stats(&sub, &cfg, true);
+        let (without, _) = bi_modis_with_stats(&sub, &cfg, false);
+        assert!(with.states_valuated <= without.states_valuated);
+        // At least some states considered (pruning counter is well-defined).
+        assert!(stats_with.pruned < 10_000);
+    }
+
+    #[test]
+    fn bimodis_explores_from_both_ends() {
+        let sub = MockSubstrate::new(6);
+        let cfg = oracle_config().with_max_level(2).with_max_states(1000);
+        let res = bi_modis(&sub, &cfg);
+        // Backward start (all zeros) is level 0 and should be valuated even
+        // though the forward search would need 6 levels to reach it.
+        assert!(res.states_valuated >= 2);
+        let has_sparse = res.entries.iter().any(|e| e.bitmap.count_ones() <= 2);
+        let has_dense = res.entries.iter().any(|e| e.bitmap.count_ones() >= 4);
+        assert!(has_sparse || has_dense);
+    }
+
+    #[test]
+    fn bimodis_uses_fewer_or_equal_states_than_apx_for_same_budget() {
+        let sub = MockSubstrate::new(8);
+        let cfg = oracle_config().with_max_states(120).with_max_level(4);
+        let bi = bi_modis(&sub, &cfg);
+        let apx = apx_modis(&sub, &cfg);
+        assert!(bi.states_valuated <= cfg.max_states + 1);
+        assert!(apx.states_valuated <= cfg.max_states + 1);
+    }
+}

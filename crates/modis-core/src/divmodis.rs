@@ -1,0 +1,221 @@
+//! DivMODis: diversified skyline dataset generation (§5.4, Alg. 3).
+//!
+//! DivMODis extends the `(N, ε)`-approximation with a per-level greedy
+//! selection-and-replacement step that keeps at most `k` skyline members
+//! maximising the diversification score of Eq. (2):
+//!
+//! `div(D_F) = Σ_{i<j} dis(D_i, D_j)` with
+//! `dis = α·(1 − cos(L_i, L_j))/2 + (1 − α)·euc(P_i, P_j)/euc_max`.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use modis_data::stats::euclidean;
+
+use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
+use crate::estimator::ValuationContext;
+use crate::pareto::EpsilonSkyline;
+use crate::search_common::{finalize_result, op_gen, Direction, VisitedSet};
+use crate::substrate::Substrate;
+
+/// Pairwise distance `dis(D_i, D_j)` of Eq. (2).
+pub fn diversification_distance(a: &SkylineEntry, b: &SkylineEntry, alpha: f64, euc_max: f64) -> f64 {
+    let content = alpha * (1.0 - a.bitmap.cosine_similarity(&b.bitmap)) / 2.0;
+    let scale = if euc_max > 1e-12 { euc_max } else { 1.0 };
+    let perf = (1.0 - alpha) * euclidean(&a.perf, &b.perf) / scale;
+    content + perf
+}
+
+/// Diversification score `div(D_F)` of a set of entries.
+pub fn diversification_score(entries: &[SkylineEntry], alpha: f64, euc_max: f64) -> f64 {
+    let mut score = 0.0;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            score += diversification_distance(&entries[i], &entries[j], alpha, euc_max);
+        }
+    }
+    score
+}
+
+/// One diversification step at a level (Alg. 3): keeps at most `k` entries by
+/// greedy replacement maximising `div`.
+pub fn diversify_level(
+    entries: Vec<SkylineEntry>,
+    k: usize,
+    alpha: f64,
+    euc_max: f64,
+) -> Vec<SkylineEntry> {
+    if entries.len() <= k {
+        return entries;
+    }
+    // Initialise with the first k entries (a deterministic stand-in for the
+    // random initialisation of Alg. 3, keeping runs reproducible).
+    let mut selected: Vec<SkylineEntry> = entries[..k].to_vec();
+    let mut score = diversification_score(&selected, alpha, euc_max);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for slot in 0..selected.len() {
+            for candidate in &entries {
+                if selected
+                    .iter()
+                    .any(|s| s.bitmap == candidate.bitmap && s.perf == candidate.perf)
+                {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial[slot] = candidate.clone();
+                let trial_score = diversification_score(&trial, alpha, euc_max);
+                if trial_score > score + 1e-12 {
+                    selected = trial;
+                    score = trial_score;
+                    improved = true;
+                }
+            }
+        }
+    }
+    selected
+}
+
+/// Runs DivMODis over a substrate.
+pub fn div_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> SkylineResult {
+    let start = Instant::now();
+    let ctx = ValuationContext::new(substrate, config.estimator);
+    let measures = substrate.measures().clone();
+    let protected = substrate.protected_units();
+    let mut skyline = EpsilonSkyline::new(measures, config.epsilon, config.decisive);
+    let mut visited = VisitedSet::new();
+    let mut queue: VecDeque<(modis_data::StateBitmap, usize)> = VecDeque::new();
+
+    let s_u = substrate.forward_start();
+    let perf_u = ctx.valuate(&s_u);
+    skyline.offer(&s_u, &perf_u, 0);
+    visited.insert(&s_u);
+    queue.push_back((s_u, 0));
+
+    // Normalisation constant euc_m: the maximum Euclidean distance among the
+    // historical performances in T, updated as the search proceeds.
+    let mut euc_max: f64 = 1e-9;
+    let mut current_level = 0usize;
+
+    while let Some((state, level)) = queue.pop_front() {
+        if ctx.num_valuated() >= config.max_states {
+            break;
+        }
+        if level > current_level {
+            // Level boundary: diversify the skyline kept so far (Alg. 3 is
+            // invoked on D_F^i before level i+1 is processed).
+            let diversified = diversify_level(skyline.entries(), config.k, config.alpha, euc_max);
+            skyline.replace_entries(diversified);
+            current_level = level;
+        }
+        if level >= config.max_level {
+            continue;
+        }
+        for child in op_gen(&state, Direction::Forward, &protected) {
+            if ctx.num_valuated() >= config.max_states {
+                break;
+            }
+            if !visited.insert(&child) {
+                continue;
+            }
+            let perf = ctx.valuate(&child);
+            for rec in skyline.entries() {
+                euc_max = euc_max.max(euclidean(&rec.perf, &perf));
+            }
+            skyline.offer(&child, &perf, level + 1);
+            queue.push_back((child, level + 1));
+        }
+    }
+
+    // Final diversification pass.
+    let diversified = diversify_level(skyline.entries(), config.k, config.alpha, euc_max);
+    skyline.replace_entries(diversified);
+    finalize_result(&skyline, &ctx, config, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorMode;
+    use crate::substrate::mock::MockSubstrate;
+    use modis_data::StateBitmap;
+
+    fn entry(bits: Vec<bool>, perf: Vec<f64>) -> SkylineEntry {
+        SkylineEntry {
+            bitmap: StateBitmap::from_bits(bits),
+            perf,
+            raw: Vec::new(),
+            size: (0, 0),
+            level: 0,
+        }
+    }
+
+    #[test]
+    fn distance_combines_content_and_performance() {
+        let a = entry(vec![true, true, false], vec![0.1, 0.2]);
+        let b = entry(vec![false, false, true], vec![0.8, 0.9]);
+        let c = entry(vec![true, true, false], vec![0.1, 0.2]);
+        let far = diversification_distance(&a, &b, 0.5, 1.0);
+        let near = diversification_distance(&a, &c, 0.5, 1.0);
+        assert!(far > near);
+        assert!(near.abs() < 1e-9);
+        // α = 1 ignores performance.
+        let only_content = diversification_distance(&a, &b, 1.0, 1.0);
+        assert!((only_content - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diversification_score_is_monotone_in_set_size() {
+        let a = entry(vec![true, false], vec![0.1, 0.2]);
+        let b = entry(vec![false, true], vec![0.9, 0.8]);
+        let c = entry(vec![true, true], vec![0.5, 0.5]);
+        let two = diversification_score(&[a.clone(), b.clone()], 0.5, 1.0);
+        let three = diversification_score(&[a, b, c], 0.5, 1.0);
+        assert!(three >= two);
+    }
+
+    #[test]
+    fn diversify_level_keeps_k_most_diverse() {
+        let entries = vec![
+            entry(vec![true, true, true, true], vec![0.1, 0.1]),
+            entry(vec![true, true, true, false], vec![0.11, 0.11]),
+            entry(vec![false, false, false, true], vec![0.9, 0.9]),
+        ];
+        let kept = diversify_level(entries, 2, 0.5, 1.2);
+        assert_eq!(kept.len(), 2);
+        // The two most different entries (first and third) should survive.
+        let ones: Vec<usize> = kept.iter().map(|e| e.bitmap.count_ones()).collect();
+        assert!(ones.contains(&1));
+        assert!(ones.contains(&4) || ones.contains(&3));
+    }
+
+    #[test]
+    fn diversify_level_noop_when_small() {
+        let entries = vec![entry(vec![true], vec![0.1, 0.2])];
+        assert_eq!(diversify_level(entries.clone(), 3, 0.5, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn divmodis_bounds_skyline_size_by_k() {
+        let sub = MockSubstrate::new(8);
+        let cfg = ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(200)
+            .with_diversification(3, 0.5);
+        let res = div_modis(&sub, &cfg);
+        assert!(!res.is_empty());
+        assert!(res.len() <= 3, "skyline has {} members", res.len());
+    }
+
+    #[test]
+    fn alpha_one_prefers_content_spread() {
+        let sub = MockSubstrate::new(8);
+        let base = ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(150);
+        let content = div_modis(&sub, &base.clone().with_diversification(3, 1.0));
+        let perf = div_modis(&sub, &base.with_diversification(3, 0.0));
+        assert!(!content.is_empty() && !perf.is_empty());
+    }
+}

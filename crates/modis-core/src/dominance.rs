@@ -1,0 +1,213 @@
+//! Dominance relations and skyline computation (§4, §5.1).
+//!
+//! * [`dominates`] — strict Pareto dominance over normalised minimise-form
+//!   performance vectors;
+//! * [`epsilon_dominates`] — the `(1+ε)` relaxation used by the
+//!   `(N, ε)`-approximation;
+//! * [`skyline`] — exact Pareto front (Kung-style divide and conquer for
+//!   2–3 measures, simple filtering otherwise);
+//! * [`epsilon_skyline_cover`] — verifies the ε-skyline covering property.
+
+/// Strict Pareto dominance: `a ≺ b` means `b` dominates `a`.
+///
+/// `b` dominates `a` iff `b` is no worse on every measure and strictly better
+/// on at least one (all measures minimised).
+pub fn dominates(b: &[f64], a: &[f64]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let mut strictly_better = false;
+    for (x, y) in b.iter().zip(a.iter()) {
+        if *x > y + 1e-12 {
+            return false;
+        }
+        if *x < y - 1e-12 {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// ε-dominance `b ⪰_ε a`: `b.p ≤ (1+ε)·a.p` for every measure and `b.p* ≤
+/// a.p*` for at least one (decisive) measure.
+pub fn epsilon_dominates(b: &[f64], a: &[f64], epsilon: f64) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let factor = 1.0 + epsilon;
+    let mut some_no_worse = false;
+    for (x, y) in b.iter().zip(a.iter()) {
+        if *x > factor * y + 1e-12 {
+            return false;
+        }
+        if *x <= *y + 1e-12 {
+            some_no_worse = true;
+        }
+    }
+    some_no_worse
+}
+
+/// Exact skyline (Pareto front) of a set of performance vectors; returns the
+/// indices of non-dominated vectors, preserving input order.
+///
+/// For two objectives the classic Kung sort-and-scan algorithm is used
+/// (`O(n log n)`); otherwise a pairwise filter (`O(n²·|P|)`) is used, which
+/// is adequate for the bounded state counts explored by MODis.
+pub fn skyline(points: &[Vec<f64>]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    if dims == 2 {
+        return skyline_2d(points);
+    }
+    let mut result = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if dominates(q, p) {
+                continue 'outer;
+            }
+            // Tie-break exact duplicates: keep only the first occurrence.
+            if j < i && q == p {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+/// Kung's algorithm specialised to two minimised objectives.
+fn skyline_2d(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a][0]
+            .partial_cmp(&points[b][0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(points[a][1].partial_cmp(&points[b][1]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut best_second = f64::INFINITY;
+    let mut keep = Vec::new();
+    for &i in &idx {
+        if points[i][1] < best_second - 1e-12 {
+            keep.push(i);
+            best_second = points[i][1];
+        }
+    }
+    keep.sort_unstable();
+    keep
+}
+
+/// Checks the ε-skyline covering property: every vector in `all` is
+/// ε-dominated by some member of `subset` (given as indices into `all`).
+pub fn epsilon_skyline_cover(all: &[Vec<f64>], subset: &[usize], epsilon: f64) -> bool {
+    all.iter().enumerate().all(|(i, p)| {
+        subset.contains(&i)
+            || subset
+                .iter()
+                .any(|&j| epsilon_dominates(&all[j], p, epsilon))
+    })
+}
+
+/// Removes vectors of `indices` that are dominated by another member of
+/// `indices` (mutual non-dominance property of a skyline set).
+pub fn prune_dominated(points: &[Vec<f64>], indices: &[usize]) -> Vec<usize> {
+    indices
+        .iter()
+        .copied()
+        .filter(|&i| {
+            !indices
+                .iter()
+                .any(|&j| j != i && dominates(&points[j], &points[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[0.1, 0.2], &[0.2, 0.3]));
+        assert!(!dominates(&[0.2, 0.3], &[0.1, 0.2]));
+        assert!(!dominates(&[0.1, 0.4], &[0.2, 0.3]));
+        // Equal vectors do not dominate each other.
+        assert!(!dominates(&[0.1, 0.2], &[0.1, 0.2]));
+        assert!(!dominates(&[], &[]));
+    }
+
+    #[test]
+    fn paper_example_4_dominance() {
+        // Performance vectors of D1..D5 from Example 4 (RMSE, R̂², T_train).
+        let d = [
+            vec![0.48, 0.33, 0.37],
+            vec![0.41, 0.24, 0.37],
+            vec![0.26, 0.15, 0.37],
+            vec![0.37, 0.22, 0.39],
+            vec![0.25, 0.18, 0.35],
+        ];
+        // D1 ≺ D2 ≺ D3 and D4 ≺ D5 (later dominates earlier).
+        assert!(dominates(&d[1], &d[0]));
+        assert!(dominates(&d[2], &d[1]));
+        assert!(dominates(&d[4], &d[3]));
+        // D3 ⊀ D5 and D5 ⊀ D3.
+        assert!(!dominates(&d[2], &d[4]));
+        assert!(!dominates(&d[4], &d[2]));
+        // Skyline = {D3, D5} = indices {2, 4}.
+        let sky = skyline(&d);
+        assert_eq!(sky, vec![2, 4]);
+    }
+
+    #[test]
+    fn epsilon_dominance_relaxation() {
+        // Slightly worse on one measure but within (1+ε).
+        assert!(epsilon_dominates(&[0.11, 0.2], &[0.1, 0.25], 0.2));
+        assert!(!epsilon_dominates(&[0.2, 0.2], &[0.1, 0.25], 0.2));
+        // ε = 0 reduces to weak dominance with the "some no worse" clause.
+        assert!(epsilon_dominates(&[0.1, 0.2], &[0.1, 0.2], 0.0));
+    }
+
+    #[test]
+    fn skyline_2d_matches_generic() {
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.1, 0.9],
+            vec![0.2, 0.5],
+            vec![0.3, 0.6],
+            vec![0.5, 0.2],
+            vec![0.9, 0.1],
+            vec![0.6, 0.6],
+        ];
+        let sky2 = skyline(&pts);
+        // Generic path by adding a constant third dimension.
+        let pts3: Vec<Vec<f64>> = pts.iter().map(|p| vec![p[0], p[1], 0.5]).collect();
+        let mut sky3 = skyline(&pts3);
+        sky3.sort_unstable();
+        assert_eq!(sky2, sky3);
+        assert!(sky2.contains(&0) && sky2.contains(&4));
+        assert!(!sky2.contains(&2));
+    }
+
+    #[test]
+    fn skyline_of_duplicates_keeps_one() {
+        let pts = vec![vec![0.1, 0.1, 0.1], vec![0.1, 0.1, 0.1]];
+        assert_eq!(skyline(&pts), vec![0]);
+    }
+
+    #[test]
+    fn cover_property_detects_missing_coverage() {
+        let all = vec![vec![0.1, 0.5], vec![0.5, 0.1], vec![0.12, 0.55]];
+        assert!(epsilon_skyline_cover(&all, &[0, 1], 0.2));
+        assert!(!epsilon_skyline_cover(&all, &[1], 0.2));
+    }
+
+    #[test]
+    fn prune_dominated_removes_inner_points() {
+        let pts = vec![vec![0.1, 0.5], vec![0.2, 0.6], vec![0.5, 0.1]];
+        let pruned = prune_dominated(&pts, &[0, 1, 2]);
+        assert_eq!(pruned, vec![0, 2]);
+    }
+}

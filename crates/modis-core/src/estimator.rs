@@ -1,0 +1,314 @@
+//! Performance estimators `E` and the shared valuation context.
+//!
+//! The paper valuates tests `t = (M, D, P)` either by actual training /
+//! inference (the oracle) or, by default, with a multi-output gradient
+//! boosting surrogate trained on historically observed performance `T`
+//! (MO-GBM, §2/§6). [`ValuationContext`] wraps a [`Substrate`] with
+//!
+//! * the test-record store `T` (bitmap → normalised performance vector),
+//! * an optional MO-GBM surrogate that takes over after a warm-up of oracle
+//!   valuations and is refreshed periodically,
+//! * counters used by the efficiency experiments.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use modis_data::StateBitmap;
+use modis_ml::gbm::{GbmParams, MultiOutputGbm};
+
+use crate::substrate::Substrate;
+
+/// How the search valuates states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorMode {
+    /// Always train the real model (exact but slow).
+    Oracle,
+    /// Valuate the first `warmup` states with the oracle, then switch to the
+    /// MO-GBM surrogate (refitted every `refresh` oracle valuations).
+    Surrogate {
+        /// Number of oracle valuations before the surrogate takes over.
+        warmup: usize,
+        /// Surrogate refresh period (in recorded tests).
+        refresh: usize,
+    },
+}
+
+impl Default for EstimatorMode {
+    fn default() -> Self {
+        EstimatorMode::Surrogate { warmup: 12, refresh: 8 }
+    }
+}
+
+/// One valuated test `t ∈ T`.
+#[derive(Debug, Clone)]
+pub struct TestRecord {
+    /// State bitmap of the valuated dataset.
+    pub bitmap: StateBitmap,
+    /// Normalised performance vector `t.P`.
+    pub perf: Vec<f64>,
+    /// Raw metric values.
+    pub raw: Vec<f64>,
+    /// Whether the record came from the oracle (vs. the surrogate).
+    pub oracle: bool,
+}
+
+/// Counters exposed for the efficiency experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValuationStats {
+    /// Number of oracle (real training) valuations.
+    pub oracle_calls: usize,
+    /// Number of surrogate valuations.
+    pub surrogate_calls: usize,
+    /// Number of cache hits.
+    pub cache_hits: usize,
+}
+
+struct Inner {
+    records: Vec<TestRecord>,
+    by_bitmap: HashMap<StateBitmap, usize>,
+    surrogate: Option<MultiOutputGbm>,
+    records_at_last_fit: usize,
+    stats: ValuationStats,
+}
+
+/// Shared valuation context: the test set `T`, the estimator and counters.
+pub struct ValuationContext<'a, S: Substrate + ?Sized> {
+    substrate: &'a S,
+    mode: EstimatorMode,
+    inner: Mutex<Inner>,
+}
+
+impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
+    /// Creates a context over a substrate.
+    pub fn new(substrate: &'a S, mode: EstimatorMode) -> Self {
+        ValuationContext {
+            substrate,
+            mode,
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                by_bitmap: HashMap::new(),
+                surrogate: None,
+                records_at_last_fit: 0,
+                stats: ValuationStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped substrate.
+    pub fn substrate(&self) -> &S {
+        self.substrate
+    }
+
+    /// Valuates a state, returning the normalised performance vector.
+    ///
+    /// Cached records are returned directly ("if t is already in T, it
+    /// directly loads t.P", §3).
+    pub fn valuate(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&idx) = inner.by_bitmap.get(bitmap) {
+                inner.stats.cache_hits += 1;
+                return inner.records[idx].perf.clone();
+            }
+        }
+        let use_surrogate = match self.mode {
+            EstimatorMode::Oracle => false,
+            EstimatorMode::Surrogate { warmup, .. } => {
+                let inner = self.inner.lock();
+                inner.stats.oracle_calls >= warmup && inner.surrogate.is_some()
+            }
+        };
+        if use_surrogate {
+            let feats = self.substrate.state_features(bitmap);
+            let mut inner = self.inner.lock();
+            if let Some(model) = &inner.surrogate {
+                let mut perf = model.predict_one(&feats);
+                for p in &mut perf {
+                    *p = p.clamp(1e-6, 1.0);
+                }
+                inner.stats.surrogate_calls += 1;
+                let idx = inner.records.len();
+                inner.records.push(TestRecord {
+                    bitmap: bitmap.clone(),
+                    perf: perf.clone(),
+                    raw: Vec::new(),
+                    oracle: false,
+                });
+                inner.by_bitmap.insert(bitmap.clone(), idx);
+                return perf;
+            }
+        }
+        self.valuate_oracle(bitmap)
+    }
+
+    /// Forces an oracle valuation (used for final reporting of skyline
+    /// members, mirroring the paper's "actual model inference test").
+    pub fn valuate_oracle(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        let raw = self.substrate.evaluate_raw(bitmap);
+        let perf = self.substrate.measures().normalise(&raw);
+        let mut inner = self.inner.lock();
+        inner.stats.oracle_calls += 1;
+        let idx = inner.records.len();
+        match inner.by_bitmap.get(bitmap).copied() {
+            Some(existing) => {
+                inner.records[existing] = TestRecord {
+                    bitmap: bitmap.clone(),
+                    perf: perf.clone(),
+                    raw,
+                    oracle: true,
+                };
+            }
+            None => {
+                inner.records.push(TestRecord {
+                    bitmap: bitmap.clone(),
+                    perf: perf.clone(),
+                    raw,
+                    oracle: true,
+                });
+                inner.by_bitmap.insert(bitmap.clone(), idx);
+            }
+        }
+        drop(inner);
+        self.maybe_refit();
+        perf
+    }
+
+    /// Raw metric values for a state, valuating with the oracle if needed.
+    pub fn raw_for(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        {
+            let inner = self.inner.lock();
+            if let Some(&idx) = inner.by_bitmap.get(bitmap) {
+                let rec = &inner.records[idx];
+                if rec.oracle {
+                    return rec.raw.clone();
+                }
+            }
+        }
+        let raw = self.substrate.evaluate_raw(bitmap);
+        self.valuate_oracle(bitmap);
+        raw
+    }
+
+    /// Number of valuated states (tests in `T`).
+    pub fn num_valuated(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Snapshot of the valuation counters.
+    pub fn stats(&self) -> ValuationStats {
+        self.inner.lock().stats
+    }
+
+    /// Snapshot of all test records.
+    pub fn records(&self) -> Vec<TestRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Per-measure series of the oracle-valuated performance values, used to
+    /// maintain the correlation graph `G_C`.
+    pub fn measure_series(&self) -> Vec<Vec<f64>> {
+        let inner = self.inner.lock();
+        let m = self.substrate.measures().len();
+        let mut series = vec![Vec::new(); m];
+        for rec in inner.records.iter().filter(|r| r.oracle) {
+            for (i, &v) in rec.perf.iter().enumerate().take(m) {
+                series[i].push(v);
+            }
+        }
+        series
+    }
+
+    fn maybe_refit(&self) {
+        let (warmup, refresh) = match self.mode {
+            EstimatorMode::Oracle => return,
+            EstimatorMode::Surrogate { warmup, refresh } => (warmup, refresh),
+        };
+        let mut inner = self.inner.lock();
+        let oracle_records: Vec<&TestRecord> = inner.records.iter().filter(|r| r.oracle).collect();
+        let n = oracle_records.len();
+        if n < warmup {
+            return;
+        }
+        if inner.surrogate.is_some() && n < inner.records_at_last_fit + refresh {
+            return;
+        }
+        let x: Vec<Vec<f64>> = oracle_records
+            .iter()
+            .map(|r| self.substrate.state_features(&r.bitmap))
+            .collect();
+        let y: Vec<Vec<f64>> = oracle_records.iter().map(|r| r.perf.clone()).collect();
+        let params = GbmParams { n_estimators: 30, ..GbmParams::default() };
+        let model = MultiOutputGbm::fit(&x, &y, params);
+        inner.surrogate = Some(model);
+        inner.records_at_last_fit = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::mock::MockSubstrate;
+
+    #[test]
+    fn oracle_mode_always_calls_substrate() {
+        let sub = MockSubstrate::new(6);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let full = StateBitmap::full(6);
+        let p1 = ctx.valuate(&full);
+        let p2 = ctx.valuate(&full);
+        assert_eq!(p1, p2);
+        let stats = ctx.stats();
+        assert_eq!(stats.oracle_calls, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(ctx.num_valuated(), 1);
+    }
+
+    #[test]
+    fn surrogate_takes_over_after_warmup() {
+        let sub = MockSubstrate::new(8);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Surrogate { warmup: 5, refresh: 100 });
+        // Warm up with distinct states.
+        for i in 0..5 {
+            ctx.valuate(&StateBitmap::full(8).flipped(i));
+        }
+        assert_eq!(ctx.stats().oracle_calls, 5);
+        // New state should now be estimated, not trained.
+        let est = ctx.valuate(&StateBitmap::full(8).flipped(6).flipped(7));
+        assert_eq!(est.len(), 2);
+        assert!(est.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(ctx.stats().surrogate_calls, 1);
+        assert_eq!(ctx.stats().oracle_calls, 5);
+    }
+
+    #[test]
+    fn raw_for_upgrades_surrogate_records() {
+        let sub = MockSubstrate::new(6);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Surrogate { warmup: 2, refresh: 100 });
+        for i in 0..3 {
+            ctx.valuate(&StateBitmap::full(6).flipped(i));
+        }
+        let target = StateBitmap::full(6).flipped(4).flipped(5);
+        let _est = ctx.valuate(&target);
+        let raw = ctx.raw_for(&target);
+        assert_eq!(raw.len(), 2);
+        // The record is now oracle-backed.
+        let rec = ctx
+            .records()
+            .into_iter()
+            .find(|r| r.bitmap == target)
+            .unwrap();
+        assert!(rec.oracle);
+    }
+
+    #[test]
+    fn measure_series_tracks_oracle_records() {
+        let sub = MockSubstrate::new(4);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        ctx.valuate(&StateBitmap::full(4));
+        ctx.valuate(&StateBitmap::full(4).flipped(0));
+        let series = ctx.measure_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Helpers shared by the MODis search algorithms.
+
+use std::collections::HashSet;
+
+use modis_data::StateBitmap;
+
+use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
+use crate::estimator::ValuationContext;
+use crate::pareto::EpsilonSkyline;
+use crate::substrate::Substrate;
+
+/// Search direction of an `OpGen` expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward search: flip 1 → 0 (reduct operators).
+    Forward,
+    /// Backward search: flip 0 → 1 (augment operators).
+    Backward,
+}
+
+/// Procedure `OpGen`: spawns every one-flip child of a state in the given
+/// direction, skipping protected units.
+pub fn op_gen(bitmap: &StateBitmap, direction: Direction, protected: &[usize]) -> Vec<StateBitmap> {
+    let candidates: Vec<usize> = match direction {
+        Direction::Forward => bitmap.ones(),
+        Direction::Backward => bitmap.zeros(),
+    };
+    candidates
+        .into_iter()
+        .filter(|i| !protected.contains(i))
+        .map(|i| bitmap.flipped(i))
+        .collect()
+}
+
+/// Tracks which states have already been spawned to avoid revisiting them.
+#[derive(Debug, Default)]
+pub struct VisitedSet {
+    seen: HashSet<StateBitmap>,
+}
+
+impl VisitedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        VisitedSet::default()
+    }
+
+    /// Inserts a state; returns `true` when it was not seen before.
+    pub fn insert(&mut self, bitmap: &StateBitmap) -> bool {
+        self.seen.insert(bitmap.clone())
+    }
+
+    /// Number of visited states.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// Finalises a search: the ε-skyline members are re-valuated with the oracle
+/// (actual model training), sized, pruned of exact dominance, and wrapped in
+/// a [`SkylineResult`].
+pub fn finalize_result<S: Substrate + ?Sized>(
+    skyline: &EpsilonSkyline,
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+    elapsed_seconds: f64,
+) -> SkylineResult {
+    let _ = config;
+    let mut entries: Vec<SkylineEntry> = skyline
+        .finalize()
+        .into_iter()
+        .map(|mut e| {
+            let raw = ctx.raw_for(&e.bitmap);
+            e.perf = ctx.substrate().measures().normalise(&raw);
+            e.raw = raw;
+            e.size = ctx.substrate().artifact_size(&e.bitmap);
+            e
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        a.perf
+            .iter()
+            .sum::<f64>()
+            .partial_cmp(&b.perf.iter().sum::<f64>())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    SkylineResult {
+        entries,
+        states_valuated: ctx.num_valuated(),
+        elapsed_seconds,
+        stats: ctx.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorMode;
+    use crate::substrate::mock::MockSubstrate;
+
+    #[test]
+    fn op_gen_forward_flips_ones() {
+        let b = StateBitmap::from_bits(vec![true, false, true]);
+        let children = op_gen(&b, Direction::Forward, &[]);
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|c| c.count_ones() == 1));
+    }
+
+    #[test]
+    fn op_gen_backward_flips_zeros_and_respects_protection() {
+        let b = StateBitmap::from_bits(vec![true, false, false]);
+        let children = op_gen(&b, Direction::Backward, &[2]);
+        assert_eq!(children.len(), 1);
+        assert!(children[0].get(1));
+    }
+
+    #[test]
+    fn visited_set_dedups() {
+        let mut v = VisitedSet::new();
+        let b = StateBitmap::full(3);
+        assert!(v.insert(&b));
+        assert!(!v.insert(&b));
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn finalize_result_fills_raw_and_size() {
+        let sub = MockSubstrate::new(4);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let cfg = ModisConfig::default();
+        let mut sky = EpsilonSkyline::new(sub.measures().clone(), cfg.epsilon, None);
+        let b = StateBitmap::full(4);
+        let perf = ctx.valuate(&b);
+        sky.offer(&b, &perf, 0);
+        let res = finalize_result(&sky, &ctx, &cfg, 0.1);
+        assert_eq!(res.entries.len(), 1);
+        assert_eq!(res.entries[0].raw.len(), 2);
+        assert_eq!(res.entries[0].size, (40, 4));
+        assert!(res.states_valuated >= 1);
+    }
+}

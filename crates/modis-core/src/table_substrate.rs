@@ -1,0 +1,333 @@
+//! Tabular search space: the universal table, its reducible units and the
+//! materialisation of states into datasets.
+//!
+//! Following §5.2 / §6, the universal table `D_U` is built by a multi-way
+//! outer join of the source tables; each non-target attribute contributes
+//! * one *attribute unit* (bit = attribute present in the state's schema),
+//! * one *cluster unit* per active-domain cluster derived by k-means
+//!   (bit = tuples whose value falls in that cluster are present).
+//!
+//! Clearing an attribute unit applies a masking reduct (`adom_s(A) = ∅`);
+//! clearing a cluster unit applies `⊖_c` with the cluster's literal. The
+//! backward start state of BiMODis keeps every tuple but masks all feature
+//! attributes (a minimal dataset that still covers every target class, as
+//! produced by `BackSt`).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use modis_data::{
+    derive_attribute_literals, mask_attribute, universal_table, ClusterConfig, Dataset, Literal,
+    StateBitmap,
+};
+
+use crate::measure::MeasureSet;
+use crate::substrate::Substrate;
+use crate::task::{evaluate_dataset, TaskSpec};
+
+/// One reducible unit of the tabular search space.
+#[derive(Debug, Clone)]
+pub enum TableUnit {
+    /// Presence of an attribute in the state's schema.
+    Attribute {
+        /// Attribute name.
+        name: String,
+    },
+    /// Presence of the tuples selected by a cluster literal.
+    Cluster {
+        /// Attribute the cluster belongs to.
+        attribute: String,
+        /// Literal selecting the cluster's tuples.
+        literal: Literal,
+    },
+}
+
+/// Configuration of the tabular search space construction.
+#[derive(Debug, Clone)]
+pub struct TableSpaceConfig {
+    /// Join key shared by the source tables.
+    pub join_key: String,
+    /// Active-domain clustering configuration.
+    pub cluster: ClusterConfig,
+    /// Maximum number of cluster units per attribute actually exposed to the
+    /// search (keeps `|adom_m|` bounded as discussed under Theorem 1).
+    pub max_clusters_per_attr: usize,
+    /// Whether to include per-attribute presence units (masking reducts).
+    pub attribute_units: bool,
+}
+
+impl Default for TableSpaceConfig {
+    fn default() -> Self {
+        TableSpaceConfig {
+            join_key: "id".into(),
+            cluster: ClusterConfig { max_k: 4, iterations: 20 },
+            max_clusters_per_attr: 3,
+            attribute_units: true,
+        }
+    }
+}
+
+/// The tabular [`Substrate`]: universal table + units + downstream task.
+pub struct TableSubstrate {
+    universal: Dataset,
+    units: Vec<TableUnit>,
+    task: TaskSpec,
+    cache: Mutex<HashMap<StateBitmap, Vec<f64>>>,
+}
+
+impl TableSubstrate {
+    /// Builds the search space from a pool of source tables.
+    pub fn from_pool(pool: &[Dataset], task: TaskSpec, config: &TableSpaceConfig) -> Self {
+        let universal = universal_table(pool, &config.join_key).unwrap_or_else(|_| {
+            // Fall back to the first table when no join key is shared.
+            pool.first().cloned().unwrap_or_else(|| Dataset::new("D_U", Default::default()))
+        });
+        Self::from_universal(universal, task, config)
+    }
+
+    /// Builds the search space directly from an already-constructed
+    /// universal table.
+    pub fn from_universal(universal: Dataset, task: TaskSpec, config: &TableSpaceConfig) -> Self {
+        let mut units = Vec::new();
+        for attr in universal.schema().attributes() {
+            let name = &attr.name;
+            if name == &task.target || Some(name.as_str()) == task.key.as_deref() || name == &config.join_key {
+                continue;
+            }
+            if config.attribute_units {
+                units.push(TableUnit::Attribute { name: name.clone() });
+            }
+            let clusters = derive_attribute_literals(&universal, name, &config.cluster);
+            for c in clusters.into_iter().take(config.max_clusters_per_attr) {
+                units.push(TableUnit::Cluster { attribute: name.clone(), literal: c.literal });
+            }
+        }
+        TableSubstrate { universal, units, task, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The universal table `D_U`.
+    pub fn universal(&self) -> &Dataset {
+        &self.universal
+    }
+
+    /// The downstream task.
+    pub fn task(&self) -> &TaskSpec {
+        &self.task
+    }
+
+    /// The reducible units.
+    pub fn units(&self) -> &[TableUnit] {
+        &self.units
+    }
+
+    /// Materialises the dataset denoted by a state bitmap.
+    ///
+    /// Attribute units with bit 0 mask the attribute; cluster units with bit
+    /// 0 remove the tuples matching the cluster literal (only when the
+    /// owning attribute is still present).
+    pub fn materialize(&self, bitmap: &StateBitmap) -> Dataset {
+        let mut masked: Vec<&str> = Vec::new();
+        let mut removals: Vec<&Literal> = Vec::new();
+        for (i, unit) in self.units.iter().enumerate() {
+            if bitmap.get(i) {
+                continue;
+            }
+            match unit {
+                TableUnit::Attribute { name } => masked.push(name.as_str()),
+                TableUnit::Cluster { attribute, literal } => {
+                    if !masked.contains(&attribute.as_str()) {
+                        removals.push(literal);
+                    }
+                }
+            }
+        }
+        let mut data = self.universal.clone();
+        for lit in removals {
+            data.retain(|row| !lit.matches_row(&self.universal, row));
+        }
+        for name in masked {
+            if let Ok(d) = mask_attribute(&data, name) {
+                data = d;
+            }
+        }
+        data.with_name(format!("{}@{}", self.universal.name, bitmap))
+    }
+}
+
+impl Substrate for TableSubstrate {
+    fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    fn unit_label(&self, unit: usize) -> String {
+        match &self.units[unit] {
+            TableUnit::Attribute { name } => format!("attr:{name}"),
+            TableUnit::Cluster { literal, .. } => format!("cluster:{literal}"),
+        }
+    }
+
+    fn backward_start(&self) -> StateBitmap {
+        // BackSt: keep every tuple (cluster bits set) but start from a
+        // minimal schema (feature attributes masked). The target attribute is
+        // not a unit, so every class of the target remains covered.
+        let mut b = StateBitmap::full(self.num_units());
+        for (i, unit) in self.units.iter().enumerate() {
+            if matches!(unit, TableUnit::Attribute { .. }) {
+                b.set(i, false);
+            }
+        }
+        b
+    }
+
+    fn measures(&self) -> &MeasureSet {
+        &self.task.measures
+    }
+
+    fn evaluate_raw(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        if let Some(hit) = self.cache.lock().get(bitmap) {
+            return hit.clone();
+        }
+        let data = self.materialize(bitmap);
+        let eval = evaluate_dataset(&self.task, &data);
+        self.cache.lock().insert(bitmap.clone(), eval.raw.clone());
+        eval.raw
+    }
+
+    fn state_features(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        // Cheap artefact-level statistics: bitmap composition plus the size
+        // of the materialised table (row/column counts and missing ratio).
+        let data = self.materialize(bitmap);
+        let (rows, cols) = data.reported_size();
+        let mut feats = Vec::with_capacity(bitmap.len() + 4);
+        feats.push(bitmap.count_ones() as f64);
+        feats.push(rows as f64);
+        feats.push(cols as f64);
+        feats.push(data.missing_ratio());
+        feats.extend(bitmap.bits().iter().map(|&b| if b { 1.0 } else { 0.0 }));
+        feats
+    }
+
+    fn artifact_size(&self, bitmap: &StateBitmap) -> (usize, usize) {
+        self.materialize(bitmap).reported_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{MeasureSet, MeasureSpec};
+    use crate::task::{MetricKind, ModelKind};
+    use modis_data::{Attribute, Schema, Value};
+
+    fn pool() -> Vec<Dataset> {
+        let base = Dataset::from_rows(
+            "base",
+            Schema::from_attributes(vec![
+                Attribute::key("id"),
+                Attribute::feature("x1"),
+                Attribute::target("y"),
+            ]),
+            (0..60)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Float((i % 10) as f64),
+                        Value::Float(2.0 * (i % 10) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let extra = Dataset::from_rows(
+            "extra",
+            Schema::from_attributes(vec![Attribute::key("id"), Attribute::feature("noise")]),
+            (0..60).map(|i| vec![Value::Int(i), Value::Float(((i * 7) % 5) as f64)]).collect(),
+        )
+        .unwrap();
+        vec![base, extra]
+    }
+
+    fn task() -> TaskSpec {
+        TaskSpec {
+            name: "test".into(),
+            model: ModelKind::LinearRegressor,
+            target: "y".into(),
+            key: Some("id".into()),
+            measures: MeasureSet::new(vec![
+                MeasureSpec::maximise("p_R2"),
+                MeasureSpec::minimise("p_Train", 2.0),
+            ]),
+            metric_kinds: vec![MetricKind::R2, MetricKind::TrainTime],
+            train_ratio: 0.7,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn space_construction_builds_units() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        assert!(sub.num_units() > 2);
+        assert!(sub.universal().schema().contains("noise"));
+        // Target and key never become units.
+        for i in 0..sub.num_units() {
+            let label = sub.unit_label(i);
+            assert!(!label.contains(":y"), "{label}");
+            assert!(!label.contains(":id"), "{label}");
+        }
+    }
+
+    #[test]
+    fn materialize_full_bitmap_is_universal() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let full = sub.materialize(&sub.forward_start());
+        assert_eq!(full.num_rows(), sub.universal().num_rows());
+        assert_eq!(full.reported_size().1, sub.universal().reported_size().1);
+    }
+
+    #[test]
+    fn clearing_attribute_unit_masks_column() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let idx = (0..sub.num_units())
+            .find(|&i| sub.unit_label(i) == "attr:noise")
+            .expect("noise attribute unit");
+        let reduced = sub.materialize(&sub.forward_start().flipped(idx));
+        let (_, cols) = reduced.reported_size();
+        assert_eq!(cols, sub.universal().reported_size().1 - 1);
+    }
+
+    #[test]
+    fn clearing_cluster_unit_removes_rows() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let idx = (0..sub.num_units())
+            .find(|&i| sub.unit_label(i).starts_with("cluster:x1"))
+            .expect("cluster unit for x1");
+        let reduced = sub.materialize(&sub.forward_start().flipped(idx));
+        assert!(reduced.num_rows() < sub.universal().num_rows());
+    }
+
+    #[test]
+    fn backward_start_masks_features_keeps_rows() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let b = sub.backward_start();
+        let data = sub.materialize(&b);
+        assert_eq!(data.num_rows(), sub.universal().num_rows());
+        // Only the key and target columns remain non-null.
+        assert!(data.reported_size().1 <= 2);
+    }
+
+    #[test]
+    fn evaluate_raw_is_cached_and_sane() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let raw1 = sub.evaluate_raw(&sub.forward_start());
+        let raw2 = sub.evaluate_raw(&sub.forward_start());
+        assert_eq!(raw1, raw2);
+        assert!(raw1[0] > 0.9, "full data should give near-perfect R², got {}", raw1[0]);
+    }
+
+    #[test]
+    fn state_features_include_bitmap() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let f = sub.state_features(&sub.forward_start());
+        assert_eq!(f.len(), sub.num_units() + 4);
+    }
+}

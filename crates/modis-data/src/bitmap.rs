@@ -1,0 +1,205 @@
+//! State bitmaps `L`.
+//!
+//! ApxMODis associates each state `s` with a bitmap `L` that encodes whether
+//! the schema of `s` contains an attribute of `D_U` and whether `D_s`
+//! contains values from each active-domain cluster (§5.2, Fig. 4 / Example 5
+//! use labels such as `(1, 1, 1, 0)`). Flipping a 1-bit to 0 corresponds to
+//! applying one reduct operator; flipping 0→1 is an augmentation in the
+//! backward search of BiMODis.
+
+use std::fmt;
+
+/// A fixed-length bitmap over the reducible units of a universal table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateBitmap {
+    bits: Vec<bool>,
+}
+
+impl StateBitmap {
+    /// All-ones bitmap of length `n` (the universal state `s_U`).
+    pub fn full(n: usize) -> Self {
+        StateBitmap { bits: vec![true; n] }
+    }
+
+    /// All-zeros bitmap of length `n` (the minimal backward state `s_b`).
+    pub fn empty(n: usize) -> Self {
+        StateBitmap { bits: vec![false; n] }
+    }
+
+    /// Builds a bitmap from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        StateBitmap { bits }
+    }
+
+    /// Length of the bitmap.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the bitmap has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Value of entry `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i).copied().unwrap_or(false)
+    }
+
+    /// Sets entry `i`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        if i < self.bits.len() {
+            self.bits[i] = v;
+        }
+    }
+
+    /// Number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Number of cleared entries.
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+
+    /// Returns a copy with entry `i` flipped.
+    pub fn flipped(&self, i: usize) -> StateBitmap {
+        let mut b = self.clone();
+        if i < b.bits.len() {
+            b.bits[i] = !b.bits[i];
+        }
+        b
+    }
+
+    /// Indices of set entries.
+    pub fn ones(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Indices of cleared entries.
+    pub fn zeros(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if !b { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Raw bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Cosine similarity between two bitmaps viewed as 0/1 vectors.
+    ///
+    /// Used by the diversification distance (Eq. 2). Returns 0 when either
+    /// bitmap is all-zero.
+    pub fn cosine_similarity(&self, other: &StateBitmap) -> f64 {
+        let n = self.len().min(other.len());
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for i in 0..n {
+            let a = if self.get(i) { 1.0 } else { 0.0 };
+            let b = if other.get(i) { 1.0 } else { 0.0 };
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        // Include any trailing entries of the longer bitmap in the norms.
+        for i in n..self.len() {
+            if self.get(i) {
+                na += 1.0;
+            }
+        }
+        for i in n..other.len() {
+            if other.get(i) {
+                nb += 1.0;
+            }
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+
+    /// Hamming distance between two bitmaps (differing positions).
+    pub fn hamming_distance(&self, other: &StateBitmap) -> usize {
+        let n = self.len().max(other.len());
+        (0..n).filter(|&i| self.get(i) != other.get(i)).count()
+    }
+}
+
+impl fmt::Display for StateBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: String = self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        write!(f, "({s})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        let f = StateBitmap::full(4);
+        let e = StateBitmap::empty(4);
+        assert_eq!(f.count_ones(), 4);
+        assert_eq!(e.count_ones(), 0);
+        assert_eq!(f.hamming_distance(&e), 4);
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let b = StateBitmap::full(3);
+        let b2 = b.flipped(1).flipped(1);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn ones_and_zeros_partition_indices() {
+        let b = StateBitmap::from_bits(vec![true, false, true, false]);
+        assert_eq!(b.ones(), vec![0, 2]);
+        assert_eq!(b.zeros(), vec![1, 3]);
+        assert_eq!(b.count_zeros(), 2);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        let a = StateBitmap::from_bits(vec![true, true, false]);
+        let b = StateBitmap::from_bits(vec![true, false, false]);
+        let sim = a.cosine_similarity(&b);
+        assert!(sim > 0.0 && sim <= 1.0);
+        assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-12);
+        let zero = StateBitmap::empty(3);
+        assert_eq!(a.cosine_similarity(&zero), 0.0);
+    }
+
+    #[test]
+    fn set_and_get_out_of_bounds_are_safe() {
+        let mut b = StateBitmap::empty(2);
+        b.set(10, true);
+        assert!(!b.get(10));
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn display_shows_bits() {
+        let b = StateBitmap::from_bits(vec![true, false, true]);
+        assert_eq!(b.to_string(), "(101)");
+    }
+
+    #[test]
+    fn different_length_hamming() {
+        let a = StateBitmap::from_bits(vec![true]);
+        let b = StateBitmap::from_bits(vec![true, true, false]);
+        assert_eq!(a.hamming_distance(&b), 1);
+    }
+}

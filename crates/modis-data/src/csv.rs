@@ -1,0 +1,150 @@
+//! Minimal CSV reading/writing for datasets.
+//!
+//! The harness exchanges generated datasets and experiment outputs as CSV;
+//! this keeps the workspace free of heavyweight I/O dependencies.
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Parses one CSV line honouring double-quote escaping.
+fn parse_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if in_quotes && chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = !in_quotes;
+                }
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses CSV text (first line = header) into a dataset.
+pub fn from_csv_str(name: &str, text: &str) -> Result<Dataset, DataError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| DataError::Csv("empty input".into()))?;
+    let names = parse_line(header);
+    let schema = Schema::from_names(names.iter().map(|s| s.trim().to_string()));
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields = parse_line(line);
+        if fields.len() > schema.len() {
+            return Err(DataError::Csv(format!(
+                "line {} has {} fields, header has {}",
+                i + 2,
+                fields.len(),
+                schema.len()
+            )));
+        }
+        rows.push(fields.iter().map(|f| Value::parse(f)).collect());
+    }
+    Dataset::from_rows(name, schema, rows)
+}
+
+/// Serialises a dataset to CSV text.
+pub fn to_csv_str(data: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &data
+            .schema()
+            .names()
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in data.rows() {
+        let line = row.iter().map(|v| escape(&v.to_string())).collect::<Vec<_>>().join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads a CSV file into a dataset named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| DataError::Csv(e.to_string()))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset");
+    from_csv_str(name, &text)
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_csv(data: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    fs::write(path.as_ref(), to_csv_str(data)).map_err(|e| DataError::Csv(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let text = "a,b,c\n1,2.5,hello\n,true,\"x,y\"\n";
+        let d = from_csv_str("t", text).unwrap();
+        assert_eq!(d.num_rows(), 2);
+        assert_eq!(d.value(0, 0), &Value::Int(1));
+        assert_eq!(d.value(1, 0), &Value::Null);
+        assert_eq!(d.value(1, 2), &Value::Str("x,y".into()));
+        let back = to_csv_str(&d);
+        let d2 = from_csv_str("t2", &back).unwrap();
+        assert_eq!(d.rows(), d2.rows());
+    }
+
+    #[test]
+    fn quoted_quotes() {
+        let text = "a\n\"he said \"\"hi\"\"\"\n";
+        let d = from_csv_str("t", text).unwrap();
+        assert_eq!(d.value(0, 0), &Value::Str("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(from_csv_str("t", "").is_err());
+    }
+
+    #[test]
+    fn too_many_fields_is_error() {
+        assert!(from_csv_str("t", "a,b\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("modis_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        let d = from_csv_str("toy", "x,y\n1,2\n3,4\n").unwrap();
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.name, "toy");
+    }
+}

@@ -1,0 +1,351 @@
+//! Dataset → feature-matrix encoding.
+//!
+//! MODis treats the downstream model `M` as a function over a feature matrix
+//! (§2). This module converts a [`Dataset`] into a dense numeric matrix:
+//! numeric attributes are mean-imputed, categorical attributes are
+//! label-encoded, and the declared target attribute becomes the label
+//! vector (class ids for classification, raw values for regression).
+
+use std::collections::BTreeMap;
+
+use modis_data::{AttributeRole, Dataset, Value};
+
+/// The kind of supervised task the downstream model solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Continuous target.
+    Regression,
+    /// Discrete target (class ids `0..n_classes`).
+    Classification,
+}
+
+/// A dense numeric design matrix with labels.
+#[derive(Debug, Clone, Default)]
+pub struct Encoded {
+    /// Row-major feature matrix, `rows × features`.
+    pub features: Vec<Vec<f64>>,
+    /// Label vector aligned with `features`.
+    pub targets: Vec<f64>,
+    /// Feature names aligned with matrix columns.
+    pub feature_names: Vec<String>,
+    /// Number of classes (classification) or 0 (regression).
+    pub n_classes: usize,
+    /// Mapping from class id to the original target value (classification).
+    pub class_values: Vec<Value>,
+}
+
+impl Encoded {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// One feature column as a vector.
+    pub fn feature_column(&self, j: usize) -> Vec<f64> {
+        self.features.iter().map(|r| r[j]).collect()
+    }
+
+    /// Splits rows into (train, test) deterministically.
+    pub fn split(&self, train_ratio: f64, seed: u64) -> (Encoded, Encoded) {
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let cut = ((n as f64) * train_ratio).round() as usize;
+        let cut = cut.min(n);
+        let take = |ids: &[usize]| Encoded {
+            features: ids.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: ids.iter().map(|&i| self.targets[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            n_classes: self.n_classes,
+            class_values: self.class_values.clone(),
+        };
+        (take(&idx[..cut]), take(&idx[cut..]))
+    }
+
+    /// Selects a subset of feature columns (by index), keeping targets.
+    pub fn select_features(&self, cols: &[usize]) -> Encoded {
+        Encoded {
+            features: self
+                .features
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c]).collect())
+                .collect(),
+            targets: self.targets.clone(),
+            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            n_classes: self.n_classes,
+            class_values: self.class_values.clone(),
+        }
+    }
+}
+
+/// Options controlling encoding.
+#[derive(Debug, Clone)]
+pub struct EncodeOptions {
+    /// Name of the target attribute. When `None`, the schema's declared
+    /// target attribute is used.
+    pub target: Option<String>,
+    /// Task kind; classification label-encodes the target.
+    pub task: TaskKind,
+    /// Attribute names to exclude from the feature matrix (e.g. join keys).
+    pub exclude: Vec<String>,
+}
+
+impl EncodeOptions {
+    /// Regression options with the schema-declared target.
+    pub fn regression() -> Self {
+        EncodeOptions { target: None, task: TaskKind::Regression, exclude: Vec::new() }
+    }
+
+    /// Classification options with the schema-declared target.
+    pub fn classification() -> Self {
+        EncodeOptions { target: None, task: TaskKind::Classification, exclude: Vec::new() }
+    }
+
+    /// Sets an explicit target attribute.
+    pub fn with_target(mut self, target: impl Into<String>) -> Self {
+        self.target = Some(target.into());
+        self
+    }
+
+    /// Excludes attributes from the feature matrix.
+    pub fn with_exclude<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.exclude = names.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// Encodes a dataset into a numeric matrix.
+///
+/// Rows whose target is missing are dropped. Feature columns that are
+/// entirely null are dropped (they correspond to masked attributes).
+pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
+    let schema = data.schema();
+    let target_col = opts
+        .target
+        .as_ref()
+        .and_then(|n| schema.position(n))
+        .or_else(|| schema.target_index());
+
+    // Determine feature columns.
+    let mut feature_cols: Vec<usize> = Vec::new();
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        if Some(i) == target_col {
+            continue;
+        }
+        if attr.role == AttributeRole::Key {
+            continue;
+        }
+        if opts.exclude.iter().any(|e| e == &attr.name) {
+            continue;
+        }
+        // Skip all-null columns (masked attributes).
+        if data.rows().iter().all(|r| r[i].is_null()) {
+            continue;
+        }
+        feature_cols.push(i);
+    }
+
+    // Build per-column encoders.
+    enum ColEncoder {
+        Numeric { mean: f64 },
+        Categorical { map: BTreeMap<Value, f64> },
+    }
+    let mut encoders = Vec::with_capacity(feature_cols.len());
+    for &c in &feature_cols {
+        let numeric: Vec<f64> = data
+            .rows()
+            .iter()
+            .filter_map(|r| r[c].as_f64())
+            .filter(|v| v.is_finite())
+            .collect();
+        let non_null = data.rows().iter().filter(|r| !r[c].is_null()).count();
+        if !numeric.is_empty() && numeric.len() == non_null {
+            let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
+            encoders.push(ColEncoder::Numeric { mean });
+        } else {
+            let mut map = BTreeMap::new();
+            for row in data.rows() {
+                let v = &row[c];
+                if !v.is_null() && !map.contains_key(v) {
+                    let id = map.len() as f64;
+                    map.insert(v.clone(), id);
+                }
+            }
+            encoders.push(ColEncoder::Categorical { map });
+        }
+    }
+
+    // Target encoding.
+    let mut class_values: Vec<Value> = Vec::new();
+    let mut class_map: BTreeMap<Value, f64> = BTreeMap::new();
+    if let (Some(tc), TaskKind::Classification) = (target_col, opts.task) {
+        for row in data.rows() {
+            let v = &row[tc];
+            if !v.is_null() && !class_map.contains_key(v) {
+                class_map.insert(v.clone(), class_values.len() as f64);
+                class_values.push(v.clone());
+            }
+        }
+    }
+
+    let mut features = Vec::new();
+    let mut targets = Vec::new();
+    for row in data.rows() {
+        let target_val = match target_col {
+            Some(tc) => {
+                let v = &row[tc];
+                if v.is_null() {
+                    continue;
+                }
+                match opts.task {
+                    TaskKind::Regression => match v.as_f64() {
+                        Some(x) if x.is_finite() => x,
+                        _ => continue,
+                    },
+                    TaskKind::Classification => *class_map.get(v).unwrap_or(&0.0),
+                }
+            }
+            None => 0.0,
+        };
+        let mut feat = Vec::with_capacity(feature_cols.len());
+        for (k, &c) in feature_cols.iter().enumerate() {
+            let v = &row[c];
+            let x = match &encoders[k] {
+                ColEncoder::Numeric { mean } => v.as_f64().filter(|x| x.is_finite()).unwrap_or(*mean),
+                ColEncoder::Categorical { map } => {
+                    if v.is_null() {
+                        -1.0
+                    } else {
+                        *map.get(v).unwrap_or(&-1.0)
+                    }
+                }
+            };
+            feat.push(x);
+        }
+        features.push(feat);
+        targets.push(target_val);
+    }
+
+    Encoded {
+        features,
+        targets,
+        feature_names: feature_cols
+            .iter()
+            .map(|&c| schema.attribute(c).map(|a| a.name.clone()).unwrap_or_default())
+            .collect(),
+        n_classes: if opts.task == TaskKind::Classification { class_values.len() } else { 0 },
+        class_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_data::{Attribute, Schema};
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            "toy",
+            Schema::from_attributes(vec![
+                Attribute::key("id"),
+                Attribute::feature("x"),
+                Attribute::feature("color"),
+                Attribute::target("y"),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Float(1.0), Value::Str("red".into()), Value::Float(10.0)],
+                vec![Value::Int(2), Value::Null, Value::Str("blue".into()), Value::Float(20.0)],
+                vec![Value::Int(3), Value::Float(3.0), Value::Str("red".into()), Value::Null],
+                vec![Value::Int(4), Value::Float(5.0), Value::Null, Value::Float(30.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_regression_drops_null_targets_and_keys() {
+        let e = encode(&toy(), &EncodeOptions::regression());
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.feature_names, vec!["x", "color"]);
+        assert_eq!(e.targets, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn numeric_nulls_are_mean_imputed() {
+        let e = encode(&toy(), &EncodeOptions::regression());
+        // mean of x over non-null cells {1,3,5} = 3
+        assert!((e.features[1][0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_encoding_assigns_ids() {
+        let e = encode(&toy(), &EncodeOptions::regression());
+        assert_eq!(e.features[0][1], e.features[0][1]);
+        // Null categorical becomes -1.
+        assert_eq!(e.features[2][1], -1.0);
+    }
+
+    #[test]
+    fn classification_builds_class_map() {
+        let mut d = toy();
+        // Overwrite target with categories.
+        let tc = d.schema().position("y").unwrap();
+        for (i, v) in [("a", 0usize), ("b", 1), ("a", 2), ("b", 3)] {
+            d.set_value(v, tc, Value::Str(i.into())).unwrap();
+        }
+        let e = encode(&d, &EncodeOptions::classification());
+        assert_eq!(e.n_classes, 2);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.targets[0], e.targets[2]);
+    }
+
+    #[test]
+    fn exclude_removes_columns() {
+        let opts = EncodeOptions::regression().with_exclude(["color"]);
+        let e = encode(&toy(), &opts);
+        assert_eq!(e.feature_names, vec!["x"]);
+    }
+
+    #[test]
+    fn all_null_columns_are_skipped() {
+        let mut d = toy();
+        d.add_column(Attribute::feature("empty"));
+        let e = encode(&d, &EncodeOptions::regression());
+        assert!(!e.feature_names.contains(&"empty".to_string()));
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let e = encode(&toy(), &EncodeOptions::regression());
+        let (tr, te) = e.split(0.67, 1);
+        assert_eq!(tr.len() + te.len(), e.len());
+        assert_eq!(tr.num_features(), e.num_features());
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let e = encode(&toy(), &EncodeOptions::regression());
+        let sel = e.select_features(&[1]);
+        assert_eq!(sel.feature_names, vec!["color"]);
+        assert_eq!(sel.features[0].len(), 1);
+    }
+}

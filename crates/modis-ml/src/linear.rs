@@ -1,0 +1,366 @@
+//! Linear models: ordinary least squares / ridge regression and logistic
+//! regression.
+//!
+//! Ridge regression solves the normal equations with a Gaussian-elimination
+//! solver (the feature counts in the MODis workloads are small); logistic
+//! regression uses batch gradient descent. These power the LRavocado model
+//! (task T3) and the H2O-style baseline's linear feature selection.
+
+/// Ridge regression fitted via normal equations.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// Learned weights (one per feature).
+    pub weights: Vec<f64>,
+    /// Learned intercept.
+    pub intercept: f64,
+    /// L2 regularisation strength used at fit time.
+    pub alpha: f64,
+}
+
+/// Solves the dense linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when the system is singular.
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || a.iter().any(|r| r.len() != n) || b.len() != n {
+        return None;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if a[r][col].abs() > a[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = a[r][col] / a[col][col];
+            for c in col..n {
+                a[r][c] -= factor * a[col][c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..n {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+impl RidgeRegression {
+    /// Fits ridge regression with regularisation strength `alpha`
+    /// (`alpha = 0` gives OLS; the intercept is never regularised).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], alpha: f64) -> RidgeRegression {
+        let n = x.len();
+        let d = x.first().map(|r| r.len()).unwrap_or(0);
+        if n == 0 || d == 0 {
+            let intercept = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+            return RidgeRegression { weights: vec![0.0; d], intercept, alpha };
+        }
+        // Build augmented design: [1, x_1 … x_d].
+        let dim = d + 1;
+        let mut xtx = vec![vec![0.0; dim]; dim];
+        let mut xty = vec![0.0; dim];
+        for (row, &target) in x.iter().zip(y.iter()) {
+            let mut aug = Vec::with_capacity(dim);
+            aug.push(1.0);
+            aug.extend_from_slice(row);
+            for i in 0..dim {
+                xty[i] += aug[i] * target;
+                for j in 0..dim {
+                    xtx[i][j] += aug[i] * aug[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate().skip(1) {
+            row[i] += alpha;
+        }
+        // A tiny jitter keeps the system solvable for collinear features.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let sol = solve_linear_system(xtx, xty).unwrap_or_else(|| vec![0.0; dim]);
+        RidgeRegression { intercept: sol[0], weights: sol[1..].to_vec(), alpha }
+    }
+
+    /// Predicts one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row.iter())
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+
+    /// Predicts a batch.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Absolute standardised coefficients, usable as feature importance.
+    pub fn importance(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().map(|w| w.abs()).sum();
+        if total == 0.0 {
+            return vec![0.0; self.weights.len()];
+        }
+        self.weights.iter().map(|w| w.abs() / total).collect()
+    }
+}
+
+/// Binary / one-vs-rest logistic regression trained by gradient descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// One weight vector + intercept per class stage.
+    stages: Vec<(Vec<f64>, f64)>,
+    n_classes: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of gradient-descent epochs.
+    pub epochs: usize,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fits logistic regression for labels in `0..n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], n_classes: usize, learning_rate: f64, epochs: usize) -> Self {
+        let n_classes = n_classes.max(2);
+        let d = x.first().map(|r| r.len()).unwrap_or(0);
+        let n_stages = if n_classes == 2 { 1 } else { n_classes };
+        // Standardise features for stable gradient descent.
+        let (means, stds) = standardise_stats(x, d);
+        let mut stages = Vec::with_capacity(n_stages);
+        for c in 0..n_stages {
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|&v| {
+                    let label = v.round() as usize;
+                    let pos = if n_classes == 2 { label == 1 } else { label == c };
+                    if pos {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let mut w = vec![0.0; d];
+            let mut b = 0.0;
+            if !x.is_empty() && d > 0 {
+                for _ in 0..epochs {
+                    let mut gw = vec![0.0; d];
+                    let mut gb = 0.0;
+                    for (row, &t) in x.iter().zip(targets.iter()) {
+                        let z: f64 = b + w
+                            .iter()
+                            .enumerate()
+                            .map(|(j, wj)| wj * ((row[j] - means[j]) / stds[j]))
+                            .sum::<f64>();
+                        let err = sigmoid(z) - t;
+                        for j in 0..d {
+                            gw[j] += err * ((row[j] - means[j]) / stds[j]);
+                        }
+                        gb += err;
+                    }
+                    let scale = learning_rate / x.len() as f64;
+                    for j in 0..d {
+                        w[j] -= scale * gw[j];
+                    }
+                    b -= scale * gb;
+                }
+            }
+            // Fold standardisation into the weights so prediction is direct.
+            let mut folded_w = vec![0.0; d];
+            let mut folded_b = b;
+            for j in 0..d {
+                folded_w[j] = w[j] / stds[j];
+                folded_b -= w[j] * means[j] / stds[j];
+            }
+            stages.push((folded_w, folded_b));
+        }
+        LogisticRegression { stages, n_classes, learning_rate, epochs }
+    }
+
+    /// Per-class probability scores for one sample.
+    pub fn predict_scores_one(&self, row: &[f64]) -> Vec<f64> {
+        if self.n_classes == 2 {
+            let (w, b) = &self.stages[0];
+            let z = b + w.iter().zip(row.iter()).map(|(wj, v)| wj * v).sum::<f64>();
+            let p1 = sigmoid(z);
+            vec![1.0 - p1, p1]
+        } else {
+            let mut scores: Vec<f64> = self
+                .stages
+                .iter()
+                .map(|(w, b)| {
+                    sigmoid(b + w.iter().zip(row.iter()).map(|(wj, v)| wj * v).sum::<f64>())
+                })
+                .collect();
+            let total: f64 = scores.iter().sum();
+            if total > 0.0 {
+                for s in &mut scores {
+                    *s /= total;
+                }
+            }
+            scores
+        }
+    }
+
+    /// Predicted class label for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.predict_scores_one(row)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Batch prediction.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Batch per-class scores.
+    pub fn predict_scores(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.predict_scores_one(r)).collect()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Normalised absolute coefficients (averaged over stages).
+    pub fn importance(&self) -> Vec<f64> {
+        let d = self.stages.first().map(|(w, _)| w.len()).unwrap_or(0);
+        let mut imp = vec![0.0; d];
+        for (w, _) in &self.stages {
+            for (j, wj) in w.iter().enumerate() {
+                imp[j] += wj.abs();
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+fn standardise_stats(x: &[Vec<f64>], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len().max(1) as f64;
+    let mut means = vec![0.0; d];
+    for row in x {
+        for j in 0..d {
+            means[j] += row[j];
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut stds = vec![0.0; d];
+    for row in x {
+        for j in 0..d {
+            stds[j] += (row[j] - means[j]).powi(2);
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n).sqrt();
+        if *s < 1e-9 {
+            *s = 1.0;
+        }
+    }
+    (means, stds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2};
+
+    #[test]
+    fn solve_linear_system_known_solution() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_linear_system_singular_returns_none() {
+        let a = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ols_recovers_linear_coefficients() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let m = RidgeRegression::fit(&x, &y, 0.0);
+        assert!((m.intercept - 3.0).abs() < 1e-6);
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights[1] + 0.5).abs() < 1e-6);
+        assert!(r2(&y, &m.predict(&x)) > 0.999);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0]).collect();
+        let ols = RidgeRegression::fit(&x, &y, 0.0);
+        let ridge = RidgeRegression::fit(&x, &y, 1000.0);
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn ridge_on_empty_input() {
+        let m = RidgeRegression::fit(&[], &[], 1.0);
+        assert_eq!(m.predict_one(&[]), 0.0);
+    }
+
+    #[test]
+    fn logistic_binary_separates_classes() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 }).collect();
+        let m = LogisticRegression::fit(&x, &y, 2, 0.5, 300);
+        assert!(accuracy(&y, &m.predict(&x)) > 0.9);
+        let s = m.predict_scores_one(&[9.0]);
+        assert!(s[1] > 0.8);
+    }
+
+    #[test]
+    fn logistic_multiclass() {
+        let x: Vec<Vec<f64>> = (0..90).map(|i| vec![(i % 30) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] / 10.0).floor()).collect();
+        let m = LogisticRegression::fit(&x, &y, 3, 0.5, 400);
+        assert!(accuracy(&y, &m.predict(&x)) > 0.8);
+        assert_eq!(m.n_classes(), 3);
+    }
+
+    #[test]
+    fn importances_are_normalised() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let m = RidgeRegression::fit(&x, &y, 0.0);
+        let imp = m.importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,379 @@
+//! CART decision trees (regression and classification).
+//!
+//! The substrate for the paper's downstream models (random forest, gradient
+//! boosting, LightGBM-style classifier) and the MO-GBM estimator. Trees use
+//! variance reduction (regression) or Gini impurity (classification) and
+//! split on thresholds drawn from sorted unique feature values.
+
+/// Split criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Variance reduction (regression).
+    Mse,
+    /// Gini impurity (classification).
+    Gini,
+}
+
+/// Hyper-parameters for a single tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Number of candidate thresholds per feature (quantile-based); 0 means
+    /// every midpoint between consecutive unique values.
+    pub max_thresholds: usize,
+    /// Split criterion.
+    pub criterion: Criterion,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 6,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_thresholds: 16,
+            criterion: Criterion::Mse,
+        }
+    }
+}
+
+/// A tree node, either an internal split or a leaf prediction.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    params: TreeParams,
+    n_features: usize,
+    feature_importance: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on the full feature set.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams) -> DecisionTree {
+        Self::fit_with_features(x, y, params, None, 0)
+    }
+
+    /// Fits a tree considering only a random subset of `max_features`
+    /// features at each split (used by random forests). `seed` makes the
+    /// randomness deterministic.
+    pub fn fit_with_features(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: TreeParams,
+        max_features: Option<usize>,
+        seed: u64,
+    ) -> DecisionTree {
+        let n_features = x.first().map(|r| r.len()).unwrap_or(0);
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let mut importance = vec![0.0; n_features];
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+        let root = if x.is_empty() {
+            Node::Leaf { value: 0.0 }
+        } else {
+            build_node(
+                x,
+                y,
+                &indices,
+                &params,
+                0,
+                n_features,
+                max_features,
+                &mut rng_state,
+                &mut importance,
+            )
+        };
+        DecisionTree { root, params, n_features, feature_importance: importance }
+    }
+
+    /// Predicts a single sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    let v = row.get(*feature).copied().unwrap_or(0.0);
+                    node = if v <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch of samples.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of features seen at fit time.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total impurity decrease attributed to each feature (unnormalised).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.feature_importance
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn depth_of(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Tree parameters used at fit time.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+}
+
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// Impurity of a set of target values for the given criterion.
+fn impurity(y: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Mse => {
+            let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+            indices.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>() / indices.len() as f64
+        }
+        Criterion::Gini => {
+            use std::collections::HashMap;
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for &i in indices {
+                *counts.entry(y[i].round() as i64).or_insert(0) += 1;
+            }
+            let n = indices.len() as f64;
+            1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+        }
+    }
+}
+
+/// Leaf prediction: mean (regression) or majority class (classification).
+fn leaf_value(y: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Mse => indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64,
+        Criterion::Gini => {
+            use std::collections::HashMap;
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for &i in indices {
+                *counts.entry(y[i].round() as i64).or_insert(0) += 1;
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(c, n)| (n, std::cmp::Reverse(c)))
+                .map(|(c, _)| c as f64)
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    n_features: usize,
+    max_features: Option<usize>,
+    rng_state: &mut u64,
+    importance: &mut [f64],
+) -> Node {
+    let node_impurity = impurity(y, indices, params.criterion);
+    if depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || node_impurity < 1e-12
+        || n_features == 0
+    {
+        return Node::Leaf { value: leaf_value(y, indices, params.criterion) };
+    }
+
+    // Choose candidate features.
+    let mut features: Vec<usize> = (0..n_features).collect();
+    if let Some(k) = max_features {
+        let k = k.min(n_features).max(1);
+        // Partial Fisher-Yates to pick k features.
+        for i in 0..k {
+            let j = i + (next_rand(rng_state) as usize % (n_features - i));
+            features.swap(i, j);
+        }
+        features.truncate(k);
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted impurity)
+    for &f in &features {
+        let mut vals: Vec<f64> = indices.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        let thresholds: Vec<f64> = if params.max_thresholds == 0 || vals.len() <= params.max_thresholds
+        {
+            vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+        } else {
+            (1..=params.max_thresholds)
+                .map(|i| {
+                    let q = i as f64 / (params.max_thresholds as f64 + 1.0);
+                    let idx = ((vals.len() - 1) as f64 * q).round() as usize;
+                    vals[idx]
+                })
+                .collect()
+        };
+        for &t in &thresholds {
+            let left: Vec<usize> = indices.iter().copied().filter(|&i| x[i][f] <= t).collect();
+            let right: Vec<usize> = indices.iter().copied().filter(|&i| x[i][f] > t).collect();
+            if left.len() < params.min_samples_leaf || right.len() < params.min_samples_leaf {
+                continue;
+            }
+            let wl = left.len() as f64 / indices.len() as f64;
+            let wr = 1.0 - wl;
+            let score =
+                wl * impurity(y, &left, params.criterion) + wr * impurity(y, &right, params.criterion);
+            if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                best = Some((f, t, score));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, score)) if score < node_impurity - 1e-12 => {
+            importance[feature] += (node_impurity - score) * indices.len() as f64;
+            let left_idx: Vec<usize> =
+                indices.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
+            let right_idx: Vec<usize> =
+                indices.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
+            let left = build_node(
+                x, y, &left_idx, params, depth + 1, n_features, max_features, rng_state, importance,
+            );
+            let right = build_node(
+                x, y, &right_idx, params, depth + 1, n_features, max_features, rng_state, importance,
+            );
+            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        }
+        _ => Node::Leaf { value: leaf_value(y, indices, params.criterion) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn regression_tree_learns_step_function() {
+        let (x, y) = step_data();
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert!((tree.predict_one(&[5.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[35.0, 0.0]) - 5.0).abs() < 1e-9);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn classification_tree_learns_parity_free_split() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| if i < 15 { 0.0 } else { 1.0 }).collect();
+        let params = TreeParams { criterion: Criterion::Gini, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, params);
+        assert_eq!(tree.predict_one(&[3.0]), 0.0);
+        assert_eq!(tree.predict_one(&[25.0]), 1.0);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![4.0, 4.0, 4.0];
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict_one(&[100.0]), 4.0);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf() {
+        let (x, y) = step_data();
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, params);
+        assert_eq!(tree.num_leaves(), 1);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((tree.predict_one(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_importance_identifies_informative_feature() {
+        let (x, y) = step_data();
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default());
+        let imp = tree.feature_importance();
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn empty_input_predicts_zero() {
+        let tree = DecisionTree::fit(&[], &[], TreeParams::default());
+        assert_eq!(tree.predict_one(&[1.0]), 0.0);
+        assert_eq!(tree.n_features(), 0);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let params = TreeParams { min_samples_leaf: 25, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, params);
+        // No split can produce two leaves of >= 25 samples out of 40.
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic() {
+        let (x, y) = step_data();
+        let t1 = DecisionTree::fit_with_features(&x, &y, TreeParams::default(), Some(1), 7);
+        let t2 = DecisionTree::fit_with_features(&x, &y, TreeParams::default(), Some(1), 7);
+        assert_eq!(t1.predict(&x), t2.predict(&x));
+    }
+}

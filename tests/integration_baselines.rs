@@ -1,0 +1,73 @@
+//! Integration tests for the baseline comparison pipeline (Tables 4 / 6 rows).
+
+use modis_bench::{run_table_methods, task_t2, task_t3};
+use modis_core::prelude::*;
+
+fn fast_config() -> ModisConfig {
+    ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(20)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Surrogate { warmup: 8, refresh: 10 })
+}
+
+#[test]
+fn method_comparison_produces_complete_rows() {
+    let workload = task_t3(31);
+    let rows = run_table_methods(&workload, &fast_config());
+    let expected = [
+        "Original", "METAM", "METAM-MO", "Starmie", "SkSFM", "H2O", "ApxMODis", "NOBiMODis",
+        "BiMODis", "DivMODis",
+    ];
+    assert_eq!(rows.len(), expected.len());
+    for (row, name) in rows.iter().zip(expected.iter()) {
+        assert_eq!(&row.method, name);
+        assert!(!row.raw.is_empty(), "{name} produced an empty metric vector");
+        assert!(row.size.0 > 0, "{name} produced an empty output dataset");
+    }
+}
+
+#[test]
+fn modis_beats_or_matches_original_on_primary_measure_t3() {
+    // T3's primary measure is MSE (lower is better on the raw scale).
+    let workload = task_t3(32);
+    let rows = run_table_methods(&workload, &fast_config());
+    let mse_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.method == name)
+            .and_then(|r| r.raw.first().copied())
+            .unwrap_or(f64::INFINITY)
+    };
+    let original = mse_of("Original");
+    let best_modis = ["ApxMODis", "NOBiMODis", "BiMODis", "DivMODis"]
+        .iter()
+        .map(|m| mse_of(m))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_modis <= original * 1.05,
+        "best MODis MSE {best_modis} should not be worse than original {original}"
+    );
+}
+
+#[test]
+fn feature_selection_baselines_shrink_the_schema_t2() {
+    let workload = task_t2(33);
+    let rows = run_table_methods(&workload, &fast_config());
+    let cols_of = |name: &str| rows.iter().find(|r| r.method == name).map(|r| r.size.1).unwrap();
+    // Starmie augments (more columns than the base), SkSFM/H2O select (fewer
+    // columns than the universal table used as their input).
+    let universal_cols = workload.substrate().universal().reported_size().1;
+    assert!(cols_of("SkSFM") <= universal_cols);
+    assert!(cols_of("H2O") <= universal_cols);
+    assert!(cols_of("Starmie") >= cols_of("Original"));
+}
+
+#[test]
+fn hydragan_baseline_cannot_use_external_attributes() {
+    let workload = task_t3(34);
+    let base = workload.pool.base();
+    let out = hydragan_like(base, &workload.task, 100, 9);
+    // Synthetic rows only: same schema as the base, more rows.
+    assert_eq!(out.dataset.num_columns(), base.num_columns());
+    assert_eq!(out.dataset.num_rows(), base.num_rows() + 100);
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over the core invariants: dominance, ε-skyline
+//! coverage, operators and the position grid.
+
+use proptest::prelude::*;
+
+use modis_core::dominance::{dominates, epsilon_dominates, epsilon_skyline_cover, skyline};
+use modis_core::measure::{position, MeasureSet, MeasureSpec};
+use modis_core::pareto::EpsilonSkyline;
+use modis_data::{reduct, Dataset, Literal, Schema, StateBitmap, Value};
+
+fn perf_vec(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(a in perf_vec(3), b in perf_vec(3)) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    /// Dominance implies ε-dominance for every ε ≥ 0.
+    #[test]
+    fn dominance_implies_epsilon_dominance(a in perf_vec(3), b in perf_vec(3), eps in 0.0f64..1.0) {
+        if dominates(&a, &b) {
+            prop_assert!(epsilon_dominates(&a, &b, eps));
+        }
+    }
+
+    /// The exact skyline of a point set ε-covers the whole set (ε = 0 works
+    /// because every point is weakly dominated by some skyline member).
+    #[test]
+    fn skyline_covers_all_points(points in prop::collection::vec(perf_vec(3), 1..40)) {
+        let front = skyline(&points);
+        prop_assert!(!front.is_empty());
+        prop_assert!(epsilon_skyline_cover(&points, &front, 0.0));
+        // Skyline members are mutually non-dominated.
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!dominates(&points[i], &points[j]));
+                }
+            }
+        }
+    }
+
+    /// Points in the same ε-grid cell are within a (1+ε) factor on every
+    /// non-decisive measure.
+    #[test]
+    fn same_cell_implies_close_values(a in perf_vec(3), eps in 0.05f64..0.5, factor in 1.0f64..1.01) {
+        let measures = MeasureSet::new(vec![
+            MeasureSpec::maximise("m0"),
+            MeasureSpec::maximise("m1"),
+            MeasureSpec::minimise("m2", 1.0),
+        ]);
+        let b: Vec<f64> = a.iter().map(|v| (v * factor).min(1.0)).collect();
+        let pa = position(&a, &measures, eps, 2);
+        let pb = position(&b, &measures, eps, 2);
+        if pa == pb {
+            for (x, y) in a.iter().zip(b.iter()).take(2) {
+                let ratio = if x > y { x / y } else { y / x };
+                prop_assert!(ratio <= (1.0 + eps) * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// The UPareto structure never keeps a member that violates an upper
+    /// bound, and every inserted member stays within (0, 1].
+    #[test]
+    fn upareto_respects_bounds(perfs in prop::collection::vec(perf_vec(2), 1..30), eps in 0.05f64..0.4) {
+        let measures = MeasureSet::new(vec![
+            MeasureSpec::maximise("q").with_bounds(0.01, 0.8),
+            MeasureSpec::minimise("c", 1.0).with_bounds(0.01, 0.9),
+        ]);
+        let mut sky = EpsilonSkyline::new(measures.clone(), eps, None);
+        for (i, p) in perfs.iter().enumerate() {
+            sky.offer(&StateBitmap::full(4).flipped(i % 4), p, i);
+        }
+        for entry in sky.entries() {
+            prop_assert!(!measures.violates_upper(&entry.perf));
+            prop_assert!(entry.perf.iter().all(|&v| v > 0.0 && v <= 1.0));
+        }
+    }
+
+    /// Reduct never increases the number of rows, and the removed rows are
+    /// exactly those matching the literal.
+    #[test]
+    fn reduct_removes_exactly_matching_rows(values in prop::collection::vec(0i64..5, 1..60), pivot in 0i64..5) {
+        let schema = Schema::from_names(["a"]);
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+        let data = Dataset::from_rows("d", schema, rows).unwrap();
+        let lit = Literal::equals("a", pivot);
+        let matching = values.iter().filter(|&&v| v == pivot).count();
+        let (out, removed) = reduct(&data, &lit);
+        prop_assert_eq!(removed, matching);
+        prop_assert_eq!(out.num_rows(), values.len() - matching);
+        prop_assert_eq!(lit.selectivity_count(&out), 0);
+    }
+
+    /// Bitmap cosine similarity is symmetric and bounded by [0, 1].
+    #[test]
+    fn bitmap_cosine_properties(bits_a in prop::collection::vec(any::<bool>(), 1..20), bits_b in prop::collection::vec(any::<bool>(), 1..20)) {
+        let a = StateBitmap::from_bits(bits_a);
+        let b = StateBitmap::from_bits(bits_b);
+        let ab = a.cosine_similarity(&b);
+        let ba = b.cosine_similarity(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+    }
+}
