@@ -14,7 +14,10 @@ fn bench_algorithms(c: &mut Criterion) {
         .with_epsilon(0.2)
         .with_max_states(15)
         .with_max_level(2)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 6, refresh: 10 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 6,
+            refresh: 10,
+        });
 
     let mut group = c.benchmark_group("algorithms");
     group.sample_size(10);

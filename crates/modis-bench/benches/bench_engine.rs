@@ -1,0 +1,83 @@
+//! Engine benchmarks: sequential vs. wave-parallel frontier expansion, and
+//! cold vs. warm shared-cache suites — the engine counterpart of the
+//! efficiency experiments.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::task_t3;
+use modis_core::prelude::*;
+use modis_core::substrate::Substrate;
+use modis_engine::{parallel_apx_modis, Algorithm, Engine, EngineConfig, Scenario};
+
+fn bench_parallel_expansion(c: &mut Criterion) {
+    let substrate = task_t3(5).substrate();
+    let config = ModisConfig::default()
+        .with_epsilon(0.2)
+        .with_max_states(20)
+        .with_max_level(2)
+        .with_estimator(EstimatorMode::Oracle);
+    // Warm the substrate's memo once so every variant measures scheduling
+    // overhead against identical evaluation costs.
+    let _ = apx_modis(&substrate, &config);
+
+    let mut group = c.benchmark_group("engine_expansion");
+    group.sample_size(10);
+    group.bench_function("apx_sequential", |b| {
+        b.iter(|| apx_modis(&substrate, &config))
+    });
+    for threads in [2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("apx_parallel", threads),
+            &threads,
+            |b, &threads| b.iter(|| parallel_apx_modis(&substrate, &config, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_suite_cache(c: &mut Criterion) {
+    let substrate: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    let config = ModisConfig::default()
+        .with_epsilon(0.2)
+        .with_max_states(20)
+        .with_max_level(2)
+        .with_estimator(EstimatorMode::Oracle);
+    let scenarios: Vec<Scenario> = [Algorithm::Apx, Algorithm::NoBi, Algorithm::Bi]
+        .into_iter()
+        .map(|alg| {
+            Scenario::new(
+                format!("t3-{}", alg.name()),
+                substrate.clone(),
+                alg,
+                config.clone(),
+            )
+            .with_cache_namespace("t3-pool")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine_suite");
+    group.sample_size(10);
+    group.bench_function("suite_cold_cache", |b| {
+        b.iter(|| {
+            // A fresh engine per iteration: every scenario starts cold.
+            Engine::new(EngineConfig::default().with_scenario_parallelism(1)).run_suite(&scenarios)
+        })
+    });
+    let warm = Engine::new(EngineConfig::default().with_scenario_parallelism(1));
+    let _ = warm.run_suite(&scenarios);
+    group.bench_function("suite_warm_cache", |b| {
+        b.iter(|| warm.run_suite(&scenarios))
+    });
+    group.finish();
+
+    let stats = warm.cache_stats();
+    println!(
+        "warm cache after benches: {} entries, {} hits, {} misses",
+        stats.entries, stats.hits, stats.misses
+    );
+}
+
+criterion_group!(benches, bench_parallel_expansion, bench_suite_cache);
+criterion_main!(benches);

@@ -26,7 +26,10 @@ fn bench_ml(c: &mut Criterion) {
                 GradientBoostingRegressor::fit(
                     &x,
                     &y,
-                    GbmParams { n_estimators: 20, ..GbmParams::default() },
+                    GbmParams {
+                        n_estimators: 20,
+                        ..GbmParams::default()
+                    },
                 )
             });
         });
@@ -45,9 +48,25 @@ fn bench_ml(c: &mut Criterion) {
         .map(|r| vec![r.iter().sum::<f64>() / 12.0, 1.0 - r[0], r[1] * 0.5])
         .collect();
     group.bench_function("mo_gbm_estimator_fit", |b| {
-        b.iter(|| MultiOutputGbm::fit(&x, &y_multi, GbmParams { n_estimators: 15, ..GbmParams::default() }));
+        b.iter(|| {
+            MultiOutputGbm::fit(
+                &x,
+                &y_multi,
+                GbmParams {
+                    n_estimators: 15,
+                    ..GbmParams::default()
+                },
+            )
+        });
     });
-    let fitted = MultiOutputGbm::fit(&x, &y_multi, GbmParams { n_estimators: 15, ..GbmParams::default() });
+    let fitted = MultiOutputGbm::fit(
+        &x,
+        &y_multi,
+        GbmParams {
+            n_estimators: 15,
+            ..GbmParams::default()
+        },
+    );
     group.bench_function("mo_gbm_estimator_predict", |b| {
         b.iter(|| fitted.predict_one(&x[0]));
     });

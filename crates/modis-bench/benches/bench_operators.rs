@@ -7,7 +7,12 @@ use modis_data::{augment, hash_join, reduct, universal_table, JoinKind, Literal}
 use modis_datagen::tables::{generate_table_pool, TablePoolConfig};
 
 fn pool_of(rows: usize) -> Vec<modis_data::Dataset> {
-    generate_table_pool(&TablePoolConfig { n_rows: rows, seed: 1, ..Default::default() }).tables
+    generate_table_pool(&TablePoolConfig {
+        n_rows: rows,
+        seed: 1,
+        ..Default::default()
+    })
+    .tables
 }
 
 fn bench_operators(c: &mut Criterion) {

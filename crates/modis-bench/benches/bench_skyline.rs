@@ -14,7 +14,9 @@ use modis_data::StateBitmap;
 fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut state = seed;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.01, 1.0)
     };
     (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
@@ -27,9 +29,13 @@ fn bench_skyline(c: &mut Criterion) {
     for &n in &[100usize, 500] {
         for &d in &[2usize, 4] {
             let pts = random_points(n, d, 7);
-            group.bench_with_input(BenchmarkId::new(format!("exact_skyline_d{d}"), n), &n, |b, _| {
-                b.iter(|| skyline(&pts));
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact_skyline_d{d}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| skyline(&pts));
+                },
+            );
         }
     }
 

@@ -43,7 +43,10 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(50)
         .with_max_level(5)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 12, refresh: 10 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 12,
+            refresh: 10,
+        });
 
     let mut rows = Vec::new();
     let orig = original(pool.base(), &task);
@@ -111,9 +114,15 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(40)
         .with_max_level(4)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 12, refresh: 10 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 12,
+            refresh: 10,
+        });
     let result = bi_modis(&substrate, &config);
-    println!("\nCase 2: BiMODis generated {} test datasets satisfying the constraints", result.len());
+    println!(
+        "\nCase 2: BiMODis generated {} test datasets satisfying the constraints",
+        result.len()
+    );
     let rows: Vec<modis_bench::MethodRow> = result
         .entries
         .iter()

@@ -15,9 +15,13 @@ fn time_of(substrate: &TableSubstrate, variant: ModisVariant, config: &ModisConf
 
 fn main() {
     let names: Vec<&str> = ModisVariant::all().iter().map(|v| v.name()).collect();
-    let base_cfg = ModisConfig::default()
-        .with_max_states(40)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 10 });
+    let base_cfg =
+        ModisConfig::default()
+            .with_max_states(40)
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 10,
+                refresh: 10,
+            });
     let workload = task_t1(42);
     let substrate = workload.substrate();
 
@@ -30,18 +34,33 @@ fn main() {
             series[i].push(time_of(&substrate, *v, &cfg));
         }
     }
-    print_series("Figure 10(a) — T1 discovery time (s) vs ε", "epsilon", &names, &eps, &series);
+    print_series(
+        "Figure 10(a) — T1 discovery time (s) vs ε",
+        "epsilon",
+        &names,
+        &eps,
+        &series,
+    );
 
     // (b) vary maxl.
     let maxls = [2.0, 3.0, 4.0, 5.0, 6.0];
     let mut series = vec![Vec::new(); 4];
     for &l in &maxls {
-        let cfg = base_cfg.clone().with_epsilon(0.2).with_max_level(l as usize);
+        let cfg = base_cfg
+            .clone()
+            .with_epsilon(0.2)
+            .with_max_level(l as usize);
         for (i, v) in ModisVariant::all().iter().enumerate() {
             series[i].push(time_of(&substrate, *v, &cfg));
         }
     }
-    print_series("Figure 10(b) — T1 discovery time (s) vs maxl", "maxl", &names, &maxls, &series);
+    print_series(
+        "Figure 10(b) — T1 discovery time (s) vs maxl",
+        "maxl",
+        &names,
+        &maxls,
+        &series,
+    );
 
     // (c) vary |A| (number of attributes in the pool).
     let attr_counts = [4.0, 6.0, 8.0, 10.0];
@@ -76,7 +95,10 @@ fn main() {
     let mut series = vec![Vec::new(); 4];
     for &k in &adoms {
         let w = task_t1(42);
-        let space = TableSpaceConfig { max_clusters_per_attr: k as usize, ..w.space.clone() };
+        let space = TableSpaceConfig {
+            max_clusters_per_attr: k as usize,
+            ..w.space.clone()
+        };
         let sub = TableSubstrate::from_pool(&w.pool.tables, w.task.clone(), &space);
         let cfg = base_cfg.clone().with_epsilon(0.2).with_max_level(4);
         for (i, v) in ModisVariant::all().iter().enumerate() {

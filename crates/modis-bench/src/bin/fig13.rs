@@ -13,9 +13,14 @@ fn main() {
     let graph_sub = GraphSubstrate::new(
         graph,
         t5_measures(),
-        GraphSpaceConfig { n_edge_clusters: 6, ..GraphSpaceConfig::default() },
+        GraphSpaceConfig {
+            n_edge_clusters: 6,
+            ..GraphSpaceConfig::default()
+        },
     );
-    let base = ModisConfig::default().with_max_states(25).with_estimator(EstimatorMode::Oracle);
+    let base = ModisConfig::default()
+        .with_max_states(25)
+        .with_estimator(EstimatorMode::Oracle);
 
     // (a) T5: vary ε.
     let eps = [0.1, 0.2, 0.3, 0.4, 0.5];
@@ -26,7 +31,13 @@ fn main() {
             series[i].push(modis_bench::run_variant(*v, &graph_sub, &cfg).elapsed_seconds);
         }
     }
-    print_series("Figure 13(a) — T5 discovery time (s) vs ε", "epsilon", &names, &eps, &series);
+    print_series(
+        "Figure 13(a) — T5 discovery time (s) vs ε",
+        "epsilon",
+        &names,
+        &eps,
+        &series,
+    );
 
     // (b) T5: vary maxl.
     let maxls = [2.0, 3.0, 4.0];
@@ -37,14 +48,24 @@ fn main() {
             series[i].push(modis_bench::run_variant(*v, &graph_sub, &cfg).elapsed_seconds);
         }
     }
-    print_series("Figure 13(b) — T5 discovery time (s) vs maxl", "maxl", &names, &maxls, &series);
+    print_series(
+        "Figure 13(b) — T5 discovery time (s) vs maxl",
+        "maxl",
+        &names,
+        &maxls,
+        &series,
+    );
 
     // T3 tabular substrate.
     let w = task_t3(42);
     let table_sub = w.substrate();
-    let base = ModisConfig::default()
-        .with_max_states(40)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 10 });
+    let base =
+        ModisConfig::default()
+            .with_max_states(40)
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 10,
+                refresh: 10,
+            });
 
     // (c) T3: vary ε.
     let mut series = vec![Vec::new(); 4];
@@ -54,7 +75,13 @@ fn main() {
             series[i].push(modis_bench::run_variant(*v, &table_sub, &cfg).elapsed_seconds);
         }
     }
-    print_series("Figure 13(c) — T3 discovery time (s) vs ε", "epsilon", &names, &eps, &series);
+    print_series(
+        "Figure 13(c) — T3 discovery time (s) vs ε",
+        "epsilon",
+        &names,
+        &eps,
+        &series,
+    );
 
     // (d) T3: vary maxl.
     let maxls = [2.0, 3.0, 4.0, 5.0];
@@ -65,7 +92,13 @@ fn main() {
             series[i].push(modis_bench::run_variant(*v, &table_sub, &cfg).elapsed_seconds);
         }
     }
-    print_series("Figure 13(d) — T3 discovery time (s) vs maxl", "maxl", &names, &maxls, &series);
+    print_series(
+        "Figure 13(d) — T3 discovery time (s) vs maxl",
+        "maxl",
+        &names,
+        &maxls,
+        &series,
+    );
 
     println!("\nExpected shape (paper): BiMODis is consistently the fastest on both the graph");
     println!("and the tabular task; all variants slow down as maxl grows and speed up as ε grows.");

@@ -26,23 +26,38 @@ fn main() {
         let sub = GraphSubstrate::new(
             graph,
             t5_measures(),
-            GraphSpaceConfig { n_edge_clusters: 5, ..GraphSpaceConfig::default() },
+            GraphSpaceConfig {
+                n_edge_clusters: 5,
+                ..GraphSpaceConfig::default()
+            },
         );
         for (i, v) in ModisVariant::all().iter().enumerate() {
             series[i].push(modis_bench::run_variant(*v, &sub, &base).elapsed_seconds);
         }
     }
-    print_series("Figure 14(a) — T5 discovery time (s) vs |A|", "|A|", &names, &dims, &series);
+    print_series(
+        "Figure 14(a) — T5 discovery time (s) vs |A|",
+        "|A|",
+        &names,
+        &dims,
+        &series,
+    );
 
     // (b) vary the number of edge clusters (|adom|).
     let clusters = [3.0, 5.0, 8.0, 12.0];
     let mut series = vec![Vec::new(); 4];
     for &k in &clusters {
-        let graph = generate_bipartite_graph(&GraphConfig { seed: 42, ..GraphConfig::default() });
+        let graph = generate_bipartite_graph(&GraphConfig {
+            seed: 42,
+            ..GraphConfig::default()
+        });
         let sub = GraphSubstrate::new(
             graph,
             t5_measures(),
-            GraphSpaceConfig { n_edge_clusters: k as usize, ..GraphSpaceConfig::default() },
+            GraphSpaceConfig {
+                n_edge_clusters: k as usize,
+                ..GraphSpaceConfig::default()
+            },
         );
         for (i, v) in ModisVariant::all().iter().enumerate() {
             series[i].push(modis_bench::run_variant(*v, &sub, &base).elapsed_seconds);

@@ -19,11 +19,16 @@ fn main() {
     let sub = GraphSubstrate::new(
         graph,
         t5_measures(),
-        GraphSpaceConfig { n_edge_clusters: 6, ..GraphSpaceConfig::default() },
+        GraphSpaceConfig {
+            n_edge_clusters: 6,
+            ..GraphSpaceConfig::default()
+        },
     );
     let original_p5 = sub.evaluate_raw(&sub.forward_start())[0];
     let names: Vec<&str> = ModisVariant::all().iter().map(|v| v.name()).collect();
-    let base = ModisConfig::default().with_max_states(25).with_estimator(EstimatorMode::Oracle);
+    let base = ModisConfig::default()
+        .with_max_states(25)
+        .with_estimator(EstimatorMode::Oracle);
 
     // (a) percentage change vs maxl.
     let maxls = [1.0, 2.0, 3.0, 4.0];
@@ -32,7 +37,10 @@ fn main() {
         let cfg = base.clone().with_epsilon(0.1).with_max_level(l as usize);
         for (i, v) in ModisVariant::all().iter().enumerate() {
             let res = modis_bench::run_variant(*v, &sub, &cfg);
-            let best = res.best_by_raw(0, true).map(|e| e.raw[0]).unwrap_or(original_p5);
+            let best = res
+                .best_by_raw(0, true)
+                .map(|e| e.raw[0])
+                .unwrap_or(original_p5);
             series[i].push(percentage_change(best, original_p5));
         }
     }
@@ -51,11 +59,20 @@ fn main() {
         let cfg = base.clone().with_epsilon(e).with_max_level(3);
         for (i, v) in ModisVariant::all().iter().enumerate() {
             let res = modis_bench::run_variant(*v, &sub, &cfg);
-            let best = res.best_by_raw(0, true).map(|e| e.raw[0]).unwrap_or(original_p5);
+            let best = res
+                .best_by_raw(0, true)
+                .map(|e| e.raw[0])
+                .unwrap_or(original_p5);
             series[i].push(percentage_change(best, original_p5));
         }
     }
-    print_series("Figure 15(b) — T5 % change of P@5 vs ε", "epsilon", &names, &eps, &series);
+    print_series(
+        "Figure 15(b) — T5 % change of P@5 vs ε",
+        "epsilon",
+        &names,
+        &eps,
+        &series,
+    );
 
     println!("\nExpected shape (paper): larger maxl and smaller ε yield larger percentage");
     println!("improvements; sensitivity to maxl is stronger than to ε.");

@@ -7,7 +7,10 @@ use modis_bench::{print_table, run_table_methods, task_t1, task_t3, Row};
 use modis_core::prelude::*;
 
 fn relative_improvement(rows: &[modis_bench::MethodRow], task: &TaskSpec) -> Vec<Row> {
-    let original = rows.iter().find(|r| r.method == "Original").expect("original row");
+    let original = rows
+        .iter()
+        .find(|r| r.method == "Original")
+        .expect("original row");
     let orig_norm = task.measures.normalise(&original.raw);
     rows.iter()
         .map(|r| {
@@ -27,13 +30,19 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(50)
         .with_max_level(5)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 12, refresh: 10 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 12,
+            refresh: 10,
+        });
 
     for workload in [task_t1(42), task_t3(42)] {
         let rows = run_table_methods(&workload, &config);
         let radar = relative_improvement(&rows, &workload.task);
         print_table(
-            &format!("Figure 7 ({}) — rImp per measure (outer/larger is better)", workload.task.name),
+            &format!(
+                "Figure 7 ({}) — rImp per measure (outer/larger is better)",
+                workload.task.name
+            ),
             &workload.task.measures.names(),
             &radar,
         );

@@ -23,9 +23,13 @@ fn sweep(workload: &Workload, configs: &[(f64, ModisConfig)], title: &str, x_lab
 }
 
 fn main() {
-    let base = ModisConfig::default()
-        .with_max_states(40)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 12, refresh: 10 });
+    let base =
+        ModisConfig::default()
+            .with_max_states(40)
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 12,
+                refresh: 10,
+            });
 
     // (a) T1: vary ε with maxl = 6.
     let t1 = task_t1(42);
@@ -33,13 +37,23 @@ fn main() {
         .iter()
         .map(|&e| (e, base.clone().with_epsilon(e).with_max_level(6)))
         .collect();
-    sweep(&t1, &eps_configs, "Figure 8(a) — T1 accuracy vs ε", "epsilon");
+    sweep(
+        &t1,
+        &eps_configs,
+        "Figure 8(a) — T1 accuracy vs ε",
+        "epsilon",
+    );
 
     // (b) T1: vary maxl with ε = 0.1.
     let maxl_configs: Vec<(f64, ModisConfig)> = (2..=6)
         .map(|l| (l as f64, base.clone().with_epsilon(0.1).with_max_level(l)))
         .collect();
-    sweep(&t1, &maxl_configs, "Figure 8(b) — T1 accuracy vs maxl", "maxl");
+    sweep(
+        &t1,
+        &maxl_configs,
+        "Figure 8(b) — T1 accuracy vs maxl",
+        "maxl",
+    );
 
     // (c) T2: vary ε (smaller range, as in the paper).
     let t2 = task_t2(42);

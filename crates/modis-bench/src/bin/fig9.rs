@@ -21,16 +21,29 @@ fn main() {
             .with_epsilon(0.2)
             .with_max_states(40)
             .with_max_level(5)
-            .with_estimator(EstimatorMode::Surrogate { warmup: 12, refresh: 10 })
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 12,
+                refresh: 10,
+            })
             .with_diversification(4, alpha);
         let result = div_modis(&substrate, &config);
 
         // (a) accuracy distribution across skyline members.
-        let accs: Vec<f64> = result.entries.iter().filter_map(|e| e.raw.first().copied()).collect();
+        let accs: Vec<f64> = result
+            .entries
+            .iter()
+            .filter_map(|e| e.raw.first().copied())
+            .collect();
         let (min, max) = accs
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-        let mean = if accs.is_empty() { 0.0 } else { accs.iter().sum::<f64>() / accs.len() as f64 };
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let mean = if accs.is_empty() {
+            0.0
+        } else {
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
         let mut sorted = accs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
@@ -43,9 +56,9 @@ fn main() {
         let n_units = substrate.num_units();
         let mut usage = vec![0.0f64; n_units];
         for e in &result.entries {
-            for i in 0..n_units {
+            for (i, u) in usage.iter_mut().enumerate() {
                 if e.bitmap.get(i) {
-                    usage[i] += 1.0;
+                    *u += 1.0;
                 }
             }
         }

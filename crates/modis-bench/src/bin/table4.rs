@@ -11,7 +11,10 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(60)
         .with_max_level(6)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 15, refresh: 10 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 15,
+            refresh: 10,
+        });
 
     let t2 = task_t2(42);
     let rows = run_table_methods(&t2, &config);

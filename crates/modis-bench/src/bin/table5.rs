@@ -13,11 +13,18 @@ fn main() {
         .with_max_states(30)
         .with_max_level(4)
         .with_estimator(EstimatorMode::Oracle);
-    let space = GraphSpaceConfig { n_edge_clusters: 6, ..GraphSpaceConfig::default() };
+    let space = GraphSpaceConfig {
+        n_edge_clusters: 6,
+        ..GraphSpaceConfig::default()
+    };
 
     let rows = run_graph_methods(&graph, &config, &space);
     let measures = t5_measures();
-    print_method_table("Table 5 (T5: LightGCN recommendation)", &measures.names(), &rows);
+    print_method_table(
+        "Table 5 (T5: LightGCN recommendation)",
+        &measures.names(),
+        &rows,
+    );
 
     println!("\nExpected shape (paper): all MODis variants improve P@k / NDCG@k over the");
     println!("original graph by pruning noisy cross-community edges, with smaller outputs.");

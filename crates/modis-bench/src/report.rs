@@ -15,7 +15,10 @@ pub struct Row {
 impl Row {
     /// Creates a row.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Row { label: label.into(), values }
+        Row {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -37,7 +40,13 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
 }
 
 /// Prints a labelled series (figure data): one line per x value.
-pub fn print_series(title: &str, x_label: &str, series_names: &[&str], xs: &[f64], ys: &[Vec<f64>]) {
+pub fn print_series(
+    title: &str,
+    x_label: &str,
+    series_names: &[&str],
+    xs: &[f64],
+    ys: &[Vec<f64>],
+) {
     println!("\n=== {title} ===");
     let mut header = format!("{x_label:>10}");
     for s in series_names {
@@ -72,7 +81,10 @@ pub fn print_method_table(title: &str, measure_names: &[&str], rows: &[MethodRow
                 None => line.push_str(&format!("{:>12}", "-")),
             }
         }
-        line.push_str(&format!("{:>18}", format!("({}, {})", row.size.0, row.size.1)));
+        line.push_str(&format!(
+            "{:>18}",
+            format!("({}, {})", row.size.0, row.size.1)
+        ));
         println!("{line}");
     }
 }
@@ -91,7 +103,10 @@ mod tests {
 
     #[test]
     fn rows_and_tables_do_not_panic() {
-        let rows = vec![Row::new("a", vec![1.0, 2.0]), Row::new("a-very-long-label-here", vec![3.0])];
+        let rows = vec![
+            Row::new("a", vec![1.0, 2.0]),
+            Row::new("a-very-long-label-here", vec![3.0]),
+        ];
         print_table("t", &["c1", "c2"], &rows);
         print_series("s", "x", &["y1"], &[1.0, 2.0], &[vec![0.1, 0.2]]);
         let mrows = vec![MethodRow {

@@ -190,7 +190,12 @@ pub enum ModisVariant {
 impl ModisVariant {
     /// All variants in the order the paper's tables use.
     pub fn all() -> [ModisVariant; 4] {
-        [ModisVariant::Apx, ModisVariant::NoBi, ModisVariant::Bi, ModisVariant::Div]
+        [
+            ModisVariant::Apx,
+            ModisVariant::NoBi,
+            ModisVariant::Bi,
+            ModisVariant::Div,
+        ]
     }
 
     /// Display name.
@@ -261,9 +266,26 @@ pub fn run_table_methods(workload: &Workload, config: &ModisConfig) -> Vec<Metho
     };
 
     rows.push(baseline_row(original(base, task)));
-    rows.push(baseline_row(metam(base, &pool.tables, task, &pool.join_key, 0)));
-    rows.push(baseline_row(metam_mo(base, &pool.tables, task, &pool.join_key)));
-    rows.push(baseline_row(starmie(base, &pool.tables, task, &pool.join_key, 3)));
+    rows.push(baseline_row(metam(
+        base,
+        &pool.tables,
+        task,
+        &pool.join_key,
+        0,
+    )));
+    rows.push(baseline_row(metam_mo(
+        base,
+        &pool.tables,
+        task,
+        &pool.join_key,
+    )));
+    rows.push(baseline_row(starmie(
+        base,
+        &pool.tables,
+        task,
+        &pool.join_key,
+        3,
+    )));
 
     // Feature-selection baselines run on the universal table, as in §6.
     let substrate = workload.substrate();
@@ -313,7 +335,10 @@ mod tests {
         ModisConfig::default()
             .with_max_states(20)
             .with_max_level(3)
-            .with_estimator(EstimatorMode::Surrogate { warmup: 8, refresh: 8 })
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 8,
+                refresh: 8,
+            })
     }
 
     #[test]

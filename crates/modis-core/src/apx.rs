@@ -12,7 +12,7 @@ use std::time::Instant;
 use crate::config::{ModisConfig, SkylineResult};
 use crate::estimator::ValuationContext;
 use crate::pareto::EpsilonSkyline;
-use crate::search_common::{finalize_result, op_gen, Direction, VisitedSet};
+use crate::search_common::{finalize_result, op_gen, Direction, ProtectedSet, VisitedSet};
 use crate::substrate::Substrate;
 
 /// Runs ApxMODis over a substrate.
@@ -30,7 +30,7 @@ pub fn apx_modis_with_context<S: Substrate + ?Sized>(
     let start = Instant::now();
     let substrate = ctx.substrate();
     let measures = substrate.measures().clone();
-    let protected = substrate.protected_units();
+    let protected = ProtectedSet::of(substrate);
     let mut skyline = EpsilonSkyline::new(measures, config.epsilon, config.decisive);
     let mut visited = VisitedSet::new();
     let mut queue: VecDeque<(modis_data::StateBitmap, usize)> = VecDeque::new();
@@ -87,7 +87,9 @@ mod tests {
         // The ideal state keeps the informative (even) units and drops the
         // odd ones: quality 1.0 with reduced cost. The skyline must contain a
         // state that ε-dominates the universal state.
-        let full_perf = sub.measures().normalise(&sub.evaluate_raw(&sub.forward_start()));
+        let full_perf = sub
+            .measures()
+            .normalise(&sub.evaluate_raw(&sub.forward_start()));
         assert!(res
             .entries
             .iter()
@@ -107,7 +109,11 @@ mod tests {
         let sub = MockSubstrate::new(10);
         let cfg = oracle_config().with_max_states(15);
         let res = apx_modis(&sub, &cfg);
-        assert!(res.states_valuated <= 16, "valuated {}", res.states_valuated);
+        assert!(
+            res.states_valuated <= 16,
+            "valuated {}",
+            res.states_valuated
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct BaselineOutput {
 
 fn finish(method: &str, dataset: Dataset, task: &TaskSpec) -> BaselineOutput {
     let evaluation = evaluate_dataset(task, &dataset);
-    BaselineOutput { method: method.to_string(), dataset, evaluation }
+    BaselineOutput {
+        method: method.to_string(),
+        dataset,
+        evaluation,
+    }
 }
 
 /// "Original": the input/base table evaluated as-is (the yardstick row of
@@ -63,7 +67,11 @@ pub fn metam(
             best = eval;
         }
     }
-    BaselineOutput { method: "METAM".into(), dataset: current, evaluation: best }
+    BaselineOutput {
+        method: "METAM".into(),
+        dataset: current,
+        evaluation: best,
+    }
 }
 
 /// METAM-MO: the multi-objective extension that folds every measure into one
@@ -90,7 +98,11 @@ pub fn metam_mo(
             best = eval;
         }
     }
-    BaselineOutput { method: "METAM-MO".into(), dataset: current, evaluation: best }
+    BaselineOutput {
+        method: "METAM-MO".into(),
+        dataset: current,
+        evaluation: best,
+    }
 }
 
 /// Column-signature similarity between two tables (Jaccard over attribute
@@ -146,12 +158,20 @@ pub fn sksfm(base: &Dataset, task: &TaskSpec) -> BaselineOutput {
     if encoded.is_empty() || encoded.num_features() == 0 {
         return finish("SkSFM", base.clone(), task);
     }
-    let n_classes = if task.model.is_classification() { encoded.n_classes.max(2) } else { 0 };
+    let n_classes = if task.model.is_classification() {
+        encoded.n_classes.max(2)
+    } else {
+        0
+    };
     let forest = RandomForest::fit(
         &encoded.features,
         &encoded.targets,
         n_classes,
-        if n_classes > 0 { ForestParams::classification(15) } else { ForestParams::regression(15) },
+        if n_classes > 0 {
+            ForestParams::classification(15)
+        } else {
+            ForestParams::regression(15)
+        },
     );
     let importance = forest.feature_importance();
     let mean = importance.iter().sum::<f64>() / importance.len().max(1) as f64;
@@ -177,7 +197,10 @@ pub fn h2o(base: &Dataset, task: &TaskSpec) -> BaselineOutput {
     let importance = ridge.importance();
     let k = (encoded.num_features() / 2).max(1);
     let top = top_k_features(&importance, k);
-    let keep: Vec<&str> = top.iter().map(|&i| encoded.feature_names[i].as_str()).collect();
+    let keep: Vec<&str> = top
+        .iter()
+        .map(|&i| encoded.feature_names[i].as_str())
+        .collect();
     let selected = project_with_context(base, task, &keep);
     finish("H2O", selected, task)
 }
@@ -193,7 +216,9 @@ pub fn hydragan_like(base: &Dataset, task: &TaskSpec, n_rows: usize, seed: u64) 
     }
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(101);
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     for r in 0..n_rows {
@@ -208,7 +233,11 @@ pub fn hydragan_like(base: &Dataset, task: &TaskSpec, n_rows: usize, seed: u64) 
         }
         augmented.push_row(row);
     }
-    finish("HydraGAN", augmented.with_name(format!("{}+synthetic", base.name)), task)
+    finish(
+        "HydraGAN",
+        augmented.with_name(format!("{}+synthetic", base.name)),
+        task,
+    )
 }
 
 /// Projects a dataset onto the selected feature names plus the task's target
@@ -220,11 +249,17 @@ fn project_with_context(base: &Dataset, task: &TaskSpec, features: &[&str]) -> D
             names.push(k.as_str());
         }
     }
-    names.extend(features.iter().copied().filter(|n| base.schema().contains(n)));
+    names.extend(
+        features
+            .iter()
+            .copied()
+            .filter(|n| base.schema().contains(n)),
+    );
     if base.schema().contains(&task.target) {
         names.push(task.target.as_str());
     }
-    base.project_by_names(&names).with_name(format!("{}#selected", base.name))
+    base.project_by_names(&names)
+        .with_name(format!("{}#selected", base.name))
 }
 
 #[cfg(test)]
@@ -274,13 +309,17 @@ mod tests {
         let informative = Dataset::from_rows(
             "informative",
             Schema::from_attributes(vec![Attribute::key("id"), Attribute::feature("strong")]),
-            (0..80).map(|i| vec![Value::Int(i), Value::Float((i % 9) as f64)]).collect(),
+            (0..80)
+                .map(|i| vec![Value::Int(i), Value::Float((i % 9) as f64)])
+                .collect(),
         )
         .unwrap();
         let junk = Dataset::from_rows(
             "junk",
             Schema::from_attributes(vec![Attribute::key("id"), Attribute::feature("noise")]),
-            (0..80).map(|i| vec![Value::Int(i), Value::Float(((i * 31) % 11) as f64)]).collect(),
+            (0..80)
+                .map(|i| vec![Value::Int(i), Value::Float(((i * 31) % 11) as f64)])
+                .collect(),
         )
         .unwrap();
         (base, vec![informative, junk])
@@ -291,7 +330,10 @@ mod tests {
         let (base, _) = base_and_pool();
         let out = original(&base, &task());
         assert_eq!(out.method, "Original");
-        assert!(out.evaluation.raw[0] < 0.5, "weak feature should give low R²");
+        assert!(
+            out.evaluation.raw[0] < 0.5,
+            "weak feature should give low R²"
+        );
     }
 
     #[test]

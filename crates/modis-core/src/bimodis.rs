@@ -18,7 +18,7 @@ use crate::config::{ModisConfig, SkylineResult};
 use crate::correlation::{CorrelationGraph, DeltaTracker, PerfBounds};
 use crate::estimator::ValuationContext;
 use crate::pareto::EpsilonSkyline;
-use crate::search_common::{finalize_result, op_gen, Direction, VisitedSet};
+use crate::search_common::{finalize_result, op_gen, Direction, ProtectedSet, VisitedSet};
 use crate::substrate::Substrate;
 
 /// Runs BiMODis (with correlation-based pruning) over a substrate.
@@ -47,7 +47,7 @@ pub fn bi_modis_with_stats<S: Substrate + ?Sized>(
     prune: bool,
 ) -> (SkylineResult, BiStats) {
     let ctx = ValuationContext::new(substrate, config.estimator);
-    run_with_context(&ctx, config, prune)
+    bi_modis_with_context(&ctx, config, prune)
 }
 
 fn run_bidirectional<S: Substrate + ?Sized>(
@@ -58,7 +58,10 @@ fn run_bidirectional<S: Substrate + ?Sized>(
     bi_modis_with_stats(substrate, config, prune).0
 }
 
-fn run_with_context<S: Substrate + ?Sized>(
+/// Runs the bi-directional search with an externally managed valuation
+/// context (lets callers install an [`crate::estimator::EvaluationHook`]
+/// and share test records across runs).
+pub fn bi_modis_with_context<S: Substrate + ?Sized>(
     ctx: &ValuationContext<'_, S>,
     config: &ModisConfig,
     prune: bool,
@@ -66,7 +69,7 @@ fn run_with_context<S: Substrate + ?Sized>(
     let start = Instant::now();
     let substrate = ctx.substrate();
     let measures = substrate.measures().clone();
-    let protected = substrate.protected_units();
+    let protected = ProtectedSet::of(substrate);
     let m = measures.len();
     let mut skyline = EpsilonSkyline::new(measures, config.epsilon, config.decisive);
     let mut visited = VisitedSet::new();
@@ -103,7 +106,10 @@ fn run_with_context<S: Substrate + ?Sized>(
         // the level cap below.
         let corr = CorrelationGraph::from_series(&ctx.measure_series(), config.theta);
 
-        for (queue, direction) in [(&mut forward, Direction::Forward), (&mut backward, Direction::Backward)] {
+        for (queue, direction) in [
+            (&mut forward, Direction::Forward),
+            (&mut backward, Direction::Backward),
+        ] {
             let Some((state, parent_perf, level)) = queue.pop_front() else {
                 continue;
             };

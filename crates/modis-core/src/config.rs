@@ -108,7 +108,10 @@ impl SkylineResult {
     /// for single-number comparisons against baselines.
     pub fn best_by_raw(&self, index: usize, higher_is_better: bool) -> Option<&SkylineEntry> {
         self.entries.iter().min_by(|a, b| {
-            let (x, y) = (a.raw.get(index).copied().unwrap_or(f64::NAN), b.raw.get(index).copied().unwrap_or(f64::NAN));
+            let (x, y) = (
+                a.raw.get(index).copied().unwrap_or(f64::NAN),
+                b.raw.get(index).copied().unwrap_or(f64::NAN),
+            );
             let (x, y) = if higher_is_better { (-x, -y) } else { (x, y) };
             x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
         })
@@ -139,7 +142,13 @@ mod tests {
     use super::*;
 
     fn entry(perf: Vec<f64>, raw: Vec<f64>) -> SkylineEntry {
-        SkylineEntry { bitmap: StateBitmap::full(3), perf, raw, size: (10, 3), level: 1 }
+        SkylineEntry {
+            bitmap: StateBitmap::full(3),
+            perf,
+            raw,
+            size: (10, 3),
+            level: 1,
+        }
     }
 
     #[test]
@@ -157,7 +166,10 @@ mod tests {
     #[test]
     fn best_by_raw_respects_direction() {
         let res = SkylineResult {
-            entries: vec![entry(vec![0.2, 0.3], vec![0.8, 5.0]), entry(vec![0.4, 0.1], vec![0.6, 2.0])],
+            entries: vec![
+                entry(vec![0.2, 0.3], vec![0.8, 5.0]),
+                entry(vec![0.4, 0.1], vec![0.6, 2.0]),
+            ],
             ..Default::default()
         };
         assert_eq!(res.best_by_raw(0, true).unwrap().raw[0], 0.8);

@@ -144,7 +144,11 @@ pub struct DeltaTracker {
 impl DeltaTracker {
     /// Creates a tracker for `m` measures with conservative initial bounds.
     pub fn new(m: usize) -> Self {
-        DeltaTracker { min: vec![-0.5; m], max: vec![0.5; m], observations: 0 }
+        DeltaTracker {
+            min: vec![-0.5; m],
+            max: vec![0.5; m],
+            observations: 0,
+        }
     }
 
     /// Records one parent → child transition.
@@ -215,7 +219,10 @@ mod tests {
 
     #[test]
     fn empty_bounds_are_never_dominated() {
-        let b = PerfBounds { lower: vec![], upper: vec![] };
+        let b = PerfBounds {
+            lower: vec![],
+            upper: vec![],
+        };
         assert!(!b.epsilon_dominated_by(&[], 0.1));
     }
 }

@@ -15,11 +15,16 @@ use modis_data::stats::euclidean;
 use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
 use crate::estimator::ValuationContext;
 use crate::pareto::EpsilonSkyline;
-use crate::search_common::{finalize_result, op_gen, Direction, VisitedSet};
+use crate::search_common::{finalize_result, op_gen, Direction, ProtectedSet, VisitedSet};
 use crate::substrate::Substrate;
 
 /// Pairwise distance `dis(D_i, D_j)` of Eq. (2).
-pub fn diversification_distance(a: &SkylineEntry, b: &SkylineEntry, alpha: f64, euc_max: f64) -> f64 {
+pub fn diversification_distance(
+    a: &SkylineEntry,
+    b: &SkylineEntry,
+    alpha: f64,
+    euc_max: f64,
+) -> f64 {
     let content = alpha * (1.0 - a.bitmap.cosine_similarity(&b.bitmap)) / 2.0;
     let scale = if euc_max > 1e-12 { euc_max } else { 1.0 };
     let perf = (1.0 - alpha) * euclidean(&a.perf, &b.perf) / scale;
@@ -79,10 +84,21 @@ pub fn diversify_level(
 
 /// Runs DivMODis over a substrate.
 pub fn div_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> SkylineResult {
-    let start = Instant::now();
     let ctx = ValuationContext::new(substrate, config.estimator);
+    div_modis_with_context(&ctx, config)
+}
+
+/// Runs DivMODis with an externally managed valuation context (lets callers
+/// install an [`crate::estimator::EvaluationHook`] and share test records
+/// across runs).
+pub fn div_modis_with_context<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+) -> SkylineResult {
+    let start = Instant::now();
+    let substrate = ctx.substrate();
     let measures = substrate.measures().clone();
-    let protected = substrate.protected_units();
+    let protected = ProtectedSet::of(substrate);
     let mut skyline = EpsilonSkyline::new(measures, config.epsilon, config.decisive);
     let mut visited = VisitedSet::new();
     let mut queue: VecDeque<(modis_data::StateBitmap, usize)> = VecDeque::new();
@@ -131,7 +147,7 @@ pub fn div_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> 
     // Final diversification pass.
     let diversified = diversify_level(skyline.entries(), config.k, config.alpha, euc_max);
     skyline.replace_entries(diversified);
-    finalize_result(&skyline, &ctx, config, start.elapsed().as_secs_f64())
+    finalize_result(&skyline, ctx, config, start.elapsed().as_secs_f64())
 }
 
 #[cfg(test)]

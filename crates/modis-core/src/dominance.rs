@@ -87,7 +87,11 @@ fn skyline_2d(points: &[Vec<f64>]) -> Vec<usize> {
         points[a][0]
             .partial_cmp(&points[b][0])
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(points[a][1].partial_cmp(&points[b][1]).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                points[a][1]
+                    .partial_cmp(&points[b][1])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     });
     let mut best_second = f64::INFINITY;
     let mut keep = Vec::new();

@@ -11,6 +11,7 @@
 //! * counters used by the efficiency experiments.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -18,6 +19,31 @@ use modis_data::StateBitmap;
 use modis_ml::gbm::{GbmParams, MultiOutputGbm};
 
 use crate::substrate::Substrate;
+
+/// An oracle evaluation exchanged through an [`EvaluationHook`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedEvaluation {
+    /// Raw metric values from the oracle.
+    pub raw: Vec<f64>,
+    /// Normalised performance vector.
+    pub perf: Vec<f64>,
+}
+
+/// External evaluation interceptor, consulted before the oracle trains a
+/// model and notified after every fresh oracle valuation.
+///
+/// This is the seam the execution engine (`modis-engine`) plugs its shared,
+/// cross-scenario evaluation cache into: repeated states — common across
+/// bi-directional passes and across scenarios over the same pool — are
+/// scored once, and subsequent runs load the recorded result. Implementors
+/// must be thread-safe; lookups and records may arrive concurrently.
+pub trait EvaluationHook: Send + Sync {
+    /// Returns a previously recorded oracle evaluation of `bitmap`, if any.
+    fn lookup(&self, bitmap: &StateBitmap) -> Option<SharedEvaluation>;
+
+    /// Records a fresh oracle evaluation of `bitmap`.
+    fn record(&self, bitmap: &StateBitmap, evaluation: &SharedEvaluation);
+}
 
 /// How the search valuates states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +62,10 @@ pub enum EstimatorMode {
 
 impl Default for EstimatorMode {
     fn default() -> Self {
-        EstimatorMode::Surrogate { warmup: 12, refresh: 8 }
+        EstimatorMode::Surrogate {
+            warmup: 12,
+            refresh: 8,
+        }
     }
 }
 
@@ -62,6 +91,9 @@ pub struct ValuationStats {
     pub surrogate_calls: usize,
     /// Number of cache hits.
     pub cache_hits: usize,
+    /// Number of oracle valuations answered by the [`EvaluationHook`]
+    /// (shared cross-run cache) instead of actual training.
+    pub shared_hits: usize,
 }
 
 struct Inner {
@@ -69,13 +101,41 @@ struct Inner {
     by_bitmap: HashMap<StateBitmap, usize>,
     surrogate: Option<MultiOutputGbm>,
     records_at_last_fit: usize,
+    oracle_records: usize,
     stats: ValuationStats,
+}
+
+impl Inner {
+    /// Inserts or upgrades an oracle-backed record for `bitmap`.
+    fn commit_oracle(&mut self, bitmap: &StateBitmap, perf: &[f64], raw: Vec<f64>) {
+        let record = TestRecord {
+            bitmap: bitmap.clone(),
+            perf: perf.to_vec(),
+            raw,
+            oracle: true,
+        };
+        match self.by_bitmap.get(bitmap).copied() {
+            Some(existing) => {
+                if !self.records[existing].oracle {
+                    self.oracle_records += 1;
+                }
+                self.records[existing] = record;
+            }
+            None => {
+                let idx = self.records.len();
+                self.records.push(record);
+                self.by_bitmap.insert(bitmap.clone(), idx);
+                self.oracle_records += 1;
+            }
+        }
+    }
 }
 
 /// Shared valuation context: the test set `T`, the estimator and counters.
 pub struct ValuationContext<'a, S: Substrate + ?Sized> {
     substrate: &'a S,
     mode: EstimatorMode,
+    hook: Option<Arc<dyn EvaluationHook>>,
     inner: Mutex<Inner>,
 }
 
@@ -85,14 +145,23 @@ impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
         ValuationContext {
             substrate,
             mode,
+            hook: None,
             inner: Mutex::new(Inner {
                 records: Vec::new(),
                 by_bitmap: HashMap::new(),
                 surrogate: None,
                 records_at_last_fit: 0,
+                oracle_records: 0,
                 stats: ValuationStats::default(),
             }),
         }
+    }
+
+    /// Installs an [`EvaluationHook`] (e.g. the engine's shared cache);
+    /// builder-style.
+    pub fn with_hook(mut self, hook: Arc<dyn EvaluationHook>) -> Self {
+        self.hook = Some(hook);
+        self
     }
 
     /// The wrapped substrate.
@@ -115,8 +184,12 @@ impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
         let use_surrogate = match self.mode {
             EstimatorMode::Oracle => false,
             EstimatorMode::Surrogate { warmup, .. } => {
+                // Count oracle-backed *records*, not oracle calls: shared-
+                // cache hits then advance the warm-up exactly like fresh
+                // trainings, so warm and cold runs switch to the surrogate at
+                // the same point and stay comparable.
                 let inner = self.inner.lock();
-                inner.stats.oracle_calls >= warmup && inner.surrogate.is_some()
+                inner.oracle_records >= warmup && inner.surrogate.is_some()
             }
         };
         if use_surrogate {
@@ -144,32 +217,106 @@ impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
 
     /// Forces an oracle valuation (used for final reporting of skyline
     /// members, mirroring the paper's "actual model inference test").
+    ///
+    /// When an [`EvaluationHook`] is installed, a recorded evaluation of the
+    /// same state is loaded instead of retraining; fresh valuations are
+    /// published back through the hook.
     pub fn valuate_oracle(&self, bitmap: &StateBitmap) -> Vec<f64> {
+        if let Some(hit) = self.hook.as_ref().and_then(|h| h.lookup(bitmap)) {
+            let mut inner = self.inner.lock();
+            inner.stats.shared_hits += 1;
+            inner.commit_oracle(bitmap, &hit.perf, hit.raw);
+            drop(inner);
+            self.maybe_refit();
+            return hit.perf;
+        }
         let raw = self.substrate.evaluate_raw(bitmap);
         let perf = self.substrate.measures().normalise(&raw);
+        if let Some(hook) = &self.hook {
+            hook.record(
+                bitmap,
+                &SharedEvaluation {
+                    raw: raw.clone(),
+                    perf: perf.clone(),
+                },
+            );
+        }
         let mut inner = self.inner.lock();
         inner.stats.oracle_calls += 1;
-        let idx = inner.records.len();
-        match inner.by_bitmap.get(bitmap).copied() {
-            Some(existing) => {
-                inner.records[existing] = TestRecord {
-                    bitmap: bitmap.clone(),
-                    perf: perf.clone(),
-                    raw,
-                    oracle: true,
-                };
-            }
-            None => {
-                inner.records.push(TestRecord {
-                    bitmap: bitmap.clone(),
-                    perf: perf.clone(),
-                    raw,
-                    oracle: true,
-                });
-                inner.by_bitmap.insert(bitmap.clone(), idx);
+        inner.commit_oracle(bitmap, &perf, raw);
+        drop(inner);
+        self.maybe_refit();
+        perf
+    }
+
+    /// The installed [`EvaluationHook`], if any. Parallel expanders use this
+    /// to probe the shared cache from worker threads before training.
+    pub fn hook(&self) -> Option<&Arc<dyn EvaluationHook>> {
+        self.hook.as_ref()
+    }
+
+    /// The estimator mode the context was created with.
+    pub fn mode(&self) -> EstimatorMode {
+        self.mode
+    }
+
+    /// Whether the surrogate has taken over from the oracle (always `false`
+    /// in [`EstimatorMode::Oracle`]).
+    pub fn surrogate_active(&self) -> bool {
+        match self.mode {
+            EstimatorMode::Oracle => false,
+            EstimatorMode::Surrogate { warmup, .. } => {
+                let inner = self.inner.lock();
+                inner.oracle_records >= warmup && inner.surrogate.is_some()
             }
         }
-        drop(inner);
+    }
+
+    /// Number of oracle-backed records in `T` (drives the surrogate warm-up).
+    pub fn oracle_record_count(&self) -> usize {
+        self.inner.lock().oracle_records
+    }
+
+    /// Whether `bitmap` already has a record in `T`. [`Self::valuate`] on
+    /// such a state is a memo hit: it returns the stored performance without
+    /// consuming valuation budget. Parallel expanders use this to replay the
+    /// sequential budget accounting on re-used (pre-warmed) contexts.
+    pub fn contains(&self, bitmap: &StateBitmap) -> bool {
+        self.inner.lock().by_bitmap.contains_key(bitmap)
+    }
+
+    /// Commits an oracle evaluation whose raw metrics were computed
+    /// externally (by a parallel worker), exactly as [`Self::valuate_oracle`]
+    /// would have: the record enters `T` oracle-backed, counters advance, and
+    /// the surrogate refit schedule is consulted. `from_shared` marks results
+    /// loaded from the shared cache (counted as hits, not published back).
+    ///
+    /// Returns the normalised performance vector.
+    pub fn record_oracle(
+        &self,
+        bitmap: &StateBitmap,
+        raw: Vec<f64>,
+        from_shared: bool,
+    ) -> Vec<f64> {
+        let perf = self.substrate.measures().normalise(&raw);
+        if from_shared {
+            let mut inner = self.inner.lock();
+            inner.stats.shared_hits += 1;
+            inner.commit_oracle(bitmap, &perf, raw);
+        } else {
+            if let Some(hook) = &self.hook {
+                hook.record(
+                    bitmap,
+                    &SharedEvaluation {
+                        raw: raw.clone(),
+                        perf: perf.clone(),
+                    },
+                );
+            }
+            let mut inner = self.inner.lock();
+            inner.stats.oracle_calls += 1;
+            inner.commit_oracle(bitmap, &perf, raw);
+        }
         self.maybe_refit();
         perf
     }
@@ -185,9 +332,13 @@ impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
                 }
             }
         }
-        let raw = self.substrate.evaluate_raw(bitmap);
         self.valuate_oracle(bitmap);
-        raw
+        let inner = self.inner.lock();
+        inner
+            .by_bitmap
+            .get(bitmap)
+            .map(|&idx| inner.records[idx].raw.clone())
+            .unwrap_or_default()
     }
 
     /// Number of valuated states (tests in `T`).
@@ -225,20 +376,26 @@ impl<'a, S: Substrate + ?Sized> ValuationContext<'a, S> {
             EstimatorMode::Surrogate { warmup, refresh } => (warmup, refresh),
         };
         let mut inner = self.inner.lock();
-        let oracle_records: Vec<&TestRecord> = inner.records.iter().filter(|r| r.oracle).collect();
-        let n = oracle_records.len();
+        // Early-outs use the maintained counter — this runs after *every*
+        // oracle commit, so scanning the record store here would make the
+        // commit path quadratic.
+        let n = inner.oracle_records;
         if n < warmup {
             return;
         }
         if inner.surrogate.is_some() && n < inner.records_at_last_fit + refresh {
             return;
         }
+        let oracle_records: Vec<&TestRecord> = inner.records.iter().filter(|r| r.oracle).collect();
         let x: Vec<Vec<f64>> = oracle_records
             .iter()
             .map(|r| self.substrate.state_features(&r.bitmap))
             .collect();
         let y: Vec<Vec<f64>> = oracle_records.iter().map(|r| r.perf.clone()).collect();
-        let params = GbmParams { n_estimators: 30, ..GbmParams::default() };
+        let params = GbmParams {
+            n_estimators: 30,
+            ..GbmParams::default()
+        };
         let model = MultiOutputGbm::fit(&x, &y, params);
         inner.surrogate = Some(model);
         inner.records_at_last_fit = n;
@@ -267,7 +424,13 @@ mod tests {
     #[test]
     fn surrogate_takes_over_after_warmup() {
         let sub = MockSubstrate::new(8);
-        let ctx = ValuationContext::new(&sub, EstimatorMode::Surrogate { warmup: 5, refresh: 100 });
+        let ctx = ValuationContext::new(
+            &sub,
+            EstimatorMode::Surrogate {
+                warmup: 5,
+                refresh: 100,
+            },
+        );
         // Warm up with distinct states.
         for i in 0..5 {
             ctx.valuate(&StateBitmap::full(8).flipped(i));
@@ -284,7 +447,13 @@ mod tests {
     #[test]
     fn raw_for_upgrades_surrogate_records() {
         let sub = MockSubstrate::new(6);
-        let ctx = ValuationContext::new(&sub, EstimatorMode::Surrogate { warmup: 2, refresh: 100 });
+        let ctx = ValuationContext::new(
+            &sub,
+            EstimatorMode::Surrogate {
+                warmup: 2,
+                refresh: 100,
+            },
+        );
         for i in 0..3 {
             ctx.valuate(&StateBitmap::full(6).flipped(i));
         }
@@ -299,6 +468,45 @@ mod tests {
             .find(|r| r.bitmap == target)
             .unwrap();
         assert!(rec.oracle);
+    }
+
+    #[derive(Default)]
+    struct MapHook {
+        map: Mutex<HashMap<StateBitmap, SharedEvaluation>>,
+        lookups: Mutex<usize>,
+    }
+
+    impl EvaluationHook for MapHook {
+        fn lookup(&self, bitmap: &StateBitmap) -> Option<SharedEvaluation> {
+            *self.lookups.lock() += 1;
+            self.map.lock().get(bitmap).cloned()
+        }
+
+        fn record(&self, bitmap: &StateBitmap, evaluation: &SharedEvaluation) {
+            self.map.lock().insert(bitmap.clone(), evaluation.clone());
+        }
+    }
+
+    #[test]
+    fn hook_short_circuits_repeat_oracle_valuations() {
+        let sub = MockSubstrate::new(6);
+        let hook = Arc::new(MapHook::default());
+        let full = StateBitmap::full(6);
+
+        let first = ValuationContext::new(&sub, EstimatorMode::Oracle).with_hook(hook.clone());
+        let p1 = first.valuate(&full);
+        assert_eq!(first.stats().oracle_calls, 1);
+        assert_eq!(first.stats().shared_hits, 0);
+
+        // A second context over the same hook loads the recorded evaluation
+        // instead of re-training.
+        let second = ValuationContext::new(&sub, EstimatorMode::Oracle).with_hook(hook.clone());
+        let p2 = second.valuate(&full);
+        assert_eq!(p1, p2);
+        assert_eq!(second.stats().oracle_calls, 0);
+        assert_eq!(second.stats().shared_hits, 1);
+        assert_eq!(second.raw_for(&full).len(), 2);
+        assert!(*hook.lookups.lock() >= 2);
     }
 
     #[test]

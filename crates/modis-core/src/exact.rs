@@ -13,16 +13,27 @@ use modis_data::StateBitmap;
 use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
 use crate::dominance::skyline;
 use crate::estimator::{EstimatorMode, ValuationContext};
-use crate::search_common::{op_gen, Direction, VisitedSet};
+use crate::search_common::{op_gen, Direction, ProtectedSet, VisitedSet};
 use crate::substrate::Substrate;
 
 /// Runs the exact algorithm: every state reachable from `s_U` within
 /// `config.max_level` reductions is valuated with the oracle and the exact
 /// Pareto front is returned.
 pub fn exact_modis<S: Substrate + ?Sized>(substrate: &S, config: &ModisConfig) -> SkylineResult {
-    let start = Instant::now();
     let ctx = ValuationContext::new(substrate, EstimatorMode::Oracle);
-    let protected = substrate.protected_units();
+    exact_modis_with_context(&ctx, config)
+}
+
+/// Runs the exact algorithm with an externally managed valuation context
+/// (lets callers install an [`crate::estimator::EvaluationHook`] and share
+/// test records across runs).
+pub fn exact_modis_with_context<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+) -> SkylineResult {
+    let start = Instant::now();
+    let substrate = ctx.substrate();
+    let protected = ProtectedSet::of(substrate);
 
     let mut visited = VisitedSet::new();
     let mut states: Vec<(StateBitmap, usize)> = Vec::new();
@@ -96,7 +107,9 @@ mod tests {
     #[test]
     fn exact_front_is_mutually_nondominated() {
         let sub = MockSubstrate::new(6);
-        let cfg = ModisConfig::default().with_max_states(10_000).with_max_level(6);
+        let cfg = ModisConfig::default()
+            .with_max_states(10_000)
+            .with_max_level(6);
         let res = exact_modis(&sub, &cfg);
         assert!(!res.is_empty());
         for a in &res.entries {
@@ -133,7 +146,9 @@ mod tests {
     #[test]
     fn exact_respects_budget() {
         let sub = MockSubstrate::new(10);
-        let cfg = ModisConfig::default().with_max_states(30).with_max_level(10);
+        let cfg = ModisConfig::default()
+            .with_max_states(30)
+            .with_max_level(10);
         let res = exact_modis(&sub, &cfg);
         assert!(res.states_valuated <= 31);
     }

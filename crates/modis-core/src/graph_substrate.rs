@@ -38,7 +38,10 @@ impl Default for GraphSpaceConfig {
         GraphSpaceConfig {
             n_edge_clusters: 8,
             k_values: vec![5, 10],
-            model: LightGcnParams { epochs: 40, ..LightGcnParams::default() },
+            model: LightGcnParams {
+                epochs: 40,
+                ..LightGcnParams::default()
+            },
             train_ratio: 0.8,
             seed: 17,
         }
@@ -182,11 +185,7 @@ impl Substrate for GraphSubstrate {
     }
 
     fn state_features(&self, bitmap: &StateBitmap) -> Vec<f64> {
-        let kept: usize = self
-            .edge_cluster
-            .iter()
-            .filter(|&&c| bitmap.get(c))
-            .count();
+        let kept: usize = self.edge_cluster.iter().filter(|&&c| bitmap.get(c)).count();
         let mut feats = vec![bitmap.count_ones() as f64, kept as f64];
         feats.extend(bitmap.bits().iter().map(|&b| if b { 1.0 } else { 0.0 }));
         feats
@@ -227,10 +226,14 @@ mod tests {
 
     #[test]
     fn graph_space_clusters_edges() {
-        let sub = GraphSubstrate::new(block_graph(), t5_measures(), GraphSpaceConfig {
-            n_edge_clusters: 4,
-            ..Default::default()
-        });
+        let sub = GraphSubstrate::new(
+            block_graph(),
+            t5_measures(),
+            GraphSpaceConfig {
+                n_edge_clusters: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(sub.num_units(), 4);
         assert!(sub.unit_label(0).starts_with("edge-cluster"));
         let full = sub.materialize(&sub.forward_start());
@@ -239,20 +242,28 @@ mod tests {
 
     #[test]
     fn reducing_a_cluster_removes_edges() {
-        let sub = GraphSubstrate::new(block_graph(), t5_measures(), GraphSpaceConfig {
-            n_edge_clusters: 3,
-            ..Default::default()
-        });
+        let sub = GraphSubstrate::new(
+            block_graph(),
+            t5_measures(),
+            GraphSpaceConfig {
+                n_edge_clusters: 3,
+                ..Default::default()
+            },
+        );
         let reduced = sub.materialize(&sub.forward_start().flipped(0));
         assert!(reduced.num_edges() < sub.universal().num_edges());
     }
 
     #[test]
     fn backward_start_keeps_densest_cluster() {
-        let sub = GraphSubstrate::new(block_graph(), t5_measures(), GraphSpaceConfig {
-            n_edge_clusters: 3,
-            ..Default::default()
-        });
+        let sub = GraphSubstrate::new(
+            block_graph(),
+            t5_measures(),
+            GraphSpaceConfig {
+                n_edge_clusters: 3,
+                ..Default::default()
+            },
+        );
         let b = sub.backward_start();
         assert_eq!(b.count_ones(), 1);
         assert!(sub.materialize(&b).num_edges() > 0);
@@ -262,7 +273,10 @@ mod tests {
     fn evaluate_raw_returns_full_measure_vector() {
         let cfg = GraphSpaceConfig {
             n_edge_clusters: 3,
-            model: LightGcnParams { epochs: 15, ..Default::default() },
+            model: LightGcnParams {
+                epochs: 15,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let sub = GraphSubstrate::new(block_graph(), t5_measures(), cfg);
@@ -277,7 +291,10 @@ mod tests {
 
     #[test]
     fn degenerate_graph_gets_worst_case() {
-        let cfg = GraphSpaceConfig { n_edge_clusters: 3, ..Default::default() };
+        let cfg = GraphSpaceConfig {
+            n_edge_clusters: 3,
+            ..Default::default()
+        };
         let sub = GraphSubstrate::new(block_graph(), t5_measures(), cfg);
         let raw = sub.evaluate_raw(&StateBitmap::empty(3));
         assert!(raw[..6].iter().all(|&v| v == 0.0));

@@ -90,14 +90,17 @@ pub mod prelude {
     pub use crate::baselines::{
         h2o, hydragan_like, metam, metam_mo, original, sksfm, starmie, BaselineOutput,
     };
-    pub use crate::bimodis::{bi_modis, bi_modis_with_stats, nobi_modis};
+    pub use crate::bimodis::{bi_modis, bi_modis_with_context, bi_modis_with_stats, nobi_modis};
     pub use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
-    pub use crate::divmodis::{div_modis, diversification_score};
+    pub use crate::divmodis::{div_modis, div_modis_with_context, diversification_score};
     pub use crate::dominance::{dominates, epsilon_dominates, skyline};
-    pub use crate::estimator::{EstimatorMode, ValuationContext};
-    pub use crate::exact::exact_modis;
+    pub use crate::estimator::{
+        EstimatorMode, EvaluationHook, SharedEvaluation, ValuationContext, ValuationStats,
+    };
+    pub use crate::exact::{exact_modis, exact_modis_with_context};
     pub use crate::graph_substrate::{GraphSpaceConfig, GraphSubstrate};
     pub use crate::measure::{Direction as MeasureDirection, MeasureSet, MeasureSpec};
+    pub use crate::search_common::ProtectedSet;
     pub use crate::substrate::Substrate;
     pub use crate::table_substrate::{TableSpaceConfig, TableSubstrate};
     pub use crate::task::{evaluate_dataset, MetricKind, ModelKind, TaskEvaluation, TaskSpec};

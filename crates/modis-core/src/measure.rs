@@ -172,7 +172,10 @@ impl MeasureSet {
 
     /// Maximum bound ratio `p_m = max p_u / p_l` over all measures.
     pub fn max_bound_ratio(&self) -> f64 {
-        self.specs.iter().map(|s| s.bound_ratio()).fold(1.0, f64::max)
+        self.specs
+            .iter()
+            .map(|s| s.bound_ratio())
+            .fold(1.0, f64::max)
     }
 
     /// Measure names in order.

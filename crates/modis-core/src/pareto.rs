@@ -26,7 +26,12 @@ impl EpsilonSkyline {
     /// Creates an empty ε-skyline for the given measure set.
     pub fn new(measures: MeasureSet, epsilon: f64, decisive: Option<usize>) -> Self {
         let decisive = decisive.unwrap_or_else(|| measures.decisive_index());
-        EpsilonSkyline { measures, epsilon, decisive, cells: HashMap::new() }
+        EpsilonSkyline {
+            measures,
+            epsilon,
+            decisive,
+            cells: HashMap::new(),
+        }
     }
 
     /// ε used by the grid.

@@ -18,16 +18,74 @@ pub enum Direction {
     Backward,
 }
 
+/// O(1)-membership set of protected unit indices.
+///
+/// `OpGen` consults protection once per candidate flip per expansion; a
+/// linear scan over a `&[usize]` made that O(|protected|) in the innermost
+/// loop of every search. This packs the indices into a word-level bitset.
+#[derive(Debug, Clone, Default)]
+pub struct ProtectedSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ProtectedSet {
+    /// Builds the set from unit indices, sized for a `num_units` universe.
+    pub fn from_indices(indices: &[usize], num_units: usize) -> Self {
+        let mut words = vec![0u64; num_units.div_ceil(64)];
+        let mut len = 0;
+        for &i in indices {
+            debug_assert!(i < num_units, "protected unit {i} out of range");
+            let (w, b) = (i / 64, i % 64);
+            if w >= words.len() {
+                words.resize(w + 1, 0);
+            }
+            if words[w] & (1 << b) == 0 {
+                words[w] |= 1 << b;
+                len += 1;
+            }
+        }
+        ProtectedSet { words, len }
+    }
+
+    /// The protected set of a substrate.
+    pub fn of<S: Substrate + ?Sized>(substrate: &S) -> Self {
+        Self::from_indices(&substrate.protected_units(), substrate.num_units())
+    }
+
+    /// Whether unit `i` is protected (constant time).
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of protected units.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no unit is protected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Procedure `OpGen`: spawns every one-flip child of a state in the given
 /// direction, skipping protected units.
-pub fn op_gen(bitmap: &StateBitmap, direction: Direction, protected: &[usize]) -> Vec<StateBitmap> {
+pub fn op_gen(
+    bitmap: &StateBitmap,
+    direction: Direction,
+    protected: &ProtectedSet,
+) -> Vec<StateBitmap> {
     let candidates: Vec<usize> = match direction {
         Direction::Forward => bitmap.ones(),
         Direction::Backward => bitmap.zeros(),
     };
     candidates
         .into_iter()
-        .filter(|i| !protected.contains(i))
+        .filter(|&i| !protected.contains(i))
         .map(|i| bitmap.flipped(i))
         .collect()
 }
@@ -81,12 +139,22 @@ pub fn finalize_result<S: Substrate + ?Sized>(
             e
         })
         .collect();
+    // Total order (perf sum, then lexicographic perf, then bitmap): ties on
+    // the sum must not leave the output order at the mercy of HashMap
+    // iteration, or parallel and repeated runs could not be compared
+    // byte-for-byte.
     entries.sort_by(|a, b| {
-        a.perf
-            .iter()
-            .sum::<f64>()
-            .partial_cmp(&b.perf.iter().sum::<f64>())
+        let (sa, sb) = (a.perf.iter().sum::<f64>(), b.perf.iter().sum::<f64>());
+        sa.partial_cmp(&sb)
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                a.perf
+                    .iter()
+                    .zip(&b.perf)
+                    .find_map(|(x, y)| x.partial_cmp(y).filter(|o| o.is_ne()))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.bitmap.cmp(&b.bitmap))
     });
     SkylineResult {
         entries,
@@ -105,7 +173,7 @@ mod tests {
     #[test]
     fn op_gen_forward_flips_ones() {
         let b = StateBitmap::from_bits(vec![true, false, true]);
-        let children = op_gen(&b, Direction::Forward, &[]);
+        let children = op_gen(&b, Direction::Forward, &ProtectedSet::default());
         assert_eq!(children.len(), 2);
         assert!(children.iter().all(|c| c.count_ones() == 1));
     }
@@ -113,9 +181,23 @@ mod tests {
     #[test]
     fn op_gen_backward_flips_zeros_and_respects_protection() {
         let b = StateBitmap::from_bits(vec![true, false, false]);
-        let children = op_gen(&b, Direction::Backward, &[2]);
+        let children = op_gen(
+            &b,
+            Direction::Backward,
+            &ProtectedSet::from_indices(&[2], 3),
+        );
         assert_eq!(children.len(), 1);
         assert!(children[0].get(1));
+    }
+
+    #[test]
+    fn protected_set_membership_and_dedup() {
+        let p = ProtectedSet::from_indices(&[0, 65, 65, 127], 128);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(p.contains(0) && p.contains(65) && p.contains(127));
+        assert!(!p.contains(1) && !p.contains(64) && !p.contains(500));
+        assert!(!ProtectedSet::default().contains(0));
     }
 
     #[test]

@@ -20,7 +20,13 @@ use modis_data::StateBitmap;
 use crate::measure::MeasureSet;
 
 /// A search space over artefacts encoded by state bitmaps.
-pub trait Substrate {
+///
+/// Substrates are required to be `Send + Sync`: the execution engine
+/// (`modis-engine`) evaluates `op_gen` children and whole scenarios across
+/// threads, sharing one substrate reference. Implementations that memoise
+/// internally must use thread-safe interior mutability (both bundled
+/// substrates guard their caches with a `Mutex`).
+pub trait Substrate: Send + Sync {
     /// Number of reducible units (bitmap length).
     fn num_units(&self) -> usize;
 
@@ -59,12 +65,12 @@ pub trait Substrate {
     }
 }
 
-#[cfg(test)]
-pub(crate) mod mock {
-    //! A tiny synthetic substrate used by algorithm unit tests: the "model
-    //! quality" improves when specific bits are cleared and the "cost"
-    //! decreases with the number of set bits, so the Pareto front is known in
-    //! closed form.
+pub mod mock {
+    //! A tiny synthetic substrate used by algorithm tests (here and in
+    //! `modis-engine`): the "model quality" improves when specific bits are
+    //! cleared and the "cost" decreases with the number of set bits, so the
+    //! Pareto front is known in closed form. Evaluation is pure and
+    //! instantaneous — ideal for equivalence and determinism tests.
 
     use super::*;
     use crate::measure::MeasureSpec;

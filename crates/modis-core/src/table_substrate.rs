@@ -60,7 +60,10 @@ impl Default for TableSpaceConfig {
     fn default() -> Self {
         TableSpaceConfig {
             join_key: "id".into(),
-            cluster: ClusterConfig { max_k: 4, iterations: 20 },
+            cluster: ClusterConfig {
+                max_k: 4,
+                iterations: 20,
+            },
             max_clusters_per_attr: 3,
             attribute_units: true,
         }
@@ -80,7 +83,9 @@ impl TableSubstrate {
     pub fn from_pool(pool: &[Dataset], task: TaskSpec, config: &TableSpaceConfig) -> Self {
         let universal = universal_table(pool, &config.join_key).unwrap_or_else(|_| {
             // Fall back to the first table when no join key is shared.
-            pool.first().cloned().unwrap_or_else(|| Dataset::new("D_U", Default::default()))
+            pool.first()
+                .cloned()
+                .unwrap_or_else(|| Dataset::new("D_U", Default::default()))
         });
         Self::from_universal(universal, task, config)
     }
@@ -91,7 +96,10 @@ impl TableSubstrate {
         let mut units = Vec::new();
         for attr in universal.schema().attributes() {
             let name = &attr.name;
-            if name == &task.target || Some(name.as_str()) == task.key.as_deref() || name == &config.join_key {
+            if name == &task.target
+                || Some(name.as_str()) == task.key.as_deref()
+                || name == &config.join_key
+            {
                 continue;
             }
             if config.attribute_units {
@@ -99,10 +107,18 @@ impl TableSubstrate {
             }
             let clusters = derive_attribute_literals(&universal, name, &config.cluster);
             for c in clusters.into_iter().take(config.max_clusters_per_attr) {
-                units.push(TableUnit::Cluster { attribute: name.clone(), literal: c.literal });
+                units.push(TableUnit::Cluster {
+                    attribute: name.clone(),
+                    literal: c.literal,
+                });
             }
         }
-        TableSubstrate { universal, units, task, cache: Mutex::new(HashMap::new()) }
+        TableSubstrate {
+            universal,
+            units,
+            task,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The universal table `D_U`.
@@ -241,7 +257,9 @@ mod tests {
         let extra = Dataset::from_rows(
             "extra",
             Schema::from_attributes(vec![Attribute::key("id"), Attribute::feature("noise")]),
-            (0..60).map(|i| vec![Value::Int(i), Value::Float(((i * 7) % 5) as f64)]).collect(),
+            (0..60)
+                .map(|i| vec![Value::Int(i), Value::Float(((i * 7) % 5) as f64)])
+                .collect(),
         )
         .unwrap();
         vec![base, extra]
@@ -321,7 +339,11 @@ mod tests {
         let raw1 = sub.evaluate_raw(&sub.forward_start());
         let raw2 = sub.evaluate_raw(&sub.forward_start());
         assert_eq!(raw1, raw2);
-        assert!(raw1[0] > 0.9, "full data should give near-perfect R², got {}", raw1[0]);
+        assert!(
+            raw1[0] > 0.9,
+            "full data should give near-perfect R², got {}",
+            raw1[0]
+        );
     }
 
     #[test]

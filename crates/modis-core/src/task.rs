@@ -191,19 +191,28 @@ fn fit_model(kind: ModelKind, train: &Encoded, seed: u64) -> FittedModel {
         ModelKind::GradientBoostingRegressor => FittedModel::GbReg(GradientBoostingRegressor::fit(
             &train.features,
             &train.targets,
-            GbmParams { n_estimators: 40, ..GbmParams::default() },
+            GbmParams {
+                n_estimators: 40,
+                ..GbmParams::default()
+            },
         )),
         ModelKind::RandomForestClassifier => FittedModel::RfCls(RandomForest::fit(
             &train.features,
             &train.targets,
             n_classes,
-            ForestParams { seed, ..ForestParams::classification(20) },
+            ForestParams {
+                seed,
+                ..ForestParams::classification(20)
+            },
         )),
         ModelKind::RandomForestRegressor => FittedModel::RfReg(RandomForest::fit(
             &train.features,
             &train.targets,
             0,
-            ForestParams { seed, ..ForestParams::regression(20) },
+            ForestParams {
+                seed,
+                ..ForestParams::regression(20)
+            },
         )),
         ModelKind::LinearRegressor => {
             FittedModel::Ridge(RidgeRegression::fit(&train.features, &train.targets, 1.0))
@@ -215,12 +224,17 @@ fn fit_model(kind: ModelKind, train: &Encoded, seed: u64) -> FittedModel {
             0.3,
             150,
         )),
-        ModelKind::GradientBoostingClassifier => FittedModel::GbCls(GradientBoostingClassifier::fit(
-            &train.features,
-            &train.targets,
-            n_classes,
-            GbmParams { n_estimators: 30, ..GbmParams::default() },
-        )),
+        ModelKind::GradientBoostingClassifier => {
+            FittedModel::GbCls(GradientBoostingClassifier::fit(
+                &train.features,
+                &train.targets,
+                n_classes,
+                GbmParams {
+                    n_estimators: 30,
+                    ..GbmParams::default()
+                },
+            ))
+        }
     }
 }
 
@@ -235,10 +249,19 @@ pub fn evaluate_dataset(task: &TaskSpec, data: &Dataset) -> TaskEvaluation {
     if encoded.len() < 8 || encoded.num_features() == 0 {
         let raw = worst_case_raw(task);
         let normalised = task.measures.normalise(&raw);
-        return TaskEvaluation { raw, normalised, train_seconds: 0.0, size };
+        return TaskEvaluation {
+            raw,
+            normalised,
+            train_seconds: 0.0,
+            size,
+        };
     }
     let (train, test) = encoded.split(task.train_ratio, task.seed);
-    let (train, test) = if test.is_empty() { (encoded.clone(), encoded.clone()) } else { (train, test) };
+    let (train, test) = if test.is_empty() {
+        (encoded.clone(), encoded.clone())
+    } else {
+        (train, test)
+    };
 
     let start = Instant::now();
     let model = fit_model(task.model, &train, task.seed);
@@ -274,7 +297,12 @@ pub fn evaluate_dataset(task: &TaskSpec, data: &Dataset) -> TaskEvaluation {
         })
         .collect();
     let normalised = task.measures.normalise(&raw);
-    TaskEvaluation { raw, normalised, train_seconds, size }
+    TaskEvaluation {
+        raw,
+        normalised,
+        train_seconds,
+        size,
+    }
 }
 
 /// Normalised (squashed to `[0,1)`) mean Fisher score of the training data.
@@ -370,10 +398,8 @@ mod tests {
 
     #[test]
     fn classification_task_metrics() {
-        let schema = Schema::from_attributes(vec![
-            Attribute::feature("x"),
-            Attribute::target("label"),
-        ]);
+        let schema =
+            Schema::from_attributes(vec![Attribute::feature("x"), Attribute::target("label")]);
         let rows = (0..100)
             .map(|i| {
                 let x = (i % 20) as f64;

@@ -18,12 +18,16 @@ pub struct StateBitmap {
 impl StateBitmap {
     /// All-ones bitmap of length `n` (the universal state `s_U`).
     pub fn full(n: usize) -> Self {
-        StateBitmap { bits: vec![true; n] }
+        StateBitmap {
+            bits: vec![true; n],
+        }
     }
 
     /// All-zeros bitmap of length `n` (the minimal backward state `s_b`).
     pub fn empty(n: usize) -> Self {
-        StateBitmap { bits: vec![false; n] }
+        StateBitmap {
+            bits: vec![false; n],
+        }
     }
 
     /// Builds a bitmap from explicit bits.
@@ -138,7 +142,11 @@ impl StateBitmap {
 
 impl fmt::Display for StateBitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s: String = self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let s: String = self
+            .bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
         write!(f, "({s})")
     }
 }

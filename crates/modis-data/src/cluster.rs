@@ -37,7 +37,10 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { max_k: 30, iterations: 25 }
+        ClusterConfig {
+            max_k: 30,
+            iterations: 25,
+        }
     }
 }
 
@@ -137,7 +140,9 @@ pub fn derive_attribute_literals(
         let mut clusters: BTreeMap<usize, (f64, f64, usize)> = BTreeMap::new();
         for (i, &c) in assignment.iter().enumerate() {
             let v = numeric[i];
-            let e = clusters.entry(c).or_insert((f64::INFINITY, f64::NEG_INFINITY, 0));
+            let e = clusters
+                .entry(c)
+                .or_insert((f64::INFINITY, f64::NEG_INFINITY, 0));
             e.0 = e.0.min(v);
             e.1 = e.1.max(v);
             e.2 += 1;
@@ -237,13 +242,21 @@ mod tests {
     #[test]
     fn large_numeric_domains_get_range_literals() {
         let data = numeric_data(100);
-        let cfg = ClusterConfig { max_k: 5, iterations: 20 };
+        let cfg = ClusterConfig {
+            max_k: 5,
+            iterations: 20,
+        };
         let clusters = derive_attribute_literals(&data, "x", &cfg);
         assert_eq!(clusters.len(), 5);
-        assert!(clusters.iter().all(|c| matches!(c.literal.condition, crate::literal::Condition::Range { .. })));
+        assert!(clusters
+            .iter()
+            .all(|c| matches!(c.literal.condition, crate::literal::Condition::Range { .. })));
         // Every row is covered by exactly one cluster literal.
         for row in data.rows() {
-            let hits = clusters.iter().filter(|c| c.literal.matches_row(&data, row)).count();
+            let hits = clusters
+                .iter()
+                .filter(|c| c.literal.matches_row(&data, row))
+                .count();
             assert_eq!(hits, 1);
         }
     }
@@ -262,7 +275,10 @@ mod tests {
     #[test]
     fn derive_all_literals_respects_exclusions() {
         let data = numeric_data(30);
-        let cfg = ClusterConfig { max_k: 4, iterations: 10 };
+        let cfg = ClusterConfig {
+            max_k: 4,
+            iterations: 10,
+        };
         let all = derive_all_literals(&data, &["label"], &cfg);
         assert!(all.iter().all(|c| c.attribute == "x"));
     }

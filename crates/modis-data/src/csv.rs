@@ -49,7 +49,9 @@ fn escape(field: &str) -> String {
 /// Parses CSV text (first line = header) into a dataset.
 pub fn from_csv_str(name: &str, text: &str) -> Result<Dataset, DataError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| DataError::Csv("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Csv("empty input".into()))?;
     let names = parse_line(header);
     let schema = Schema::from_names(names.iter().map(|s| s.trim().to_string()));
     let mut rows = Vec::new();
@@ -82,7 +84,11 @@ pub fn to_csv_str(data: &Dataset) -> String {
     );
     out.push('\n');
     for row in data.rows() {
-        let line = row.iter().map(|v| escape(&v.to_string())).collect::<Vec<_>>().join(",");
+        let line = row
+            .iter()
+            .map(|v| escape(&v.to_string()))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&line);
         out.push('\n');
     }
@@ -93,7 +99,10 @@ pub fn to_csv_str(data: &Dataset) -> String {
 pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
     let path = path.as_ref();
     let text = fs::read_to_string(path).map_err(|e| DataError::Csv(e.to_string()))?;
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("dataset");
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
     from_csv_str(name, &text)
 }
 

@@ -23,7 +23,11 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset with the given schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Dataset { name: name.into(), schema, rows: Vec::new() }
+        Dataset {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a dataset from a schema and row data.
@@ -39,12 +43,20 @@ impl Dataset {
         let mut fixed = Vec::with_capacity(rows.len());
         for (i, mut r) in rows.into_iter().enumerate() {
             if r.len() > width {
-                return Err(DataError::RowArity { row: i, expected: width, found: r.len() });
+                return Err(DataError::RowArity {
+                    row: i,
+                    expected: width,
+                    found: r.len(),
+                });
             }
             r.resize(width, Value::Null);
             fixed.push(r);
         }
-        Ok(Dataset { name: name.into(), schema, rows: fixed })
+        Ok(Dataset {
+            name: name.into(),
+            schema,
+            rows: fixed,
+        })
     }
 
     /// Schema of the dataset.
@@ -127,7 +139,10 @@ impl Dataset {
 
     /// The column as a vector of values.
     pub fn column(&self, col: usize) -> Vec<Value> {
-        self.rows.iter().map(|r| r.get(col).cloned().unwrap_or(Value::Null)).collect()
+        self.rows
+            .iter()
+            .map(|r| r.get(col).cloned().unwrap_or(Value::Null))
+            .collect()
     }
 
     /// The column by attribute name.
@@ -137,7 +152,10 @@ impl Dataset {
 
     /// Numeric view of a column; non-numeric / missing cells become `None`.
     pub fn numeric_column(&self, col: usize) -> Vec<Option<f64>> {
-        self.rows.iter().map(|r| r.get(col).and_then(|v| v.as_f64())).collect()
+        self.rows
+            .iter()
+            .map(|r| r.get(col).and_then(|v| v.as_f64()))
+            .collect()
     }
 
     /// Active domain `adom(A)` of a column: the set of distinct non-null
@@ -189,22 +207,38 @@ impl Dataset {
         let rows = self
             .rows
             .iter()
-            .map(|r| indices.iter().map(|&i| r.get(i).cloned().unwrap_or(Value::Null)).collect())
+            .map(|r| {
+                indices
+                    .iter()
+                    .map(|&i| r.get(i).cloned().unwrap_or(Value::Null))
+                    .collect()
+            })
             .collect();
-        Dataset { name: format!("{}#proj", self.name), schema, rows }
+        Dataset {
+            name: format!("{}#proj", self.name),
+            schema,
+            rows,
+        }
     }
 
     /// Projection onto a subset of columns (by name); unknown names are
     /// silently skipped.
     pub fn project_by_names(&self, names: &[&str]) -> Dataset {
-        let idx: Vec<usize> = names.iter().filter_map(|n| self.schema.position(n)).collect();
+        let idx: Vec<usize> = names
+            .iter()
+            .filter_map(|n| self.schema.position(n))
+            .collect();
         self.project(&idx)
     }
 
     /// Selects rows matching a predicate into a new dataset.
     pub fn filter<F: Fn(&[Value]) -> bool>(&self, pred: F) -> Dataset {
         let rows = self.rows.iter().filter(|r| pred(r)).cloned().collect();
-        Dataset { name: format!("{}#sel", self.name), schema: self.schema.clone(), rows }
+        Dataset {
+            name: format!("{}#sel", self.name),
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Removes rows matching a predicate in place; returns removed count.
@@ -241,16 +275,24 @@ impl Dataset {
             return self.clone();
         }
         // A simple LCG keeps this dependency free and deterministic.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut indices: Vec<usize> = (0..self.num_rows()).collect();
         for i in (1..indices.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             indices.swap(i, j);
         }
         indices.truncate(n);
         let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
-        Dataset { name: format!("{}#sample", self.name), schema: self.schema.clone(), rows }
+        Dataset {
+            name: format!("{}#sample", self.name),
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Vertically concatenates another dataset with an identical schema.
@@ -273,8 +315,16 @@ impl Dataset {
         let train_rows = shuffled.rows[..cut].to_vec();
         let test_rows = shuffled.rows[cut..].to_vec();
         (
-            Dataset { name: format!("{}#train", self.name), schema: self.schema.clone(), rows: train_rows },
-            Dataset { name: format!("{}#test", self.name), schema: self.schema.clone(), rows: test_rows },
+            Dataset {
+                name: format!("{}#train", self.name),
+                schema: self.schema.clone(),
+                rows: train_rows,
+            },
+            Dataset {
+                name: format!("{}#test", self.name),
+                schema: self.schema.clone(),
+                rows: test_rows,
+            },
         )
     }
 
@@ -287,7 +337,13 @@ impl Dataset {
 
 impl fmt::Display for Dataset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.num_rows())?;
+        writeln!(
+            f,
+            "{} {} [{} rows]",
+            self.name,
+            self.schema,
+            self.num_rows()
+        )?;
         for r in self.rows.iter().take(5) {
             let cells: Vec<String> = r.iter().map(|v| v.to_string()).collect();
             writeln!(f, "  {}", cells.join(" | "))?;

@@ -7,7 +7,11 @@ use std::fmt;
 #[allow(missing_docs)] // variant fields are self-describing
 pub enum DataError {
     /// A row had more cells than the schema allows.
-    RowArity { row: usize, expected: usize, found: usize },
+    RowArity {
+        row: usize,
+        expected: usize,
+        found: usize,
+    },
     /// A row index was out of bounds.
     RowOutOfBounds { row: usize, len: usize },
     /// Column index outside of the schema.
@@ -27,8 +31,15 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::RowArity { row, expected, found } => {
-                write!(f, "row {row} has {found} cells, schema expects at most {expected}")
+            DataError::RowArity {
+                row,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "row {row} has {found} cells, schema expects at most {expected}"
+                )
             }
             DataError::RowOutOfBounds { row, len } => {
                 write!(f, "row index {row} out of bounds (len {len})")
@@ -55,7 +66,11 @@ mod tests {
     fn display_messages_are_informative() {
         let e = DataError::UnknownColumn("abc".into());
         assert!(e.to_string().contains("abc"));
-        let e = DataError::RowArity { row: 3, expected: 2, found: 5 };
+        let e = DataError::RowArity {
+            row: 3,
+            expected: 2,
+            found: 5,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

@@ -41,23 +41,35 @@ pub struct Literal {
 impl Literal {
     /// Builds an equality literal `attribute = value`.
     pub fn equals(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        Literal { attribute: attribute.into(), condition: Condition::Equals(value.into()) }
+        Literal {
+            attribute: attribute.into(),
+            condition: Condition::Equals(value.into()),
+        }
     }
 
     /// Builds a closed range literal `lo <= attribute <= hi`.
     pub fn range(attribute: impl Into<String>, lo: f64, hi: f64) -> Self {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-        Literal { attribute: attribute.into(), condition: Condition::Range { lo, hi } }
+        Literal {
+            attribute: attribute.into(),
+            condition: Condition::Range { lo, hi },
+        }
     }
 
     /// Builds an `IS NULL` literal.
     pub fn is_null(attribute: impl Into<String>) -> Self {
-        Literal { attribute: attribute.into(), condition: Condition::IsNull }
+        Literal {
+            attribute: attribute.into(),
+            condition: Condition::IsNull,
+        }
     }
 
     /// Builds a `NOT NULL` literal.
     pub fn not_null(attribute: impl Into<String>) -> Self {
-        Literal { attribute: attribute.into(), condition: Condition::NotNull }
+        Literal {
+            attribute: attribute.into(),
+            condition: Condition::NotNull,
+        }
     }
 
     /// Evaluates the literal on a single value.
@@ -85,7 +97,10 @@ impl Literal {
 
     /// Number of rows of `data` satisfying the literal.
     pub fn selectivity_count(&self, data: &Dataset) -> usize {
-        data.rows().iter().filter(|r| self.matches_row(data, r)).count()
+        data.rows()
+            .iter()
+            .filter(|r| self.matches_row(data, r))
+            .count()
     }
 
     /// Fraction of rows of `data` satisfying the literal (0 for empty data).

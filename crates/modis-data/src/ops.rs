@@ -57,7 +57,11 @@ impl Operator {
 impl fmt::Display for Operator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Operator::Augment { source, attribute, literal } => {
+            Operator::Augment {
+                source,
+                attribute,
+                literal,
+            } => {
                 write!(f, "⊕[{source}.{attribute} | {literal}]")
             }
             Operator::Reduct { literal } => write!(f, "⊖[{literal}]"),
@@ -85,7 +89,11 @@ pub fn augment(
 
     let mut out = base.clone();
     out.name = format!("{}+{}", base.name, attribute);
-    let attr = source.schema().attribute(src_col).cloned().unwrap_or_else(|| Attribute::feature(attribute));
+    let attr = source
+        .schema()
+        .attribute(src_col)
+        .cloned()
+        .unwrap_or_else(|| Attribute::feature(attribute));
     out.add_column(attr);
 
     // Map shared attributes: source column index -> output column index.
@@ -205,7 +213,11 @@ pub fn apply_operator(
     op: &Operator,
 ) -> Result<Dataset, DataError> {
     match op {
-        Operator::Augment { source, attribute, literal } => {
+        Operator::Augment {
+            source,
+            attribute,
+            literal,
+        } => {
             let src = pool
                 .iter()
                 .find(|d| d.name == *source)
@@ -256,7 +268,9 @@ mod tests {
         // two source rows satisfy year=2013 and are appended
         assert_eq!(out.num_rows(), 4);
         // original rows have null phosphorus
-        assert!(out.value(0, out.schema().position("phosphorus").unwrap()).is_null());
+        assert!(out
+            .value(0, out.schema().position("phosphorus").unwrap())
+            .is_null());
     }
 
     #[test]
@@ -317,14 +331,18 @@ mod tests {
         };
         let out = apply_operator(&base, &pool, &op).unwrap();
         assert!(out.schema().contains("phosphorus"));
-        let op2 = Operator::Reduct { literal: Literal::equals("site", 1) };
+        let op2 = Operator::Reduct {
+            literal: Literal::equals("site", 1),
+        };
         let out2 = apply_operator(&out, &pool, &op2).unwrap();
         assert!(out2.num_rows() < out.num_rows());
     }
 
     #[test]
     fn operator_display() {
-        let op = Operator::Reduct { literal: Literal::equals("a", 1) };
+        let op = Operator::Reduct {
+            literal: Literal::equals("a", 1),
+        };
         assert!(op.to_string().contains('⊖'));
         assert!(!op.is_augment());
     }

@@ -30,17 +30,26 @@ pub struct Attribute {
 impl Attribute {
     /// Creates a feature attribute.
     pub fn feature(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), role: AttributeRole::Feature }
+        Attribute {
+            name: name.into(),
+            role: AttributeRole::Feature,
+        }
     }
 
     /// Creates the target attribute.
     pub fn target(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), role: AttributeRole::Target }
+        Attribute {
+            name: name.into(),
+            role: AttributeRole::Target,
+        }
     }
 
     /// Creates a join-key attribute.
     pub fn key(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), role: AttributeRole::Key }
+        Attribute {
+            name: name.into(),
+            role: AttributeRole::Key,
+        }
     }
 }
 
@@ -132,12 +141,16 @@ impl Schema {
 
     /// Index of the target attribute, if declared.
     pub fn target_index(&self) -> Option<usize> {
-        self.attributes.iter().position(|a| a.role == AttributeRole::Target)
+        self.attributes
+            .iter()
+            .position(|a| a.role == AttributeRole::Target)
     }
 
     /// Index of the join-key attribute, if declared.
     pub fn key_index(&self) -> Option<usize> {
-        self.attributes.iter().position(|a| a.role == AttributeRole::Key)
+        self.attributes
+            .iter()
+            .position(|a| a.role == AttributeRole::Key)
     }
 
     /// Indices of feature attributes (excludes key and target).
@@ -173,7 +186,11 @@ impl fmt::Display for Schema {
         write!(
             f,
             "({})",
-            self.attributes.iter().map(|a| a.name.clone()).collect::<Vec<_>>().join(", ")
+            self.attributes
+                .iter()
+                .map(|a| a.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     }
 }

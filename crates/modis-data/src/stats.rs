@@ -27,17 +27,35 @@ pub struct ColumnStats {
 impl ColumnStats {
     /// Computes summary statistics from an optional-valued column.
     pub fn from_values(values: &[Option<f64>]) -> ColumnStats {
-        let present: Vec<f64> = values.iter().filter_map(|v| *v).filter(|v| v.is_finite()).collect();
+        let present: Vec<f64> = values
+            .iter()
+            .filter_map(|v| *v)
+            .filter(|v| v.is_finite())
+            .collect();
         let nulls = values.len() - present.len();
         if present.is_empty() {
-            return ColumnStats { count: 0, nulls, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return ColumnStats {
+                count: 0,
+                nulls,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let count = present.len();
         let mean = present.iter().sum::<f64>() / count as f64;
         let var = present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
         let min = present.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        ColumnStats { count, nulls, mean, std_dev: var.sqrt(), min, max }
+        ColumnStats {
+            count,
+            nulls,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Statistics for a dataset column.
@@ -91,7 +109,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -14,9 +14,10 @@ use std::hash::{Hash, Hasher};
 /// `Null` represents a missing value (`t.A = ∅` in the paper). `Float` values
 /// are compared with a total order (NaN sorts last) so `Value` can be used as
 /// a key in ordered collections.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// Missing value.
+    #[default]
     Null,
     /// 64-bit signed integer.
     Int(i64),
@@ -109,12 +110,6 @@ impl Value {
             Value::Float(_) => 2,
             Value::Str(_) => 3,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -278,7 +273,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_null_first() {
-        let mut vs = vec![
+        let mut vs = [
             Value::Str("b".into()),
             Value::Int(10),
             Value::Null,

@@ -96,8 +96,9 @@ pub fn image_feature_pool(seed: u64, n_tables: usize, dims_per_table: usize) -> 
     for t in 0..n_tables.max(1) {
         let mut attrs = vec![Attribute::key("image_id")];
         let signal_table = t % 3 == 0; // every third table carries signal
-        let names: Vec<String> =
-            (0..dims_per_table).map(|d| format!("feat_{t}_{d}")).collect();
+        let names: Vec<String> = (0..dims_per_table)
+            .map(|d| format!("feat_{t}_{d}"))
+            .collect();
         for n in &names {
             attrs.push(Attribute::feature(n.clone()));
             if signal_table {
@@ -121,8 +122,12 @@ pub fn image_feature_pool(seed: u64, n_tables: usize, dims_per_table: usize) -> 
             })
             .collect();
         tables.push(
-            Dataset::from_rows(format!("feat_table_{t}"), Schema::from_attributes(attrs), rows)
-                .expect("feature table"),
+            Dataset::from_rows(
+                format!("feat_table_{t}"),
+                Schema::from_attributes(attrs),
+                rows,
+            )
+            .expect("feature table"),
         );
     }
 
@@ -148,10 +153,17 @@ fn rename_columns(data: &Dataset, renames: &[(&str, &str)]) -> Dataset {
         .schema()
         .attributes()
         .iter()
-        .map(|a| Attribute { name: rename_of(&a.name, renames), role: a.role })
+        .map(|a| Attribute {
+            name: rename_of(&a.name, renames),
+            role: a.role,
+        })
         .collect();
-    Dataset::from_rows(data.name.clone(), Schema::from_attributes(attrs), data.rows().to_vec())
-        .expect("renamed dataset")
+    Dataset::from_rows(
+        data.name.clone(),
+        Schema::from_attributes(attrs),
+        data.rows().to_vec(),
+    )
+    .expect("renamed dataset")
 }
 
 #[cfg(test)]

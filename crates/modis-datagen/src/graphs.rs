@@ -56,7 +56,11 @@ pub fn generate_bipartite_graph(config: &GraphConfig) -> BipartiteGraph {
     let features = |rng: &mut StdRng, group: usize, noisy: bool, dim: usize| -> Vec<f64> {
         (0..dim)
             .map(|d| {
-                let base = if noisy { 50.0 } else { group as f64 * 10.0 + d as f64 };
+                let base = if noisy {
+                    50.0
+                } else {
+                    group as f64 * 10.0 + d as f64
+                };
                 base + rng.gen_range(-1.0..1.0)
             })
             .collect()
@@ -93,7 +97,10 @@ pub fn generate_bipartite_graph(config: &GraphConfig) -> BipartiteGraph {
 
 /// The T5 graph used in the effectiveness experiments (Table 5).
 pub fn t5_recommendation(seed: u64) -> BipartiteGraph {
-    generate_bipartite_graph(&GraphConfig { seed, ..Default::default() })
+    generate_bipartite_graph(&GraphConfig {
+        seed,
+        ..Default::default()
+    })
 }
 
 #[cfg(test)]
@@ -112,7 +119,10 @@ mod tests {
 
     #[test]
     fn block_structure_dominates() {
-        let cfg = GraphConfig { noise_fraction: 0.2, ..Default::default() };
+        let cfg = GraphConfig {
+            noise_fraction: 0.2,
+            ..Default::default()
+        };
         let g = generate_bipartite_graph(&cfg);
         let users_per_group = cfg.n_users / cfg.n_groups;
         let items_per_group = cfg.n_items / cfg.n_groups;

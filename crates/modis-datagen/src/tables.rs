@@ -84,13 +84,19 @@ pub fn generate_table_pool(config: &TablePoolConfig) -> TablePool {
     let informative: Vec<Vec<f64>> = (0..config.n_informative)
         .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
         .collect();
-    let weights: Vec<f64> = (0..config.n_informative).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let weights: Vec<f64> = (0..config.n_informative)
+        .map(|_| rng.gen_range(0.5..2.0))
+        .collect();
 
     // Target = weighted sum of informative signals (+ noise), optionally
     // bucketed into classes.
     let raw_target: Vec<f64> = (0..n)
         .map(|i| {
-            let s: f64 = informative.iter().zip(weights.iter()).map(|(col, w)| w * col[i]).sum();
+            let s: f64 = informative
+                .iter()
+                .zip(weights.iter())
+                .map(|(col, w)| w * col[i])
+                .sum();
             s + rng.gen_range(-config.target_noise..config.target_noise)
         })
         .collect();
@@ -148,7 +154,13 @@ pub fn generate_table_pool(config: &TablePoolConfig) -> TablePool {
         Attribute::target("target"),
     ]);
     let base_rows: Vec<Vec<Value>> = (0..n)
-        .map(|i| vec![Value::Int(i as i64), Value::Float(weak[i]), target_values[i].clone()])
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Float(weak[i]),
+                target_values[i].clone(),
+            ]
+        })
         .collect();
     let base = Dataset::from_rows("base", base_schema, base_rows).expect("base rows");
 
@@ -162,7 +174,10 @@ pub fn generate_table_pool(config: &TablePoolConfig) -> TablePool {
             continue;
         }
         let mut schema_attrs = vec![Attribute::key("id")];
-        schema_attrs.extend(cols.iter().map(|(name, _, _)| Attribute::feature(name.clone())));
+        schema_attrs.extend(
+            cols.iter()
+                .map(|(name, _, _)| Attribute::feature(name.clone())),
+        );
         let schema = Schema::from_attributes(schema_attrs);
         let rows: Vec<Vec<Value>> = (0..n)
             .map(|i| {
@@ -261,7 +276,10 @@ mod tests {
 
     #[test]
     fn pool_structure_matches_config() {
-        let cfg = TablePoolConfig { n_tables: 4, ..Default::default() };
+        let cfg = TablePoolConfig {
+            n_tables: 4,
+            ..Default::default()
+        };
         let pool = generate_table_pool(&cfg);
         assert_eq!(pool.tables.len(), 4);
         assert_eq!(pool.base().num_rows(), cfg.n_rows);
@@ -295,7 +313,9 @@ mod tests {
         let adom = pool.base().active_domain(target_col);
         assert_eq!(adom.len(), 3);
         let t4 = t4_mental(5);
-        let adom4 = t4.base().active_domain(t4.base().schema().position("target").unwrap());
+        let adom4 = t4
+            .base()
+            .active_domain(t4.base().schema().position("target").unwrap());
         assert_eq!(adom4.len(), 2);
     }
 
@@ -310,7 +330,10 @@ mod tests {
 
     #[test]
     fn missing_rate_produces_nulls() {
-        let cfg = TablePoolConfig { missing_rate: 0.3, ..Default::default() };
+        let cfg = TablePoolConfig {
+            missing_rate: 0.3,
+            ..Default::default()
+        };
         let pool = generate_table_pool(&cfg);
         let with_nulls = pool.tables[1].missing_ratio();
         assert!(with_nulls > 0.1, "missing ratio {with_nulls}");

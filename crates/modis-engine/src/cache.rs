@@ -1,0 +1,215 @@
+//! The engine's shared, sharded evaluation cache.
+//!
+//! Oracle valuations dominate MODis wall-clock time: every state valuation
+//! materialises an artefact and trains a model. Bi-directional passes and
+//! scenarios that search the same pool under different configurations
+//! revisit many states, so the engine keeps one process-wide store of
+//! `(namespace, state) → evaluation` behind an [`EvaluationHook`] and hands
+//! each scenario a namespaced handle. Sharding keeps lock contention low
+//! when many worker threads probe the cache concurrently.
+//!
+//! Namespaces isolate substrates from one another: a `StateBitmap` only
+//! identifies a dataset *relative to* the substrate that produced it, so two
+//! scenarios may share a namespace only when they search the same substrate
+//! with the same task (measures included). Scenarios that must not share
+//! simply use distinct namespace strings.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use modis_core::estimator::{EvaluationHook, SharedEvaluation};
+use modis_data::StateBitmap;
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Evaluations currently stored.
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<(u64, StateBitmap), SharedEvaluation>>,
+}
+
+/// A process-wide evaluation cache, sharded by key hash.
+///
+/// Create once per [`crate::Engine`] (or share one across engines), then
+/// obtain per-scenario [`CacheHandle`]s via [`SharedEvalCache::handle`].
+pub struct SharedEvalCache {
+    shards: Vec<Shard>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    entries: AtomicUsize,
+}
+
+impl SharedEvalCache {
+    /// Creates a cache with `shards` independent lock domains (clamped to a
+    /// power of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        SharedEvalCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+        }
+    }
+
+    /// A handle scoped to `namespace`, usable as an
+    /// [`EvaluationHook`] on a `ValuationContext`.
+    pub fn handle(self: &Arc<Self>, namespace: &str) -> Arc<CacheHandle> {
+        let mut hasher = DefaultHasher::new();
+        namespace.hash(&mut hasher);
+        Arc::new(CacheHandle {
+            cache: Arc::clone(self),
+            namespace: hasher.finish(),
+        })
+    }
+
+    /// Snapshot of the hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_for(&self, key: &(u64, StateBitmap)) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        // Length is a power of two, so the mask picks a uniform shard.
+        &self.shards[(hasher.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    fn lookup(&self, namespace: u64, bitmap: &StateBitmap) -> Option<SharedEvaluation> {
+        let key = (namespace, bitmap.clone());
+        let shard = self.shard_for(&key);
+        let found = shard
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn record(&self, namespace: u64, bitmap: &StateBitmap, evaluation: &SharedEvaluation) {
+        let key = (namespace, bitmap.clone());
+        let shard = self.shard_for(&key);
+        let previous = shard
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, evaluation.clone());
+        if previous.is_none() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A namespaced view of a [`SharedEvalCache`]; implements
+/// [`EvaluationHook`] so it can be installed on a `ValuationContext`.
+pub struct CacheHandle {
+    cache: Arc<SharedEvalCache>,
+    namespace: u64,
+}
+
+impl EvaluationHook for CacheHandle {
+    fn lookup(&self, bitmap: &StateBitmap) -> Option<SharedEvaluation> {
+        self.cache.lookup(self.namespace, bitmap)
+    }
+
+    fn record(&self, bitmap: &StateBitmap, evaluation: &SharedEvaluation) {
+        self.cache.record(self.namespace, bitmap, evaluation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(v: f64) -> SharedEvaluation {
+        SharedEvaluation {
+            raw: vec![v],
+            perf: vec![v],
+        }
+    }
+
+    #[test]
+    fn records_and_hits_within_a_namespace() {
+        let cache = Arc::new(SharedEvalCache::new(8));
+        let handle = cache.handle("t1");
+        let b = StateBitmap::full(5);
+        assert!(handle.lookup(&b).is_none());
+        handle.record(&b, &eval(0.25));
+        assert_eq!(handle.lookup(&b), Some(eval(0.25)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let cache = Arc::new(SharedEvalCache::new(4));
+        let a = cache.handle("task-a");
+        let b = cache.handle("task-b");
+        let bitmap = StateBitmap::full(3);
+        a.record(&bitmap, &eval(1.0));
+        assert!(b.lookup(&bitmap).is_none());
+        assert_eq!(a.lookup(&bitmap), Some(eval(1.0)));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn handles_share_one_store() {
+        let cache = Arc::new(SharedEvalCache::new(2));
+        let h1 = cache.handle("shared");
+        let h2 = cache.handle("shared");
+        let bitmap = StateBitmap::empty(4);
+        h1.record(&bitmap, &eval(0.5));
+        assert_eq!(h2.lookup(&bitmap), Some(eval(0.5)));
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count_entries() {
+        let cache = Arc::new(SharedEvalCache::new(1));
+        let h = cache.handle("n");
+        let bitmap = StateBitmap::full(2);
+        h.record(&bitmap, &eval(0.1));
+        h.record(&bitmap, &eval(0.2));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(h.lookup(&bitmap), Some(eval(0.2)));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(SharedEvalCache::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let handle = cache.handle("stress");
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let mut bitmap = StateBitmap::empty(16);
+                        bitmap.set(i % 16, true);
+                        handle.record(&bitmap, &eval((t * 50 + i) as f64));
+                        assert!(handle.lookup(&bitmap).is_some());
+                    }
+                });
+            }
+        });
+        // 16 distinct states across all threads.
+        assert_eq!(cache.stats().entries, 16);
+    }
+}

@@ -1,0 +1,316 @@
+//! The execution engine: runs suites of scenarios concurrently over one
+//! shared evaluation cache.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use modis_core::bimodis::bi_modis_with_context;
+use modis_core::divmodis::div_modis_with_context;
+use modis_core::estimator::{EstimatorMode, ValuationContext};
+use modis_core::substrate::Substrate;
+
+use crate::cache::{CacheStats, SharedEvalCache};
+use crate::expand::{parallel_apx_modis_with_context, parallel_exact_modis_with_context};
+use crate::pool::parallel_map;
+use crate::scenario::{Algorithm, Scenario, ScenarioOutcome};
+
+/// Engine parallelism and cache configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Threads used by the wave-parallel frontier expander *within* one
+    /// scenario (Apx / Exact). 1 disables intra-scenario parallelism.
+    pub worker_threads: usize,
+    /// How many scenarios of a suite run concurrently.
+    pub scenario_parallelism: usize,
+    /// Shard count of the shared evaluation cache.
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        EngineConfig {
+            worker_threads: cpus,
+            scenario_parallelism: cpus.clamp(1, 4),
+            cache_shards: 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style worker-thread setter.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style scenario-parallelism setter.
+    pub fn with_scenario_parallelism(mut self, budget: usize) -> Self {
+        self.scenario_parallelism = budget.max(1);
+        self
+    }
+
+    /// Builder-style cache-shard setter.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+}
+
+/// Result of [`Engine::run_suite`]: per-scenario outcomes (input order) plus
+/// engine-level statistics.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// One outcome per scenario, in registration order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Shared evaluation-cache counters after the suite.
+    pub cache: CacheStats,
+    /// Wall-clock seconds for the whole suite.
+    pub wall_seconds: f64,
+}
+
+impl SuiteResult {
+    /// The outcome registered under `name`, if any.
+    pub fn outcome(&self, name: &str) -> Option<&ScenarioOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// Total oracle valuations answered by the shared cache across the
+    /// suite's scenarios.
+    pub fn total_shared_hits(&self) -> usize {
+        self.outcomes.iter().map(|o| o.shared_hits()).sum()
+    }
+
+    /// Total states valuated across the suite's scenarios.
+    pub fn total_states_valuated(&self) -> usize {
+        self.outcomes.iter().map(|o| o.result.states_valuated).sum()
+    }
+}
+
+/// A reusable execution engine: one shared evaluation cache plus a
+/// parallelism budget for running scenario suites.
+///
+/// ```
+/// use std::sync::Arc;
+/// use modis_core::prelude::*;
+/// use modis_engine::{Algorithm, Engine, EngineConfig, Scenario};
+///
+/// // Tiny demo substrate (the engine works with any `Substrate`).
+/// use modis_data::{Attribute, Dataset, Schema, Value};
+/// let base = Dataset::from_rows(
+///     "base",
+///     Schema::from_attributes(vec![
+///         Attribute::key("id"),
+///         Attribute::feature("x"),
+///         Attribute::target("y"),
+///     ]),
+///     (0..30)
+///         .map(|i| vec![Value::Int(i), Value::Float((i % 5) as f64), Value::Float((2 * (i % 5)) as f64)])
+///         .collect(),
+/// )
+/// .unwrap();
+/// let task = TaskSpec {
+///     name: "demo".into(),
+///     model: ModelKind::LinearRegressor,
+///     target: "y".into(),
+///     key: Some("id".into()),
+///     measures: MeasureSet::new(vec![
+///         MeasureSpec::maximise("p_R2"),
+///         MeasureSpec::minimise("p_Train", 2.0),
+///     ]),
+///     metric_kinds: vec![MetricKind::R2, MetricKind::TrainTime],
+///     train_ratio: 0.7,
+///     seed: 7,
+/// };
+/// let substrate: Arc<dyn Substrate> =
+///     Arc::new(TableSubstrate::from_pool(&[base], task, &TableSpaceConfig::default()));
+///
+/// let config = ModisConfig::default().with_max_states(20).with_estimator(EstimatorMode::Oracle);
+/// let engine = Engine::new(EngineConfig::default());
+/// let suite = engine.run_suite(&[
+///     Scenario::new("apx", substrate.clone(), Algorithm::Apx, config.clone())
+///         .with_cache_namespace("demo-pool"),
+///     Scenario::new("bi", substrate, Algorithm::Bi, config)
+///         .with_cache_namespace("demo-pool"),
+/// ]);
+/// assert_eq!(suite.outcomes.len(), 2);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    cache: Arc<SharedEvalCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with its own shared evaluation cache.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = Arc::new(SharedEvalCache::new(config.cache_shards));
+        Engine { config, cache }
+    }
+
+    /// Creates an engine over an existing cache (lets several engines — or
+    /// several suites over time — share evaluations).
+    pub fn with_cache(config: EngineConfig, cache: Arc<SharedEvalCache>) -> Self {
+        Engine { config, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared evaluation cache.
+    pub fn cache(&self) -> &Arc<SharedEvalCache> {
+        &self.cache
+    }
+
+    /// Snapshot of the shared cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs one scenario on the calling thread (the wave expander may still
+    /// fan out to [`EngineConfig::worker_threads`]).
+    pub fn run_scenario(&self, scenario: &Scenario) -> ScenarioOutcome {
+        let start = Instant::now();
+        let hook = self.cache.handle(scenario.namespace());
+        let substrate: &dyn Substrate = scenario.substrate.as_ref();
+        // The exact algorithm is oracle-valuated by definition; every other
+        // algorithm honours the scenario's estimator mode.
+        let mode = match scenario.algorithm {
+            Algorithm::Exact => EstimatorMode::Oracle,
+            _ => scenario.config.estimator,
+        };
+        let ctx = ValuationContext::new(substrate, mode).with_hook(hook);
+        let threads = self.config.worker_threads;
+        let result = match scenario.algorithm {
+            Algorithm::Apx => parallel_apx_modis_with_context(&ctx, &scenario.config, threads),
+            Algorithm::Exact => parallel_exact_modis_with_context(&ctx, &scenario.config, threads),
+            Algorithm::Bi => bi_modis_with_context(&ctx, &scenario.config, true).0,
+            Algorithm::NoBi => bi_modis_with_context(&ctx, &scenario.config, false).0,
+            Algorithm::Div => div_modis_with_context(&ctx, &scenario.config),
+        };
+        ScenarioOutcome {
+            name: scenario.name.clone(),
+            algorithm: scenario.algorithm,
+            result,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Executes a suite of scenarios, at most
+    /// [`EngineConfig::scenario_parallelism`] concurrently, and returns the
+    /// outcomes in registration order.
+    ///
+    /// Each scenario's own result is independent of scheduling, but when
+    /// scenarios *share a cache namespace* the hit/miss split between them
+    /// depends on completion order; totals (states valuated per scenario,
+    /// skyline contents) do not.
+    pub fn run_suite(&self, scenarios: &[Scenario]) -> SuiteResult {
+        let start = Instant::now();
+        let outcomes = parallel_map(scenarios.len(), self.config.scenario_parallelism, |i| {
+            self.run_scenario(&scenarios[i])
+        });
+        SuiteResult {
+            outcomes,
+            cache: self.cache.stats(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_core::config::ModisConfig;
+    use modis_core::substrate::mock::MockSubstrate;
+
+    fn oracle_config() -> ModisConfig {
+        ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(120)
+            .with_max_level(5)
+    }
+
+    fn mock_suite(shared_namespace: bool) -> Vec<Scenario> {
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+        [
+            Algorithm::Apx,
+            Algorithm::NoBi,
+            Algorithm::Bi,
+            Algorithm::Div,
+        ]
+        .into_iter()
+        .map(|alg| {
+            let s = Scenario::new(
+                format!("mock-{}", alg.name()),
+                substrate.clone(),
+                alg,
+                oracle_config(),
+            );
+            if shared_namespace {
+                s.with_cache_namespace("mock-pool")
+            } else {
+                s
+            }
+        })
+        .collect()
+    }
+
+    #[test]
+    fn suite_returns_outcomes_in_registration_order() {
+        let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(4));
+        let suite = engine.run_suite(&mock_suite(false));
+        assert_eq!(suite.outcomes.len(), 4);
+        assert_eq!(suite.outcomes[0].algorithm, Algorithm::Apx);
+        assert_eq!(suite.outcomes[3].algorithm, Algorithm::Div);
+        assert!(suite.outcomes.iter().all(|o| !o.result.is_empty()));
+        assert!(suite.outcome("mock-BiMODis").is_some());
+        assert!(suite.outcome("absent").is_none());
+    }
+
+    #[test]
+    fn shared_namespace_produces_cache_hits() {
+        let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(1));
+        let suite = engine.run_suite(&mock_suite(true));
+        // All four scenarios search the same space from the same start state;
+        // everything after the first scenario's valuations should hit.
+        assert!(suite.total_shared_hits() > 0, "expected shared-cache hits");
+        assert!(suite.cache.hits >= suite.total_shared_hits());
+        assert!(suite.cache.entries > 0);
+    }
+
+    #[test]
+    fn isolated_namespaces_do_not_share() {
+        let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(2));
+        let suite = engine.run_suite(&mock_suite(false));
+        assert_eq!(suite.total_shared_hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_and_serial_suites_agree_on_skylines() {
+        let scenarios = mock_suite(true);
+        let serial =
+            Engine::new(EngineConfig::default().with_scenario_parallelism(1)).run_suite(&scenarios);
+        let concurrent = Engine::new(
+            EngineConfig::default()
+                .with_scenario_parallelism(4)
+                .with_worker_threads(4),
+        )
+        .run_suite(&scenarios);
+        for (a, b) in serial.outcomes.iter().zip(&concurrent.outcomes) {
+            assert_eq!(a.result.entries.len(), b.result.entries.len(), "{}", a.name);
+            for (x, y) in a.result.entries.iter().zip(&b.result.entries) {
+                assert_eq!(x.bitmap, y.bitmap);
+                assert_eq!(x.perf, y.perf);
+            }
+        }
+    }
+}

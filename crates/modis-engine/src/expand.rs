@@ -1,0 +1,411 @@
+//! Work-pool frontier expansion.
+//!
+//! ApxMODis (and the exact enumerator) share a property the engine
+//! exploits: their traversal order is a pure function of the search-space
+//! structure — `op_gen` children are spawned, deduplicated and queued
+//! regardless of how the spawned states *score*. The engine therefore
+//! splits each search into
+//!
+//! 1. a cheap sequential **schedule enumeration** that replays the exact
+//!    BFS traversal (visited-set, level cap, valuation budget) without
+//!    valuating anything, and
+//! 2. a **wave-parallel evaluation** of the schedule: worker threads score
+//!    `op_gen` children concurrently (probing the shared cache first),
+//!    while results are *committed* — recorded in the valuation context and
+//!    offered to the [`EpsilonSkyline`] — strictly in schedule order.
+//!
+//! Because commits happen in the sequential algorithm's order, a parallel
+//! run produces byte-identical skylines to the sequential one, for any
+//! thread count. Under [`EstimatorMode::Surrogate`], waves are additionally
+//! capped so they never straddle the oracle→surrogate switch-over, and the
+//! cheap surrogate phase runs sequentially; determinism is preserved there
+//! too. BiMODis is *not* wave-parallelisable: its correlation pruning makes
+//! the traversal depend on every earlier valuation, so the engine runs it
+//! sequentially (still benefiting from the shared cache).
+
+use std::time::Instant;
+
+use modis_core::config::{ModisConfig, SkylineEntry, SkylineResult};
+use modis_core::dominance::skyline;
+use modis_core::estimator::{EstimatorMode, ValuationContext};
+use modis_core::pareto::EpsilonSkyline;
+use modis_core::search_common::{finalize_result, op_gen, Direction, ProtectedSet, VisitedSet};
+use modis_core::substrate::Substrate;
+use modis_data::StateBitmap;
+
+use crate::pool::parallel_map;
+
+/// How many schedule entries each worker thread gets per wave, on average.
+const WAVE_FACTOR: usize = 4;
+
+/// A worker's evaluation of one state: the raw metrics plus a flag marking
+/// results loaded from the shared cache rather than trained.
+type WaveResult = (Vec<f64>, bool);
+
+/// Replays the ApxMODis BFS traversal without valuating: returns the ordered
+/// list of `(child, level)` the sequential search would visit after the
+/// start state, honouring the visited-set, `max_level` and the `max_states`
+/// budget. Budget accounting mirrors `ctx.num_valuated()` exactly — states
+/// already recorded in the (possibly pre-warmed) context are scheduled but
+/// consume none, just as a sequential `valuate` memo hit would not. Call
+/// *after* the start state has been valuated.
+fn enumerate_forward_schedule<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+) -> Vec<(StateBitmap, usize)> {
+    let substrate = ctx.substrate();
+    let protected = ProtectedSet::of(substrate);
+    let mut visited = VisitedSet::new();
+    let mut schedule: Vec<(StateBitmap, usize)> = Vec::new();
+    let mut queue: std::collections::VecDeque<(StateBitmap, usize)> = Default::default();
+    let mut budget_used = ctx.num_valuated();
+
+    let s_u = substrate.forward_start();
+    visited.insert(&s_u);
+    queue.push_back((s_u, 0));
+
+    while let Some((state, level)) = queue.pop_front() {
+        if budget_used >= config.max_states {
+            break;
+        }
+        if level >= config.max_level {
+            continue;
+        }
+        for child in op_gen(&state, Direction::Forward, &protected) {
+            if budget_used >= config.max_states {
+                break;
+            }
+            if !visited.insert(&child) {
+                continue;
+            }
+            if !ctx.contains(&child) {
+                budget_used += 1;
+            }
+            schedule.push((child.clone(), level + 1));
+            queue.push_back((child, level + 1));
+        }
+    }
+    schedule
+}
+
+/// Evaluates one wave of states in parallel. Each worker probes the shared
+/// cache (when installed) and falls back to the substrate's oracle; results
+/// come back in wave order as `(raw, from_shared)`.
+fn evaluate_wave<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    wave: &[(StateBitmap, usize)],
+    threads: usize,
+) -> Vec<WaveResult> {
+    let substrate = ctx.substrate();
+    let hook = ctx.hook();
+    let evaluate_one = |bitmap: &StateBitmap| -> WaveResult {
+        if let Some(hit) = hook.and_then(|h| h.lookup(bitmap)) {
+            (hit.raw, true)
+        } else {
+            (substrate.evaluate_raw(bitmap), false)
+        }
+    };
+
+    parallel_map(wave.len(), threads, |i| evaluate_one(&wave[i].0))
+}
+
+/// Runs a valuation schedule: oracle phases are evaluated wave-parallel and
+/// committed in order; once the surrogate takes over, the (cheap) remainder
+/// is valuated sequentially. `commit` sees every state in schedule order
+/// with its normalised performance vector.
+fn process_schedule<S, F>(
+    ctx: &ValuationContext<'_, S>,
+    schedule: &[(StateBitmap, usize)],
+    threads: usize,
+    mut commit: F,
+) where
+    S: Substrate + ?Sized,
+    F: FnMut(&StateBitmap, usize, Vec<f64>),
+{
+    let mut i = 0;
+    while i < schedule.len() {
+        if ctx.surrogate_active() {
+            for (state, level) in &schedule[i..] {
+                let perf = ctx.valuate(state);
+                commit(state, *level, perf);
+            }
+            return;
+        }
+        // States already recorded in a (pre-warmed) context are memo hits in
+        // the sequential run — replay them through `valuate` so counters and
+        // budget behave identically, and never hand them to a wave.
+        let (state, level) = &schedule[i];
+        if ctx.contains(state) {
+            let perf = ctx.valuate(state);
+            commit(state, *level, perf);
+            i += 1;
+            continue;
+        }
+        let mut take = (threads.max(1) * WAVE_FACTOR).min(schedule.len() - i);
+        if let EstimatorMode::Surrogate { warmup, .. } = ctx.mode() {
+            // Never straddle the oracle→surrogate switch-over: the states a
+            // sequential run would score with the surrogate must not be
+            // trained by an over-eager wave.
+            let remaining_warmup = warmup.saturating_sub(ctx.oracle_record_count());
+            take = take.min(remaining_warmup.max(1));
+        }
+        // A wave holds only fresh states; it ends at the next memoised one.
+        let mut end = i + 1;
+        while end < i + take && !ctx.contains(&schedule[end].0) {
+            end += 1;
+        }
+        let wave = &schedule[i..end];
+        let results = evaluate_wave(ctx, wave, threads);
+        for ((state, level), (raw, from_shared)) in wave.iter().zip(results) {
+            let perf = ctx.record_oracle(state, raw, from_shared);
+            commit(state, *level, perf);
+        }
+        i = end;
+    }
+}
+
+/// Wave-parallel ApxMODis over an externally managed valuation context.
+///
+/// Produces byte-identical results to
+/// [`modis_core::apx::apx_modis_with_context`] for every `threads` value
+/// (including 1) — also on re-used, pre-warmed contexts, whose memoised
+/// states are replayed as budget-free memo hits exactly like the sequential
+/// search; wall-clock scales with the oracle phase's parallelism.
+pub fn parallel_apx_modis_with_context<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+    threads: usize,
+) -> SkylineResult {
+    let start = Instant::now();
+    let substrate = ctx.substrate();
+    let mut sky = EpsilonSkyline::new(
+        substrate.measures().clone(),
+        config.epsilon,
+        config.decisive,
+    );
+
+    let s_u = substrate.forward_start();
+    let perf_u = ctx.valuate(&s_u);
+    sky.offer(&s_u, &perf_u, 0);
+
+    let schedule = enumerate_forward_schedule(ctx, config);
+    process_schedule(ctx, &schedule, threads, |state, level, perf| {
+        sky.offer(state, &perf, level);
+    });
+
+    finalize_result(&sky, ctx, config, start.elapsed().as_secs_f64())
+}
+
+/// Wave-parallel ApxMODis with a fresh oracle/surrogate context per
+/// [`ModisConfig`] (the parallel counterpart of `modis_core::apx::apx_modis`).
+pub fn parallel_apx_modis<S: Substrate + ?Sized>(
+    substrate: &S,
+    config: &ModisConfig,
+    threads: usize,
+) -> SkylineResult {
+    let ctx = ValuationContext::new(substrate, config.estimator);
+    parallel_apx_modis_with_context(&ctx, config, threads)
+}
+
+/// Wave-parallel exact algorithm: enumerates every state reachable within
+/// `max_level` reductions (up to `max_states`), valuates them across the
+/// worker pool and returns the exact Pareto front. Byte-identical to
+/// [`modis_core::exact::exact_modis_with_context`] on the same context.
+pub fn parallel_exact_modis_with_context<S: Substrate + ?Sized>(
+    ctx: &ValuationContext<'_, S>,
+    config: &ModisConfig,
+    threads: usize,
+) -> SkylineResult {
+    let start = Instant::now();
+    let substrate = ctx.substrate();
+    let protected = ProtectedSet::of(substrate);
+
+    // Enumeration identical to `exact_modis`: `states` holds the start state
+    // plus every reachable child, in BFS order, capped at `max_states`.
+    let mut visited = VisitedSet::new();
+    let mut states: Vec<(StateBitmap, usize)> = Vec::new();
+    let mut queue: std::collections::VecDeque<(StateBitmap, usize)> = Default::default();
+    let s_u = substrate.forward_start();
+    visited.insert(&s_u);
+    queue.push_back((s_u.clone(), 0));
+    states.push((s_u, 0));
+    while let Some((state, level)) = queue.pop_front() {
+        if states.len() >= config.max_states {
+            break;
+        }
+        if level >= config.max_level {
+            continue;
+        }
+        for child in op_gen(&state, Direction::Forward, &protected) {
+            if states.len() >= config.max_states {
+                break;
+            }
+            if visited.insert(&child) {
+                states.push((child.clone(), level + 1));
+                queue.push_back((child, level + 1));
+            }
+        }
+    }
+
+    let mut perfs: Vec<Vec<f64>> = Vec::with_capacity(states.len());
+    process_schedule(ctx, &states, threads, |_, _, perf| perfs.push(perf));
+
+    let measures = substrate.measures().clone();
+    let candidate_idx: Vec<usize> = (0..states.len())
+        .filter(|&i| !measures.violates_upper(&perfs[i]))
+        .collect();
+    let candidate_perfs: Vec<Vec<f64>> = candidate_idx.iter().map(|&i| perfs[i].clone()).collect();
+    let front_local = skyline(&candidate_perfs);
+
+    let entries: Vec<SkylineEntry> = front_local
+        .into_iter()
+        .map(|li| {
+            let i = candidate_idx[li];
+            let (bitmap, level) = &states[i];
+            SkylineEntry {
+                bitmap: bitmap.clone(),
+                perf: perfs[i].clone(),
+                raw: ctx.raw_for(bitmap),
+                size: substrate.artifact_size(bitmap),
+                level: *level,
+            }
+        })
+        .collect();
+
+    SkylineResult {
+        entries,
+        states_valuated: ctx.num_valuated(),
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+        stats: ctx.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_core::apx::apx_modis_with_context;
+    use modis_core::exact::exact_modis_with_context;
+    use modis_core::substrate::mock::MockSubstrate;
+
+    fn oracle_config() -> ModisConfig {
+        ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_epsilon(0.1)
+            .with_max_states(200)
+            .with_max_level(6)
+    }
+
+    fn assert_same_result(a: &SkylineResult, b: &SkylineResult) {
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.bitmap, y.bitmap);
+            assert_eq!(x.perf, y.perf);
+            assert_eq!(x.raw, y.raw);
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.level, y.level);
+        }
+        assert_eq!(a.states_valuated, b.states_valuated);
+    }
+
+    #[test]
+    fn schedule_matches_sequential_valuation_count() {
+        let sub = MockSubstrate::new(6);
+        let cfg = oracle_config();
+        let schedule_ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        schedule_ctx.valuate(&sub.forward_start());
+        let schedule = enumerate_forward_schedule(&schedule_ctx, &cfg);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let seq = apx_modis_with_context(&ctx, &cfg);
+        assert_eq!(1 + schedule.len(), seq.states_valuated);
+    }
+
+    #[test]
+    fn parallel_apx_matches_sequential_across_thread_counts() {
+        let sub = MockSubstrate::new(8);
+        let cfg = oracle_config();
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let seq = apx_modis_with_context(&ctx, &cfg);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_apx_modis(&sub, &cfg, threads);
+            assert_same_result(&par, &seq);
+        }
+    }
+
+    #[test]
+    fn parallel_apx_matches_sequential_under_tight_budget() {
+        let sub = MockSubstrate::new(10);
+        let cfg = oracle_config().with_max_states(17);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let seq = apx_modis_with_context(&ctx, &cfg);
+        let par = parallel_apx_modis(&sub, &cfg, 4);
+        assert_same_result(&par, &seq);
+    }
+
+    #[test]
+    fn parallel_apx_is_deterministic_in_surrogate_mode() {
+        let sub = MockSubstrate::new(8);
+        let cfg = ModisConfig::default()
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 7,
+                refresh: 5,
+            })
+            .with_max_states(80);
+        let a = parallel_apx_modis(&sub, &cfg, 4);
+        let b = parallel_apx_modis(&sub, &cfg, 2);
+        let c = parallel_apx_modis(&sub, &cfg, 1);
+        assert_same_result(&a, &b);
+        assert_same_result(&a, &c);
+        assert!(a.stats.surrogate_calls > 0, "surrogate should have engaged");
+    }
+
+    #[test]
+    fn surrogate_waves_match_fully_sequential_run() {
+        let sub = MockSubstrate::new(8);
+        let cfg = ModisConfig::default()
+            .with_estimator(EstimatorMode::Surrogate {
+                warmup: 9,
+                refresh: 6,
+            })
+            .with_max_states(60);
+        let ctx = ValuationContext::new(&sub, cfg.estimator);
+        let seq = apx_modis_with_context(&ctx, &cfg);
+        let par = parallel_apx_modis(&sub, &cfg, 4);
+        assert_same_result(&par, &seq);
+        assert_eq!(par.stats.oracle_calls, seq.stats.oracle_calls);
+    }
+
+    #[test]
+    fn parallel_apx_matches_sequential_on_prewarmed_context() {
+        // The `_with_context` APIs exist to share test records across runs;
+        // a re-used context's memoised states must replay as budget-free
+        // memo hits, exactly like the sequential search.
+        let sub = MockSubstrate::new(8);
+        let warm_cfg = oracle_config().with_max_states(15);
+        let cfg = oracle_config().with_max_states(40);
+
+        let seq_ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let _ = apx_modis_with_context(&seq_ctx, &warm_cfg);
+        let seq = apx_modis_with_context(&seq_ctx, &cfg);
+
+        let par_ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let _ = apx_modis_with_context(&par_ctx, &warm_cfg);
+        let par = parallel_apx_modis_with_context(&par_ctx, &cfg, 4);
+
+        assert_same_result(&par, &seq);
+        assert_eq!(par.stats.oracle_calls, seq.stats.oracle_calls);
+        assert_eq!(par.stats.cache_hits, seq.stats.cache_hits);
+    }
+
+    #[test]
+    fn parallel_exact_matches_sequential() {
+        let sub = MockSubstrate::new(6);
+        let cfg = ModisConfig::default()
+            .with_max_states(10_000)
+            .with_max_level(6);
+        let ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let seq = exact_modis_with_context(&ctx, &cfg);
+        let par_ctx = ValuationContext::new(&sub, EstimatorMode::Oracle);
+        let par = parallel_exact_modis_with_context(&par_ctx, &cfg, 4);
+        assert_same_result(&par, &seq);
+    }
+}

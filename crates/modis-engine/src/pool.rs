@@ -1,0 +1,71 @@
+//! A minimal work pool shared by the wave expander and the suite runner.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index in `0..n` across up to `workers` scoped
+/// threads and returns the results in index order. Serial when `workers`
+/// or `n` is 1. A panicking worker propagates its panic to the caller.
+pub(crate) fn parallel_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = parallel_map(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panic_propagates() {
+        parallel_map(8, 4, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

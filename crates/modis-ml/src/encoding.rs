@@ -61,7 +61,9 @@ impl Encoded {
         let mut idx: Vec<usize> = (0..n).collect();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             idx.swap(i, j);
         }
@@ -86,7 +88,10 @@ impl Encoded {
                 .map(|r| cols.iter().map(|&c| r[c]).collect())
                 .collect(),
             targets: self.targets.clone(),
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
             n_classes: self.n_classes,
             class_values: self.class_values.clone(),
         }
@@ -108,12 +113,20 @@ pub struct EncodeOptions {
 impl EncodeOptions {
     /// Regression options with the schema-declared target.
     pub fn regression() -> Self {
-        EncodeOptions { target: None, task: TaskKind::Regression, exclude: Vec::new() }
+        EncodeOptions {
+            target: None,
+            task: TaskKind::Regression,
+            exclude: Vec::new(),
+        }
     }
 
     /// Classification options with the schema-declared target.
     pub fn classification() -> Self {
-        EncodeOptions { target: None, task: TaskKind::Classification, exclude: Vec::new() }
+        EncodeOptions {
+            target: None,
+            task: TaskKind::Classification,
+            exclude: Vec::new(),
+        }
     }
 
     /// Sets an explicit target attribute.
@@ -230,7 +243,9 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
         for (k, &c) in feature_cols.iter().enumerate() {
             let v = &row[c];
             let x = match &encoders[k] {
-                ColEncoder::Numeric { mean } => v.as_f64().filter(|x| x.is_finite()).unwrap_or(*mean),
+                ColEncoder::Numeric { mean } => {
+                    v.as_f64().filter(|x| x.is_finite()).unwrap_or(*mean)
+                }
                 ColEncoder::Categorical { map } => {
                     if v.is_null() {
                         -1.0
@@ -250,9 +265,18 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
         targets,
         feature_names: feature_cols
             .iter()
-            .map(|&c| schema.attribute(c).map(|a| a.name.clone()).unwrap_or_default())
+            .map(|&c| {
+                schema
+                    .attribute(c)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_default()
+            })
             .collect(),
-        n_classes: if opts.task == TaskKind::Classification { class_values.len() } else { 0 },
+        n_classes: if opts.task == TaskKind::Classification {
+            class_values.len()
+        } else {
+            0
+        },
         class_values,
     }
 }
@@ -272,10 +296,30 @@ mod tests {
                 Attribute::target("y"),
             ]),
             vec![
-                vec![Value::Int(1), Value::Float(1.0), Value::Str("red".into()), Value::Float(10.0)],
-                vec![Value::Int(2), Value::Null, Value::Str("blue".into()), Value::Float(20.0)],
-                vec![Value::Int(3), Value::Float(3.0), Value::Str("red".into()), Value::Null],
-                vec![Value::Int(4), Value::Float(5.0), Value::Null, Value::Float(30.0)],
+                vec![
+                    Value::Int(1),
+                    Value::Float(1.0),
+                    Value::Str("red".into()),
+                    Value::Float(10.0),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Null,
+                    Value::Str("blue".into()),
+                    Value::Float(20.0),
+                ],
+                vec![
+                    Value::Int(3),
+                    Value::Float(3.0),
+                    Value::Str("red".into()),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Int(4),
+                    Value::Float(5.0),
+                    Value::Null,
+                    Value::Float(30.0),
+                ],
             ],
         )
         .unwrap()

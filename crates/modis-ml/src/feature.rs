@@ -109,7 +109,10 @@ pub fn mutual_information_discrete(xs: &[usize], ys: &[usize]) -> f64 {
 /// equal-width binning of the feature.
 pub fn mutual_information_feature(values: &[f64], labels: &[f64], bins: usize) -> f64 {
     let xs = discretise(values, bins);
-    let ys: Vec<usize> = labels.iter().map(|&l| l.round().max(0.0) as usize).collect();
+    let ys: Vec<usize> = labels
+        .iter()
+        .map(|&l| l.round().max(0.0) as usize)
+        .collect();
     mutual_information_discrete(&xs, &ys)
 }
 

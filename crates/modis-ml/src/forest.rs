@@ -42,14 +42,20 @@ impl ForestParams {
     pub fn classification(n_trees: usize) -> Self {
         ForestParams {
             n_trees,
-            tree: TreeParams { criterion: Criterion::Gini, ..TreeParams::default() },
+            tree: TreeParams {
+                criterion: Criterion::Gini,
+                ..TreeParams::default()
+            },
             ..Default::default()
         }
     }
 
     /// Regression preset (MSE splits).
     pub fn regression(n_trees: usize) -> Self {
-        ForestParams { n_trees, ..Default::default() }
+        ForestParams {
+            n_trees,
+            ..Default::default()
+        }
     }
 }
 
@@ -93,7 +99,11 @@ impl RandomForest {
             );
             trees.push(tree);
         }
-        RandomForest { trees, params, n_classes }
+        RandomForest {
+            trees,
+            params,
+            n_classes,
+        }
     }
 
     /// Raw per-tree mean prediction (regression) for one sample.
@@ -185,7 +195,9 @@ mod tests {
     use crate::metrics::{accuracy, r2};
 
     fn make_regression(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64, ((i * 7) % 13) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, ((i * 7) % 13) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 0.1 * r[1]).collect();
         (x, y)
     }
@@ -194,7 +206,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i % 10) as f64, ((i * 3) % 7) as f64])
             .collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] >= 5.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] >= 5.0 { 1.0 } else { 0.0 })
+            .collect();
         (x, y)
     }
 

@@ -25,7 +25,11 @@ impl Default for GbmParams {
         GbmParams {
             n_estimators: 50,
             learning_rate: 0.1,
-            tree: TreeParams { max_depth: 3, criterion: Criterion::Mse, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 3,
+                criterion: Criterion::Mse,
+                ..TreeParams::default()
+            },
         }
     }
 }
@@ -41,7 +45,11 @@ pub struct GradientBoostingRegressor {
 impl GradientBoostingRegressor {
     /// Fits the regressor.
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: GbmParams) -> Self {
-        let base = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+        let base = if y.is_empty() {
+            0.0
+        } else {
+            y.iter().sum::<f64>() / y.len() as f64
+        };
         let mut preds = vec![base; y.len()];
         let mut trees = Vec::with_capacity(params.n_estimators);
         if !x.is_empty() {
@@ -54,7 +62,11 @@ impl GradientBoostingRegressor {
                 trees.push(tree);
             }
         }
-        GradientBoostingRegressor { base, trees, params }
+        GradientBoostingRegressor {
+            base,
+            trees,
+            params,
+        }
     }
 
     /// Predicts one sample.
@@ -124,7 +136,11 @@ impl GradientBoostingClassifier {
                 .iter()
                 .map(|&v| {
                     let label = v.round() as usize;
-                    let positive = if n_classes == 2 { label == 1 } else { label == c };
+                    let positive = if n_classes == 2 {
+                        label == 1
+                    } else {
+                        label == c
+                    };
                     if positive {
                         1.0
                     } else {
@@ -156,7 +172,11 @@ impl GradientBoostingClassifier {
             }
             stages.push((base, trees));
         }
-        GradientBoostingClassifier { stages, n_classes, params }
+        GradientBoostingClassifier {
+            stages,
+            n_classes,
+            params,
+        }
     }
 
     /// Per-class probability scores for one sample.
@@ -305,7 +325,10 @@ mod tests {
     #[test]
     fn binary_classifier_learns_threshold() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 20) as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] >= 10.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] >= 10.0 { 1.0 } else { 0.0 })
+            .collect();
         let clf = GradientBoostingClassifier::fit(&x, &y, 2, GbmParams::default());
         let pred = clf.predict(&x);
         assert!(accuracy(&y, &pred) > 0.95);
@@ -327,7 +350,10 @@ mod tests {
     #[test]
     fn multioutput_gbm_predicts_vectors() {
         let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
-        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![2.0 * r[0], 1.0 - r[0] / 10.0]).collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| vec![2.0 * r[0], 1.0 - r[0] / 10.0])
+            .collect();
         let mo = MultiOutputGbm::fit(&x, &y, GbmParams::default());
         assert_eq!(mo.n_outputs(), 2);
         let p = mo.predict_one(&[3.0]);

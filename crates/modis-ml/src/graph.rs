@@ -36,7 +36,12 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// Creates an empty graph with the given node counts.
     pub fn new(n_users: usize, n_items: usize) -> Self {
-        BipartiteGraph { n_users, n_items, edges: Vec::new(), edge_features: Vec::new() }
+        BipartiteGraph {
+            n_users,
+            n_items,
+            edges: Vec::new(),
+            edge_features: Vec::new(),
+        }
     }
 
     /// Adds an edge with an optional feature vector. Duplicate edges are
@@ -71,12 +76,20 @@ impl BipartiteGraph {
 
     /// Items interacted with by a user.
     pub fn items_of(&self, user: usize) -> BTreeSet<usize> {
-        self.edges.iter().filter(|&&(u, _)| u == user).map(|&(_, i)| i).collect()
+        self.edges
+            .iter()
+            .filter(|&&(u, _)| u == user)
+            .map(|&(_, i)| i)
+            .collect()
     }
 
     /// Users interacting with an item.
     pub fn users_of(&self, item: usize) -> BTreeSet<usize> {
-        self.edges.iter().filter(|&&(_, i)| i == item).map(|&(u, _)| u).collect()
+        self.edges
+            .iter()
+            .filter(|&&(_, i)| i == item)
+            .map(|&(u, _)| u)
+            .collect()
     }
 
     /// Retains only the edges satisfying a predicate over `(user, item,
@@ -102,7 +115,9 @@ impl BipartiteGraph {
         let mut idx: Vec<usize> = (0..n).collect();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             idx.swap(i, j);
         }
@@ -124,7 +139,12 @@ impl BipartiteGraph {
 
     /// Reported graph size `(edges, feature-dimensions)` as in Table 5.
     pub fn reported_size(&self) -> (usize, usize) {
-        let dim = self.edge_features.iter().map(|f| f.len()).max().unwrap_or(0);
+        let dim = self
+            .edge_features
+            .iter()
+            .map(|f| f.len())
+            .max()
+            .unwrap_or(0);
         (self.num_edges(), dim)
     }
 }
@@ -148,7 +168,14 @@ pub struct LightGcnParams {
 
 impl Default for LightGcnParams {
     fn default() -> Self {
-        LightGcnParams { dim: 16, layers: 2, epochs: 60, learning_rate: 0.05, reg: 1e-4, seed: 7 }
+        LightGcnParams {
+            dim: 16,
+            layers: 2,
+            epochs: 60,
+            learning_rate: 0.05,
+            reg: 1e-4,
+            seed: 7,
+        }
     }
 }
 
@@ -171,7 +198,11 @@ impl LightGcn {
         let mut item_emb: Vec<Vec<f64>> = (0..graph.n_items).map(|_| init(&mut rng)).collect();
 
         if graph.edges.is_empty() || graph.n_items < 2 {
-            return LightGcn { user_emb, item_emb, params };
+            return LightGcn {
+                user_emb,
+                item_emb,
+                params,
+            };
         }
 
         // Precompute adjacency for propagation and negative sampling.
@@ -185,8 +216,13 @@ impl LightGcn {
         for _epoch in 0..params.epochs {
             // Light propagation: average the base embeddings with
             // symmetric-normalised neighbour aggregates, `layers` times.
-            let (prop_user, prop_item) =
-                propagate(&user_emb, &item_emb, &user_items, &item_users, params.layers);
+            let (prop_user, prop_item) = propagate(
+                &user_emb,
+                &item_emb,
+                &user_items,
+                &item_users,
+                params.layers,
+            );
 
             // BPR updates on the *base* embeddings using propagated scores'
             // gradient approximation (gradients flow to base embeddings as if
@@ -209,7 +245,8 @@ impl LightGcn {
                 let diff = score_pos - score_neg;
                 let sig = 1.0 / (1.0 + diff.exp()); // d/dx of -ln σ(x) = -σ(-x)
                 for d in 0..params.dim {
-                    let gu = sig * (prop_item[i_pos][d] - prop_item[i_neg][d]) - params.reg * user_emb[u][d];
+                    let gu = sig * (prop_item[i_pos][d] - prop_item[i_neg][d])
+                        - params.reg * user_emb[u][d];
                     let gp = sig * prop_user[u][d] - params.reg * item_emb[i_pos][d];
                     let gn = -sig * prop_user[u][d] - params.reg * item_emb[i_neg][d];
                     user_emb[u][d] += params.learning_rate * gu;
@@ -226,8 +263,18 @@ impl LightGcn {
             user_items2[u].push(i);
             item_users2[i].push(u);
         }
-        let (pu, pi) = propagate(&user_emb, &item_emb, &user_items2, &item_users2, params.layers);
-        LightGcn { user_emb: pu, item_emb: pi, params }
+        let (pu, pi) = propagate(
+            &user_emb,
+            &item_emb,
+            &user_items2,
+            &item_users2,
+            params.layers,
+        );
+        LightGcn {
+            user_emb: pu,
+            item_emb: pi,
+            params,
+        }
     }
 
     /// Interaction score for a (user, item) pair.
@@ -277,7 +324,9 @@ fn propagate(
         let mut next_i = vec![vec![0.0; dim]; item_emb.len()];
         for (u, items) in user_items.iter().enumerate() {
             for &i in items {
-                let norm = 1.0 / ((items.len().max(1) as f64).sqrt() * (item_users[i].len().max(1) as f64).sqrt());
+                let norm = 1.0
+                    / ((items.len().max(1) as f64).sqrt()
+                        * (item_users[i].len().max(1) as f64).sqrt());
                 for d in 0..dim {
                     next_u[u][d] += norm * cur_i[i][d];
                     next_i[i][d] += norm * cur_u[u][d];
@@ -335,7 +384,11 @@ pub fn evaluate_ranking(
     if users == 0 {
         (0.0, 0.0, 0.0)
     } else {
-        (p_sum / users as f64, r_sum / users as f64, n_sum / users as f64)
+        (
+            p_sum / users as f64,
+            r_sum / users as f64,
+            n_sum / users as f64,
+        )
     }
 }
 
@@ -398,7 +451,13 @@ mod tests {
     fn lightgcn_learns_block_structure() {
         let g = block_graph();
         let (train, test) = g.split_edges(0.8, 11);
-        let model = LightGcn::fit(&train, LightGcnParams { epochs: 80, ..Default::default() });
+        let model = LightGcn::fit(
+            &train,
+            LightGcnParams {
+                epochs: 80,
+                ..Default::default()
+            },
+        );
         let (p, r, n) = evaluate_ranking(&model, &train, &test, 5);
         // Within-block items should be recommended: better than random (0.1).
         assert!(p > 0.1, "precision@5 = {p}");

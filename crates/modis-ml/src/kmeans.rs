@@ -25,7 +25,11 @@ fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 /// `seed`).
 pub fn kmeans(points: &[Vec<f64>], k: usize, iterations: usize, seed: u64) -> KMeansResult {
     if points.is_empty() || k == 0 {
-        return KMeansResult { assignment: Vec::new(), centroids: Vec::new(), inertia: 0.0 };
+        return KMeansResult {
+            assignment: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+        };
     }
     let k = k.min(points.len());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -104,7 +108,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iterations: usize, seed: u64) -> KM
         .enumerate()
         .map(|(i, p)| squared_distance(p, &centroids[assignment[i]]))
         .sum();
-    KMeansResult { assignment, centroids, inertia }
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+    }
 }
 
 /// Picks a number of clusters by the "elbow" heuristic: the smallest `k` in
@@ -181,7 +189,7 @@ mod tests {
     fn elbow_finds_two_clusters() {
         let pts = blobs();
         let k = select_k_elbow(&pts, 1, 6, 0.3, 1);
-        assert!(k >= 2 && k <= 3, "k = {k}");
+        assert!((2..=3).contains(&k), "k = {k}");
     }
 
     #[test]

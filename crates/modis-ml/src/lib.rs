@@ -34,7 +34,9 @@ pub mod metrics;
 pub mod tree;
 
 pub use encoding::{encode, EncodeOptions, Encoded, TaskKind};
-pub use feature::{fisher_score, fisher_scores, mutual_information, mutual_information_scores, top_k_features};
+pub use feature::{
+    fisher_score, fisher_scores, mutual_information, mutual_information_scores, top_k_features,
+};
 pub use forest::{ForestParams, RandomForest};
 pub use gbm::{GbmParams, GradientBoostingClassifier, GradientBoostingRegressor, MultiOutputGbm};
 pub use graph::{evaluate_ranking, BipartiteGraph, LightGcn, LightGcnParams};

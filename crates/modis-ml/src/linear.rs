@@ -38,12 +38,16 @@ pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
-        for r in (col + 1)..n {
-            let factor = a[r][col] / a[col][col];
-            for c in col..n {
-                a[r][c] -= factor * a[col][c];
+        let (upper, lower) = a.split_at_mut(col + 1);
+        let pivot_row = &upper[col];
+        let (b_upper, b_lower) = b.split_at_mut(col + 1);
+        let b_pivot = b_upper[col];
+        for (row, b_r) in lower.iter_mut().zip(b_lower.iter_mut()) {
+            let factor = row[col] / pivot_row[col];
+            for (v, &p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *v -= factor * p;
             }
-            b[r] -= factor * b[col];
+            *b_r -= factor * b_pivot;
         }
     }
     // Back substitution.
@@ -65,8 +69,16 @@ impl RidgeRegression {
         let n = x.len();
         let d = x.first().map(|r| r.len()).unwrap_or(0);
         if n == 0 || d == 0 {
-            let intercept = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
-            return RidgeRegression { weights: vec![0.0; d], intercept, alpha };
+            let intercept = if y.is_empty() {
+                0.0
+            } else {
+                y.iter().sum::<f64>() / y.len() as f64
+            };
+            return RidgeRegression {
+                weights: vec![0.0; d],
+                intercept,
+                alpha,
+            };
         }
         // Build augmented design: [1, x_1 … x_d].
         let dim = d + 1;
@@ -91,7 +103,11 @@ impl RidgeRegression {
             row[i] += 1e-9;
         }
         let sol = solve_linear_system(xtx, xty).unwrap_or_else(|| vec![0.0; dim]);
-        RidgeRegression { intercept: sol[0], weights: sol[1..].to_vec(), alpha }
+        RidgeRegression {
+            intercept: sol[0],
+            weights: sol[1..].to_vec(),
+            alpha,
+        }
     }
 
     /// Predicts one sample.
@@ -138,7 +154,13 @@ fn sigmoid(z: f64) -> f64 {
 
 impl LogisticRegression {
     /// Fits logistic regression for labels in `0..n_classes`.
-    pub fn fit(x: &[Vec<f64>], y: &[f64], n_classes: usize, learning_rate: f64, epochs: usize) -> Self {
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_classes: usize,
+        learning_rate: f64,
+        epochs: usize,
+    ) -> Self {
         let n_classes = n_classes.max(2);
         let d = x.first().map(|r| r.len()).unwrap_or(0);
         let n_stages = if n_classes == 2 { 1 } else { n_classes };
@@ -150,7 +172,11 @@ impl LogisticRegression {
                 .iter()
                 .map(|&v| {
                     let label = v.round() as usize;
-                    let pos = if n_classes == 2 { label == 1 } else { label == c };
+                    let pos = if n_classes == 2 {
+                        label == 1
+                    } else {
+                        label == c
+                    };
                     if pos {
                         1.0
                     } else {
@@ -192,7 +218,12 @@ impl LogisticRegression {
             }
             stages.push((folded_w, folded_b));
         }
-        LogisticRegression { stages, n_classes, learning_rate, epochs }
+        LogisticRegression {
+            stages,
+            n_classes,
+            learning_rate,
+            epochs,
+        }
     }
 
     /// Per-class probability scores for one sample.
@@ -312,7 +343,9 @@ mod tests {
 
     #[test]
     fn ols_recovers_linear_coefficients() {
-        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - 0.5 * r[1]).collect();
         let m = RidgeRegression::fit(&x, &y, 0.0);
         assert!((m.intercept - 3.0).abs() < 1e-6);
@@ -339,7 +372,10 @@ mod tests {
     #[test]
     fn logistic_binary_separates_classes() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 })
+            .collect();
         let m = LogisticRegression::fit(&x, &y, 2, 0.5, 300);
         assert!(accuracy(&y, &m.predict(&x)) > 0.9);
         let s = m.predict_scores_one(&[9.0]);

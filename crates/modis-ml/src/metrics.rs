@@ -47,7 +47,11 @@ pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if ss_tot == 0.0 {
         return 0.0;
     }
-    let ss_res: f64 = y_true.iter().zip(y_pred.iter()).map(|(t, p)| (t - p).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred.iter())
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 
@@ -99,7 +103,11 @@ pub fn precision(y_true: &[f64], y_pred: &[f64]) -> f64 {
     let mut sum = 0.0;
     for c in &cs {
         let (tp, fp, _) = confusion(y_true, y_pred, *c);
-        sum += if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        sum += if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
     }
     sum / cs.len() as f64
 }
@@ -113,7 +121,11 @@ pub fn recall(y_true: &[f64], y_pred: &[f64]) -> f64 {
     let mut sum = 0.0;
     for c in &cs {
         let (tp, _, fne) = confusion(y_true, y_pred, *c);
-        sum += if tp + fne == 0 { 0.0 } else { tp as f64 / (tp + fne) as f64 };
+        sum += if tp + fne == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fne) as f64
+        };
     }
     sum / cs.len() as f64
 }
@@ -127,9 +139,21 @@ pub fn f1_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
     let mut sum = 0.0;
     for c in &cs {
         let (tp, fp, fne) = confusion(y_true, y_pred, *c);
-        let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let r = if tp + fne == 0 { 0.0 } else { tp as f64 / (tp + fne) as f64 };
-        sum += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let p = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let r = if tp + fne == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fne) as f64
+        };
+        sum += if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
     }
     sum / cs.len() as f64
 }
@@ -180,7 +204,10 @@ pub fn auc_ovr(y_true: &[f64], scores: &[Vec<f64>]) -> f64 {
         if (c as usize) >= n_classes || c < 0 {
             continue;
         }
-        let bin: Vec<f64> = y_true.iter().map(|t| if t.round() as i64 == c { 1.0 } else { 0.0 }).collect();
+        let bin: Vec<f64> = y_true
+            .iter()
+            .map(|t| if t.round() as i64 == c { 1.0 } else { 0.0 })
+            .collect();
         let sc: Vec<f64> = scores.iter().map(|s| s[c as usize]).collect();
         sum += auc_binary(&bin, &sc);
         counted += 1;
@@ -228,7 +255,9 @@ pub fn ndcg_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> f64 {
         }
     }
     let ideal_hits = relevant.len().min(k);
-    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos as f64 + 2.0).log2())).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|pos| 1.0 / ((pos as f64 + 2.0).log2()))
+        .sum();
     if idcg == 0.0 {
         0.0
     } else {

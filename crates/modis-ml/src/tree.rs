@@ -84,7 +84,9 @@ impl DecisionTree {
         let n_features = x.first().map(|r| r.len()).unwrap_or(0);
         let indices: Vec<usize> = (0..x.len()).collect();
         let mut importance = vec![0.0; n_features];
-        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+        let mut rng_state = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0xD1B54A32D192ED03);
         let root = if x.is_empty() {
             Node::Leaf { value: 0.0 }
         } else {
@@ -100,7 +102,12 @@ impl DecisionTree {
                 &mut importance,
             )
         };
-        DecisionTree { root, params, n_features, feature_importance: importance }
+        DecisionTree {
+            root,
+            params,
+            n_features,
+            feature_importance: importance,
+        }
     }
 
     /// Predicts a single sample.
@@ -109,7 +116,12 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = row.get(*feature).copied().unwrap_or(0.0);
                     node = if v <= *threshold { left } else { right };
                 }
@@ -161,7 +173,9 @@ impl DecisionTree {
 }
 
 fn next_rand(state: &mut u64) -> u64 {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *state >> 16
 }
 
@@ -182,7 +196,10 @@ fn impurity(y: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
                 *counts.entry(y[i].round() as i64).or_insert(0) += 1;
             }
             let n = indices.len() as f64;
-            1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+            1.0 - counts
+                .values()
+                .map(|&c| (c as f64 / n).powi(2))
+                .sum::<f64>()
         }
     }
 }
@@ -227,7 +244,9 @@ fn build_node(
         || node_impurity < 1e-12
         || n_features == 0
     {
-        return Node::Leaf { value: leaf_value(y, indices, params.criterion) };
+        return Node::Leaf {
+            value: leaf_value(y, indices, params.criterion),
+        };
     }
 
     // Choose candidate features.
@@ -250,18 +269,18 @@ fn build_node(
         if vals.len() < 2 {
             continue;
         }
-        let thresholds: Vec<f64> = if params.max_thresholds == 0 || vals.len() <= params.max_thresholds
-        {
-            vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
-        } else {
-            (1..=params.max_thresholds)
-                .map(|i| {
-                    let q = i as f64 / (params.max_thresholds as f64 + 1.0);
-                    let idx = ((vals.len() - 1) as f64 * q).round() as usize;
-                    vals[idx]
-                })
-                .collect()
-        };
+        let thresholds: Vec<f64> =
+            if params.max_thresholds == 0 || vals.len() <= params.max_thresholds {
+                vals.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+            } else {
+                (1..=params.max_thresholds)
+                    .map(|i| {
+                        let q = i as f64 / (params.max_thresholds as f64 + 1.0);
+                        let idx = ((vals.len() - 1) as f64 * q).round() as usize;
+                        vals[idx]
+                    })
+                    .collect()
+            };
         for &t in &thresholds {
             let left: Vec<usize> = indices.iter().copied().filter(|&i| x[i][f] <= t).collect();
             let right: Vec<usize> = indices.iter().copied().filter(|&i| x[i][f] > t).collect();
@@ -270,8 +289,8 @@ fn build_node(
             }
             let wl = left.len() as f64 / indices.len() as f64;
             let wr = 1.0 - wl;
-            let score =
-                wl * impurity(y, &left, params.criterion) + wr * impurity(y, &right, params.criterion);
+            let score = wl * impurity(y, &left, params.criterion)
+                + wr * impurity(y, &right, params.criterion);
             if best.map(|(_, _, s)| score < s).unwrap_or(true) {
                 best = Some((f, t, score));
             }
@@ -281,19 +300,48 @@ fn build_node(
     match best {
         Some((feature, threshold, score)) if score < node_impurity - 1e-12 => {
             importance[feature] += (node_impurity - score) * indices.len() as f64;
-            let left_idx: Vec<usize> =
-                indices.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
-            let right_idx: Vec<usize> =
-                indices.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
+            let left_idx: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| x[i][feature] <= threshold)
+                .collect();
+            let right_idx: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| x[i][feature] > threshold)
+                .collect();
             let left = build_node(
-                x, y, &left_idx, params, depth + 1, n_features, max_features, rng_state, importance,
+                x,
+                y,
+                &left_idx,
+                params,
+                depth + 1,
+                n_features,
+                max_features,
+                rng_state,
+                importance,
             );
             let right = build_node(
-                x, y, &right_idx, params, depth + 1, n_features, max_features, rng_state, importance,
+                x,
+                y,
+                &right_idx,
+                params,
+                depth + 1,
+                n_features,
+                max_features,
+                rng_state,
+                importance,
             );
-            Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
-        _ => Node::Leaf { value: leaf_value(y, indices, params.criterion) },
+        _ => Node::Leaf {
+            value: leaf_value(y, indices, params.criterion),
+        },
     }
 }
 
@@ -320,7 +368,10 @@ mod tests {
     fn classification_tree_learns_parity_free_split() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..30).map(|i| if i < 15 { 0.0 } else { 1.0 }).collect();
-        let params = TreeParams { criterion: Criterion::Gini, ..Default::default() };
+        let params = TreeParams {
+            criterion: Criterion::Gini,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, params);
         assert_eq!(tree.predict_one(&[3.0]), 0.0);
         assert_eq!(tree.predict_one(&[25.0]), 1.0);
@@ -338,7 +389,10 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_single_leaf() {
         let (x, y) = step_data();
-        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, params);
         assert_eq!(tree.num_leaves(), 1);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -363,7 +417,10 @@ mod tests {
     #[test]
     fn min_samples_leaf_is_respected() {
         let (x, y) = step_data();
-        let params = TreeParams { min_samples_leaf: 25, ..Default::default() };
+        let params = TreeParams {
+            min_samples_leaf: 25,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, params);
         // No split can produce two leaves of >= 25 samples out of 40.
         assert_eq!(tree.num_leaves(), 1);

@@ -39,7 +39,10 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(40)
         .with_max_level(4)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 8 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 10,
+            refresh: 8,
+        });
 
     let skyline = bi_modis(&substrate, &config);
     println!(
@@ -56,7 +59,11 @@ fn main() {
             e.raw[0],
             e.raw[1],
             e.size,
-            if ok { "(satisfies constraints)" } else { "(near-miss)" }
+            if ok {
+                "(satisfies constraints)"
+            } else {
+                "(near-miss)"
+            }
         );
     }
 }

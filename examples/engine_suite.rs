@@ -1,0 +1,89 @@
+//! Multi-scenario engine suite: run several (task × algorithm) scenarios
+//! concurrently through the `modis-engine` execution engine, sharing one
+//! evaluation cache per pool.
+//!
+//! Run with `cargo run --release --example engine_suite`.
+
+use std::sync::Arc;
+
+use modis_bench::{task_t1, task_t3};
+use modis_core::prelude::*;
+use modis_core::substrate::Substrate;
+use modis_engine::{Algorithm, Engine, EngineConfig, Scenario};
+
+fn main() {
+    // Two tabular pools; scenarios over the same pool share a cache
+    // namespace, so states valuated by one algorithm are free for the rest.
+    let t1: Arc<dyn Substrate> = Arc::new(task_t1(21).substrate());
+    let t3: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+
+    let fast = ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(25)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Oracle);
+
+    let scenarios = vec![
+        Scenario::new("t1/ApxMODis", t1.clone(), Algorithm::Apx, fast.clone())
+            .with_cache_namespace("t1-pool"),
+        Scenario::new("t1/BiMODis", t1.clone(), Algorithm::Bi, fast.clone())
+            .with_cache_namespace("t1-pool"),
+        Scenario::new(
+            "t1/DivMODis",
+            t1,
+            Algorithm::Div,
+            fast.clone().with_diversification(4, 0.5),
+        )
+        .with_cache_namespace("t1-pool"),
+        Scenario::new("t3/ApxMODis", t3.clone(), Algorithm::Apx, fast.clone())
+            .with_cache_namespace("t3-pool"),
+        Scenario::new("t3/NOBiMODis", t3, Algorithm::NoBi, fast).with_cache_namespace("t3-pool"),
+    ];
+
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_scenario_parallelism(4)
+            .with_worker_threads(4),
+    );
+    println!(
+        "Running {} scenarios ({} concurrent, {} expander threads)…\n",
+        scenarios.len(),
+        engine.config().scenario_parallelism,
+        engine.config().worker_threads
+    );
+    let suite = engine.run_suite(&scenarios);
+
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>12} {:>9}",
+        "scenario", "skyline", "states", "oracle", "cache-hits", "secs"
+    );
+    for outcome in &suite.outcomes {
+        println!(
+            "{:<14} {:>8} {:>8} {:>12} {:>12} {:>9.2}",
+            outcome.name,
+            outcome.result.len(),
+            outcome.result.states_valuated,
+            outcome.result.stats.oracle_calls,
+            outcome.shared_hits(),
+            outcome.wall_seconds,
+        );
+    }
+
+    let cache = suite.cache;
+    println!(
+        "\nSuite finished in {:.2}s — shared cache: {} entries, {} hits, {} misses ({:.0}% hit rate)",
+        suite.wall_seconds,
+        cache.entries,
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64,
+    );
+    assert!(
+        suite.total_shared_hits() > 0,
+        "scenarios sharing a pool should reuse evaluations"
+    );
+    println!(
+        "Evaluation reuse across scenarios: {} hits",
+        suite.total_shared_hits()
+    );
+}

@@ -32,7 +32,10 @@ fn main() {
     };
 
     // 3. Build the search space (universal table + reducible units).
-    let space = TableSpaceConfig { join_key: pool.join_key.clone(), ..TableSpaceConfig::default() };
+    let space = TableSpaceConfig {
+        join_key: pool.join_key.clone(),
+        ..TableSpaceConfig::default()
+    };
     let substrate = TableSubstrate::from_pool(&pool.tables, task, &space);
     println!(
         "Universal table D_U: {:?}, {} reducible units",
@@ -45,12 +48,17 @@ fn main() {
         .with_epsilon(0.1)
         .with_max_states(40)
         .with_max_level(5)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 8 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 10,
+            refresh: 8,
+        });
     let skyline = bi_modis(&substrate, &config);
 
     println!(
         "\nBiMODis valuated {} states in {:.2}s and produced {} skyline datasets:",
-        skyline.states_valuated, skyline.elapsed_seconds, skyline.len()
+        skyline.states_valuated,
+        skyline.elapsed_seconds,
+        skyline.len()
     );
     for (i, entry) in skyline.entries.iter().enumerate() {
         println!(

@@ -26,7 +26,10 @@ fn main() {
         MeasureSpec::maximise("p_Nc10"),
         MeasureSpec::minimise("p_Train", 10.0),
     ]);
-    let space = GraphSpaceConfig { n_edge_clusters: 6, ..GraphSpaceConfig::default() };
+    let space = GraphSpaceConfig {
+        n_edge_clusters: 6,
+        ..GraphSpaceConfig::default()
+    };
     let substrate = GraphSubstrate::new(graph, measures, space);
 
     // Performance of the untouched graph.

@@ -46,10 +46,22 @@ fn main() {
         ],
     )
     .unwrap();
-    let augmented = augment(&water, &phosphorus, "phosphorus", &Literal::equals("year", 2013)).unwrap();
-    println!("⊕[phosphorus | year = 2013] produced {} rows", augmented.num_rows());
+    let augmented = augment(
+        &water,
+        &phosphorus,
+        "phosphorus",
+        &Literal::equals("year", 2013),
+    )
+    .unwrap();
+    println!(
+        "⊕[phosphorus | year = 2013] produced {} rows",
+        augmented.num_rows()
+    );
     let (reduced, removed) = reduct(&augmented, &Literal::range("ph", 0.0, 7.0));
-    println!("⊖[ph ∈ [0, 7]] removed {removed} rows, kept {}", reduced.num_rows());
+    println!(
+        "⊖[ph ∈ [0, 7]] removed {removed} rows, kept {}",
+        reduced.num_rows()
+    );
 
     // The skyline query of Example 1: error below a bound, R²-style accuracy
     // above a bound, training cost within a budget.
@@ -68,13 +80,19 @@ fn main() {
         seed: 11,
     };
 
-    let space = TableSpaceConfig { join_key: pool.join_key.clone(), ..TableSpaceConfig::default() };
+    let space = TableSpaceConfig {
+        join_key: pool.join_key.clone(),
+        ..TableSpaceConfig::default()
+    };
     let substrate = TableSubstrate::from_pool(&pool.tables, task, &space);
     let config = ModisConfig::default()
         .with_epsilon(0.15)
         .with_max_states(40)
         .with_max_level(5)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 8 });
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 10,
+            refresh: 8,
+        });
 
     let skyline = div_modis(&substrate, &config.with_diversification(3, 0.5));
     println!("\nDiversified skyline ({} datasets):", skyline.len());

@@ -8,7 +8,10 @@ fn fast_config() -> ModisConfig {
         .with_epsilon(0.15)
         .with_max_states(20)
         .with_max_level(3)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 8, refresh: 10 })
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 8,
+            refresh: 10,
+        })
 }
 
 #[test]
@@ -16,13 +19,24 @@ fn method_comparison_produces_complete_rows() {
     let workload = task_t3(31);
     let rows = run_table_methods(&workload, &fast_config());
     let expected = [
-        "Original", "METAM", "METAM-MO", "Starmie", "SkSFM", "H2O", "ApxMODis", "NOBiMODis",
-        "BiMODis", "DivMODis",
+        "Original",
+        "METAM",
+        "METAM-MO",
+        "Starmie",
+        "SkSFM",
+        "H2O",
+        "ApxMODis",
+        "NOBiMODis",
+        "BiMODis",
+        "DivMODis",
     ];
     assert_eq!(rows.len(), expected.len());
     for (row, name) in rows.iter().zip(expected.iter()) {
         assert_eq!(&row.method, name);
-        assert!(!row.raw.is_empty(), "{name} produced an empty metric vector");
+        assert!(
+            !row.raw.is_empty(),
+            "{name} produced an empty metric vector"
+        );
         assert!(row.size.0 > 0, "{name} produced an empty output dataset");
     }
 }
@@ -53,7 +67,12 @@ fn modis_beats_or_matches_original_on_primary_measure_t3() {
 fn feature_selection_baselines_shrink_the_schema_t2() {
     let workload = task_t2(33);
     let rows = run_table_methods(&workload, &fast_config());
-    let cols_of = |name: &str| rows.iter().find(|r| r.method == name).map(|r| r.size.1).unwrap();
+    let cols_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.method == name)
+            .map(|r| r.size.1)
+            .unwrap()
+    };
     // Starmie augments (more columns than the base), SkSFM/H2O select (fewer
     // columns than the universal table used as their input).
     let universal_cols = workload.substrate().universal().reported_size().1;

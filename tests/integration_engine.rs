@@ -1,0 +1,174 @@
+//! Integration tests of the `modis-engine` execution engine over real
+//! tabular workloads: parallel-vs-sequential skyline equivalence, shared
+//! evaluation-cache behaviour across overlapping scenarios, and run-to-run
+//! determinism.
+//!
+//! Equivalence fixtures share one substrate instance between the compared
+//! runs: substrates memoise `evaluate_raw`, which pins noisy raw metrics
+//! (training wall-clock) so byte-level comparison is meaningful.
+
+use std::sync::Arc;
+
+use modis_bench::{task_t1, task_t3};
+use modis_core::prelude::*;
+use modis_core::substrate::Substrate;
+use modis_engine::{
+    parallel_apx_modis, parallel_exact_modis_with_context, Algorithm, Engine, EngineConfig,
+    Scenario,
+};
+
+fn oracle_config() -> ModisConfig {
+    ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(25)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Oracle)
+}
+
+fn assert_identical(a: &SkylineResult, b: &SkylineResult, label: &str) {
+    assert_eq!(
+        a.entries.len(),
+        b.entries.len(),
+        "{label}: entry counts differ"
+    );
+    for (x, y) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(x.bitmap, y.bitmap, "{label}: bitmaps differ");
+        assert_eq!(x.perf, y.perf, "{label}: perf vectors differ");
+        assert_eq!(x.raw, y.raw, "{label}: raw metrics differ");
+        assert_eq!(x.size, y.size, "{label}: sizes differ");
+        assert_eq!(x.level, y.level, "{label}: levels differ");
+    }
+    assert_eq!(
+        a.states_valuated, b.states_valuated,
+        "{label}: budgets differ"
+    );
+}
+
+#[test]
+fn parallel_apx_is_byte_identical_to_sequential_on_t1() {
+    let substrate = task_t1(21).substrate();
+    let config = oracle_config();
+    let sequential = apx_modis(&substrate, &config);
+    for threads in [1, 4] {
+        let parallel = parallel_apx_modis(&substrate, &config, threads);
+        assert_identical(&parallel, &sequential, &format!("t1 apx x{threads}"));
+    }
+    assert!(!sequential.is_empty());
+}
+
+#[test]
+fn parallel_apx_is_byte_identical_to_sequential_with_surrogate() {
+    let substrate = task_t3(5).substrate();
+    let config = ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(30)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 10,
+            refresh: 10,
+        });
+    let sequential = apx_modis(&substrate, &config);
+    let parallel = parallel_apx_modis(&substrate, &config, 4);
+    assert_identical(&parallel, &sequential, "t3 apx surrogate");
+    assert_eq!(parallel.stats.oracle_calls, sequential.stats.oracle_calls);
+    assert_eq!(
+        parallel.stats.surrogate_calls,
+        sequential.stats.surrogate_calls
+    );
+}
+
+#[test]
+fn parallel_exact_is_byte_identical_to_sequential_on_t3() {
+    let substrate = task_t3(5).substrate();
+    let config = ModisConfig::default().with_max_states(20).with_max_level(2);
+    let sequential = exact_modis(&substrate, &config);
+    let ctx = ValuationContext::new(&substrate, EstimatorMode::Oracle);
+    let parallel = parallel_exact_modis_with_context(&ctx, &config, 4);
+    assert_identical(&parallel, &sequential, "t3 exact");
+}
+
+#[test]
+fn suite_with_shared_pool_reports_cache_hits() {
+    let substrate: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    let config = oracle_config().with_max_states(20);
+    let scenarios: Vec<Scenario> = [
+        Algorithm::Apx,
+        Algorithm::NoBi,
+        Algorithm::Bi,
+        Algorithm::Div,
+    ]
+    .into_iter()
+    .map(|alg| {
+        Scenario::new(
+            format!("t3-{}", alg.name()),
+            substrate.clone(),
+            alg,
+            config.clone(),
+        )
+        .with_cache_namespace("t3-pool")
+    })
+    .collect();
+
+    let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(2));
+    let suite = engine.run_suite(&scenarios);
+
+    assert_eq!(suite.outcomes.len(), 4);
+    assert!(
+        suite.outcomes.iter().all(|o| !o.result.is_empty()),
+        "every scenario finds a skyline"
+    );
+    // All scenarios expand from the same universal state, so at least the
+    // later scenarios must reuse the earlier scenarios' oracle valuations.
+    assert!(
+        suite.total_shared_hits() > 0,
+        "expected nonzero shared-cache hits"
+    );
+    assert!(suite.cache.entries > 0);
+    assert!(suite.cache.hits >= suite.total_shared_hits());
+    // Outcomes keep registration order.
+    assert_eq!(suite.outcomes[0].algorithm, Algorithm::Apx);
+    assert_eq!(suite.outcomes[3].algorithm, Algorithm::Div);
+}
+
+#[test]
+fn engine_is_deterministic_across_repeated_runs() {
+    let substrate: Arc<dyn Substrate> = Arc::new(task_t1(21).substrate());
+    let scenario = Scenario::new(
+        "t1-apx",
+        substrate.clone(),
+        Algorithm::Apx,
+        oracle_config().with_max_states(20),
+    )
+    .with_cache_namespace("t1-pool");
+
+    let engine = Engine::new(EngineConfig::default().with_worker_threads(4));
+    let first = engine.run_scenario(&scenario);
+    let second = engine.run_scenario(&scenario);
+
+    assert_identical(&first.result, &second.result, "repeat run");
+    // The second run must be answered entirely by the shared cache: every
+    // oracle valuation of the first run was recorded under the namespace.
+    assert_eq!(
+        second.result.stats.oracle_calls, 0,
+        "second run should retrain nothing"
+    );
+    assert!(second.shared_hits() > 0);
+}
+
+#[test]
+fn isolated_namespaces_stay_isolated_across_workloads() {
+    let t1: Arc<dyn Substrate> = Arc::new(task_t1(21).substrate());
+    let t3: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    let config = oracle_config().with_max_states(15);
+    let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(2));
+    let suite = engine.run_suite(&[
+        Scenario::new("t1-apx", t1, Algorithm::Apx, config.clone()),
+        Scenario::new("t3-apx", t3, Algorithm::Apx, config),
+    ]);
+    assert_eq!(
+        suite.total_shared_hits(),
+        0,
+        "distinct namespaces must not share"
+    );
+    assert!(suite.outcomes.iter().all(|o| !o.result.is_empty()));
+}

@@ -27,20 +27,30 @@ fn fast_modis_config() -> ModisConfig {
 #[test]
 fn graph_methods_produce_full_measure_vectors() {
     let graph = generate_bipartite_graph(&small_graph_config());
-    let space = GraphSpaceConfig { n_edge_clusters: 4, ..GraphSpaceConfig::default() };
+    let space = GraphSpaceConfig {
+        n_edge_clusters: 4,
+        ..GraphSpaceConfig::default()
+    };
     let rows = run_graph_methods(&graph, &fast_modis_config(), &space);
     assert_eq!(rows.len(), 5); // Original + 4 MODis variants
     for row in &rows {
         assert_eq!(row.raw.len(), t5_measures().len(), "row {}", row.method);
         // Ranking metrics stay in [0, 1].
-        assert!(row.raw[..6].iter().all(|&v| (0.0..=1.0).contains(&v)), "row {}", row.method);
+        assert!(
+            row.raw[..6].iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "row {}",
+            row.method
+        );
     }
 }
 
 #[test]
 fn reducing_noise_edges_does_not_hurt_ranking_much() {
     let graph = generate_bipartite_graph(&small_graph_config());
-    let space = GraphSpaceConfig { n_edge_clusters: 4, ..GraphSpaceConfig::default() };
+    let space = GraphSpaceConfig {
+        n_edge_clusters: 4,
+        ..GraphSpaceConfig::default()
+    };
     let substrate = GraphSubstrate::new(graph, t5_measures(), space);
     let result = apx_modis(&substrate, &fast_modis_config());
     assert!(!result.is_empty());
@@ -58,7 +68,10 @@ fn reducing_noise_edges_does_not_hurt_ranking_much() {
 fn graph_skyline_outputs_are_smaller_graphs() {
     let graph = generate_bipartite_graph(&small_graph_config());
     let total_edges = graph.num_edges();
-    let space = GraphSpaceConfig { n_edge_clusters: 4, ..GraphSpaceConfig::default() };
+    let space = GraphSpaceConfig {
+        n_edge_clusters: 4,
+        ..GraphSpaceConfig::default()
+    };
     let substrate = GraphSubstrate::new(graph, t5_measures(), space);
     let result = bi_modis(&substrate, &fast_modis_config());
     assert!(result.entries.iter().all(|e| e.size.0 <= total_edges));

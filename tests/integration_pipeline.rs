@@ -9,7 +9,10 @@ fn fast_config() -> ModisConfig {
         .with_epsilon(0.15)
         .with_max_states(25)
         .with_max_level(3)
-        .with_estimator(EstimatorMode::Surrogate { warmup: 10, refresh: 10 })
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 10,
+            refresh: 10,
+        })
 }
 
 #[test]
@@ -79,7 +82,11 @@ fn divmodis_respects_k_bound() {
     let substrate = workload.substrate();
     let cfg = fast_config().with_diversification(2, 0.6);
     let result = div_modis(&substrate, &cfg);
-    assert!(result.len() <= 2, "DivMODis returned {} > k entries", result.len());
+    assert!(
+        result.len() <= 2,
+        "DivMODis returned {} > k entries",
+        result.len()
+    );
 }
 
 #[test]
@@ -102,13 +109,21 @@ fn skyline_members_respect_measure_upper_bounds() {
 fn estimator_mode_reduces_oracle_calls() {
     let workload = task_t3(26);
     let substrate = workload.substrate();
-    let oracle_cfg = fast_config().with_estimator(EstimatorMode::Oracle).with_max_states(30);
+    let oracle_cfg = fast_config()
+        .with_estimator(EstimatorMode::Oracle)
+        .with_max_states(30);
     let surrogate_cfg = fast_config()
-        .with_estimator(EstimatorMode::Surrogate { warmup: 8, refresh: 10 })
+        .with_estimator(EstimatorMode::Surrogate {
+            warmup: 8,
+            refresh: 10,
+        })
         .with_max_states(30);
     let oracle_run = apx_modis(&substrate, &oracle_cfg);
     let surrogate_run = apx_modis(&substrate, &surrogate_cfg);
-    assert!(surrogate_run.stats.surrogate_calls > 0, "surrogate should be used after warm-up");
+    assert!(
+        surrogate_run.stats.surrogate_calls > 0,
+        "surrogate should be used after warm-up"
+    );
     assert!(
         surrogate_run.stats.oracle_calls <= oracle_run.stats.oracle_calls,
         "surrogate mode should not increase oracle training calls"
