@@ -1,0 +1,63 @@
+//! Materialisation-pipeline benchmarks: the seed's clone-and-filter
+//! materialisation vs. the columnar mask-intersection path, materialise-only
+//! and materialise + oracle-evaluate, at several pool sizes.
+//!
+//! The committed `BENCH_materialize.json` baseline is written by the
+//! `bench_materialize_baseline` binary from the same workload
+//! (`modis_bench::materialize_substrate`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::{materialize_state, materialize_substrate};
+use modis_core::prelude::*;
+
+const POOL_SIZES: [usize; 3] = [1_000, 5_000, 20_000];
+
+fn bench_materialize_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize");
+    group.sample_size(20);
+    for rows in POOL_SIZES {
+        let substrate = materialize_substrate(rows, 7);
+        let state = materialize_state(&substrate);
+        group.bench_with_input(BenchmarkId::new("clone_and_filter", rows), &rows, |b, _| {
+            b.iter(|| substrate.materialize_baseline(&state))
+        });
+        group.bench_with_input(BenchmarkId::new("columnar_view", rows), &rows, |b, _| {
+            b.iter(|| substrate.materialize_view(&state))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("columnar_to_dataset", rows),
+            &rows,
+            |b, _| b.iter(|| substrate.materialize(&state)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_materialize_and_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize_evaluate");
+    group.sample_size(10);
+    for rows in POOL_SIZES {
+        let substrate = materialize_substrate(rows, 7);
+        let state = materialize_state(&substrate);
+        let task = substrate.task().clone();
+        group.bench_with_input(
+            BenchmarkId::new("clone_filter_oracle", rows),
+            &rows,
+            |b, _| b.iter(|| evaluate_dataset(&task, &substrate.materialize_baseline(&state))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar_view_oracle", rows),
+            &rows,
+            |b, _| b.iter(|| evaluate_dataset_view(&task, &substrate.materialize_view(&state))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_materialize_only,
+    bench_materialize_and_evaluate
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Save-baseline runner for the materialisation pipeline: times the seed's
+//! clone-and-filter materialisation against the columnar mask-intersection
+//! path on the default workload and writes the numbers to
+//! `BENCH_materialize.json`, establishing the perf trajectory future PRs
+//! compare against.
+//!
+//! Usage: `bench_materialize_baseline [--rows N] [--iters N] [--out PATH]
+//! [--quick]` — `--quick` shrinks the workload to one short iteration for
+//! the CI smoke step (compiles + runs, no timing assertions).
+
+use std::time::Instant;
+
+use modis_bench::{materialize_state, materialize_substrate};
+use modis_core::prelude::*;
+
+/// Median wall-clock microseconds of `iters` runs of `f`.
+fn median_micros<O, F: FnMut() -> O>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows: usize = flag_value("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 500 } else { 20_000 });
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 30 });
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_materialize.json".into());
+
+    eprintln!("building synthetic substrate ({rows} rows)…");
+    let substrate = materialize_substrate(rows, 7);
+    let state = materialize_state(&substrate);
+    let task = substrate.task().clone();
+    let units = substrate.num_units();
+    let cleared = state.count_zeros();
+
+    // Sanity: the columnar path must reproduce the clone-and-filter output.
+    let reference = substrate.materialize_baseline(&state);
+    let columnar = substrate.materialize(&state);
+    assert_eq!(
+        reference.rows(),
+        columnar.rows(),
+        "columnar output diverged"
+    );
+
+    let baseline_us = median_micros(iters, || substrate.materialize_baseline(&state));
+    let view_us = median_micros(iters.max(10), || substrate.materialize_view(&state));
+    let to_dataset_us = median_micros(iters, || substrate.materialize(&state));
+    let eval_iters = if quick { 1 } else { 5 };
+    let eval_baseline_us = median_micros(eval_iters, || {
+        evaluate_dataset(&task, &substrate.materialize_baseline(&state))
+    });
+    let eval_view_us = median_micros(eval_iters, || {
+        evaluate_dataset_view(&task, &substrate.materialize_view(&state))
+    });
+
+    let speedup_view = baseline_us / view_us.max(1e-3);
+    let speedup_owned = baseline_us / to_dataset_us.max(1e-3);
+    let speedup_eval = eval_baseline_us / eval_view_us.max(1e-3);
+
+    let json = format!(
+        "{{\n  \"bench\": \"materialize\",\n  \"workload\": {{ \"rows\": {rows}, \"units\": {units}, \"cleared_units\": {cleared}, \"iters\": {iters} }},\n  \"materialize_only_us\": {{\n    \"clone_and_filter\": {baseline_us:.3},\n    \"columnar_view\": {view_us:.3},\n    \"columnar_to_dataset\": {to_dataset_us:.3}\n  }},\n  \"materialize_and_oracle_evaluate_us\": {{\n    \"clone_and_filter\": {eval_baseline_us:.3},\n    \"columnar_view\": {eval_view_us:.3}\n  }},\n  \"speedup\": {{\n    \"materialize_view_vs_clone\": {speedup_view:.2},\n    \"materialize_owned_vs_clone\": {speedup_owned:.2},\n    \"evaluate_view_vs_clone\": {speedup_eval:.2}\n  }}\n}}\n"
+    );
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick || speedup_view >= 5.0,
+        "materialise-only speedup {speedup_view:.2}x is below the 5x acceptance bar"
+    );
+}

@@ -12,6 +12,7 @@ pub mod workloads;
 
 pub use report::{print_method_table, print_series, print_table, Row};
 pub use workloads::{
-    run_graph_methods, run_table_methods, run_variant, skyline_to_row, t5_measures, task_t1,
-    task_t2, task_t3, task_t4, MethodRow, ModisVariant, Workload,
+    materialize_state, materialize_substrate, run_graph_methods, run_table_methods, run_variant,
+    skyline_to_row, t5_measures, task_t1, task_t2, task_t3, task_t4, MethodRow, ModisVariant,
+    Workload,
 };

@@ -8,6 +8,7 @@
 //! Table 5.
 
 use modis_core::prelude::*;
+use modis_data::{Attribute, Dataset, Schema, StateBitmap, Value};
 use modis_datagen::tables::TablePool;
 use modis_ml::graph::BipartiteGraph;
 
@@ -298,6 +299,71 @@ pub fn run_table_methods(workload: &Workload, config: &ModisConfig) -> Vec<Metho
         rows.push(skyline_to_row(variant.name(), &result, primary_hib));
     }
     rows
+}
+
+/// Synthetic single-table substrate of `rows` tuples used by the
+/// materialisation benchmarks: mixed numeric/categorical features with
+/// missingness over a linear target, deterministic in `seed`.
+pub fn materialize_substrate(rows: usize, seed: u64) -> TableSubstrate {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let schema = Schema::from_attributes(vec![
+        Attribute::key("id"),
+        Attribute::feature("x1"),
+        Attribute::feature("x2"),
+        Attribute::feature("cat"),
+        Attribute::feature("noise"),
+        Attribute::target("y"),
+    ]);
+    const COLOURS: [&str; 4] = ["red", "green", "blue", "amber"];
+    let data_rows: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            let a = (next() % 97) as f64;
+            let b = (next() % 53) as f64;
+            vec![
+                Value::Int(i as i64),
+                Value::Float(a),
+                if next() % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(b)
+                },
+                Value::Str(COLOURS[(next() % 4) as usize].into()),
+                Value::Float((next() % 29) as f64),
+                Value::Float(2.0 * a - b + 3.0),
+            ]
+        })
+        .collect();
+    let data = Dataset::from_rows("synthetic", schema, data_rows).unwrap();
+    let task = TaskSpec {
+        name: "materialize-bench".into(),
+        model: ModelKind::LinearRegressor,
+        target: "y".into(),
+        key: Some("id".into()),
+        measures: MeasureSet::new(vec![
+            MeasureSpec::maximise("p_R2"),
+            MeasureSpec::minimise("p_Train", 2.0),
+        ]),
+        metric_kinds: vec![MetricKind::R2, MetricKind::TrainTime],
+        train_ratio: 0.7,
+        seed,
+    };
+    TableSubstrate::from_universal(data, task, &TableSpaceConfig::default())
+}
+
+/// A representative non-trivial state for the materialisation benchmarks:
+/// every third unit cleared (mixing attribute masks and cluster removals).
+pub fn materialize_state(substrate: &TableSubstrate) -> StateBitmap {
+    let mut bitmap = substrate.forward_start();
+    for i in (0..substrate.num_units()).step_by(3) {
+        bitmap.set(i, false);
+    }
+    bitmap
 }
 
 /// Runs the MODis variants on the T5 graph workload (Table 5 compares only

@@ -1,0 +1,204 @@
+//! A bounded memo table with second-chance ("generation clock") eviction.
+//!
+//! The substrates memoise raw metric vectors per state and the engine keeps
+//! a process-wide evaluation store; both previously grew without bound over
+//! long suites (a ROADMAP open item). [`ClockCache`] bounds them with the
+//! classic clock policy: every entry carries a referenced bit that hits set
+//! and the rotating hand clears, so recently used evaluations survive while
+//! cold ones are reclaimed in O(1) amortised time — no per-access list
+//! splicing like LRU, which matters under the `Mutex`es these caches live
+//! behind.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    referenced: bool,
+}
+
+/// A bounded `K → V` map with second-chance eviction. Capacity 0 means
+/// unbounded (the pre-eviction behaviour).
+pub struct ClockCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    hand: usize,
+    evictions: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> ClockCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        ClockCache {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries evicted so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Looks up `key`, marking the entry as recently used. Accepts any
+    /// borrowed form of the key (like `HashMap::get`), so callers can probe
+    /// without materialising an owned key.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let &idx = self.map.get(key)?;
+        let slot = &mut self.slots[idx];
+        slot.referenced = true;
+        Some(&slot.value)
+    }
+
+    /// Mutable lookup, marking the entry as recently used.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let &idx = self.map.get(key)?;
+        let slot = &mut self.slots[idx];
+        slot.referenced = true;
+        Some(&mut slot.value)
+    }
+
+    /// Whether `key` is stored (does not touch the referenced bit).
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts or replaces `key`'s entry, evicting the clock victim when the
+    /// cache is full. Returns `true` when an unrelated entry was evicted.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = &mut self.slots[idx];
+            slot.value = value;
+            slot.referenced = true;
+            return false;
+        }
+        if self.capacity == 0 || self.slots.len() < self.capacity {
+            self.map.insert(key.clone(), self.slots.len());
+            self.slots.push(Slot {
+                key,
+                value,
+                referenced: true,
+            });
+            return false;
+        }
+        // Second chance: clear referenced bits until a cold victim turns up.
+        // Terminates within two sweeps — the first clears every bit.
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let slot = &mut self.slots[idx];
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            self.map.remove(&slot.key);
+            self.map.insert(key.clone(), idx);
+            *slot = Slot {
+                key,
+                value,
+                referenced: true,
+            };
+            self.evictions += 1;
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = ClockCache::new(0);
+        for i in 0..100 {
+            c.insert(i, i * 2);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&99), Some(&198));
+    }
+
+    #[test]
+    fn bounded_cache_holds_capacity_and_counts_evictions() {
+        let mut c = ClockCache::new(4);
+        for i in 0..10 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 6);
+    }
+
+    #[test]
+    fn referenced_entries_survive_one_sweep() {
+        let mut c = ClockCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Inserting "d" sweeps once (clearing every insertion-set bit),
+        // wraps, and evicts the first cold slot: "a". Afterwards the hand
+        // rests on "b" and both "b" and "c" are cold.
+        c.insert("d", 4);
+        assert_eq!(c.len(), 3);
+        assert!(!c.contains(&"a") && c.contains(&"d"));
+        assert_eq!(c.evictions(), 1);
+        // Re-mark "b": the next insertion's victim must skip it (second
+        // chance) and take "c" instead. Without the referenced bit the hand
+        // would evict "b" here.
+        assert_eq!(c.get(&"b"), Some(&2));
+        c.insert("e", 5);
+        assert!(c.contains(&"b"), "referenced entry must survive the sweep");
+        assert!(!c.contains(&"c"), "cold entry is the clock victim");
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut c = ClockCache::new(2);
+        c.insert(1, "x");
+        c.insert(1, "y");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&1), Some(&"y"));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut c = ClockCache::new(2);
+        c.insert(1, vec![1.0]);
+        c.get_mut(&1).unwrap().push(2.0);
+        assert_eq!(c.get(&1), Some(&vec![1.0, 2.0]));
+    }
+}

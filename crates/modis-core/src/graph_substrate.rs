@@ -8,13 +8,13 @@
 //! cluster is one reducible unit.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::time::Instant;
 
 use modis_data::StateBitmap;
 use modis_ml::graph::{evaluate_ranking, BipartiteGraph, LightGcn, LightGcnParams};
 use modis_ml::kmeans::kmeans;
 
+use crate::clock_cache::ClockCache;
 use crate::measure::MeasureSet;
 use crate::substrate::Substrate;
 
@@ -31,6 +31,12 @@ pub struct GraphSpaceConfig {
     pub train_ratio: f64,
     /// Seed for clustering and splits.
     pub seed: u64,
+    /// Capacity of the per-substrate raw-metrics memo (states; 0 =
+    /// unbounded). As with the tabular substrate, tasks measuring wall-clock
+    /// training time only keep byte-identical raw vectors across runs
+    /// sharing one substrate instance while the distinct-state count stays
+    /// within capacity; set 0 for the unbounded pre-eviction behaviour.
+    pub eval_cache_capacity: usize,
 }
 
 impl Default for GraphSpaceConfig {
@@ -44,6 +50,7 @@ impl Default for GraphSpaceConfig {
             },
             train_ratio: 0.8,
             seed: 17,
+            eval_cache_capacity: 16_384,
         }
     }
 }
@@ -57,7 +64,7 @@ pub struct GraphSubstrate {
     n_clusters: usize,
     measures: MeasureSet,
     config: GraphSpaceConfig,
-    cache: Mutex<HashMap<StateBitmap, Vec<f64>>>,
+    cache: Mutex<ClockCache<StateBitmap, Vec<f64>>>,
 }
 
 impl GraphSubstrate {
@@ -81,13 +88,14 @@ impl GraphSubstrate {
         } else {
             kmeans(&points, n_clusters, 25, config.seed).assignment
         };
+        let cache = Mutex::new(ClockCache::new(config.eval_cache_capacity));
         GraphSubstrate {
             universal,
             edge_cluster: assignment,
             n_clusters,
             measures,
             config,
-            cache: Mutex::new(HashMap::new()),
+            cache,
         }
     }
 
@@ -148,8 +156,8 @@ impl Substrate for GraphSubstrate {
     }
 
     fn evaluate_raw(&self, bitmap: &StateBitmap) -> Vec<f64> {
-        if let Some(hit) = self.cache.lock().get(bitmap) {
-            return hit.clone();
+        if let Some(hit) = self.cache.lock().get(bitmap).cloned() {
+            return hit;
         }
         let graph = self.materialize(bitmap);
         let raw = if graph.num_edges() < 10 {
@@ -187,7 +195,7 @@ impl Substrate for GraphSubstrate {
     fn state_features(&self, bitmap: &StateBitmap) -> Vec<f64> {
         let kept: usize = self.edge_cluster.iter().filter(|&&c| bitmap.get(c)).count();
         let mut feats = vec![bitmap.count_ones() as f64, kept as f64];
-        feats.extend(bitmap.bits().iter().map(|&b| if b { 1.0 } else { 0.0 }));
+        feats.extend(bitmap.iter().map(|b| if b { 1.0 } else { 0.0 }));
         feats
     }
 

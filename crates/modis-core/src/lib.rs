@@ -70,6 +70,7 @@
 pub mod apx;
 pub mod baselines;
 pub mod bimodis;
+pub mod clock_cache;
 pub mod config;
 pub mod correlation;
 pub mod divmodis;
@@ -91,6 +92,7 @@ pub mod prelude {
         h2o, hydragan_like, metam, metam_mo, original, sksfm, starmie, BaselineOutput,
     };
     pub use crate::bimodis::{bi_modis, bi_modis_with_context, bi_modis_with_stats, nobi_modis};
+    pub use crate::clock_cache::ClockCache;
     pub use crate::config::{ModisConfig, SkylineEntry, SkylineResult};
     pub use crate::divmodis::{div_modis, div_modis_with_context, diversification_score};
     pub use crate::dominance::{dominates, epsilon_dominates, skyline};
@@ -103,7 +105,9 @@ pub mod prelude {
     pub use crate::search_common::ProtectedSet;
     pub use crate::substrate::Substrate;
     pub use crate::table_substrate::{TableSpaceConfig, TableSubstrate};
-    pub use crate::task::{evaluate_dataset, MetricKind, ModelKind, TaskEvaluation, TaskSpec};
+    pub use crate::task::{
+        evaluate_dataset, evaluate_dataset_view, MetricKind, ModelKind, TaskEvaluation, TaskSpec,
+    };
 }
 
 pub use prelude::*;

@@ -79,15 +79,11 @@ pub fn op_gen(
     direction: Direction,
     protected: &ProtectedSet,
 ) -> Vec<StateBitmap> {
-    let candidates: Vec<usize> = match direction {
-        Direction::Forward => bitmap.ones(),
-        Direction::Backward => bitmap.zeros(),
-    };
-    candidates
-        .into_iter()
-        .filter(|&i| !protected.contains(i))
-        .map(|i| bitmap.flipped(i))
-        .collect()
+    let flip = |i: usize| (!protected.contains(i)).then(|| bitmap.flipped(i));
+    match direction {
+        Direction::Forward => bitmap.iter_ones().filter_map(flip).collect(),
+        Direction::Backward => bitmap.iter_zeros().filter_map(flip).collect(),
+    }
 }
 
 /// Tracks which states have already been spawned to avoid revisiting them.

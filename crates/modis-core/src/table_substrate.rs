@@ -14,16 +14,16 @@
 //! produced by `BackSt`).
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
 
 use modis_data::{
-    derive_attribute_literals, mask_attribute, universal_table, ClusterConfig, Dataset, Literal,
-    StateBitmap,
+    derive_attribute_literals, universal_table, ClusterConfig, Dataset, DatasetView, Literal,
+    RowMask, StateBitmap,
 };
 
+use crate::clock_cache::ClockCache;
 use crate::measure::MeasureSet;
 use crate::substrate::Substrate;
-use crate::task::{evaluate_dataset, TaskSpec};
+use crate::task::{evaluate_dataset_view, TaskSpec};
 
 /// One reducible unit of the tabular search space.
 #[derive(Debug, Clone)]
@@ -54,6 +54,18 @@ pub struct TableSpaceConfig {
     pub max_clusters_per_attr: usize,
     /// Whether to include per-attribute presence units (masking reducts).
     pub attribute_units: bool,
+    /// Capacity of the per-substrate raw-metrics memo (states; 0 =
+    /// unbounded). Evicted entries are simply re-valuated on the next visit.
+    ///
+    /// Caveat for tasks whose measures include wall-clock training time
+    /// (`MetricKind::TrainTime`): re-valuating an evicted state re-measures
+    /// the clock, so byte-identical raw vectors *across runs sharing one
+    /// substrate instance* are only guaranteed while the number of distinct
+    /// states visited stays within capacity (within a single run the
+    /// `ValuationContext` record store, which never evicts, preserves
+    /// determinism regardless). Set 0 to restore the unbounded pre-eviction
+    /// behaviour for such comparisons.
+    pub eval_cache_capacity: usize,
 }
 
 impl Default for TableSpaceConfig {
@@ -66,16 +78,47 @@ impl Default for TableSpaceConfig {
             },
             max_clusters_per_attr: 3,
             attribute_units: true,
+            eval_cache_capacity: 16_384,
         }
     }
 }
 
+/// What the substrate remembers about an already-visited state: the oracle
+/// raw metrics and/or the cheap structure features, both derived from one
+/// materialised view of the state.
+#[derive(Debug, Clone, Default)]
+struct StateRecord {
+    raw: Option<Vec<f64>>,
+    features: Option<Vec<f64>>,
+}
+
+/// Counters of the substrate-level evaluation memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubstrateCacheStats {
+    /// Entries currently memoised.
+    pub entries: usize,
+    /// Entries evicted by the clock policy so far.
+    pub evictions: usize,
+}
+
 /// The tabular [`Substrate`]: universal table + units + downstream task.
+///
+/// Construction valuates every cluster literal against the universal table
+/// exactly once, storing one packed [`RowMask`] per cluster unit;
+/// [`TableSubstrate::materialize_view`] then reduces a state to a handful of
+/// word-wise AND-NOTs plus an attribute mask — O(rows/64 × cleared units),
+/// zero row clones.
 pub struct TableSubstrate {
     universal: Dataset,
     units: Vec<TableUnit>,
+    /// For cluster units: the rows of the universal table matching the
+    /// literal. `None` for attribute units.
+    unit_masks: Vec<Option<RowMask>>,
+    /// For every unit: the universal-table column of the unit's attribute
+    /// (`None` when the attribute is not in the schema).
+    unit_cols: Vec<Option<usize>>,
     task: TaskSpec,
-    cache: Mutex<HashMap<StateBitmap, Vec<f64>>>,
+    cache: Mutex<ClockCache<StateBitmap, StateRecord>>,
 }
 
 impl TableSubstrate {
@@ -113,11 +156,33 @@ impl TableSubstrate {
                 });
             }
         }
+        // Valuate each cluster literal against the universal table exactly
+        // once; every later materialisation is a word-wise mask intersection.
+        let nrows = universal.num_rows();
+        let rows = universal.rows();
+        let unit_masks: Vec<Option<RowMask>> = units
+            .iter()
+            .map(|u| match u {
+                TableUnit::Attribute { .. } => None,
+                TableUnit::Cluster { literal, .. } => Some(RowMask::from_pred(nrows, |r| {
+                    literal.matches_row(&universal, &rows[r])
+                })),
+            })
+            .collect();
+        let unit_cols: Vec<Option<usize>> = units
+            .iter()
+            .map(|u| match u {
+                TableUnit::Attribute { name } => universal.schema().position(name),
+                TableUnit::Cluster { attribute, .. } => universal.schema().position(attribute),
+            })
+            .collect();
         TableSubstrate {
             universal,
             units,
+            unit_masks,
+            unit_cols,
             task,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ClockCache::new(config.eval_cache_capacity)),
         }
     }
 
@@ -136,12 +201,60 @@ impl TableSubstrate {
         &self.units
     }
 
-    /// Materialises the dataset denoted by a state bitmap.
+    /// Materialises the dataset denoted by a state bitmap as a zero-copy
+    /// [`DatasetView`]: a word-wise intersection of the precomputed cluster
+    /// masks of cleared units plus an attribute mask. Never copies a row.
     ///
     /// Attribute units with bit 0 mask the attribute; cluster units with bit
     /// 0 remove the tuples matching the cluster literal (only when the
     /// owning attribute is still present).
+    pub fn materialize_view(&self, bitmap: &StateBitmap) -> DatasetView<'_> {
+        let mut masked_cols = vec![false; self.universal.num_columns()];
+        for (i, unit) in self.units.iter().enumerate() {
+            if bitmap.get(i) {
+                continue;
+            }
+            if matches!(unit, TableUnit::Attribute { .. }) {
+                if let Some(c) = self.unit_cols[i] {
+                    masked_cols[c] = true;
+                }
+            }
+        }
+        let mut mask = RowMask::all(self.universal.num_rows());
+        for (i, unit) in self.units.iter().enumerate() {
+            if bitmap.get(i) {
+                continue;
+            }
+            if let (TableUnit::Cluster { .. }, Some(unit_mask)) = (unit, &self.unit_masks[i]) {
+                // A cluster of a masked attribute no longer removes tuples
+                // (its literal ranges over an empty active domain).
+                let attr_masked = self.unit_cols[i].is_some_and(|c| masked_cols[c]);
+                if !attr_masked {
+                    mask.subtract(unit_mask);
+                }
+            }
+        }
+        DatasetView::new(&self.universal, mask, masked_cols)
+    }
+
+    /// Materialises the dataset denoted by a state bitmap as an owned copy —
+    /// a thin [`DatasetView::to_dataset`] kept for consumers that need an
+    /// owned table. Identical rows/schema to the pre-columnar
+    /// clone-and-filter implementation (see [`Self::materialize_baseline`]).
     pub fn materialize(&self, bitmap: &StateBitmap) -> Dataset {
+        self.materialize_view(bitmap)
+            .to_dataset()
+            .with_name(format!("{}@{}", self.universal.name, bitmap))
+    }
+
+    /// The pre-columnar reference materialisation: deep-clones the universal
+    /// table, re-filters it row by row per cleared cluster unit and nulls
+    /// masked attributes cell by cell.
+    ///
+    /// Kept (not wired into any hot path) as the ground truth for the
+    /// equivalence property tests and the speedup baseline recorded in
+    /// `BENCH_materialize.json`.
+    pub fn materialize_baseline(&self, bitmap: &StateBitmap) -> Dataset {
         let mut masked: Vec<&str> = Vec::new();
         let mut removals: Vec<&Literal> = Vec::new();
         for (i, unit) in self.units.iter().enumerate() {
@@ -162,11 +275,49 @@ impl TableSubstrate {
             data.retain(|row| !lit.matches_row(&self.universal, row));
         }
         for name in masked {
-            if let Ok(d) = mask_attribute(&data, name) {
+            if let Ok(d) = modis_data::mask_attribute(&data, name) {
                 data = d;
             }
         }
         data.with_name(format!("{}@{}", self.universal.name, bitmap))
+    }
+
+    /// Counters of the bounded raw-metrics memo.
+    pub fn cache_stats(&self) -> SubstrateCacheStats {
+        let cache = self.cache.lock();
+        SubstrateCacheStats {
+            entries: cache.len(),
+            evictions: cache.evictions(),
+        }
+    }
+
+    /// Applies `update` to the state's memo record, creating it if absent
+    /// (the single insert-or-merge path shared by `evaluate_raw` and
+    /// `state_features`).
+    fn update_record(&self, bitmap: &StateBitmap, update: impl FnOnce(&mut StateRecord)) {
+        let mut cache = self.cache.lock();
+        match cache.get_mut(bitmap) {
+            Some(rec) => update(rec),
+            None => {
+                let mut rec = StateRecord::default();
+                update(&mut rec);
+                cache.insert(bitmap.clone(), rec);
+            }
+        }
+    }
+
+    /// Structure features of a state derived from an already-materialised
+    /// view: bitmap composition plus the reported size and missing ratio of
+    /// the selection.
+    fn features_from_view(&self, bitmap: &StateBitmap, view: &DatasetView<'_>) -> Vec<f64> {
+        let (rows, cols) = view.reported_size();
+        let mut feats = Vec::with_capacity(bitmap.len() + 4);
+        feats.push(bitmap.count_ones() as f64);
+        feats.push(rows as f64);
+        feats.push(cols as f64);
+        feats.push(view.missing_ratio());
+        feats.extend(bitmap.iter().map(|b| if b { 1.0 } else { 0.0 }));
+        feats
     }
 }
 
@@ -200,31 +351,47 @@ impl Substrate for TableSubstrate {
     }
 
     fn evaluate_raw(&self, bitmap: &StateBitmap) -> Vec<f64> {
-        if let Some(hit) = self.cache.lock().get(bitmap) {
-            return hit.clone();
+        if let Some(raw) = self
+            .cache
+            .lock()
+            .get(bitmap)
+            .and_then(|rec| rec.raw.clone())
+        {
+            return raw;
         }
-        let data = self.materialize(bitmap);
-        let eval = evaluate_dataset(&self.task, &data);
-        self.cache.lock().insert(bitmap.clone(), eval.raw.clone());
+        // One view serves both the oracle metrics and the structure
+        // features: the state is materialised exactly once (previously
+        // `evaluate_raw` and `state_features` each deep-cloned the table).
+        let view = self.materialize_view(bitmap);
+        let eval = evaluate_dataset_view(&self.task, &view);
+        let features = self.features_from_view(bitmap, &view);
+        self.update_record(bitmap, |rec| {
+            rec.raw = Some(eval.raw.clone());
+            rec.features = Some(features);
+        });
         eval.raw
     }
 
     fn state_features(&self, bitmap: &StateBitmap) -> Vec<f64> {
         // Cheap artefact-level statistics: bitmap composition plus the size
-        // of the materialised table (row/column counts and missing ratio).
-        let data = self.materialize(bitmap);
-        let (rows, cols) = data.reported_size();
-        let mut feats = Vec::with_capacity(bitmap.len() + 4);
-        feats.push(bitmap.count_ones() as f64);
-        feats.push(rows as f64);
-        feats.push(cols as f64);
-        feats.push(data.missing_ratio());
-        feats.extend(bitmap.bits().iter().map(|&b| if b { 1.0 } else { 0.0 }));
-        feats
+        // of the materialised selection (row/column counts and missing
+        // ratio) — no model training, shared with `evaluate_raw`'s view.
+        if let Some(feats) = self
+            .cache
+            .lock()
+            .get(bitmap)
+            .and_then(|rec| rec.features.clone())
+        {
+            return feats;
+        }
+        let view = self.materialize_view(bitmap);
+        let features = self.features_from_view(bitmap, &view);
+        self.update_record(bitmap, |rec| rec.features = Some(features.clone()));
+        features
     }
 
     fn artifact_size(&self, bitmap: &StateBitmap) -> (usize, usize) {
-        self.materialize(bitmap).reported_size()
+        self.materialize_view(bitmap).reported_size()
     }
 }
 
@@ -351,5 +518,60 @@ mod tests {
         let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
         let f = sub.state_features(&sub.forward_start());
         assert_eq!(f.len(), sub.num_units() + 4);
+    }
+
+    #[test]
+    fn view_materialisation_matches_clone_and_filter_baseline() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let mut states = vec![sub.forward_start(), sub.backward_start()];
+        for i in 0..sub.num_units() {
+            states.push(sub.forward_start().flipped(i));
+        }
+        // A few multi-flip states, including attribute+cluster interactions.
+        let mut b = sub.forward_start();
+        for i in (0..sub.num_units()).step_by(2) {
+            b = b.flipped(i);
+            states.push(b.clone());
+        }
+        for s in &states {
+            let via_view = sub.materialize(s);
+            let baseline = sub.materialize_baseline(s);
+            assert_eq!(via_view.schema(), baseline.schema(), "{s}");
+            assert_eq!(via_view.rows(), baseline.rows(), "{s}");
+            assert_eq!(via_view.name, baseline.name, "{s}");
+            let view = sub.materialize_view(s);
+            assert_eq!(view.reported_size(), baseline.reported_size(), "{s}");
+            assert!((view.missing_ratio() - baseline.missing_ratio()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eval_cache_is_bounded_and_counts_evictions() {
+        let config = TableSpaceConfig {
+            eval_cache_capacity: 2,
+            ..TableSpaceConfig::default()
+        };
+        let sub = TableSubstrate::from_pool(&pool(), task(), &config);
+        for i in 0..4 {
+            let _ = sub.evaluate_raw(&sub.forward_start().flipped(i));
+        }
+        let stats = sub.cache_stats();
+        assert!(stats.entries <= 2, "entries = {}", stats.entries);
+        assert!(stats.evictions >= 2, "evictions = {}", stats.evictions);
+        // Evicted states are simply re-valuated, same values.
+        let a = sub.evaluate_raw(&sub.forward_start().flipped(0));
+        let b = sub.evaluate_raw(&sub.forward_start().flipped(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_features_and_evaluate_share_one_record() {
+        let sub = TableSubstrate::from_pool(&pool(), task(), &TableSpaceConfig::default());
+        let s = sub.forward_start().flipped(1);
+        let f1 = sub.state_features(&s);
+        let _ = sub.evaluate_raw(&s);
+        let f2 = sub.state_features(&s);
+        assert_eq!(f1, f2);
+        assert_eq!(sub.cache_stats().entries, 1);
     }
 }

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use modis_data::Dataset;
-use modis_ml::encoding::{encode, EncodeOptions, Encoded, TaskKind};
+use modis_data::{Dataset, DatasetView};
+use modis_ml::encoding::{encode, encode_view, EncodeOptions, Encoded, TaskKind};
 use modis_ml::feature::{fisher_score, mutual_information};
 use modis_ml::forest::{ForestParams, RandomForest};
 use modis_ml::gbm::{GbmParams, GradientBoostingClassifier, GradientBoostingRegressor};
@@ -244,8 +244,29 @@ fn fit_model(kind: ModelKind, train: &Encoded, seed: u64) -> FittedModel {
 /// Degenerate datasets (no usable rows or features after encoding) receive
 /// worst-case metrics so the search can simply discard them.
 pub fn evaluate_dataset(task: &TaskSpec, data: &Dataset) -> TaskEvaluation {
-    let encoded = encode(data, &task.encode_options());
-    let size = data.reported_size();
+    evaluate_encoded(
+        task,
+        encode(data, &task.encode_options()),
+        data.reported_size(),
+    )
+}
+
+/// Trains the task's model on a zero-copy [`DatasetView`] — the columnar
+/// counterpart of [`evaluate_dataset`], reading features straight through
+/// the view's selection vector without materialising the table.
+///
+/// Byte-identical to `evaluate_dataset(task, &view.to_dataset())`.
+pub fn evaluate_dataset_view(task: &TaskSpec, view: &DatasetView<'_>) -> TaskEvaluation {
+    evaluate_encoded(
+        task,
+        encode_view(view, &task.encode_options()),
+        view.reported_size(),
+    )
+}
+
+/// Shared oracle-evaluation tail: trains the model on an already-encoded
+/// design matrix and computes the raw + normalised metric vectors.
+fn evaluate_encoded(task: &TaskSpec, encoded: Encoded, size: (usize, usize)) -> TaskEvaluation {
     if encoded.len() < 8 || encoded.num_features() == 0 {
         let raw = worst_case_raw(task);
         let normalised = task.measures.normalise(&raw);
@@ -394,6 +415,22 @@ mod tests {
         let eval = evaluate_dataset(&task, &tiny);
         assert_eq!(eval.raw[0], 0.0);
         assert!((eval.normalised[0] - 0.99).abs() < 0.02);
+    }
+
+    #[test]
+    fn evaluate_view_matches_evaluate_on_materialised_copy() {
+        use modis_data::RowMask;
+        let task = regression_task();
+        let data = regression_data(120);
+        // Select two thirds of the rows, mask the x2 feature.
+        let mask = RowMask::from_pred(data.num_rows(), |r| r % 3 != 0);
+        let view = DatasetView::new(&data, mask, vec![false, false, true, false]);
+        let via_view = evaluate_dataset_view(&task, &view);
+        let via_copy = evaluate_dataset(&task, &view.to_dataset());
+        // Every metric except wall-clock training time is deterministic.
+        assert_eq!(via_view.raw[0], via_copy.raw[0]);
+        assert_eq!(via_view.size, via_copy.size);
+        assert_eq!(via_view.normalised[0], via_copy.normalised[0]);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`cluster`] — per-attribute k-means over active domains, deriving the
 //!   literal lattice used by the search (§6);
 //! * [`bitmap::StateBitmap`] — the state encoding `L` used by ApxMODis /
-//!   BiMODis;
+//!   BiMODis, packed into `u64` words;
+//! * [`view`] — packed [`view::RowMask`] selection vectors and zero-copy
+//!   [`view::DatasetView`]s, the columnar materialisation path;
 //! * [`stats`] — Pearson/Spearman correlation, cosine/Euclidean distances and
 //!   column statistics used by correlation-based pruning and
 //!   diversification;
@@ -36,6 +38,7 @@ pub mod ops;
 pub mod schema;
 pub mod stats;
 pub mod value;
+pub mod view;
 
 pub use bitmap::StateBitmap;
 pub use cluster::{derive_all_literals, derive_attribute_literals, ClusterConfig, DomainCluster};
@@ -46,3 +49,4 @@ pub use literal::{Condition, Literal};
 pub use ops::{apply_operator, augment, augment_aligned, mask_attribute, reduct, Operator};
 pub use schema::{universal_schema, Attribute, AttributeRole, Schema};
 pub use value::Value;
+pub use view::{DatasetView, RowMask};

@@ -8,18 +8,26 @@
 //! each scenario a namespaced handle. Sharding keeps lock contention low
 //! when many worker threads probe the cache concurrently.
 //!
+//! Each shard is a bounded [`ClockCache`]: when a capacity is configured
+//! (see [`SharedEvalCache::with_capacity`] and
+//! [`crate::EngineConfig::cache_capacity`]), cold evaluations are reclaimed
+//! by second-chance eviction instead of growing the store without bound
+//! over long suites; an evicted state is simply re-trained on its next
+//! visit. Evictions are surfaced in [`CacheStats::evictions`].
+//!
 //! Namespaces isolate substrates from one another: a `StateBitmap` only
 //! identifies a dataset *relative to* the substrate that produced it, so two
 //! scenarios may share a namespace only when they search the same substrate
 //! with the same task (measures included). Scenarios that must not share
 //! simply use distinct namespace strings.
 
+use std::borrow::Borrow;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+use modis_core::clock_cache::ClockCache;
 use modis_core::estimator::{EvaluationHook, SharedEvaluation};
 use modis_data::StateBitmap;
 
@@ -32,11 +40,63 @@ pub struct CacheStats {
     pub misses: usize,
     /// Evaluations currently stored.
     pub entries: usize,
+    /// Evaluations reclaimed by the clock eviction policy.
+    pub evictions: usize,
 }
 
-#[derive(Default)]
+type CacheKey = (u64, StateBitmap);
+
+/// Borrowed-key view of a `(namespace, StateBitmap)` cache key, so probes
+/// can be answered without cloning the bitmap into an owned tuple: both the
+/// owned `CacheKey` and a transient `(u64, &StateBitmap)` present as
+/// `dyn KeyPair`, and the `Hash`/`Eq` impls below mirror the owned tuple's
+/// field-sequential semantics exactly (the `Borrow` contract).
+trait KeyPair {
+    fn namespace(&self) -> u64;
+    fn bitmap(&self) -> &StateBitmap;
+}
+
+impl KeyPair for CacheKey {
+    fn namespace(&self) -> u64 {
+        self.0
+    }
+    fn bitmap(&self) -> &StateBitmap {
+        &self.1
+    }
+}
+
+impl KeyPair for (u64, &StateBitmap) {
+    fn namespace(&self) -> u64 {
+        self.0
+    }
+    fn bitmap(&self) -> &StateBitmap {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn KeyPair + 'a> for CacheKey {
+    fn borrow(&self) -> &(dyn KeyPair + 'a) {
+        self
+    }
+}
+
+impl Hash for dyn KeyPair + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.namespace().hash(state);
+        self.bitmap().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyPair + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.namespace() == other.namespace() && self.bitmap() == other.bitmap()
+    }
+}
+
+impl Eq for dyn KeyPair + '_ {}
+
 struct Shard {
-    map: Mutex<HashMap<(u64, StateBitmap), SharedEvaluation>>,
+    map: Mutex<ClockCache<CacheKey, SharedEvaluation>>,
 }
 
 /// A process-wide evaluation cache, sharded by key hash.
@@ -47,19 +107,33 @@ pub struct SharedEvalCache {
     shards: Vec<Shard>,
     hits: AtomicUsize,
     misses: AtomicUsize,
-    entries: AtomicUsize,
 }
 
 impl SharedEvalCache {
-    /// Creates a cache with `shards` independent lock domains (clamped to a
-    /// power of two, minimum 1).
+    /// Creates an unbounded cache with `shards` independent lock domains
+    /// (clamped to a power of two, minimum 1).
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, 0)
+    }
+
+    /// Creates a cache bounded at roughly `capacity` total evaluations
+    /// (0 = unbounded), spread evenly over the shards; each shard evicts
+    /// with the second-chance clock policy once its share fills.
+    pub fn with_capacity(shards: usize, capacity: usize) -> Self {
         let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards).max(1)
+        };
         SharedEvalCache {
-            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: Mutex::new(ClockCache::new(per_shard)),
+                })
+                .collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
-            entries: AtomicUsize::new(0),
         }
     }
 
@@ -74,30 +148,39 @@ impl SharedEvalCache {
         })
     }
 
-    /// Snapshot of the hit/miss/entry counters.
+    /// Snapshot of the hit/miss/entry/eviction counters.
     pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut evictions) = (0, 0);
+        for shard in &self.shards {
+            let map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+            entries += map.len();
+            evictions += map.evictions();
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.load(Ordering::Relaxed),
+            entries,
+            evictions,
         }
     }
 
-    fn shard_for(&self, key: &(u64, StateBitmap)) -> &Shard {
+    /// Picks the shard for a key without cloning the bitmap: `(u64, &T)`
+    /// hashes identically to `(u64, T)`.
+    fn shard_for(&self, namespace: u64, bitmap: &StateBitmap) -> &Shard {
         let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
+        (namespace, bitmap).hash(&mut hasher);
         // Length is a power of two, so the mask picks a uniform shard.
         &self.shards[(hasher.finish() as usize) & (self.shards.len() - 1)]
     }
 
     fn lookup(&self, namespace: u64, bitmap: &StateBitmap) -> Option<SharedEvaluation> {
-        let key = (namespace, bitmap.clone());
-        let shard = self.shard_for(&key);
+        let shard = self.shard_for(namespace, bitmap);
+        // Probe through the borrowed-key view: a hit costs no allocation.
         let found = shard
             .map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .get(&key)
+            .get(&(namespace, bitmap) as &dyn KeyPair)
             .cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -107,16 +190,13 @@ impl SharedEvalCache {
     }
 
     fn record(&self, namespace: u64, bitmap: &StateBitmap, evaluation: &SharedEvaluation) {
+        let shard = self.shard_for(namespace, bitmap);
         let key = (namespace, bitmap.clone());
-        let shard = self.shard_for(&key);
-        let previous = shard
+        shard
             .map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, evaluation.clone());
-        if previous.is_none() {
-            self.entries.fetch_add(1, Ordering::Relaxed);
-        }
     }
 }
 
@@ -158,6 +238,7 @@ mod tests {
         assert_eq!(handle.lookup(&b), Some(eval(0.25)));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -191,6 +272,30 @@ mod tests {
         h.record(&bitmap, &eval(0.2));
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(h.lookup(&bitmap), Some(eval(0.2)));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_serves_survivors() {
+        // One shard, room for 4 evaluations.
+        let cache = Arc::new(SharedEvalCache::with_capacity(1, 4));
+        let h = cache.handle("bounded");
+        for i in 0..16 {
+            let mut b = StateBitmap::empty(16);
+            b.set(i, true);
+            h.record(&b, &eval(i as f64));
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 4, "entries = {}", stats.entries);
+        assert_eq!(stats.evictions, 12);
+        // Survivors still answer; evicted states simply miss.
+        let answered = (0..16)
+            .filter(|&i| {
+                let mut b = StateBitmap::empty(16);
+                b.set(i, true);
+                h.lookup(&b).is_some()
+            })
+            .count();
+        assert_eq!(answered, 4);
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub struct EngineConfig {
     pub scenario_parallelism: usize,
     /// Shard count of the shared evaluation cache.
     pub cache_shards: usize,
+    /// Total capacity of the shared evaluation cache (entries across all
+    /// shards; 0 = unbounded). Cold entries beyond it are reclaimed by
+    /// second-chance eviction and re-trained on their next visit. For tasks
+    /// whose measures include wall-clock training time, a re-trained state
+    /// re-measures the clock, so cross-scenario byte-stability of raw
+    /// metrics holds only while the suite's distinct-state count stays
+    /// within capacity (per-scenario determinism is unaffected — each
+    /// scenario's `ValuationContext` record store never evicts).
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +44,7 @@ impl Default for EngineConfig {
             worker_threads: cpus,
             scenario_parallelism: cpus.clamp(1, 4),
             cache_shards: 16,
+            cache_capacity: 1 << 20,
         }
     }
 }
@@ -55,6 +65,12 @@ impl EngineConfig {
     /// Builder-style cache-shard setter.
     pub fn with_cache_shards(mut self, shards: usize) -> Self {
         self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style cache-capacity setter (0 = unbounded).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 }
@@ -149,9 +165,13 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine with its own shared evaluation cache.
+    /// Creates an engine with its own shared evaluation cache, bounded at
+    /// [`EngineConfig::cache_capacity`] evaluations.
     pub fn new(config: EngineConfig) -> Self {
-        let cache = Arc::new(SharedEvalCache::new(config.cache_shards));
+        let cache = Arc::new(SharedEvalCache::with_capacity(
+            config.cache_shards,
+            config.cache_capacity,
+        ));
         Engine { config, cache }
     }
 

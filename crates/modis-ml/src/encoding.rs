@@ -1,14 +1,21 @@
 //! Dataset → feature-matrix encoding.
 //!
 //! MODis treats the downstream model `M` as a function over a feature matrix
-//! (§2). This module converts a [`Dataset`] into a dense numeric matrix:
-//! numeric attributes are mean-imputed, categorical attributes are
-//! label-encoded, and the declared target attribute becomes the label
-//! vector (class ids for classification, raw values for regression).
+//! (§2). This module converts a [`Dataset`] — or, on the columnar hot path,
+//! a zero-copy [`DatasetView`] — into a dense numeric matrix: numeric
+//! attributes are mean-imputed, categorical attributes are label-encoded,
+//! and the declared target attribute becomes the label vector (class ids
+//! for classification, raw values for regression).
+//!
+//! [`encode_view`] is the primary implementation: it reads cell values
+//! straight through the view's selection vector and attribute mask, so
+//! oracle training never copies a `Value`. [`encode`] wraps a full-table
+//! view around a `Dataset` and produces bit-identical output to the
+//! pre-columnar row-copying encoder.
 
 use std::collections::BTreeMap;
 
-use modis_data::{AttributeRole, Dataset, Value};
+use modis_data::{AttributeRole, Dataset, DatasetView, Value};
 
 /// The kind of supervised task the downstream model solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +158,18 @@ impl EncodeOptions {
 /// Rows whose target is missing are dropped. Feature columns that are
 /// entirely null are dropped (they correspond to masked attributes).
 pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
-    let schema = data.schema();
+    encode_view(&DatasetView::full(data), opts)
+}
+
+/// Encodes a zero-copy [`DatasetView`] into a numeric matrix, reading cell
+/// values straight through the view's selection vector and attribute mask.
+///
+/// Produces exactly the matrix [`encode`] would produce on the materialised
+/// view (`view.to_dataset()`): masked attributes read all-null and are
+/// dropped, deselected rows never contribute to imputation means, category
+/// ids or class ids.
+pub fn encode_view(view: &DatasetView<'_>, opts: &EncodeOptions) -> Encoded {
+    let schema = view.schema();
     let target_col = opts
         .target
         .as_ref()
@@ -171,11 +189,37 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
             continue;
         }
         // Skip all-null columns (masked attributes).
-        if data.rows().iter().all(|r| r[i].is_null()) {
+        if view.col_is_all_null(i) {
             continue;
         }
         feature_cols.push(i);
     }
+
+    let feature_names: Vec<String> = feature_cols
+        .iter()
+        .map(|&c| {
+            schema
+                .attribute(c)
+                .map(|a| a.name.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Every feature column is unmasked (a masked column reads all-null and
+    // was skipped above), so the passes below index the base rows directly
+    // — one slice lookup per row, not an Option chain per cell. The only
+    // possibly-masked column left is the target; when it is masked every
+    // selected row's target reads null and all rows drop.
+    if target_col.is_some_and(|tc| view.is_col_masked(tc)) {
+        return Encoded {
+            features: Vec::new(),
+            targets: Vec::new(),
+            feature_names,
+            n_classes: 0,
+            class_values: Vec::new(),
+        };
+    }
+    let base_rows = view.base().rows();
 
     // Build per-column encoders.
     enum ColEncoder {
@@ -184,20 +228,27 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
     }
     let mut encoders = Vec::with_capacity(feature_cols.len());
     for &c in &feature_cols {
-        let numeric: Vec<f64> = data
-            .rows()
-            .iter()
-            .filter_map(|r| r[c].as_f64())
-            .filter(|v| v.is_finite())
-            .collect();
-        let non_null = data.rows().iter().filter(|r| !r[c].is_null()).count();
-        if !numeric.is_empty() && numeric.len() == non_null {
-            let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
-            encoders.push(ColEncoder::Numeric { mean });
+        let mut sum = 0.0;
+        let mut numeric = 0usize;
+        let mut non_null = 0usize;
+        for r in view.row_indices() {
+            let v = &base_rows[r][c];
+            if !v.is_null() {
+                non_null += 1;
+            }
+            if let Some(x) = v.as_f64().filter(|x| x.is_finite()) {
+                sum += x;
+                numeric += 1;
+            }
+        }
+        if numeric > 0 && numeric == non_null {
+            encoders.push(ColEncoder::Numeric {
+                mean: sum / numeric as f64,
+            });
         } else {
             let mut map = BTreeMap::new();
-            for row in data.rows() {
-                let v = &row[c];
+            for r in view.row_indices() {
+                let v = &base_rows[r][c];
                 if !v.is_null() && !map.contains_key(v) {
                     let id = map.len() as f64;
                     map.insert(v.clone(), id);
@@ -211,8 +262,8 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
     let mut class_values: Vec<Value> = Vec::new();
     let mut class_map: BTreeMap<Value, f64> = BTreeMap::new();
     if let (Some(tc), TaskKind::Classification) = (target_col, opts.task) {
-        for row in data.rows() {
-            let v = &row[tc];
+        for r in view.row_indices() {
+            let v = &base_rows[r][tc];
             if !v.is_null() && !class_map.contains_key(v) {
                 class_map.insert(v.clone(), class_values.len() as f64);
                 class_values.push(v.clone());
@@ -222,7 +273,8 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
 
     let mut features = Vec::new();
     let mut targets = Vec::new();
-    for row in data.rows() {
+    for r in view.row_indices() {
+        let row = &base_rows[r];
         let target_val = match target_col {
             Some(tc) => {
                 let v = &row[tc];
@@ -263,15 +315,7 @@ pub fn encode(data: &Dataset, opts: &EncodeOptions) -> Encoded {
     Encoded {
         features,
         targets,
-        feature_names: feature_cols
-            .iter()
-            .map(|&c| {
-                schema
-                    .attribute(c)
-                    .map(|a| a.name.clone())
-                    .unwrap_or_default()
-            })
-            .collect(),
+        feature_names,
         n_classes: if opts.task == TaskKind::Classification {
             class_values.len()
         } else {
@@ -375,6 +419,22 @@ mod tests {
         d.add_column(Attribute::feature("empty"));
         let e = encode(&d, &EncodeOptions::regression());
         assert!(!e.feature_names.contains(&"empty".to_string()));
+    }
+
+    #[test]
+    fn encode_view_matches_encode_on_materialised_view() {
+        use modis_data::RowMask;
+        let d = toy();
+        // Drop row 1, mask the "color" column.
+        let mask = RowMask::from_pred(d.num_rows(), |r| r != 1);
+        let view = DatasetView::new(&d, mask, vec![false, false, true, false]);
+        let via_view = encode_view(&view, &EncodeOptions::regression());
+        let via_copy = encode(&view.to_dataset(), &EncodeOptions::regression());
+        assert_eq!(via_view.features, via_copy.features);
+        assert_eq!(via_view.targets, via_copy.targets);
+        assert_eq!(via_view.feature_names, via_copy.feature_names);
+        // The masked column is gone from the feature set.
+        assert_eq!(via_view.feature_names, vec!["x"]);
     }
 
     #[test]

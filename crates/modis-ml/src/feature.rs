@@ -37,6 +37,13 @@ pub fn fisher_score_feature(values: &[f64], labels: &[f64]) -> f64 {
     }
 }
 
+/// Fills `col` with column `j` of the row-major matrix `x`, reusing the
+/// buffer so per-feature scoring costs no allocation.
+fn fill_column(x: &[Vec<f64>], j: usize, col: &mut Vec<f64>) {
+    col.clear();
+    col.extend(x.iter().map(|r| r[j]));
+}
+
 /// Mean Fisher score of a feature matrix against labels.
 pub fn fisher_score(x: &[Vec<f64>], labels: &[f64]) -> f64 {
     let d = x.first().map(|r| r.len()).unwrap_or(0);
@@ -44,8 +51,9 @@ pub fn fisher_score(x: &[Vec<f64>], labels: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sum = 0.0;
+    let mut col = Vec::with_capacity(x.len());
     for j in 0..d {
-        let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+        fill_column(x, j, &mut col);
         sum += fisher_score_feature(&col, labels);
     }
     sum / d as f64
@@ -54,9 +62,10 @@ pub fn fisher_score(x: &[Vec<f64>], labels: &[f64]) -> f64 {
 /// Per-feature Fisher scores.
 pub fn fisher_scores(x: &[Vec<f64>], labels: &[f64]) -> Vec<f64> {
     let d = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut col = Vec::with_capacity(x.len());
     (0..d)
         .map(|j| {
-            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            fill_column(x, j, &mut col);
             fisher_score_feature(&col, labels)
         })
         .collect()
@@ -123,8 +132,9 @@ pub fn mutual_information(x: &[Vec<f64>], labels: &[f64], bins: usize) -> f64 {
         return 0.0;
     }
     let mut sum = 0.0;
+    let mut col = Vec::with_capacity(x.len());
     for j in 0..d {
-        let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+        fill_column(x, j, &mut col);
         sum += mutual_information_feature(&col, labels, bins);
     }
     sum / d as f64
@@ -133,9 +143,10 @@ pub fn mutual_information(x: &[Vec<f64>], labels: &[f64], bins: usize) -> f64 {
 /// Per-feature mutual information scores.
 pub fn mutual_information_scores(x: &[Vec<f64>], labels: &[f64], bins: usize) -> Vec<f64> {
     let d = x.first().map(|r| r.len()).unwrap_or(0);
+    let mut col = Vec::with_capacity(x.len());
     (0..d)
         .map(|j| {
-            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            fill_column(x, j, &mut col);
             mutual_information_feature(&col, labels, bins)
         })
         .collect()

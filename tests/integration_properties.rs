@@ -110,4 +110,171 @@ proptest! {
         prop_assert!((ab - ba).abs() < 1e-9);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
     }
+
+    /// The packed `u64` `StateBitmap` is semantically identical to the old
+    /// `Vec<bool>` backing: get/set/flip round-trips, population counts,
+    /// one/zero index lists, hash-eq consistency and lexicographic order all
+    /// match the plain-vector model, across word boundaries.
+    #[test]
+    fn packed_bitmap_matches_bool_vec_model(
+        bits in prop::collection::vec(any::<bool>(), 0..200),
+        other_bits in prop::collection::vec(any::<bool>(), 0..200),
+        flips in prop::collection::vec(0usize..220, 0..24),
+    ) {
+        let mut model = bits.clone();
+        let mut packed = StateBitmap::from_bits(bits.clone());
+        prop_assert_eq!(packed.len(), model.len());
+        for (i, &b) in model.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b);
+        }
+        prop_assert_eq!(packed.count_ones(), model.iter().filter(|&&b| b).count());
+        prop_assert_eq!(
+            packed.ones(),
+            model.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            packed.zeros(),
+            model.iter().enumerate().filter_map(|(i, &b)| (!b).then_some(i)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(packed.bits(), model.clone());
+
+        // Flip a random index sequence (some out of bounds: both no-ops).
+        for &f in &flips {
+            packed = packed.flipped(f);
+            if f < model.len() {
+                model[f] = !model[f];
+            }
+        }
+        prop_assert_eq!(&packed, &StateBitmap::from_bits(model.clone()));
+
+        // Hash-eq round-trip: equal bitmaps hash identically.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |b: &StateBitmap| {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&packed), hash(&StateBitmap::from_bits(model.clone())));
+
+        // Ordering matches Vec<bool> lexicographic order (incl. lengths).
+        let other = StateBitmap::from_bits(other_bits.clone());
+        prop_assert_eq!(packed.cmp(&other), model.cmp(&other_bits));
+
+        // Distance kernels against an independent model computation.
+        let n = model.len().max(other_bits.len());
+        let at = |v: &Vec<bool>, i: usize| v.get(i).copied().unwrap_or(false);
+        let hamming = (0..n).filter(|&i| at(&model, i) != at(&other_bits, i)).count();
+        prop_assert_eq!(packed.hamming_distance(&other), hamming);
+    }
+
+    /// A `DatasetView` over a random selection + attribute mask materialises
+    /// (via `to_dataset`) to exactly the rows a clone-and-filter pass keeps,
+    /// with masked cells nulled; the zero-copy size/missing statistics agree
+    /// with the copy.
+    #[test]
+    fn dataset_view_matches_clone_and_filter(
+        values in prop::collection::vec(0i64..6, 1..80),
+        keep_bits in prop::collection::vec(any::<bool>(), 80),
+        mask_col in 0usize..3,
+    ) {
+        use modis_data::{DatasetView, RowMask};
+        let schema = Schema::from_names(["a", "b", "c"]);
+        let rows: Vec<Vec<Value>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                vec![
+                    Value::Int(v),
+                    if v % 3 == 0 { Value::Null } else { Value::Float(v as f64) },
+                    Value::Int(i as i64),
+                ]
+            })
+            .collect();
+        let data = Dataset::from_rows("d", schema, rows).unwrap();
+
+        let mask = RowMask::from_pred(data.num_rows(), |r| keep_bits[r]);
+        let mut masked_cols = vec![false; 3];
+        masked_cols[mask_col] = true;
+        let view = DatasetView::new(&data, mask, masked_cols.clone());
+
+        // Reference: clone, filter rows, null out the masked column.
+        let next = std::cell::Cell::new(0usize);
+        let mut reference = data.filter(|_| {
+            let idx = next.get();
+            next.set(idx + 1);
+            keep_bits[idx]
+        });
+        for r in 0..reference.num_rows() {
+            reference.set_value(r, mask_col, Value::Null).unwrap();
+        }
+
+        let owned = view.to_dataset();
+        prop_assert_eq!(owned.rows(), reference.rows());
+        prop_assert_eq!(owned.schema().names(), reference.schema().names());
+        prop_assert_eq!(view.num_rows(), reference.num_rows());
+        prop_assert_eq!(view.reported_size(), reference.reported_size());
+        prop_assert!((view.missing_ratio() - reference.missing_ratio()).abs() < 1e-12);
+    }
+
+    /// On a full `TableSubstrate` over a random pool, the columnar
+    /// (mask-intersection) materialisation is byte-identical to the seed's
+    /// clone-and-filter implementation for random states.
+    #[test]
+    fn substrate_view_materialisation_matches_baseline(
+        xs in prop::collection::vec(0i64..9, 24..60),
+        state_bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        use modis_core::table_substrate::{TableSpaceConfig, TableSubstrate};
+        use modis_core::task::{MetricKind, ModelKind, TaskSpec};
+        use modis_core::measure::{MeasureSet, MeasureSpec};
+        use modis_data::Attribute;
+        use modis_core::substrate::Substrate;
+
+        let schema = Schema::from_attributes(vec![
+            Attribute::key("id"),
+            Attribute::feature("x"),
+            Attribute::feature("z"),
+            Attribute::target("y"),
+        ]);
+        let rows: Vec<Vec<Value>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Float(x as f64),
+                    if x % 4 == 0 { Value::Null } else { Value::Int(x % 3) },
+                    Value::Float(2.0 * x as f64),
+                ]
+            })
+            .collect();
+        let data = Dataset::from_rows("pool", schema, rows).unwrap();
+        let task = TaskSpec {
+            name: "prop".into(),
+            model: ModelKind::LinearRegressor,
+            target: "y".into(),
+            key: Some("id".into()),
+            measures: MeasureSet::new(vec![
+                MeasureSpec::maximise("p_R2"),
+                MeasureSpec::minimise("p_Train", 2.0),
+            ]),
+            metric_kinds: vec![MetricKind::R2, MetricKind::TrainTime],
+            train_ratio: 0.7,
+            seed: 1,
+        };
+        let sub = TableSubstrate::from_universal(data, task, &TableSpaceConfig::default());
+        let bitmap = StateBitmap::from_bits(
+            (0..sub.num_units()).map(|i| state_bits[i % state_bits.len()]).collect(),
+        );
+        let via_view = sub.materialize(&bitmap);
+        let baseline = sub.materialize_baseline(&bitmap);
+        prop_assert_eq!(via_view.rows(), baseline.rows());
+        prop_assert_eq!(via_view.schema().names(), baseline.schema().names());
+        prop_assert_eq!(&via_view.name, &baseline.name);
+        prop_assert_eq!(
+            sub.materialize_view(&bitmap).reported_size(),
+            baseline.reported_size()
+        );
+    }
 }
