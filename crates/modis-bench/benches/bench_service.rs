@@ -1,0 +1,127 @@
+//! Service-layer benchmarks: suite throughput on a cold cache vs. a
+//! snapshot warm start, and batched valuation (one thread-pool pass) vs.
+//! the cold per-state loop.
+//!
+//! The committed `BENCH_service.json` baseline is written by the
+//! `bench_service_baseline` binary from the same workload
+//! (`modis_bench::service_workload`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::{
+    register_service_suite, service_substrate, service_valuation_requests, SERVICE_SCENARIO_NAMES,
+};
+use modis_service::{Service, ServiceConfig, ValuationRequest};
+
+const ROWS: usize = 1_000;
+const MAX_STATES: usize = 12;
+const REQUESTS: usize = 3;
+const STATES_PER_REQUEST: usize = 6;
+const STRIDE: usize = 2;
+const SEED: u64 = 7;
+
+fn snapshot_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "modis_bench_service_crit_{}.snap",
+        std::process::id()
+    ))
+}
+
+fn bench_suite_throughput(c: &mut Criterion) {
+    // Produce the snapshot the warm runs restore from.
+    let path = snapshot_path();
+    {
+        let service = Service::new(ServiceConfig::default());
+        register_service_suite(&service, ROWS, SEED, MAX_STATES);
+        service.submit_many(SERVICE_SCENARIO_NAMES).unwrap();
+        service.run_pending();
+        service.snapshot_to(&path).unwrap();
+    }
+
+    let mut group = c.benchmark_group("service_suite");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("cold_cache", ROWS), &ROWS, |b, _| {
+        b.iter(|| {
+            let service = Service::new(ServiceConfig::default());
+            register_service_suite(&service, ROWS, SEED, MAX_STATES);
+            service.submit_many(SERVICE_SCENARIO_NAMES).unwrap();
+            service.run_pending()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("warm_snapshot", ROWS), &ROWS, |b, _| {
+        b.iter(|| {
+            let service = Service::from_snapshot(ServiceConfig::default(), &path).unwrap();
+            register_service_suite(&service, ROWS, SEED, MAX_STATES);
+            service.submit_many(SERVICE_SCENARIO_NAMES).unwrap();
+            service.run_pending()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_batched_valuation(c: &mut Criterion) {
+    // Simulated concurrent clients with overlapping state lists. The
+    // per-state path models independent cold workers (fresh substrate per
+    // request, one training per state, duplicates included); the batched
+    // path groups every request into one engine pass. Each iteration
+    // rebuilds its substrates — a cold path must not reuse memoised raw
+    // metrics.
+    let mut group = c.benchmark_group("service_valuation");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("per_state_loop", REQUESTS),
+        &REQUESTS,
+        |b, _| {
+            b.iter(|| {
+                let workers: Vec<_> = (0..REQUESTS)
+                    .map(|_| service_substrate(ROWS, SEED))
+                    .collect();
+                let request_states = service_valuation_requests(
+                    workers[0].as_ref(),
+                    REQUESTS,
+                    STATES_PER_REQUEST,
+                    STRIDE,
+                );
+                workers
+                    .iter()
+                    .zip(&request_states)
+                    .map(|(worker, states)| {
+                        states
+                            .iter()
+                            .map(|s| worker.evaluate_raw(s).len())
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched_pass", REQUESTS),
+        &REQUESTS,
+        |b, _| {
+            b.iter(|| {
+                let service = Service::new(ServiceConfig::default());
+                register_service_suite(&service, ROWS, SEED, MAX_STATES);
+                let probe = service_substrate(ROWS, SEED);
+                let requests: Vec<ValuationRequest> = service_valuation_requests(
+                    probe.as_ref(),
+                    REQUESTS,
+                    STATES_PER_REQUEST,
+                    STRIDE,
+                )
+                .into_iter()
+                .map(|states| ValuationRequest {
+                    scenario: "svc/apx".into(),
+                    states,
+                })
+                .collect();
+                service.valuate_many(&requests).unwrap().len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_throughput, bench_batched_valuation);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Save-baseline runner for the service layer: measures (1) suite
+//! requests/sec on a cold cache vs. a service warm-started from a
+//! snapshot, and (2) batched valuation (one thread-pool pass) vs. the cold
+//! per-state loop, then writes the numbers to `BENCH_service.json`.
+//!
+//! Usage: `bench_service_baseline [--rows N] [--iters N] [--out PATH]
+//! [--quick]` — `--quick` shrinks the workload to one short iteration for
+//! the CI smoke step (compiles + runs, no timing assertions).
+
+use std::time::Instant;
+
+use modis_bench::{
+    register_service_suite, service_substrate, service_valuation_requests, SERVICE_SCENARIO_NAMES,
+};
+use modis_service::{Service, ServiceConfig, ValuationRequest};
+
+/// Median of `iters` samples produced by `f` (closures time their inner
+/// region themselves, excluding their own setup).
+fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1)).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows: usize = flag_value("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 300 } else { 4_000 });
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 5 });
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_service.json".into());
+    let max_states = if quick { 8 } else { 25 };
+    let batch_states = if quick { 3 } else { 8 };
+    let seed = 7;
+
+    // One cold run produces the snapshot every warm iteration restores.
+    eprintln!("preparing snapshot ({rows} rows)…");
+    let snapshot_path =
+        std::env::temp_dir().join(format!("modis_bench_service_{}.snap", std::process::id()));
+    {
+        let service = Service::new(ServiceConfig::default());
+        register_service_suite(&service, rows, seed, max_states);
+        service
+            .submit_many(SERVICE_SCENARIO_NAMES)
+            .expect("submit suite");
+        service.run_pending();
+        service.snapshot_to(&snapshot_path).expect("write snapshot");
+    }
+
+    // (1) Suite requests/sec: cold cache vs. snapshot warm start. Every
+    // iteration builds a fresh service *and* fresh substrates; only the
+    // snapshot carries state into the warm runs.
+    eprintln!("timing cold vs. warm suite runs…");
+    let cold_us = median_of(iters, || {
+        let service = Service::new(ServiceConfig::default());
+        register_service_suite(&service, rows, seed, max_states);
+        service
+            .submit_many(SERVICE_SCENARIO_NAMES)
+            .expect("submit suite");
+        let start = Instant::now();
+        service.run_pending();
+        start.elapsed().as_secs_f64() * 1e6
+    });
+    let warm_us = median_of(iters, || {
+        let service = Service::from_snapshot(ServiceConfig::default(), &snapshot_path)
+            .expect("restore snapshot");
+        register_service_suite(&service, rows, seed, max_states);
+        service
+            .submit_many(SERVICE_SCENARIO_NAMES)
+            .expect("submit suite");
+        let start = Instant::now();
+        service.run_pending();
+        start.elapsed().as_secs_f64() * 1e6
+    });
+    let requests = SERVICE_SCENARIO_NAMES.len() as f64;
+    let cold_rps = requests / (cold_us / 1e6);
+    let warm_rps = requests / (warm_us / 1e6);
+
+    // (2) Batched valuation vs. the cold per-state path, over simulated
+    // concurrent clients whose state lists overlap (as concurrent requests
+    // over one pool do). The per-state path models independent workers:
+    // one fresh substrate per request, every state trained one at a time.
+    // The batched path groups all requests into one engine pass: overlaps
+    // train once and worker threads share the load. Setup (substrate
+    // construction, registration) stays outside the timed region on both
+    // sides.
+    eprintln!("timing batched vs. per-state valuation…");
+    let n_requests = if quick { 2 } else { 4 };
+    let per_request = batch_states;
+    let stride = if quick { 1 } else { 2 };
+    let distinct = {
+        let probe = service_substrate(rows, seed);
+        let all: Vec<_> =
+            service_valuation_requests(probe.as_ref(), n_requests, per_request, stride)
+                .into_iter()
+                .flatten()
+                .collect();
+        let mut unique = all.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        unique.len()
+    };
+    let per_state_us = median_of(iters, || {
+        let workers: Vec<_> = (0..n_requests)
+            .map(|_| service_substrate(rows, seed))
+            .collect();
+        let request_states =
+            service_valuation_requests(workers[0].as_ref(), n_requests, per_request, stride);
+        let start = Instant::now();
+        for (worker, states) in workers.iter().zip(&request_states) {
+            for state in states {
+                std::hint::black_box(worker.evaluate_raw(state));
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e6
+    });
+    let batched_us = median_of(iters, || {
+        let service = Service::new(ServiceConfig::default());
+        register_service_suite(&service, rows, seed, max_states);
+        let probe = service_substrate(rows, seed);
+        let requests: Vec<ValuationRequest> =
+            service_valuation_requests(probe.as_ref(), n_requests, per_request, stride)
+                .into_iter()
+                .map(|states| ValuationRequest {
+                    scenario: "svc/apx".into(),
+                    states,
+                })
+                .collect();
+        let start = Instant::now();
+        std::hint::black_box(service.valuate_many(&requests).unwrap());
+        start.elapsed().as_secs_f64() * 1e6
+    });
+
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    let speedup_warm = warm_rps / cold_rps.max(1e-9);
+    let speedup_batch = per_state_us / batched_us.max(1e-3);
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"workload\": {{ \"rows\": {rows}, \"scenarios\": {scenarios}, \"max_states\": {max_states}, \"concurrent_requests\": {n_requests}, \"states_per_request\": {per_request}, \"distinct_states\": {distinct}, \"iters\": {iters} }},\n  \"suite_requests_per_sec\": {{\n    \"cold_cache\": {cold_rps:.2},\n    \"warm_snapshot\": {warm_rps:.2}\n  }},\n  \"concurrent_valuation_us\": {{\n    \"per_state_loop\": {per_state_us:.1},\n    \"batched_pass\": {batched_us:.1}\n  }},\n  \"speedup\": {{\n    \"warm_vs_cold\": {speedup_warm:.2},\n    \"batched_vs_per_state\": {speedup_batch:.2}\n  }}\n}}\n",
+        scenarios = SERVICE_SCENARIO_NAMES.len(),
+    );
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick || speedup_warm > 1.0,
+        "warm-start {warm_rps:.2} req/s must beat cold {cold_rps:.2} req/s"
+    );
+    assert!(
+        quick || speedup_batch > 1.0,
+        "batched pass {batched_us:.1}us must beat per-state loop {per_state_us:.1}us"
+    );
+}

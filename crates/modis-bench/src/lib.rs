@@ -8,9 +8,15 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod service_workload;
 pub mod workloads;
 
 pub use report::{print_method_table, print_series, print_table, Row};
+pub use service_workload::{
+    register_service_suite, register_service_suite_over, service_config, service_probe_states,
+    service_substrate, service_valuation_requests, service_with_probe_states,
+    SERVICE_SCENARIO_NAMES,
+};
 pub use workloads::{
     materialize_state, materialize_substrate, run_graph_methods, run_table_methods, run_variant,
     skyline_to_row, t5_measures, task_t1, task_t2, task_t3, task_t4, MethodRow, ModisVariant,

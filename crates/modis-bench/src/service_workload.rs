@@ -1,0 +1,134 @@
+//! Shared workload for the service-layer benchmarks: the Criterion bench
+//! (`benches/bench_service.rs`) and the committed-baseline binary
+//! (`bench_service_baseline`) must measure the same thing, so the scenario
+//! suite, probe states and configuration live here.
+//!
+//! Every call builds *fresh* substrate instances: the tabular substrate
+//! memoises raw metrics internally, so re-using one instance would silently
+//! turn a "cold" measurement warm.
+
+use std::sync::Arc;
+
+use modis_core::prelude::*;
+use modis_core::substrate::Substrate;
+use modis_data::StateBitmap;
+use modis_engine::{Algorithm, Scenario};
+use modis_service::Service;
+
+use crate::workloads::materialize_substrate;
+
+/// Names of the benchmark suite's scenarios, in submission order.
+pub const SERVICE_SCENARIO_NAMES: [&str; 3] = ["svc/apx", "svc/bi", "svc/div"];
+
+/// Search configuration used by every service-bench scenario.
+pub fn service_config(max_states: usize) -> ModisConfig {
+    ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(max_states)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Oracle)
+}
+
+/// A fresh substrate over the synthetic `rows`-tuple table (deterministic
+/// in `seed`; distinct instances share no memo state).
+pub fn service_substrate(rows: usize, seed: u64) -> Arc<dyn Substrate> {
+    Arc::new(materialize_substrate(rows, seed))
+}
+
+/// Registers the three-algorithm suite over `substrate`, all sharing the
+/// `bench-pool` cache namespace.
+pub fn register_service_suite_over(
+    service: &Service,
+    substrate: Arc<dyn Substrate>,
+    max_states: usize,
+) {
+    let config = service_config(max_states);
+    for (name, algorithm) in
+        SERVICE_SCENARIO_NAMES
+            .into_iter()
+            .zip([Algorithm::Apx, Algorithm::Bi, Algorithm::Div])
+    {
+        service
+            .register(
+                Scenario::new(name, substrate.clone(), algorithm, config.clone())
+                    .with_cache_namespace("bench-pool"),
+            )
+            .expect("register bench scenario");
+    }
+}
+
+/// Registers the three-algorithm suite over one fresh substrate, all
+/// sharing the `bench-pool` cache namespace.
+pub fn register_service_suite(service: &Service, rows: usize, seed: u64, max_states: usize) {
+    register_service_suite_over(service, service_substrate(rows, seed), max_states);
+}
+
+/// A fresh service with the suite registered plus `n` probe states over the
+/// *same* substrate instance — the setup both valuation benches share, so
+/// the timed region contains only the valuations themselves.
+pub fn service_with_probe_states(
+    rows: usize,
+    seed: u64,
+    max_states: usize,
+    n: usize,
+) -> (Service, Vec<StateBitmap>) {
+    let substrate = service_substrate(rows, seed);
+    let states = service_probe_states(substrate.as_ref(), n);
+    let service = Service::new(modis_service::ServiceConfig::default());
+    register_service_suite_over(&service, substrate, max_states);
+    (service, states)
+}
+
+/// `n` distinct probe states: the universal state with one unit cleared,
+/// cycling over the substrate's units (capped at the unit count to keep
+/// every state distinct).
+pub fn service_probe_states(substrate: &dyn Substrate, n: usize) -> Vec<StateBitmap> {
+    let full = substrate.forward_start();
+    (0..n.min(substrate.num_units()))
+        .map(|i| full.flipped(i))
+        .collect()
+}
+
+/// Simulated concurrent clients: `requests` state lists of `per_request`
+/// single-flip probe states each, with consecutive windows shifted by
+/// `stride` units — so requests *overlap* (as concurrent scenario requests
+/// over one pool do). The batched path dedups the overlap into one
+/// training per distinct state; the per-state path pays for every
+/// duplicate.
+pub fn service_valuation_requests(
+    substrate: &dyn Substrate,
+    requests: usize,
+    per_request: usize,
+    stride: usize,
+) -> Vec<Vec<StateBitmap>> {
+    let units = substrate.num_units().max(1);
+    let full = substrate.forward_start();
+    (0..requests)
+        .map(|r| {
+            (0..per_request)
+                .map(|i| full.flipped((r * stride + i) % units))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_service::ServiceConfig;
+
+    #[test]
+    fn suite_registers_and_probe_states_are_distinct() {
+        let service = Service::new(ServiceConfig::default());
+        register_service_suite(&service, 200, 7, 10);
+        assert_eq!(service.scenario_names().len(), 3);
+        let substrate = service_substrate(200, 7);
+        let states = service_probe_states(substrate.as_ref(), 64);
+        assert!(!states.is_empty());
+        for (i, a) in states.iter().enumerate() {
+            for b in &states[i + 1..] {
+                assert_ne!(a, b, "probe states must be distinct");
+            }
+        }
+    }
+}

@@ -60,6 +60,51 @@ impl<K: Eq + Hash + Clone, V> ClockCache<K, V> {
         self.evictions
     }
 
+    /// Current position of the clock hand (the next eviction candidate).
+    pub fn hand(&self) -> usize {
+        self.hand
+    }
+
+    /// Iterates the stored entries in *slot order* together with their
+    /// referenced bits. Slot order plus [`Self::hand`] fully determines
+    /// future eviction behaviour, so a snapshot taken through this iterator
+    /// and replayed through [`Self::restore_slot`] / [`Self::set_hand`]
+    /// reproduces the cache exactly — values, order and eviction schedule.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (&K, &V, bool)> {
+        self.slots.iter().map(|s| (&s.key, &s.value, s.referenced))
+    }
+
+    /// Appends an entry as the next slot, preserving an explicit referenced
+    /// bit — the restore-side counterpart of [`Self::iter_slots`]. Returns
+    /// `false` (and stores nothing) when the key is already present or the
+    /// cache is at capacity; restores into a smaller cache should fall back
+    /// to [`Self::insert`].
+    pub fn restore_slot(&mut self, key: K, value: V, referenced: bool) -> bool {
+        if self.map.contains_key(&key) {
+            return false;
+        }
+        if self.capacity != 0 && self.slots.len() >= self.capacity {
+            return false;
+        }
+        self.map.insert(key.clone(), self.slots.len());
+        self.slots.push(Slot {
+            key,
+            value,
+            referenced,
+        });
+        true
+    }
+
+    /// Repositions the clock hand (clamped into the slot range); pairs with
+    /// [`Self::restore_slot`] when rebuilding a cache from a snapshot.
+    pub fn set_hand(&mut self, hand: usize) {
+        self.hand = if self.slots.is_empty() {
+            0
+        } else {
+            hand % self.slots.len()
+        };
+    }
+
     /// Looks up `key`, marking the entry as recently used. Accepts any
     /// borrowed form of the key (like `HashMap::get`), so callers can probe
     /// without materialising an owned key.
@@ -192,6 +237,47 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.evictions(), 0);
         assert_eq!(c.get(&1), Some(&"y"));
+    }
+
+    #[test]
+    fn slot_snapshot_reproduces_eviction_schedule() {
+        // Build a cache with a mixed referenced pattern and a moved hand…
+        let mut original = ClockCache::new(3);
+        original.insert("a", 1);
+        original.insert("b", 2);
+        original.insert("c", 3);
+        original.insert("d", 4); // evicts "a", hand moves
+        original.get(&"b");
+
+        // …replay its slots and hand into a fresh cache…
+        let mut restored = ClockCache::new(3);
+        let slots: Vec<(&str, i32, bool)> =
+            original.iter_slots().map(|(k, v, r)| (*k, *v, r)).collect();
+        for (k, v, r) in slots {
+            assert!(restored.restore_slot(k, v, r));
+        }
+        restored.set_hand(original.hand());
+
+        // …and check both caches pick the same victim next.
+        original.insert("x", 9);
+        restored.insert("x", 9);
+        fn keys(c: &ClockCache<&'static str, i32>) -> Vec<&'static str> {
+            let mut k: Vec<&'static str> = c.iter_slots().map(|(k, _, _)| *k).collect();
+            k.sort_unstable();
+            k
+        }
+        assert_eq!(keys(&original), keys(&restored));
+    }
+
+    #[test]
+    fn restore_slot_refuses_duplicates_and_overflow() {
+        let mut c = ClockCache::new(2);
+        assert!(c.restore_slot(1, "a", true));
+        assert!(!c.restore_slot(1, "b", false), "duplicate key");
+        assert!(c.restore_slot(2, "b", false));
+        assert!(!c.restore_slot(3, "c", true), "beyond capacity");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&"a"));
     }
 
     #[test]

@@ -126,6 +126,24 @@ impl SkylineResult {
         })
     }
 
+    /// The run's *paid* valuation cost: oracle trainings plus surrogate
+    /// predictions, excluding valuations answered free of charge by the
+    /// record store or the shared cross-run cache. This is the counter
+    /// cost-aware scheduling feeds on — it measures how expensive the run
+    /// was on this cache state, not how many states it touched.
+    pub fn valuation_cost(&self) -> usize {
+        self.stats.oracle_calls + self.stats.surrogate_calls
+    }
+
+    /// Every valuation the run requested, paid or answered from a cache
+    /// (record-store hits and shared-cache hits included).
+    pub fn total_valuations(&self) -> usize {
+        self.stats.oracle_calls
+            + self.stats.surrogate_calls
+            + self.stats.cache_hits
+            + self.stats.shared_hits
+    }
+
     /// Number of skyline entries.
     pub fn len(&self) -> usize {
         self.entries.len()

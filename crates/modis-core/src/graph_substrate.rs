@@ -16,7 +16,7 @@ use modis_ml::kmeans::kmeans;
 
 use crate::clock_cache::ClockCache;
 use crate::measure::MeasureSet;
-use crate::substrate::Substrate;
+use crate::substrate::{Substrate, SubstrateCacheStats};
 
 /// Configuration of the graph search space.
 #[derive(Debug, Clone)]
@@ -65,6 +65,9 @@ pub struct GraphSubstrate {
     measures: MeasureSet,
     config: GraphSpaceConfig,
     cache: Mutex<ClockCache<StateBitmap, Vec<f64>>>,
+    /// Lazily computed full-content fingerprint (the universal graph is
+    /// immutable after construction).
+    fingerprint_memo: std::sync::OnceLock<u64>,
 }
 
 impl GraphSubstrate {
@@ -96,6 +99,7 @@ impl GraphSubstrate {
             measures,
             config,
             cache,
+            fingerprint_memo: std::sync::OnceLock::new(),
         }
     }
 
@@ -120,6 +124,15 @@ impl GraphSubstrate {
     /// Number of ranking cut-offs.
     pub fn k_values(&self) -> &[usize] {
         &self.config.k_values
+    }
+
+    /// Counters of the bounded raw-metrics memo.
+    pub fn cache_stats(&self) -> SubstrateCacheStats {
+        let cache = self.cache.lock();
+        SubstrateCacheStats {
+            entries: cache.len(),
+            evictions: cache.evictions(),
+        }
     }
 }
 
@@ -201,6 +214,53 @@ impl Substrate for GraphSubstrate {
 
     fn artifact_size(&self, bitmap: &StateBitmap) -> (usize, usize) {
         self.materialize(bitmap).reported_size()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Mix the model/split configuration and a digest of EVERY edge in
+        // on top of the structural default — the same edge clustering under
+        // a different LightGCN parameterisation, or a refreshed edge set
+        // with the same cluster count, valuates the same bitmap
+        // differently, and a sampled digest would miss changes that land
+        // between sample points. The graph is immutable after construction,
+        // so the digest is computed once; fingerprints persist in
+        // snapshots, so everything hashes through the stable FNV hasher.
+        use crate::codec::StableHasher;
+        use std::hash::{Hash, Hasher};
+        *self.fingerprint_memo.get_or_init(|| {
+            let mut h = StableHasher::new();
+            crate::substrate::structural_fingerprint(self).hash(&mut h);
+            // Valuation-relevant config fields, hashed individually through
+            // the stable primitives. Deliberately NOT a Debug-format of the
+            // whole config: float Debug rendering is toolchain-dependent,
+            // and `eval_cache_capacity` is a performance knob — retuning
+            // the memo bound must not re-identify the substrate and lock a
+            // restarted service out of its own warm namespace.
+            self.config.n_edge_clusters.hash(&mut h);
+            self.config.k_values.hash(&mut h);
+            self.config.train_ratio.to_bits().hash(&mut h);
+            self.config.seed.hash(&mut h);
+            self.config.model.dim.hash(&mut h);
+            self.config.model.layers.hash(&mut h);
+            self.config.model.epochs.hash(&mut h);
+            self.config.model.learning_rate.to_bits().hash(&mut h);
+            self.config.model.reg.to_bits().hash(&mut h);
+            self.config.model.seed.hash(&mut h);
+            let edges = &self.universal.edges;
+            (self.universal.n_users, self.universal.n_items, edges.len()).hash(&mut h);
+            for (idx, edge) in edges.iter().enumerate() {
+                edge.hash(&mut h);
+                self.edge_cluster.get(idx).hash(&mut h);
+                for &f in &self.universal.edge_features[idx] {
+                    f.to_bits().hash(&mut h);
+                }
+            }
+            h.finish()
+        })
+    }
+
+    fn memo_stats(&self) -> SubstrateCacheStats {
+        self.cache_stats()
     }
 }
 

@@ -71,6 +71,7 @@ pub mod apx;
 pub mod baselines;
 pub mod bimodis;
 pub mod clock_cache;
+pub mod codec;
 pub mod config;
 pub mod correlation;
 pub mod divmodis;
@@ -103,7 +104,7 @@ pub mod prelude {
     pub use crate::graph_substrate::{GraphSpaceConfig, GraphSubstrate};
     pub use crate::measure::{Direction as MeasureDirection, MeasureSet, MeasureSpec};
     pub use crate::search_common::ProtectedSet;
-    pub use crate::substrate::Substrate;
+    pub use crate::substrate::{Substrate, SubstrateCacheStats};
     pub use crate::table_substrate::{TableSpaceConfig, TableSubstrate};
     pub use crate::task::{
         evaluate_dataset, evaluate_dataset_view, MetricKind, ModelKind, TaskEvaluation, TaskSpec,

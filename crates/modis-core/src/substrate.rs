@@ -15,9 +15,32 @@
 //! Two implementations are provided: [`crate::table_substrate::TableSubstrate`]
 //! (tabular tasks) and [`crate::graph_substrate::GraphSubstrate`] (task T5).
 
+use std::hash::{Hash, Hasher};
+
 use modis_data::StateBitmap;
 
+use crate::codec::StableHasher;
 use crate::measure::MeasureSet;
+
+/// Counters of a substrate-level evaluation memo (raw metrics / features
+/// remembered per visited state). Returned by [`Substrate::memo_stats`] and
+/// aggregated with the engine's shared-cache counters by
+/// `modis-engine`'s `Engine::cache_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubstrateCacheStats {
+    /// Entries currently memoised.
+    pub entries: usize,
+    /// Entries evicted by the clock policy so far.
+    pub evictions: usize,
+}
+
+impl SubstrateCacheStats {
+    /// Accumulates another memo's counters into this one.
+    pub fn merge(&mut self, other: SubstrateCacheStats) {
+        self.entries += other.entries;
+        self.evictions += other.evictions;
+    }
+}
 
 /// A search space over artefacts encoded by state bitmaps.
 ///
@@ -63,6 +86,55 @@ pub trait Substrate: Send + Sync {
     fn protected_units(&self) -> Vec<usize> {
         Vec::new()
     }
+
+    /// A structural fingerprint of the search space: two substrates whose
+    /// fingerprints differ must never share an evaluation-cache namespace —
+    /// a `StateBitmap` only identifies a dataset *relative to* the substrate
+    /// that produced it, so cross-substrate sharing silently poisons
+    /// valuations. The default folds everything that determines what a
+    /// bitmap means (unit count and labels, start states, protected units)
+    /// and what an evaluation means (the measure set) into one hash; see
+    /// [`structural_fingerprint`]. Implementations whose valuations depend
+    /// on more than the structure (e.g. a downstream model spec) should
+    /// override this and mix the extra identity in.
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint(self)
+    }
+
+    /// Counters of the substrate's internal evaluation memo, if it keeps
+    /// one. Default: an empty memo (for substrates that recompute every
+    /// valuation).
+    fn memo_stats(&self) -> SubstrateCacheStats {
+        SubstrateCacheStats::default()
+    }
+}
+
+/// The structural part of a substrate's identity: unit count and labels,
+/// start states, protected units and the measure set, folded into one hash.
+/// This is the default [`Substrate::fingerprint`]; overrides reuse it and
+/// mix in whatever extra state their valuations depend on.
+///
+/// Hashed with [`StableHasher`], not std's `DefaultHasher`: fingerprints
+/// are persisted inside evaluation-cache snapshots and compared across
+/// processes (and toolchains) to keep a warm-started namespace from
+/// serving another substrate's evaluations.
+pub fn structural_fingerprint<S: Substrate + ?Sized>(substrate: &S) -> u64 {
+    let mut h = StableHasher::new();
+    substrate.num_units().hash(&mut h);
+    for unit in 0..substrate.num_units() {
+        substrate.unit_label(unit).hash(&mut h);
+    }
+    substrate.forward_start().hash(&mut h);
+    substrate.backward_start().hash(&mut h);
+    substrate.protected_units().hash(&mut h);
+    for spec in substrate.measures().specs() {
+        spec.name.hash(&mut h);
+        (spec.direction == crate::measure::Direction::HigherIsBetter).hash(&mut h);
+        spec.scale.to_bits().hash(&mut h);
+        spec.lower.to_bits().hash(&mut h);
+        spec.upper.to_bits().hash(&mut h);
+    }
+    h.finish()
 }
 
 pub mod mock {
@@ -134,6 +206,18 @@ pub mod mock {
         fn artifact_size(&self, bitmap: &StateBitmap) -> (usize, usize) {
             (bitmap.count_ones() * 10, bitmap.count_ones())
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_incompatible_spaces() {
+        let a = MockSubstrate::new(6);
+        let b = MockSubstrate::new(6);
+        let c = MockSubstrate::new(7);
+        // Same structure ⇒ same fingerprint (instances may share a cache
+        // namespace); different unit universe ⇒ different fingerprint.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.memo_stats(), SubstrateCacheStats::default());
     }
 
     #[test]

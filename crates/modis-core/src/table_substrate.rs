@@ -92,14 +92,7 @@ struct StateRecord {
     features: Option<Vec<f64>>,
 }
 
-/// Counters of the substrate-level evaluation memo.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SubstrateCacheStats {
-    /// Entries currently memoised.
-    pub entries: usize,
-    /// Entries evicted by the clock policy so far.
-    pub evictions: usize,
-}
+pub use crate::substrate::SubstrateCacheStats;
 
 /// The tabular [`Substrate`]: universal table + units + downstream task.
 ///
@@ -119,6 +112,9 @@ pub struct TableSubstrate {
     unit_cols: Vec<Option<usize>>,
     task: TaskSpec,
     cache: Mutex<ClockCache<StateBitmap, StateRecord>>,
+    /// Lazily computed full-content fingerprint (the universal table is
+    /// immutable after construction, so one digest serves every call).
+    fingerprint_memo: std::sync::OnceLock<u64>,
 }
 
 impl TableSubstrate {
@@ -183,6 +179,7 @@ impl TableSubstrate {
             unit_cols,
             task,
             cache: Mutex::new(ClockCache::new(config.eval_cache_capacity)),
+            fingerprint_memo: std::sync::OnceLock::new(),
         }
     }
 
@@ -393,6 +390,42 @@ impl Substrate for TableSubstrate {
     fn artifact_size(&self, bitmap: &StateBitmap) -> (usize, usize) {
         self.materialize_view(bitmap).reported_size()
     }
+
+    fn fingerprint(&self) -> u64 {
+        // The structural default does not see the downstream task or the
+        // data: the same units and measure names over a different model, a
+        // different split/seed, or a *refreshed table* (same schema and row
+        // count, new cell values) valuate the same bitmap differently. Fold
+        // the full task spec and a digest of EVERY cell of the universal
+        // table in — a sampled digest would wave refreshed data past the
+        // namespace guard whenever the change lands between sample points.
+        // The table is immutable after construction, so the digest is
+        // computed once and memoised; fingerprints persist in snapshots, so
+        // everything hashes through the stable FNV hasher.
+        use crate::codec::StableHasher;
+        use std::hash::{Hash, Hasher};
+        *self.fingerprint_memo.get_or_init(|| {
+            let mut h = StableHasher::new();
+            crate::substrate::structural_fingerprint(self).hash(&mut h);
+            self.task.name.hash(&mut h);
+            format!("{:?}", self.task.model).hash(&mut h);
+            self.task.target.hash(&mut h);
+            self.task.key.hash(&mut h);
+            format!("{:?}", self.task.metric_kinds).hash(&mut h);
+            self.task.train_ratio.to_bits().hash(&mut h);
+            self.task.seed.hash(&mut h);
+            let rows = self.universal.rows();
+            rows.len().hash(&mut h);
+            for row in rows {
+                row.hash(&mut h);
+            }
+            h.finish()
+        })
+    }
+
+    fn memo_stats(&self) -> SubstrateCacheStats {
+        self.cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +479,43 @@ mod tests {
             train_ratio: 0.7,
             seed: 1,
         }
+    }
+
+    #[test]
+    fn fingerprint_sees_data_content_not_just_schema() {
+        // No cluster units, so the unit universe is value-independent and
+        // only the content digest can tell the datasets apart.
+        let config = TableSpaceConfig {
+            max_clusters_per_attr: 0,
+            ..TableSpaceConfig::default()
+        };
+        let a = TableSubstrate::from_pool(&pool(), task(), &config);
+        let b = TableSubstrate::from_pool(&pool(), task(), &config);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same data, same print");
+
+        // Same schema, same row count, one changed cell value.
+        let mut altered = pool();
+        let refreshed = Dataset::from_rows(
+            "base",
+            altered[0].schema().clone(),
+            (0..60)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Float((i % 10) as f64 + if i == 17 { 0.5 } else { 0.0 }),
+                        Value::Float(2.0 * (i % 10) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        altered[0] = refreshed;
+        let c = TableSubstrate::from_pool(&altered, task(), &config);
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "refreshed cell values must change the fingerprint"
+        );
     }
 
     #[test]

@@ -68,6 +68,26 @@ impl StateBitmap {
         b
     }
 
+    /// Rebuilds a bitmap from its packed words (the inverse of
+    /// [`Self::words`], used by the cache-snapshot codec). Returns `None`
+    /// when the word count does not match `len` or a padding bit beyond
+    /// `len` is set — both would break the masking-free `Eq`/`Hash`
+    /// invariant, so malformed input is rejected instead of adopted.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != words_for(len) {
+            return None;
+        }
+        let rem = len % WORD_BITS;
+        if rem != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(StateBitmap { words, len })
+    }
+
     /// Length of the bitmap.
     pub fn len(&self) -> usize {
         self.len
@@ -379,6 +399,23 @@ mod tests {
         assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-12);
         let zero = StateBitmap::empty(3);
         assert_eq!(a.cosine_similarity(&zero), 0.0);
+    }
+
+    #[test]
+    fn from_words_round_trips_and_rejects_malformed_input() {
+        for n in [0, 1, 63, 64, 65, 130] {
+            let mut b = StateBitmap::empty(n);
+            for i in (0..n).step_by(3) {
+                b.set(i, true);
+            }
+            let rebuilt = StateBitmap::from_words(b.words().to_vec(), n).unwrap();
+            assert_eq!(rebuilt, b, "n = {n}");
+        }
+        // Wrong word count.
+        assert!(StateBitmap::from_words(vec![0, 0], 64).is_none());
+        // Padding bit set beyond len.
+        assert!(StateBitmap::from_words(vec![1 << 5], 5).is_none());
+        assert!(StateBitmap::from_words(vec![(1 << 5) - 1], 5).is_some());
     }
 
     #[test]

@@ -22,26 +22,54 @@
 //! simply use distinct namespace strings.
 
 use std::borrow::Borrow;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use modis_core::clock_cache::ClockCache;
+use modis_core::codec::{fnv1a, FNV_OFFSET_BASIS};
 use modis_core::estimator::{EvaluationHook, SharedEvaluation};
+use modis_core::substrate::SubstrateCacheStats;
 use modis_data::StateBitmap;
 
-/// Counters describing cache effectiveness.
+/// Counters describing cache effectiveness. The first four fields describe
+/// the engine's shared evaluation cache (merged across its shards); the
+/// `memo_*` fields aggregate the per-substrate raw-metrics memos of every
+/// substrate the engine has executed, so one struct answers "how much
+/// evaluated state is this process holding, and is it paying off".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the shared cache.
     pub hits: usize,
     /// Lookups that missed.
     pub misses: usize,
-    /// Evaluations currently stored.
+    /// Evaluations currently stored in the shared cache.
     pub entries: usize,
     /// Evaluations reclaimed by the clock eviction policy.
     pub evictions: usize,
+    /// Entries across the substrate-level memos of every substrate the
+    /// engine has run (0 until a scenario executes).
+    pub memo_entries: usize,
+    /// Evictions across those substrate memos.
+    pub memo_evictions: usize,
+}
+
+impl CacheStats {
+    /// Folds a substrate memo's counters into the aggregate view.
+    pub fn absorb_memo(&mut self, memo: SubstrateCacheStats) {
+        self.memo_entries += memo.entries;
+        self.memo_evictions += memo.evictions;
+    }
+
+    /// Hit rate of the shared cache in `[0, 1]` (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 type CacheKey = (u64, StateBitmap);
@@ -105,8 +133,32 @@ struct Shard {
 /// obtain per-scenario [`CacheHandle`]s via [`SharedEvalCache::handle`].
 pub struct SharedEvalCache {
     shards: Vec<Shard>,
+    per_shard_capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+}
+
+/// One evaluation of a shard snapshot, in clock-slot order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportedEvaluation {
+    /// Hashed cache namespace the evaluation belongs to.
+    pub namespace: u64,
+    /// The valuated state.
+    pub bitmap: StateBitmap,
+    /// The slot's second-chance referenced bit at export time.
+    pub referenced: bool,
+    /// The recorded oracle evaluation.
+    pub evaluation: SharedEvaluation,
+}
+
+/// One shard's contents: entries in slot order plus the clock-hand
+/// position, which together determine future eviction behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardExport {
+    /// Clock-hand position at export time.
+    pub hand: usize,
+    /// Entries in slot order.
+    pub entries: Vec<ExportedEvaluation>,
 }
 
 impl SharedEvalCache {
@@ -132,19 +184,94 @@ impl SharedEvalCache {
                     map: Mutex::new(ClockCache::new(per_shard)),
                 })
                 .collect(),
+            per_shard_capacity: per_shard,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
     }
 
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry capacity (0 = unbounded).
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_capacity
+    }
+
+    /// Exports every shard's contents — entries in clock-slot order with
+    /// their referenced bits, plus the hand position — for persistence.
+    /// Shards are locked one at a time, so the export is per-shard (not
+    /// globally) atomic; snapshot a quiescent cache for exact restores.
+    pub fn export_shards(&self) -> Vec<ShardExport> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+                ShardExport {
+                    hand: map.hand(),
+                    entries: map
+                        .iter_slots()
+                        .map(|(key, value, referenced)| ExportedEvaluation {
+                            namespace: key.0,
+                            bitmap: key.1.clone(),
+                            referenced,
+                            evaluation: value.clone(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Imports a snapshot produced by [`Self::export_shards`], returning the
+    /// number of snapshot entries *processed*. (An entry may overwrite a
+    /// duplicate key, and restoring more entries than a bounded shard holds
+    /// evicts earlier ones, so the resident count afterwards — see
+    /// [`CacheStats::entries`] — can be lower than the return value.)
+    ///
+    /// When the snapshot's shard count matches this cache's (and each shard
+    /// fits its capacity), slots are replayed in order with their referenced
+    /// bits and the hand is repositioned — the restored cache then evicts
+    /// exactly as the exporter would have. Otherwise entries are re-inserted
+    /// through the normal hashed-shard path: values survive byte-for-byte,
+    /// but slot order and referenced bits are rebuilt from scratch.
+    pub fn import_shards(&self, shards: Vec<ShardExport>) -> usize {
+        let mut imported = 0;
+        if shards.len() == self.shards.len() {
+            for (shard, export) in self.shards.iter().zip(shards) {
+                let mut map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+                for entry in export.entries {
+                    let key = (entry.namespace, entry.bitmap);
+                    if map.contains(&key as &dyn KeyPair)
+                        || (map.capacity() != 0 && map.len() >= map.capacity())
+                    {
+                        map.insert(key, entry.evaluation);
+                    } else {
+                        map.restore_slot(key, entry.evaluation, entry.referenced);
+                    }
+                    imported += 1;
+                }
+                map.set_hand(export.hand);
+            }
+            return imported;
+        }
+        for export in shards {
+            for entry in export.entries {
+                self.record(entry.namespace, &entry.bitmap, &entry.evaluation);
+                imported += 1;
+            }
+        }
+        imported
+    }
+
     /// A handle scoped to `namespace`, usable as an
     /// [`EvaluationHook`] on a `ValuationContext`.
     pub fn handle(self: &Arc<Self>, namespace: &str) -> Arc<CacheHandle> {
-        let mut hasher = DefaultHasher::new();
-        namespace.hash(&mut hasher);
         Arc::new(CacheHandle {
             cache: Arc::clone(self),
-            namespace: hasher.finish(),
+            namespace: Self::namespace_key(namespace),
         })
     }
 
@@ -161,16 +288,35 @@ impl SharedEvalCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries,
             evictions,
+            memo_entries: 0,
+            memo_evictions: 0,
         }
     }
 
-    /// Picks the shard for a key without cloning the bitmap: `(u64, &T)`
-    /// hashes identically to `(u64, T)`.
+    /// Hashes a namespace string to the `u64` the cache keys on — the same
+    /// mapping [`Self::handle`] applies, exposed so snapshot tooling can
+    /// relate exported entries back to scenario namespaces.
+    ///
+    /// Deliberately FNV-1a rather than std's `DefaultHasher`: namespace
+    /// keys are persisted inside snapshots, and `DefaultHasher`'s algorithm
+    /// is unspecified and free to change between toolchains — which would
+    /// make every restored entry unreachable (imports fine, zero hits).
+    pub fn namespace_key(namespace: &str) -> u64 {
+        fnv1a(FNV_OFFSET_BASIS, namespace.as_bytes())
+    }
+
+    /// Picks the shard for a key. Shard placement is baked into snapshots
+    /// (each shard exports its own slots), so the mapping must be stable
+    /// across processes and toolchains — FNV-1a over the key's bytes, not
+    /// std's unspecified `DefaultHasher`.
     fn shard_for(&self, namespace: u64, bitmap: &StateBitmap) -> &Shard {
-        let mut hasher = DefaultHasher::new();
-        (namespace, bitmap).hash(&mut hasher);
+        let mut h = fnv1a(FNV_OFFSET_BASIS, &namespace.to_le_bytes());
+        for &word in bitmap.words() {
+            h = fnv1a(h, &word.to_le_bytes());
+        }
+        h = fnv1a(h, &(bitmap.len() as u64).to_le_bytes());
         // Length is a power of two, so the mask picks a uniform shard.
-        &self.shards[(hasher.finish() as usize) & (self.shards.len() - 1)]
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
     }
 
     fn lookup(&self, namespace: u64, bitmap: &StateBitmap) -> Option<SharedEvaluation> {
@@ -296,6 +442,64 @@ mod tests {
             })
             .count();
         assert_eq!(answered, 4);
+    }
+
+    #[test]
+    fn namespace_key_is_pinned_for_snapshot_compatibility() {
+        // Namespace keys and shard placement persist inside snapshots, so
+        // the hash must never drift — this literal is the FNV-1a of "pool".
+        // If this test fails, snapshot compatibility just broke.
+        assert_eq!(SharedEvalCache::namespace_key("pool"), 0x8c22f10da88b1083);
+        assert_ne!(
+            SharedEvalCache::namespace_key("a"),
+            SharedEvalCache::namespace_key("b")
+        );
+    }
+
+    #[test]
+    fn export_import_round_trips_values_order_and_hand() {
+        let source = Arc::new(SharedEvalCache::with_capacity(4, 256));
+        let h = source.handle("roundtrip");
+        for i in 0..24 {
+            let mut b = StateBitmap::empty(32);
+            b.set(i, true);
+            h.record(&b, &eval(i as f64));
+        }
+        let export = source.export_shards();
+
+        // Same geometry ⇒ exact restore (slot order, referenced bits, hand).
+        let target = Arc::new(SharedEvalCache::with_capacity(4, 256));
+        assert_eq!(target.import_shards(export.clone()), 24);
+        assert_eq!(target.export_shards(), export);
+        let th = target.handle("roundtrip");
+        for i in 0..24 {
+            let mut b = StateBitmap::empty(32);
+            b.set(i, true);
+            assert_eq!(th.lookup(&b), Some(eval(i as f64)), "entry {i}");
+        }
+
+        // Different geometry ⇒ values still all present, rehashed.
+        let reshaped = Arc::new(SharedEvalCache::with_capacity(2, 256));
+        assert_eq!(reshaped.import_shards(export), 24);
+        assert_eq!(reshaped.stats().entries, 24);
+        let rh = reshaped.handle("roundtrip");
+        let mut b = StateBitmap::empty(32);
+        b.set(7, true);
+        assert_eq!(rh.lookup(&b), Some(eval(7.0)));
+    }
+
+    #[test]
+    fn import_into_bounded_cache_respects_capacity() {
+        let source = Arc::new(SharedEvalCache::with_capacity(1, 0));
+        let h = source.handle("big");
+        for i in 0..10 {
+            let mut b = StateBitmap::empty(16);
+            b.set(i, true);
+            h.record(&b, &eval(i as f64));
+        }
+        let small = Arc::new(SharedEvalCache::with_capacity(1, 4));
+        small.import_shards(source.export_shards());
+        assert!(small.stats().entries <= 4);
     }
 
     #[test]

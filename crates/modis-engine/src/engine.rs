@@ -1,13 +1,15 @@
 //! The execution engine: runs suites of scenarios concurrently over one
 //! shared evaluation cache.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::time::Instant;
 
 use modis_core::bimodis::bi_modis_with_context;
 use modis_core::divmodis::div_modis_with_context;
-use modis_core::estimator::{EstimatorMode, ValuationContext};
+use modis_core::estimator::{EstimatorMode, EvaluationHook, SharedEvaluation, ValuationContext};
 use modis_core::substrate::Substrate;
+use modis_data::StateBitmap;
 
 use crate::cache::{CacheStats, SharedEvalCache};
 use crate::expand::{parallel_apx_modis_with_context, parallel_exact_modis_with_context};
@@ -73,6 +75,20 @@ impl EngineConfig {
         self.cache_capacity = capacity;
         self
     }
+}
+
+/// Result of one [`Engine::valuate_states`] batch: evaluations aligned with
+/// the input states plus batch-level counters.
+#[derive(Debug, Clone)]
+pub struct BatchValuation {
+    /// One evaluation per input state, in input order.
+    pub evaluations: Vec<SharedEvaluation>,
+    /// Distinct states the batch resolved (duplicates collapse).
+    pub unique_states: usize,
+    /// Distinct states answered from the shared cache.
+    pub shared_hits: usize,
+    /// Distinct states trained fresh in this pass.
+    pub trained: usize,
 }
 
 /// Result of [`Engine::run_suite`]: per-scenario outcomes (input order) plus
@@ -156,6 +172,17 @@ impl SuiteResult {
 pub struct Engine {
     config: EngineConfig,
     cache: Arc<SharedEvalCache>,
+    /// Substrates the engine has executed, kept weakly so telemetry can
+    /// aggregate their memo counters without pinning dead search spaces.
+    memo_sources: Mutex<Vec<Weak<dyn Substrate>>>,
+    /// First-seen substrate fingerprint per namespace key
+    /// ([`SharedEvalCache::namespace_key`]). A `StateBitmap` only means
+    /// something relative to the substrate that produced it, so a namespace
+    /// re-used over a structurally different substrate/task (or over
+    /// refreshed data) would silently poison valuations — the engine
+    /// rejects it instead. Keyed by the stable hashed key so the map can be
+    /// persisted with cache snapshots and seeded after a restart.
+    namespace_guard: Mutex<HashMap<u64, u64>>,
 }
 
 impl Default for Engine {
@@ -172,13 +199,18 @@ impl Engine {
             config.cache_shards,
             config.cache_capacity,
         ));
-        Engine { config, cache }
+        Engine::with_cache(config, cache)
     }
 
     /// Creates an engine over an existing cache (lets several engines — or
     /// several suites over time — share evaluations).
     pub fn with_cache(config: EngineConfig, cache: Arc<SharedEvalCache>) -> Self {
-        Engine { config, cache }
+        Engine {
+            config,
+            cache,
+            memo_sources: Mutex::new(Vec::new()),
+            namespace_guard: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The engine's configuration.
@@ -191,15 +223,155 @@ impl Engine {
         &self.cache
     }
 
-    /// Snapshot of the shared cache counters.
+    /// One merged telemetry view of every evaluation store the engine
+    /// touches: the shared cross-scenario cache (hits/misses/entries/
+    /// evictions across its shards) plus the raw-metrics memos of every
+    /// substrate the engine has executed so far (`memo_*` fields).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        let mut sources = self
+            .memo_sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        sources.retain(|weak| match weak.upgrade() {
+            Some(substrate) => {
+                stats.absorb_memo(substrate.memo_stats());
+                true
+            }
+            None => false,
+        });
+        stats
+    }
+
+    /// Verifies that `namespace` is only ever used with one substrate/task
+    /// fingerprint, recording it on first use.
+    ///
+    /// # Panics
+    /// When the namespace was previously used (in this process, or in the
+    /// process a seeded snapshot came from) with a different fingerprint —
+    /// sharing evaluations across incompatible search spaces corrupts
+    /// results silently, so it is rejected loudly.
+    fn guard_namespace(&self, namespace: &str, substrate: &dyn Substrate) {
+        let fingerprint = substrate.fingerprint();
+        let key = SharedEvalCache::namespace_key(namespace);
+        let mut guard = self
+            .namespace_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let seen = *guard.entry(key).or_insert(fingerprint);
+        assert_eq!(
+            seen, fingerprint,
+            "cache namespace {namespace:?} re-used over an incompatible substrate/task \
+             (fingerprint {fingerprint:#x} vs recorded {seen:#x}); use a distinct namespace \
+             per search space"
+        );
+    }
+
+    /// The fingerprint recorded for a namespace key
+    /// ([`SharedEvalCache::namespace_key`]), if any — lets callers reject a
+    /// conflicting registration gracefully before [`Engine::run_scenario`]
+    /// would panic on it.
+    pub fn namespace_fingerprint(&self, key: u64) -> Option<u64> {
+        self.namespace_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .copied()
+    }
+
+    /// Every recorded `(namespace key, fingerprint)` pair, sorted by key —
+    /// the guard state snapshots persist alongside the cache contents, so
+    /// the cross-substrate protection survives a restart.
+    pub fn namespace_fingerprints(&self) -> Vec<(u64, u64)> {
+        let guard = self
+            .namespace_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut pairs: Vec<(u64, u64)> = guard.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Seeds recorded namespace fingerprints (from a restored snapshot).
+    /// Pairs already recorded in this process keep their first-seen value.
+    pub fn seed_namespace_fingerprints(&self, pairs: &[(u64, u64)]) {
+        let mut guard = self
+            .namespace_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for &(key, fingerprint) in pairs {
+            guard.entry(key).or_insert(fingerprint);
+        }
+    }
+
+    /// Remembers `substrate` (weakly, deduplicated) for memo telemetry.
+    fn track_memo_source(&self, substrate: &Arc<dyn Substrate>) {
+        let mut sources = self
+            .memo_sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let ptr = Arc::as_ptr(substrate);
+        if !sources.iter().any(|w| std::ptr::eq(w.as_ptr(), ptr)) {
+            sources.push(Arc::downgrade(substrate));
+        }
+    }
+
+    /// Valuates a batch of states against one substrate in a single
+    /// thread-pool pass — the batched oracle path the service layer groups
+    /// concurrent requests onto.
+    ///
+    /// Each *distinct* state is resolved once: answered from the shared
+    /// cache under `namespace` when recorded, trained fresh otherwise (and
+    /// published back), with up to [`EngineConfig::worker_threads`] states
+    /// in flight at a time. Results come back aligned with `states`;
+    /// duplicates within the batch share one resolution.
+    pub fn valuate_states(
+        &self,
+        namespace: &str,
+        substrate: &Arc<dyn Substrate>,
+        states: &[StateBitmap],
+    ) -> BatchValuation {
+        self.guard_namespace(namespace, substrate.as_ref());
+        self.track_memo_source(substrate);
+        let hook = self.cache.handle(namespace);
+        let mut unique: Vec<&StateBitmap> = Vec::new();
+        let mut index_of: HashMap<&StateBitmap, usize> = HashMap::new();
+        let slot: Vec<usize> = states
+            .iter()
+            .map(|state| {
+                *index_of.entry(state).or_insert_with(|| {
+                    unique.push(state);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let resolved: Vec<(SharedEvaluation, bool)> =
+            parallel_map(unique.len(), self.config.worker_threads, |i| {
+                let bitmap = unique[i];
+                if let Some(hit) = hook.lookup(bitmap) {
+                    return (hit, true);
+                }
+                let raw = substrate.evaluate_raw(bitmap);
+                let perf = substrate.measures().normalise(&raw);
+                let evaluation = SharedEvaluation { raw, perf };
+                hook.record(bitmap, &evaluation);
+                (evaluation, false)
+            });
+        let shared_hits = resolved.iter().filter(|(_, hit)| *hit).count();
+        BatchValuation {
+            unique_states: unique.len(),
+            shared_hits,
+            trained: unique.len() - shared_hits,
+            evaluations: slot.into_iter().map(|i| resolved[i].0.clone()).collect(),
+        }
     }
 
     /// Runs one scenario on the calling thread (the wave expander may still
     /// fan out to [`EngineConfig::worker_threads`]).
     pub fn run_scenario(&self, scenario: &Scenario) -> ScenarioOutcome {
         let start = Instant::now();
+        self.guard_namespace(scenario.namespace(), scenario.substrate.as_ref());
+        self.track_memo_source(&scenario.substrate);
         let hook = self.cache.handle(scenario.namespace());
         let substrate: &dyn Substrate = scenario.substrate.as_ref();
         // The exact algorithm is oracle-valuated by definition; every other
@@ -222,6 +394,7 @@ impl Engine {
             algorithm: scenario.algorithm,
             result,
             wall_seconds: start.elapsed().as_secs_f64(),
+            substrate_cache: substrate.memo_stats(),
         }
     }
 
@@ -240,7 +413,7 @@ impl Engine {
         });
         SuiteResult {
             outcomes,
-            cache: self.cache.stats(),
+            cache: self.cache_stats(),
             wall_seconds: start.elapsed().as_secs_f64(),
         }
     }
@@ -312,6 +485,83 @@ mod tests {
         let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(2));
         let suite = engine.run_suite(&mock_suite(false));
         assert_eq!(suite.total_shared_hits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-used over an incompatible substrate/task")]
+    fn namespace_guard_rejects_incompatible_substrates() {
+        let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(1));
+        let a: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let b: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+        engine.run_scenario(
+            &Scenario::new("a", a, Algorithm::Apx, oracle_config()).with_cache_namespace("shared"),
+        );
+        // Different unit universe under the same namespace: rejected.
+        engine.run_scenario(
+            &Scenario::new("b", b, Algorithm::Apx, oracle_config()).with_cache_namespace("shared"),
+        );
+    }
+
+    #[test]
+    fn namespace_guard_accepts_equal_fingerprints() {
+        let engine = Engine::new(EngineConfig::default().with_scenario_parallelism(1));
+        // Two *instances* with identical structure may share a namespace.
+        let a: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let b: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        engine.run_scenario(
+            &Scenario::new("a", a, Algorithm::Apx, oracle_config()).with_cache_namespace("shared"),
+        );
+        let out = engine.run_scenario(
+            &Scenario::new("b", b, Algorithm::Apx, oracle_config()).with_cache_namespace("shared"),
+        );
+        assert!(out.shared_hits() > 0, "identical space reuses evaluations");
+    }
+
+    #[test]
+    fn valuate_states_batches_dedups_and_hits_cache() {
+        let engine = Engine::new(EngineConfig::default().with_worker_threads(4));
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+        let full = StateBitmap::full(8);
+        let states: Vec<StateBitmap> = vec![
+            full.clone(),
+            full.flipped(0),
+            full.clone(), // duplicate within the batch
+            full.flipped(1),
+        ];
+        let first = engine.valuate_states("batch", &substrate, &states);
+        assert_eq!(first.evaluations.len(), 4);
+        assert_eq!(first.unique_states, 3);
+        assert_eq!(first.trained, 3);
+        assert_eq!(first.shared_hits, 0);
+        // Duplicate inputs share one resolution.
+        assert_eq!(first.evaluations[0], first.evaluations[2]);
+        // Values match a direct oracle valuation.
+        let raw = substrate.evaluate_raw(&full);
+        assert_eq!(first.evaluations[0].raw, raw);
+        assert_eq!(
+            first.evaluations[0].perf,
+            substrate.measures().normalise(&raw)
+        );
+        // A second batch over the same states is answered by the cache.
+        let second = engine.valuate_states("batch", &substrate, &states);
+        assert_eq!(second.shared_hits, 3);
+        assert_eq!(second.trained, 0);
+        assert_eq!(second.evaluations[1], first.evaluations[1]);
+    }
+
+    #[test]
+    fn cache_stats_aggregates_substrate_memos() {
+        let engine = Engine::new(EngineConfig::default());
+        // MockSubstrate keeps no memo, so exercise the plumbing through a
+        // tracked substrate's default stats and the shared cache counters.
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let scenario = Scenario::new("memo", substrate, Algorithm::Apx, oracle_config());
+        let outcome = engine.run_scenario(&scenario);
+        assert_eq!(outcome.substrate_cache.entries, 0, "mock keeps no memo");
+        let stats = engine.cache_stats();
+        assert!(stats.entries > 0, "shared cache recorded valuations");
+        assert_eq!(stats.memo_entries, 0);
+        assert!(stats.hit_rate() >= 0.0);
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod expand;
 mod pool;
 pub mod scenario;
 
-pub use cache::{CacheHandle, CacheStats, SharedEvalCache};
-pub use engine::{Engine, EngineConfig, SuiteResult};
+pub use cache::{CacheHandle, CacheStats, ExportedEvaluation, ShardExport, SharedEvalCache};
+pub use engine::{BatchValuation, Engine, EngineConfig, SuiteResult};
 pub use expand::{
     parallel_apx_modis, parallel_apx_modis_with_context, parallel_exact_modis_with_context,
 };

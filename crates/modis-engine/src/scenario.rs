@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use modis_core::config::{ModisConfig, SkylineResult};
-use modis_core::substrate::Substrate;
+use modis_core::substrate::{Substrate, SubstrateCacheStats};
 
 /// Which MODis search a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,11 +96,20 @@ pub struct ScenarioOutcome {
     pub result: SkylineResult,
     /// Wall-clock seconds spent on this scenario inside the engine.
     pub wall_seconds: f64,
+    /// The substrate memo's counters right after the run — how much
+    /// raw-metric state the scenario's search space is holding for reuse.
+    pub substrate_cache: SubstrateCacheStats,
 }
 
 impl ScenarioOutcome {
     /// Oracle valuations this run answered from the shared cache.
     pub fn shared_hits(&self) -> usize {
         self.result.stats.shared_hits
+    }
+
+    /// The run's paid valuation cost (oracle trainings + surrogate
+    /// predictions) — the signal cost-aware scheduling feeds on.
+    pub fn valuation_cost(&self) -> usize {
+        self.result.valuation_cost()
     }
 }

@@ -1,0 +1,168 @@
+//! Batched oracle evaluation: valuation requests from concurrent clients
+//! are grouped per cache namespace and resolved in one thread-pool pass
+//! each, instead of training one state at a time per request.
+//!
+//! The heavy lifting (dedup, cache consult, parallel training, publish
+//! back) lives in `Engine::valuate_states`; this module owns the *grouping*
+//! — mapping many named requests onto the fewest engine passes and
+//! scattering the results back per request — plus the start-state helper
+//! the service uses to prewarm queued scenarios as one batch.
+
+use std::sync::Arc;
+
+use modis_core::substrate::Substrate;
+use modis_data::StateBitmap;
+use modis_engine::{Algorithm, Scenario};
+
+use crate::error::ServiceError;
+use crate::registry::ScenarioRegistry;
+
+/// A client's request to valuate a set of states under a registered
+/// scenario's namespace (e.g. "score these candidate datasets").
+#[derive(Debug, Clone)]
+pub struct ValuationRequest {
+    /// Registered scenario whose substrate/namespace valuates the states.
+    pub scenario: String,
+    /// The states to valuate.
+    pub states: Vec<StateBitmap>,
+}
+
+/// One per-namespace engine pass assembled from many requests.
+pub(crate) struct NamespaceBatch {
+    /// The shared cache namespace.
+    pub namespace: String,
+    /// The substrate every state in the batch belongs to.
+    pub substrate: Arc<dyn Substrate>,
+    /// Concatenated states of every participating request.
+    pub states: Vec<StateBitmap>,
+    /// Scatter map: `(request index, offset into states, length)`.
+    pub spans: Vec<(usize, usize, usize)>,
+}
+
+/// Groups requests into per-namespace batches (sorted by namespace for a
+/// deterministic pass order). Requests naming unknown scenarios fail the
+/// whole call — partial batches would hide the error.
+pub(crate) fn group_requests(
+    registry: &ScenarioRegistry,
+    requests: &[ValuationRequest],
+) -> Result<Vec<NamespaceBatch>, ServiceError> {
+    let mut batches: Vec<NamespaceBatch> = Vec::new();
+    for (index, request) in requests.iter().enumerate() {
+        let registered = registry.require(&request.scenario)?;
+        let namespace = registered.scenario.namespace();
+        let batch = match batches.iter_mut().find(|b| b.namespace == namespace) {
+            Some(batch) => batch,
+            None => {
+                batches.push(NamespaceBatch {
+                    namespace: namespace.to_string(),
+                    substrate: registered.scenario.substrate.clone(),
+                    states: Vec::new(),
+                    spans: Vec::new(),
+                });
+                batches.last_mut().unwrap()
+            }
+        };
+        batch
+            .spans
+            .push((index, batch.states.len(), request.states.len()));
+        batch.states.extend(request.states.iter().cloned());
+    }
+    batches.sort_by(|a, b| a.namespace.cmp(&b.namespace));
+    Ok(batches)
+}
+
+/// The states a scenario's search valuates first: the forward start for
+/// every algorithm, plus the backward start for the bi-directional and
+/// diversified searches. Prewarming these as one batch means the searches
+/// themselves open on cache hits.
+pub fn start_states(scenario: &Scenario) -> Vec<StateBitmap> {
+    let substrate = scenario.substrate.as_ref();
+    match scenario.algorithm {
+        Algorithm::Apx | Algorithm::Exact => vec![substrate.forward_start()],
+        Algorithm::Bi | Algorithm::NoBi | Algorithm::Div => {
+            vec![substrate.forward_start(), substrate.backward_start()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use modis_core::config::ModisConfig;
+    use modis_core::substrate::mock::MockSubstrate;
+
+    fn registry() -> ScenarioRegistry {
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let other: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(4));
+        let mut reg = ScenarioRegistry::new();
+        for (name, alg) in [("apx", Algorithm::Apx), ("bi", Algorithm::Bi)] {
+            reg.register(
+                Scenario::new(name, substrate.clone(), alg, ModisConfig::default())
+                    .with_cache_namespace("pool"),
+            )
+            .unwrap();
+        }
+        reg.register(
+            Scenario::new("solo", other, Algorithm::Apx, ModisConfig::default())
+                .with_cache_namespace("alone"),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn requests_sharing_a_namespace_merge_into_one_pass() {
+        let reg = registry();
+        let requests = vec![
+            ValuationRequest {
+                scenario: "apx".into(),
+                states: vec![StateBitmap::full(6), StateBitmap::full(6).flipped(0)],
+            },
+            ValuationRequest {
+                scenario: "solo".into(),
+                states: vec![StateBitmap::full(4)],
+            },
+            ValuationRequest {
+                scenario: "bi".into(),
+                states: vec![StateBitmap::empty(6)],
+            },
+        ];
+        let batches = group_requests(&reg, &requests).unwrap();
+        assert_eq!(batches.len(), 2, "two namespaces, two passes");
+        assert_eq!(batches[0].namespace, "alone");
+        assert_eq!(batches[1].namespace, "pool");
+        assert_eq!(batches[1].states.len(), 3);
+        assert_eq!(batches[1].spans, vec![(0, 0, 2), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn unknown_scenario_fails_the_whole_group() {
+        let reg = registry();
+        let requests = vec![ValuationRequest {
+            scenario: "ghost".into(),
+            states: vec![],
+        }];
+        assert!(matches!(
+            group_requests(&reg, &requests),
+            Err(ServiceError::UnknownScenario(_))
+        ));
+    }
+
+    #[test]
+    fn start_states_follow_the_algorithm() {
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(5));
+        let forward_only = Scenario::new(
+            "a",
+            substrate.clone(),
+            Algorithm::Apx,
+            ModisConfig::default(),
+        );
+        assert_eq!(start_states(&forward_only), vec![StateBitmap::full(5)]);
+        let bidirectional = Scenario::new("b", substrate, Algorithm::Div, ModisConfig::default());
+        assert_eq!(
+            start_states(&bidirectional),
+            vec![StateBitmap::full(5), StateBitmap::empty(5)]
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types of the service layer.
+
+use std::fmt;
+
+use crate::snapshot::SnapshotError;
+
+/// Everything that can go wrong inside the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A submission or lookup named a scenario that was never registered.
+    UnknownScenario(String),
+    /// A registration re-used an existing scenario name.
+    DuplicateScenario(String),
+    /// A registration re-used a cache namespace over an incompatible
+    /// substrate/task (different fingerprint) — sharing evaluations across
+    /// such spaces poisons valuations, so it is rejected at registration.
+    NamespaceConflict {
+        /// The contested cache namespace.
+        namespace: String,
+        /// Name of the scenario that first claimed the namespace.
+        registered_by: String,
+    },
+    /// A poll referenced a ticket the service never issued — or one whose
+    /// completed outcome has already been evicted by the retention policy
+    /// (`ServiceConfig::completed_retention`).
+    UnknownTicket(u64),
+    /// A submission arrived after [`crate::Service::shutdown`]: no worker
+    /// will ever drain it, so accepting it would strand the ticket in the
+    /// queue forever.
+    Stopped,
+    /// Persisting or restoring an evaluation-cache snapshot failed.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownScenario(name) => write!(f, "unknown scenario {name:?}"),
+            ServiceError::DuplicateScenario(name) => {
+                write!(f, "scenario {name:?} is already registered")
+            }
+            ServiceError::NamespaceConflict {
+                namespace,
+                registered_by,
+            } => write!(
+                f,
+                "cache namespace {namespace:?} already belongs to scenario \
+                 {registered_by:?} over an incompatible substrate/task"
+            ),
+            ServiceError::UnknownTicket(id) => write!(f, "unknown ticket {id}"),
+            ServiceError::Stopped => write!(f, "service is shut down"),
+            ServiceError::Snapshot(err) => write!(f, "snapshot error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Snapshot(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(err: SnapshotError) -> Self {
+        ServiceError::Snapshot(err)
+    }
+}

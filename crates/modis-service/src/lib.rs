@@ -1,0 +1,89 @@
+//! # modis-service
+//!
+//! A persistent skyline-serving subsystem over the `modis-engine`
+//! execution engine: where the engine runs one suite fast, the service
+//! keeps that machinery warm *across* requests and *across* processes.
+//!
+//! ```text
+//!   clients (in-process API, TCP line protocol)
+//!        │ register(name, scenario)     │ submit(name) → Ticket
+//!        ▼                              ▼
+//!   ┌────────────┐   enqueue   ┌──────────────────┐
+//!   │  scenario  │────────────▶│  cost-aware      │  namespace-grouped,
+//!   │  registry  │             │  scheduler       │  cheapest-first order
+//!   └────────────┘             └────────┬─────────┘
+//!     fingerprint-guarded               │ drain (worker thread / RUN)
+//!     namespaces                        ▼
+//!                              ┌──────────────────┐
+//!                              │ batched oracle   │  one thread-pool pass
+//!                              │ valuation        │  per namespace
+//!                              └────────┬─────────┘
+//!                                       ▼
+//!                              ┌──────────────────┐     ┌──────────────┐
+//!                              │ Engine + shared  │◀───▶│  snapshot    │
+//!                              │ evaluation cache │     │  file (disk) │
+//!                              └──────────────────┘     └──────────────┘
+//! ```
+//!
+//! * [`registry`] — scenarios are registered once by name; cache
+//!   namespaces are keyed by substrate/task fingerprint, so incompatible
+//!   spaces can never share (and poison) evaluations.
+//! * [`scheduler`] — queued runs are ordered so cache-warming runs execute
+//!   before their dependants: namespace groups keep arrival fairness, and
+//!   within a group the cheapest run (by an EWMA over observed paid
+//!   valuation cost) goes first.
+//! * [`batch`] — pending state valuations from concurrent requests are
+//!   grouped into one thread-pool pass per namespace (start-state prewarm
+//!   plus the explicit [`ValuationRequest`] API).
+//! * [`snapshot`] — the shared evaluation cache persists to disk in a
+//!   hand-rolled, versioned, checksummed binary format and warm-starts a
+//!   fresh process: a restarted service answers repeated suites with
+//!   cache hits from its very first run.
+//! * [`net`] — a minimal TCP line protocol (`SUBMIT` / `POLL` / `RUN` /
+//!   `STATS` / `SNAPSHOT`) so the service runs as a daemon in tests and
+//!   examples.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use modis_core::prelude::*;
+//! use modis_core::substrate::mock::MockSubstrate;
+//! use modis_engine::{Algorithm, Scenario};
+//! use modis_service::{JobState, Service, ServiceConfig};
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+//! let config = ModisConfig::default().with_estimator(EstimatorMode::Oracle);
+//! service
+//!     .register(
+//!         Scenario::new("apx", substrate, Algorithm::Apx, config)
+//!             .with_cache_namespace("pool"),
+//!     )
+//!     .unwrap();
+//! let ticket = service.submit("apx").unwrap();
+//! service.run_pending();
+//! let outcome = match service.poll(ticket).unwrap() {
+//!     JobState::Done(outcome) => outcome,
+//!     other => panic!("expected done, got {other:?}"),
+//! };
+//! assert!(!outcome.result.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod error;
+pub mod net;
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+pub mod snapshot;
+
+pub use batch::ValuationRequest;
+pub use error::ServiceError;
+pub use net::{handle_command, Daemon, Reply};
+pub use registry::{RegisteredScenario, ScenarioRegistry};
+pub use scheduler::{CostModel, CostScheduler, QueuedRequest};
+pub use service::{JobState, Service, ServiceConfig, Ticket};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,243 @@
+//! A minimal line-protocol front-end over `std::net::TcpListener`, so the
+//! service can be driven as a daemon from tests, examples and scripts.
+//!
+//! One request per line, one response line per request (ASCII, `\n`
+//! terminated). Commands:
+//!
+//! | command            | response                                                        |
+//! |--------------------|-----------------------------------------------------------------|
+//! | `PING`             | `PONG`                                                          |
+//! | `LIST`             | `SCENARIOS <name> <name> …`                                     |
+//! | `SUBMIT <name>`    | `TICKET <id>` — enqueue a registered scenario                   |
+//! | `RUN`              | `OK <n>` — drain the queue now (n runs executed)                |
+//! | `POLL <id>`        | `QUEUED` / `RUNNING` / `DONE entries=… states=… shared_hits=…`  |
+//! | `STATS`            | `STATS hits=… misses=… entries=… evictions=… memo_entries=…`    |
+//! | `SNAPSHOT <path>`  | `OK <bytes>` — persist the evaluation cache                     |
+//! | `QUIT`             | `BYE` (connection closes)                                       |
+//!
+//! Anything else answers `ERR …`. Registration stays in-process (substrates
+//! are live objects); the wire protocol only *drives* registered scenarios.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::service::{JobState, Service, Ticket};
+
+/// Outcome of one protocol line.
+pub enum Reply {
+    /// Answer the line and keep the connection open.
+    Line(String),
+    /// Answer the line, then close the connection.
+    Close(String),
+}
+
+impl Reply {
+    /// The response text.
+    pub fn text(&self) -> &str {
+        match self {
+            Reply::Line(s) | Reply::Close(s) => s,
+        }
+    }
+}
+
+/// Executes one protocol line against the service.
+pub fn handle_command(service: &Service, line: &str) -> Reply {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let reply = match verb.to_ascii_uppercase().as_str() {
+        "PING" => "PONG".to_string(),
+        "LIST" => {
+            let mut out = String::from("SCENARIOS");
+            for name in service.scenario_names() {
+                out.push(' ');
+                out.push_str(&name);
+            }
+            out
+        }
+        "SUBMIT" if !rest.is_empty() => match service.submit(rest) {
+            Ok(ticket) => format!("TICKET {}", ticket.0),
+            Err(err) => format!("ERR {err}"),
+        },
+        "RUN" => format!("OK {}", service.run_pending()),
+        "POLL" => match rest.parse::<u64>() {
+            Ok(id) => match service.poll(Ticket(id)) {
+                Ok(JobState::Queued) => "QUEUED".to_string(),
+                Ok(JobState::Running) => "RUNNING".to_string(),
+                Ok(JobState::Done(outcome)) => format!(
+                    "DONE entries={} states={} shared_hits={} cost={} valuations={}",
+                    outcome.result.len(),
+                    outcome.result.states_valuated,
+                    outcome.shared_hits(),
+                    outcome.valuation_cost(),
+                    outcome.result.total_valuations(),
+                ),
+                Err(err) => format!("ERR {err}"),
+            },
+            Err(_) => "ERR POLL expects a numeric ticket".to_string(),
+        },
+        "STATS" => {
+            let stats = service.cache_stats();
+            let cache = service.engine().cache();
+            format!(
+                "STATS hits={} misses={} entries={} evictions={} memo_entries={} \
+                 memo_evictions={} shards={} shard_capacity={}",
+                stats.hits,
+                stats.misses,
+                stats.entries,
+                stats.evictions,
+                stats.memo_entries,
+                stats.memo_evictions,
+                cache.shard_count(),
+                cache.per_shard_capacity(),
+            )
+        }
+        "SNAPSHOT" if !rest.is_empty() => match service.snapshot_to(std::path::Path::new(rest)) {
+            Ok(bytes) => format!("OK {bytes}"),
+            Err(err) => format!("ERR {err}"),
+        },
+        "QUIT" => return Reply::Close("BYE".to_string()),
+        _ => format!("ERR unknown command {verb:?}"),
+    };
+    Reply::Line(reply)
+}
+
+fn handle_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        // A stopped service answers nothing further: submissions could not
+        // be drained any more, so close instead of half-serving.
+        if service.is_stopped() {
+            writeln!(writer, "ERR service is shut down")?;
+            break;
+        }
+        match handle_command(service, &line) {
+            Reply::Line(text) => writeln!(writer, "{text}")?,
+            Reply::Close(text) => {
+                writeln!(writer, "{text}")?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A running TCP front-end: the bound address plus the accept-loop thread.
+pub struct Daemon {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections, one handler thread per client.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let accept_service = Arc::clone(&service);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_service.is_stopped() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_service = Arc::clone(&accept_service);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&conn_service, stream);
+                });
+            }
+        });
+        Ok(Daemon {
+            service,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. This also
+    /// calls [`Service::shutdown`]: open connections answer their next line
+    /// with an error and close, further submissions (in-process included)
+    /// are rejected with `ServiceError::Stopped`, and any
+    /// [`Service::spawn_worker`] thread exits its loop. Read-only calls
+    /// (`poll`, `cache_stats`, `snapshot_to`) remain usable in-process.
+    pub fn stop(mut self) {
+        self.service.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use modis_core::config::ModisConfig;
+    use modis_core::estimator::EstimatorMode;
+    use modis_core::substrate::mock::MockSubstrate;
+    use modis_core::substrate::Substrate;
+    use modis_engine::{Algorithm, Scenario};
+
+    use crate::service::ServiceConfig;
+
+    fn service() -> Service {
+        let service = Service::new(ServiceConfig::default());
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let config = ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(40);
+        service
+            .register(
+                Scenario::new("apx", substrate, Algorithm::Apx, config)
+                    .with_cache_namespace("pool"),
+            )
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn command_grammar_covers_the_protocol() {
+        let service = service();
+        assert_eq!(handle_command(&service, "PING").text(), "PONG");
+        assert_eq!(handle_command(&service, "LIST").text(), "SCENARIOS apx");
+        assert_eq!(handle_command(&service, "SUBMIT apx").text(), "TICKET 1");
+        assert_eq!(handle_command(&service, "POLL 1").text(), "QUEUED");
+        assert_eq!(handle_command(&service, "RUN").text(), "OK 1");
+        assert!(handle_command(&service, "POLL 1")
+            .text()
+            .starts_with("DONE entries="));
+        assert!(handle_command(&service, "STATS")
+            .text()
+            .starts_with("STATS hits="));
+        assert!(handle_command(&service, "SUBMIT ghost")
+            .text()
+            .starts_with("ERR "));
+        assert!(handle_command(&service, "POLL zero")
+            .text()
+            .starts_with("ERR "));
+        assert!(handle_command(&service, "POLL 99")
+            .text()
+            .starts_with("ERR "));
+        assert!(handle_command(&service, "NONSENSE")
+            .text()
+            .starts_with("ERR "));
+        assert!(matches!(handle_command(&service, "QUIT"), Reply::Close(_)));
+        // Case-insensitive verbs, tolerant whitespace.
+        assert_eq!(handle_command(&service, "  ping  ").text(), "PONG");
+    }
+}

@@ -1,0 +1,589 @@
+//! The long-lived skyline-serving service.
+//!
+//! A [`Service`] owns one [`Engine`] (and therefore one shared evaluation
+//! cache) for its whole lifetime and keeps it warm across requests:
+//!
+//! 1. **register** — scenarios (substrate × algorithm × config) are
+//!    registered once under a name, with namespace fingerprints checked;
+//! 2. **submit** — clients enqueue runs by name and get a [`Ticket`];
+//! 3. **schedule** — queued runs are ordered by the cost-aware,
+//!    namespace-grouped scheduler so cache-warming runs go first;
+//! 4. **batch** — the start states of every queued run (and any explicit
+//!    [`ValuationRequest`]s) are valuated in one thread-pool pass per
+//!    namespace before the searches start;
+//! 5. **snapshot** — the shared cache persists to disk on demand and a
+//!    fresh process warm-starts from the file.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use modis_core::estimator::SharedEvaluation;
+use modis_data::StateBitmap;
+use modis_engine::{BatchValuation, CacheStats, Engine, EngineConfig, Scenario, ScenarioOutcome};
+
+use crate::batch::{group_requests, start_states, ValuationRequest};
+use crate::error::ServiceError;
+use crate::registry::ScenarioRegistry;
+use crate::scheduler::{CostModel, CostScheduler, QueuedRequest};
+use crate::snapshot;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Configuration of the owned engine (threads, cache shards/capacity).
+    pub engine: EngineConfig,
+    /// EWMA weight of the newest cost observation in `(0, 1]`.
+    pub cost_smoothing: f64,
+    /// Whether `run_pending` batch-valuates the start states of every
+    /// queued scenario (one pass per namespace) before running searches.
+    pub prewarm_start_states: bool,
+    /// How long the background worker sleeps when the queue is empty.
+    pub worker_poll: Duration,
+    /// How many finished outcomes the service retains for polling (0 =
+    /// unbounded). A long-lived daemon would otherwise accumulate one
+    /// skyline result per submission forever; once a run's outcome is
+    /// evicted, polling its ticket answers `UnknownTicket`.
+    pub completed_retention: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            cost_smoothing: 0.5,
+            prewarm_start_states: true,
+            worker_poll: Duration::from_millis(20),
+            completed_retention: 4096,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder-style engine-config setter.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builder-style prewarm toggle.
+    pub fn with_prewarm(mut self, prewarm: bool) -> Self {
+        self.prewarm_start_states = prewarm;
+        self
+    }
+
+    /// Builder-style completed-outcome retention setter (0 = unbounded).
+    pub fn with_completed_retention(mut self, retention: usize) -> Self {
+        self.completed_retention = retention;
+        self
+    }
+}
+
+/// Handle to a submitted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(pub u64);
+
+/// Lifecycle of a submitted run.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Waiting in the scheduler queue.
+    Queued,
+    /// Currently executing on the engine.
+    Running,
+    /// Finished; the outcome is available.
+    Done(Box<ScenarioOutcome>),
+}
+
+impl JobState {
+    /// The finished outcome, if the job is done.
+    pub fn outcome(&self) -> Option<&ScenarioOutcome> {
+        match self {
+            JobState::Done(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+struct Inner {
+    registry: ScenarioRegistry,
+    scheduler: CostScheduler,
+    costs: CostModel,
+    jobs: HashMap<u64, JobState>,
+    /// Finished tickets in completion order, for bounded retention.
+    completed: VecDeque<u64>,
+    next_ticket: u64,
+    next_seq: u64,
+}
+
+impl Inner {
+    /// Records a finished outcome and evicts the oldest completed outcomes
+    /// beyond the retention bound (queued/running jobs are never evicted).
+    fn finish_job(&mut self, ticket: u64, outcome: ScenarioOutcome, retention: usize) {
+        self.jobs.insert(ticket, JobState::Done(Box::new(outcome)));
+        self.completed.push_back(ticket);
+        if retention > 0 {
+            while self.completed.len() > retention {
+                if let Some(oldest) = self.completed.pop_front() {
+                    self.jobs.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
+/// A persistent skyline-serving service: one engine, one shared cache,
+/// many requests.
+pub struct Service {
+    config: ServiceConfig,
+    engine: Engine,
+    inner: Mutex<Inner>,
+    stop: AtomicBool,
+}
+
+impl Service {
+    /// Creates a service with a cold cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        let engine = Engine::new(config.engine.clone());
+        Service {
+            inner: Mutex::new(Inner {
+                registry: ScenarioRegistry::new(),
+                scheduler: CostScheduler::new(),
+                costs: CostModel::new(config.cost_smoothing),
+                jobs: HashMap::new(),
+                completed: VecDeque::new(),
+                next_ticket: 1,
+                next_seq: 0,
+            }),
+            engine,
+            config,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates a service whose shared cache is warm-started from a snapshot
+    /// file written by [`Service::snapshot_to`]. The snapshot's namespace
+    /// guard is seeded into the engine as well, so a substrate that is
+    /// incompatible with what originally filled a namespace (e.g. refreshed
+    /// data under the old name) is rejected at registration instead of
+    /// silently being served the stale evaluations.
+    pub fn from_snapshot(config: ServiceConfig, path: &Path) -> Result<Self, ServiceError> {
+        let service = Service::new(config);
+        let (_imported, namespace_fingerprints) =
+            snapshot::load_from_path(service.engine.cache(), path)?;
+        service
+            .engine
+            .seed_namespace_fingerprints(&namespace_fingerprints);
+        Ok(service)
+    }
+
+    /// The owned engine (for direct suite runs or telemetry).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a scenario under its name; see
+    /// [`ScenarioRegistry::register`] for the namespace guarantees. On a
+    /// warm-started service the namespace is additionally checked against
+    /// the fingerprint recorded by the *snapshotting* process — the cached
+    /// evaluations under this namespace belong to that substrate, so an
+    /// incompatible one (refreshed data included) is rejected here instead
+    /// of being served stale results.
+    pub fn register(&self, scenario: Scenario) -> Result<(), ServiceError> {
+        let key = modis_engine::SharedEvalCache::namespace_key(scenario.namespace());
+        if let Some(recorded) = self.engine.namespace_fingerprint(key) {
+            if recorded != scenario.substrate.fingerprint() {
+                return Err(ServiceError::NamespaceConflict {
+                    namespace: scenario.namespace().to_string(),
+                    registered_by: "an earlier process (restored snapshot)".to_string(),
+                });
+            }
+        }
+        self.lock().registry.register(scenario)
+    }
+
+    /// Registered scenario names (sorted).
+    pub fn scenario_names(&self) -> Vec<String> {
+        self.lock()
+            .registry
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Enqueues a run of a registered scenario and returns its ticket.
+    /// Rejected once [`Service::shutdown`] has been called — no worker will
+    /// drain the queue any more, so the ticket would hang forever.
+    pub fn submit(&self, name: &str) -> Result<Ticket, ServiceError> {
+        let mut inner = self.lock();
+        // Checked *under* the inner lock: shutdown() also takes it while
+        // setting the flag, so a submission either completes before the
+        // flag is visible (and the worker's final drain executes it) or
+        // observes the flag and is rejected — never stranded in between.
+        if self.is_stopped() {
+            return Err(ServiceError::Stopped);
+        }
+        let registered = inner.registry.require(name)?;
+        let namespace = registered.scenario.namespace().to_string();
+        // Prior before the first observation: the configured state budget —
+        // an upper bound on paid valuations, comparable across scenarios.
+        let prior = registered.scenario.config.max_states as f64;
+        let estimated_cost = inner.costs.estimate(name, prior);
+        let ticket = Ticket(inner.next_ticket);
+        inner.next_ticket += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.scheduler.push(QueuedRequest {
+            ticket: ticket.0,
+            scenario: name.to_string(),
+            namespace,
+            seq,
+            estimated_cost,
+            bypassed: 0,
+        });
+        inner.jobs.insert(ticket.0, JobState::Queued);
+        Ok(ticket)
+    }
+
+    /// Enqueues several runs at once, returning tickets in input order.
+    pub fn submit_many<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<Ticket>, ServiceError> {
+        names.into_iter().map(|n| self.submit(n)).collect()
+    }
+
+    /// The current state of a submitted run.
+    pub fn poll(&self, ticket: Ticket) -> Result<JobState, ServiceError> {
+        self.lock()
+            .jobs
+            .get(&ticket.0)
+            .cloned()
+            .ok_or(ServiceError::UnknownTicket(ticket.0))
+    }
+
+    /// Number of runs waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.lock().scheduler.len()
+    }
+
+    /// Drains the queue: prewarms start states in batched passes (when
+    /// configured), then executes every queued run in scheduler order on
+    /// the calling thread. Returns the number of runs executed.
+    ///
+    /// This is the service's worker step — call it directly for
+    /// deterministic draining (tests, benches) or let a
+    /// [`Service::spawn_worker`] thread call it in a loop.
+    pub fn run_pending(&self) -> usize {
+        if self.config.prewarm_start_states {
+            self.prewarm_queued();
+        }
+        let mut executed = 0;
+        loop {
+            let (request, scenario) = {
+                let mut inner = self.lock();
+                let Some(request) = inner.scheduler.pop() else {
+                    break;
+                };
+                let scenario = match inner.registry.get(&request.scenario) {
+                    Some(registered) => registered.scenario.clone(),
+                    // Registry entries are never removed, so a queued name
+                    // always resolves; guard anyway to stay panic-free.
+                    None => continue,
+                };
+                inner.jobs.insert(request.ticket, JobState::Running);
+                (request, scenario)
+            };
+            let outcome = self.engine.run_scenario(&scenario);
+            let mut inner = self.lock();
+            inner
+                .costs
+                .observe(&request.scenario, outcome.valuation_cost() as f64);
+            inner.finish_job(request.ticket, outcome, self.config.completed_retention);
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Batch-valuates the start states of every queued scenario, one
+    /// thread-pool pass per namespace, so the searches themselves open on
+    /// cache hits. Skips scenarios whose namespace has already been warmed
+    /// by an earlier pass within this call.
+    fn prewarm_queued(&self) {
+        let requests: Vec<ValuationRequest> = {
+            let inner = self.lock();
+            inner
+                .scheduler
+                .queued()
+                .iter()
+                .filter_map(|req| {
+                    let registered = inner.registry.get(&req.scenario)?;
+                    Some(ValuationRequest {
+                        scenario: req.scenario.clone(),
+                        states: start_states(&registered.scenario),
+                    })
+                })
+                .collect()
+        };
+        if !requests.is_empty() {
+            // Errors cannot occur here (every name came from the registry),
+            // but a failed prewarm must never block the runs themselves.
+            let _ = self.valuate_many(&requests);
+        }
+    }
+
+    /// Valuates a batch of states under one registered scenario's
+    /// namespace in a single thread-pool pass.
+    pub fn valuate_batch(
+        &self,
+        name: &str,
+        states: &[StateBitmap],
+    ) -> Result<BatchValuation, ServiceError> {
+        let (namespace, substrate) = {
+            let inner = self.lock();
+            let registered = inner.registry.require(name)?;
+            (
+                registered.scenario.namespace().to_string(),
+                registered.scenario.substrate.clone(),
+            )
+        };
+        Ok(self.engine.valuate_states(&namespace, &substrate, states))
+    }
+
+    /// Valuates many clients' requests with the fewest engine passes: all
+    /// requests sharing a cache namespace are grouped into one thread-pool
+    /// pass, and the evaluations are scattered back per request (aligned
+    /// with each request's states).
+    pub fn valuate_many(
+        &self,
+        requests: &[ValuationRequest],
+    ) -> Result<Vec<Vec<SharedEvaluation>>, ServiceError> {
+        let batches = {
+            let inner = self.lock();
+            group_requests(&inner.registry, requests)?
+        };
+        let mut results: Vec<Vec<SharedEvaluation>> = requests
+            .iter()
+            .map(|r| Vec::with_capacity(r.states.len()))
+            .collect();
+        for batch in batches {
+            let valuation =
+                self.engine
+                    .valuate_states(&batch.namespace, &batch.substrate, &batch.states);
+            for (request_index, offset, len) in batch.spans {
+                results[request_index]
+                    .extend_from_slice(&valuation.evaluations[offset..offset + len]);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Merged cache telemetry: shared-cache counters plus the substrate
+    /// memos of every executed scenario.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Persists the shared evaluation cache and the engine's namespace
+    /// guard to `path`, returning the snapshot size in bytes. Take
+    /// snapshots between `run_pending` waves for an exact
+    /// (eviction-order-preserving) capture.
+    pub fn snapshot_to(&self, path: &Path) -> Result<usize, ServiceError> {
+        Ok(snapshot::save_to_path(
+            self.engine.cache(),
+            &self.engine.namespace_fingerprints(),
+            path,
+        )?)
+    }
+
+    /// Signals the background worker (and any front-end loops) to stop.
+    /// Taken under the inner lock so it serialises against in-flight
+    /// [`Service::submit`] calls; together with the worker's final drain,
+    /// every accepted submission is guaranteed to execute.
+    pub fn shutdown(&self) {
+        let _inner = self.lock();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Service::shutdown`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Spawns the background worker: a thread that drains the queue via
+    /// [`Service::run_pending`] and naps [`ServiceConfig::worker_poll`]
+    /// when idle, until [`Service::shutdown`]. After observing the stop
+    /// flag it drains once more, so a submission that raced the shutdown
+    /// (accepted before the flag became visible) still executes instead of
+    /// sitting queued forever.
+    pub fn spawn_worker(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let service = Arc::clone(self);
+        std::thread::spawn(move || {
+            while !service.is_stopped() {
+                if service.run_pending() == 0 {
+                    std::thread::sleep(service.config.worker_poll);
+                }
+            }
+            service.run_pending();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_core::config::ModisConfig;
+    use modis_core::estimator::EstimatorMode;
+    use modis_core::substrate::mock::MockSubstrate;
+    use modis_core::substrate::Substrate;
+    use modis_engine::Algorithm;
+
+    fn mock_service() -> Service {
+        let service = Service::new(ServiceConfig::default());
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+        let config = ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(60)
+            .with_max_level(4);
+        for (name, alg) in [
+            ("apx", Algorithm::Apx),
+            ("bi", Algorithm::Bi),
+            ("div", Algorithm::Div),
+        ] {
+            service
+                .register(
+                    Scenario::new(name, substrate.clone(), alg, config.clone())
+                        .with_cache_namespace("mock-pool"),
+                )
+                .unwrap();
+        }
+        service
+    }
+
+    #[test]
+    fn submit_run_poll_lifecycle() {
+        let service = mock_service();
+        let ticket = service.submit("apx").unwrap();
+        assert!(matches!(service.poll(ticket).unwrap(), JobState::Queued));
+        assert_eq!(service.pending(), 1);
+        assert_eq!(service.run_pending(), 1);
+        assert_eq!(service.pending(), 0);
+        let state = service.poll(ticket).unwrap();
+        let outcome = state.outcome().expect("job finished");
+        assert!(!outcome.result.is_empty());
+        assert!(matches!(
+            service.poll(Ticket(999)),
+            Err(ServiceError::UnknownTicket(999))
+        ));
+    }
+
+    #[test]
+    fn second_wave_is_answered_from_the_warm_cache() {
+        let service = mock_service();
+        service.submit("apx").unwrap();
+        service.run_pending();
+        let ticket = service.submit("apx").unwrap();
+        service.run_pending();
+        let state = service.poll(ticket).unwrap();
+        let outcome = state.outcome().unwrap();
+        assert_eq!(outcome.result.stats.oracle_calls, 0, "no retraining");
+        assert!(outcome.shared_hits() > 0);
+    }
+
+    #[test]
+    fn completed_outcomes_are_retained_up_to_the_bound() {
+        let service = Service::new(ServiceConfig::default().with_completed_retention(2));
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        service
+            .register(
+                Scenario::new(
+                    "apx",
+                    substrate,
+                    Algorithm::Apx,
+                    ModisConfig::default()
+                        .with_estimator(EstimatorMode::Oracle)
+                        .with_max_states(20),
+                )
+                .with_cache_namespace("pool"),
+            )
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..3).map(|_| service.submit("apx").unwrap()).collect();
+        service.run_pending();
+        // The oldest finished outcome fell off the retention window…
+        assert!(matches!(
+            service.poll(tickets[0]),
+            Err(ServiceError::UnknownTicket(_))
+        ));
+        // …the newest two are still pollable.
+        assert!(service.poll(tickets[1]).unwrap().outcome().is_some());
+        assert!(service.poll(tickets[2]).unwrap().outcome().is_some());
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let service = mock_service();
+        service.shutdown();
+        assert!(matches!(service.submit("apx"), Err(ServiceError::Stopped)));
+    }
+
+    #[test]
+    fn unknown_submissions_are_rejected() {
+        let service = mock_service();
+        assert!(matches!(
+            service.submit("nope"),
+            Err(ServiceError::UnknownScenario(_))
+        ));
+    }
+
+    #[test]
+    fn batched_and_single_valuations_agree() {
+        let service = mock_service();
+        let states: Vec<StateBitmap> = (0..6).map(|i| StateBitmap::full(8).flipped(i)).collect();
+        let batch = service.valuate_batch("apx", &states).unwrap();
+        assert_eq!(batch.evaluations.len(), 6);
+        assert_eq!(batch.trained, 6);
+        // The same states again through valuate_many: all hits, same values.
+        let again = service
+            .valuate_many(&[
+                ValuationRequest {
+                    scenario: "bi".into(),
+                    states: states[..3].to_vec(),
+                },
+                ValuationRequest {
+                    scenario: "apx".into(),
+                    states: states[3..].to_vec(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(again[0].as_slice(), &batch.evaluations[..3]);
+        assert_eq!(again[1].as_slice(), &batch.evaluations[3..]);
+    }
+
+    #[test]
+    fn worker_thread_drains_submissions() {
+        let service = Arc::new(mock_service());
+        let worker = service.spawn_worker();
+        let ticket = service.submit("div").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let JobState::Done(_) = service.poll(ticket).unwrap() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "worker too slow");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        service.shutdown();
+        worker.join().unwrap();
+    }
+}

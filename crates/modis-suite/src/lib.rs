@@ -4,7 +4,7 @@
 //!
 //! See the individual crates for the real functionality:
 //! [`modis_data`], [`modis_ml`], [`modis_core`], [`modis_datagen`],
-//! [`modis_engine`], [`modis_bench`].
+//! [`modis_engine`], [`modis_service`], [`modis_bench`].
 
 #![warn(missing_docs)]
 
@@ -14,3 +14,19 @@ pub use modis_data;
 pub use modis_datagen;
 pub use modis_engine;
 pub use modis_ml;
+pub use modis_service;
+
+/// One-stop re-exports across the whole stack: the core prelude (configs,
+/// algorithms, substrates, measures) plus the engine's scenario/suite types
+/// and the service layer's client API.
+pub mod prelude {
+    pub use modis_core::prelude::*;
+    pub use modis_data::{Dataset, StateBitmap};
+    pub use modis_engine::{
+        Algorithm, BatchValuation, CacheStats, Engine, EngineConfig, Scenario, ScenarioOutcome,
+        SharedEvalCache, SuiteResult,
+    };
+    pub use modis_service::{
+        Daemon, JobState, Service, ServiceConfig, ServiceError, Ticket, ValuationRequest,
+    };
+}

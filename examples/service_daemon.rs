@@ -1,0 +1,148 @@
+//! The persistent skyline service, driven end-to-end as a daemon:
+//!
+//! 1. register scenarios over two tabular pools,
+//! 2. start the background worker and the TCP line-protocol front-end,
+//! 3. drive SUBMIT / POLL / STATS / SNAPSHOT over a real socket,
+//! 4. restart a fresh service from the snapshot and show its first run
+//!    answering from the warm cache.
+//!
+//! Run with `cargo run --release --example service_daemon`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use modis_bench::{task_t1, task_t3};
+use modis_core::prelude::*;
+use modis_core::substrate::Substrate;
+use modis_engine::{Algorithm, Scenario};
+use modis_service::{Daemon, JobState, Service, ServiceConfig, Ticket};
+
+fn register_scenarios(service: &Service) {
+    let t1: Arc<dyn Substrate> = Arc::new(task_t1(21).substrate());
+    let t3: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    let fast = ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(25)
+        .with_max_level(3)
+        .with_estimator(EstimatorMode::Oracle);
+    // Scenarios over one pool share a cache namespace: the cost-aware
+    // scheduler runs the cheapest first, warming the cache for the rest.
+    let scenarios = vec![
+        Scenario::new("t1/apx", t1.clone(), Algorithm::Apx, fast.clone())
+            .with_cache_namespace("t1-pool"),
+        Scenario::new("t1/bi", t1, Algorithm::Bi, fast.clone()).with_cache_namespace("t1-pool"),
+        Scenario::new("t3/apx", t3.clone(), Algorithm::Apx, fast.clone())
+            .with_cache_namespace("t3-pool"),
+        Scenario::new(
+            "t3/div",
+            t3,
+            Algorithm::Div,
+            fast.with_diversification(4, 0.5),
+        )
+        .with_cache_namespace("t3-pool"),
+    ];
+    for scenario in scenarios {
+        service.register(scenario).expect("register scenario");
+    }
+}
+
+fn main() {
+    let snapshot_path =
+        std::env::temp_dir().join(format!("modis_service_daemon_{}.snap", std::process::id()));
+
+    // ── Process 1: cold service behind a TCP daemon ────────────────────
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    register_scenarios(&service);
+    let worker = service.spawn_worker();
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind daemon");
+    println!("daemon listening on {}", daemon.addr());
+
+    // A plain TCP client drives the protocol.
+    let stream = TcpStream::connect(daemon.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut ask = move |line: &str| -> String {
+        writeln!(writer, "{line}").expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        reply.trim_end().to_string()
+    };
+
+    println!("> LIST\n< {}", ask("LIST"));
+    let mut tickets = Vec::new();
+    for name in ["t1/apx", "t1/bi", "t3/apx", "t3/div"] {
+        let reply = ask(&format!("SUBMIT {name}"));
+        println!("> SUBMIT {name}\n< {reply}");
+        let id: u64 = reply
+            .strip_prefix("TICKET ")
+            .expect("ticket")
+            .parse()
+            .unwrap();
+        tickets.push((name, id));
+    }
+
+    // The background worker drains the queue; poll until every run is done.
+    for (name, id) in &tickets {
+        loop {
+            let reply = ask(&format!("POLL {id}"));
+            if reply.starts_with("DONE") {
+                println!("> POLL {id} ({name})\n< {reply}");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    println!("> STATS\n< {}", ask("STATS"));
+
+    let reply = ask(&format!("SNAPSHOT {}", snapshot_path.display()));
+    println!("> SNAPSHOT …\n< {reply}");
+    assert!(reply.starts_with("OK "), "snapshot failed: {reply}");
+    println!("> QUIT\n< {}", ask("QUIT"));
+
+    daemon.stop();
+    worker.join().expect("worker joins");
+
+    // ── Process 2: a fresh service warm-started from the snapshot ──────
+    println!("\nrestarting from {} …", snapshot_path.display());
+    let revived =
+        Service::from_snapshot(ServiceConfig::default(), &snapshot_path).expect("warm start");
+    register_scenarios(&revived);
+    let tickets: Vec<Ticket> = revived
+        .submit_many(["t1/apx", "t1/bi", "t3/apx", "t3/div"])
+        .expect("submit suite");
+    revived.run_pending();
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12}",
+        "scenario", "skyline", "states", "oracle", "shared-hits"
+    );
+    let mut total_shared = 0;
+    for ticket in tickets {
+        let JobState::Done(outcome) = revived.poll(ticket).expect("poll") else {
+            panic!("run not finished");
+        };
+        total_shared += outcome.shared_hits();
+        println!(
+            "{:<10} {:>8} {:>8} {:>12} {:>12}",
+            outcome.name,
+            outcome.result.len(),
+            outcome.result.states_valuated,
+            outcome.result.stats.oracle_calls,
+            outcome.shared_hits(),
+        );
+    }
+    let stats = revived.cache_stats();
+    println!(
+        "\nwarm restart: {} shared hits on the first wave — cache {} entries, {:.0}% hit rate",
+        total_shared,
+        stats.entries,
+        100.0 * stats.hit_rate(),
+    );
+    assert!(
+        total_shared > 0,
+        "a restarted service must answer from the snapshot"
+    );
+    let _ = std::fs::remove_file(&snapshot_path);
+}

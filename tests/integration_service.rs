@@ -1,0 +1,424 @@
+//! Integration tests of the `modis-service` subsystem: snapshot round-trip
+//! properties (value identity, eviction-order survivability, clean
+//! rejection of corrupted/truncated files), warm restarts from disk,
+//! cost-aware scheduling order, batched valuation and the TCP front-end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use modis_bench::task_t3;
+use modis_core::prelude::*;
+use modis_core::substrate::mock::MockSubstrate;
+use modis_core::substrate::Substrate;
+use modis_data::StateBitmap;
+use modis_engine::{Algorithm, Engine, EngineConfig, Scenario, ScenarioOutcome, SharedEvalCache};
+use modis_service::{
+    snapshot, Daemon, JobState, Service, ServiceConfig, ServiceError, ValuationRequest,
+};
+
+static TEMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique throwaway file path (no tempfile crate in the workspace).
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "modis_service_it_{}_{}_{}.snap",
+        tag,
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn oracle_config(max_states: usize) -> ModisConfig {
+    ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(max_states)
+        .with_max_level(4)
+        .with_estimator(EstimatorMode::Oracle)
+}
+
+/// Registers the standard three-algorithm mock suite on a service.
+fn register_mock_suite(service: &Service, units: usize) {
+    let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(units));
+    for (name, alg) in [
+        ("apx", Algorithm::Apx),
+        ("bi", Algorithm::Bi),
+        ("div", Algorithm::Div),
+    ] {
+        service
+            .register(
+                Scenario::new(name, substrate.clone(), alg, oracle_config(60))
+                    .with_cache_namespace("mock-pool"),
+            )
+            .unwrap();
+    }
+}
+
+fn assert_identical(a: &SkylineResult, b: &SkylineResult, label: &str) {
+    assert_eq!(a.entries.len(), b.entries.len(), "{label}: entry counts");
+    for (x, y) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(x.bitmap, y.bitmap, "{label}: bitmaps");
+        assert_eq!(x.perf, y.perf, "{label}: perf vectors");
+        assert_eq!(x.raw, y.raw, "{label}: raw metrics");
+        assert_eq!(x.size, y.size, "{label}: sizes");
+        assert_eq!(x.level, y.level, "{label}: levels");
+    }
+}
+
+fn done_outcome(service: &Service, ticket: modis_service::Ticket) -> ScenarioOutcome {
+    match service.poll(ticket).unwrap() {
+        JobState::Done(outcome) => *outcome,
+        other => panic!("expected finished job, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot → bytes → restore is value-identical — including slot
+    /// order, referenced bits and the clock hand, so the restored cache
+    /// *evicts the same victims* as the original would have.
+    #[test]
+    fn snapshot_round_trip_preserves_values_and_eviction_order(
+        values in prop::collection::vec(0.01f64..1.0, 1..100),
+        capacity_selector in 0usize..3,
+        touch in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let capacity = [0usize, 24, 48][capacity_selector];
+        let cache = Arc::new(SharedEvalCache::with_capacity(4, capacity));
+        let namespaces = ["alpha", "beta", "gamma"];
+        for (i, &v) in values.iter().enumerate() {
+            let handle = cache.handle(namespaces[i % namespaces.len()]);
+            let mut bitmap = StateBitmap::empty(130);
+            bitmap.set(i % 130, true);
+            bitmap.set((i * 7 + 3) % 130, true);
+            handle.record(&bitmap, &SharedEvaluation {
+                raw: vec![v, i as f64],
+                perf: vec![v, 1.0 - v],
+            });
+            // Mixed referenced bits: re-touch a pseudo-random subset so the
+            // snapshot has to carry real second-chance state.
+            if touch[i % touch.len()] {
+                handle.lookup(&bitmap);
+            }
+        }
+
+        let bytes = snapshot::encode_cache(&cache);
+        let restored = Arc::new(SharedEvalCache::with_capacity(4, capacity));
+        snapshot::restore_cache(&restored, &bytes).unwrap();
+        prop_assert_eq!(restored.export_shards(), cache.export_shards());
+
+        // Eviction-order survivability: push the same fresh entries into
+        // both caches; victims (and therefore final contents) must agree.
+        for i in 0..8 {
+            let mut bitmap = StateBitmap::empty(130);
+            bitmap.set(128 - i, true);
+            let eval = SharedEvaluation { raw: vec![0.5], perf: vec![0.5] };
+            cache.handle("fresh").record(&bitmap, &eval);
+            restored.handle("fresh").record(&bitmap, &eval);
+        }
+        prop_assert_eq!(restored.export_shards(), cache.export_shards());
+    }
+
+    /// Any truncation and any single-bit corruption of a snapshot is
+    /// rejected with an error — never a panic, never a partial import.
+    #[test]
+    fn damaged_snapshots_are_rejected_cleanly(
+        cut_fraction in 0.0f64..1.0,
+        flip_fraction in 0.0f64..1.0,
+    ) {
+        let cache = Arc::new(SharedEvalCache::with_capacity(2, 0));
+        let handle = cache.handle("ns");
+        for i in 0..10 {
+            let mut bitmap = StateBitmap::empty(40);
+            bitmap.set(i, true);
+            handle.record(&bitmap, &SharedEvaluation {
+                raw: vec![i as f64],
+                perf: vec![0.1 * i as f64],
+            });
+        }
+        let bytes = snapshot::encode_cache(&cache);
+
+        let cut = (cut_fraction * bytes.len() as f64) as usize;
+        if cut < bytes.len() {
+            let truncated = &bytes[..cut];
+            let target = Arc::new(SharedEvalCache::with_capacity(2, 0));
+            prop_assert!(snapshot::restore_cache(&target, truncated).is_err());
+            prop_assert_eq!(target.stats().entries, 0, "no partial import");
+        }
+
+        let flip = ((flip_fraction * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupted = bytes.clone();
+        corrupted[flip] ^= 0x10;
+        let target = Arc::new(SharedEvalCache::with_capacity(2, 0));
+        prop_assert!(snapshot::restore_cache(&target, &corrupted).is_err());
+        prop_assert_eq!(target.stats().entries, 0, "no partial import");
+    }
+}
+
+#[test]
+fn restarted_service_matches_cold_run_with_warm_cache() {
+    // "Process 1": cold service, run the suite, snapshot, shut down.
+    let path = temp_path("restart_mock");
+    let first = Service::new(ServiceConfig::default());
+    register_mock_suite(&first, 10);
+    let tickets = first.submit_many(["apx", "bi", "div"]).unwrap();
+    assert_eq!(first.run_pending(), 3);
+    let cold_outcomes: Vec<ScenarioOutcome> =
+        tickets.iter().map(|&t| done_outcome(&first, t)).collect();
+    first.snapshot_to(&path).unwrap();
+    drop(first);
+
+    // A cold *sequential* reference run (fresh engine, no cache file).
+    let reference: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(10));
+    let cold_engine = Engine::new(EngineConfig::default().with_scenario_parallelism(1));
+    let cold_reference = cold_engine.run_scenario(
+        &Scenario::new("apx-ref", reference, Algorithm::Apx, oracle_config(60))
+            .with_cache_namespace("ref-pool"),
+    );
+
+    // "Process 2": a brand-new service warm-started from the snapshot,
+    // with brand-new (structurally identical) substrate instances.
+    let revived = Service::from_snapshot(ServiceConfig::default(), &path).unwrap();
+    register_mock_suite(&revived, 10);
+    let tickets = revived.submit_many(["apx", "bi", "div"]).unwrap();
+    assert_eq!(revived.run_pending(), 3);
+    for (ticket, cold) in tickets.iter().zip(&cold_outcomes) {
+        let warm = done_outcome(&revived, *ticket);
+        assert_eq!(
+            warm.result.stats.oracle_calls, 0,
+            "{}: every oracle valuation answered from the snapshot",
+            warm.name
+        );
+        assert!(warm.shared_hits() > 0, "{}: warm start hits", warm.name);
+        assert_identical(&warm.result, &cold.result, &warm.name);
+    }
+    // And byte-identical to the independent cold sequential run.
+    let warm_apx = done_outcome(&revived, tickets[0]);
+    assert_identical(&warm_apx.result, &cold_reference.result, "apx vs cold ref");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn restarted_service_warm_starts_a_real_tabular_workload() {
+    let path = temp_path("restart_t3");
+    let config = oracle_config(20).with_max_level(3);
+
+    let first = Service::new(ServiceConfig::default());
+    let substrate: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    first
+        .register(
+            Scenario::new("t3-apx", substrate, Algorithm::Apx, config.clone())
+                .with_cache_namespace("t3-pool"),
+        )
+        .unwrap();
+    let cold_ticket = first.submit("t3-apx").unwrap();
+    first.run_pending();
+    let cold = done_outcome(&first, cold_ticket);
+    assert!(!cold.result.is_empty());
+    first.snapshot_to(&path).unwrap();
+    drop(first);
+
+    // Fresh process, fresh substrate instance; only the snapshot carries
+    // the evaluations across (raw metrics include training wall-clock, so
+    // byte identity is only possible because nothing is retrained).
+    let revived = Service::from_snapshot(ServiceConfig::default(), &path).unwrap();
+    let substrate: Arc<dyn Substrate> = Arc::new(task_t3(5).substrate());
+    revived
+        .register(
+            Scenario::new("t3-apx", substrate, Algorithm::Apx, config)
+                .with_cache_namespace("t3-pool"),
+        )
+        .unwrap();
+    let warm_ticket = revived.submit("t3-apx").unwrap();
+    revived.run_pending();
+    let warm = done_outcome(&revived, warm_ticket);
+    assert_eq!(
+        warm.result.stats.oracle_calls, 0,
+        "no retraining after restart"
+    );
+    assert!(
+        warm.shared_hits() > 0,
+        "first run after restart hits the cache"
+    );
+    assert_identical(&warm.result, &cold.result, "t3 warm vs cold");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn scheduler_runs_the_cache_warming_scenario_first() {
+    // Prewarm off so scheduling order alone explains the hit pattern.
+    let service = Service::new(ServiceConfig::default().with_prewarm(false));
+    let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(9));
+    service
+        .register(
+            Scenario::new(
+                "expensive",
+                substrate.clone(),
+                Algorithm::Apx,
+                oracle_config(80),
+            )
+            .with_cache_namespace("pool"),
+        )
+        .unwrap();
+    service
+        .register(
+            Scenario::new("cheap", substrate, Algorithm::Apx, oracle_config(10))
+                .with_cache_namespace("pool"),
+        )
+        .unwrap();
+
+    // Submitted expensive-first; the scheduler must still run the cheap
+    // (cache-warming) scenario before its expensive dependant.
+    let expensive = service.submit("expensive").unwrap();
+    let cheap = service.submit("cheap").unwrap();
+    assert_eq!(service.run_pending(), 2);
+
+    let cheap_outcome = done_outcome(&service, cheap);
+    let expensive_outcome = done_outcome(&service, expensive);
+    assert_eq!(
+        cheap_outcome.shared_hits(),
+        0,
+        "cheap ran first, on a cold cache"
+    );
+    assert!(
+        expensive_outcome.shared_hits() > 0,
+        "expensive ran second and reused the warmed cache"
+    );
+}
+
+#[test]
+fn batched_valuation_matches_direct_oracle_results() {
+    let service = Service::new(ServiceConfig::default());
+    let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+    service
+        .register(
+            Scenario::new("apx", substrate.clone(), Algorithm::Apx, oracle_config(40))
+                .with_cache_namespace("pool"),
+        )
+        .unwrap();
+    let states: Vec<StateBitmap> = (0..8).map(|i| StateBitmap::full(8).flipped(i)).collect();
+    let batch = service.valuate_batch("apx", &states).unwrap();
+    assert_eq!(batch.evaluations.len(), states.len());
+    assert_eq!(batch.trained, states.len());
+    for (state, evaluation) in states.iter().zip(&batch.evaluations) {
+        let raw = substrate.evaluate_raw(state);
+        assert_eq!(evaluation.raw, raw);
+        assert_eq!(evaluation.perf, substrate.measures().normalise(&raw));
+    }
+    // Grouped multi-request path: same namespace ⇒ one pass, all hits now.
+    let grouped = service
+        .valuate_many(&[ValuationRequest {
+            scenario: "apx".into(),
+            states: states.clone(),
+        }])
+        .unwrap();
+    assert_eq!(grouped[0], batch.evaluations);
+}
+
+#[test]
+fn namespace_guard_survives_a_restart() {
+    // Process 1 fills "mock-pool" with evaluations of a 10-unit substrate
+    // and snapshots (cache + namespace guard).
+    let path = temp_path("guard_restart");
+    let first = Service::new(ServiceConfig::default());
+    register_mock_suite(&first, 10);
+    first.submit("apx").unwrap();
+    first.run_pending();
+    first.snapshot_to(&path).unwrap();
+    drop(first);
+
+    // Process 2 restores the snapshot and tries to reuse the namespace for
+    // an *incompatible* substrate (refreshed/changed data): rejected at
+    // registration — the cached evaluations under that namespace do not
+    // describe this substrate's states.
+    let revived = Service::from_snapshot(ServiceConfig::default(), &path).unwrap();
+    let refreshed: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(12));
+    let err = revived
+        .register(
+            Scenario::new("apx", refreshed, Algorithm::Apx, oracle_config(60))
+                .with_cache_namespace("mock-pool"),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::NamespaceConflict { .. }),
+        "{err}"
+    );
+
+    // The matching substrate is still welcome and still warm.
+    register_mock_suite(&revived, 10);
+    let ticket = revived.submit("apx").unwrap();
+    revived.run_pending();
+    assert!(done_outcome(&revived, ticket).shared_hits() > 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn namespace_conflicts_are_rejected_at_registration() {
+    let service = Service::new(ServiceConfig::default());
+    let six: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+    let eight: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(8));
+    service
+        .register(
+            Scenario::new("first", six, Algorithm::Apx, oracle_config(20))
+                .with_cache_namespace("shared"),
+        )
+        .unwrap();
+    let err = service
+        .register(
+            Scenario::new("second", eight, Algorithm::Apx, oracle_config(20))
+                .with_cache_namespace("shared"),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::NamespaceConflict { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn tcp_front_end_round_trips_the_protocol_and_snapshot() {
+    let path = temp_path("daemon");
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    register_mock_suite(&service, 8);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| {
+        writeln!(writer, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    assert_eq!(ask("PING"), "PONG");
+    assert_eq!(ask("LIST"), "SCENARIOS apx bi div");
+    assert_eq!(ask("SUBMIT apx"), "TICKET 1");
+    assert_eq!(ask("POLL 1"), "QUEUED");
+    assert_eq!(ask("RUN"), "OK 1");
+    let done = ask("POLL 1");
+    assert!(done.starts_with("DONE entries="), "{done}");
+    let stats = ask("STATS");
+    assert!(stats.starts_with("STATS hits="), "{stats}");
+    let snap = ask(&format!("SNAPSHOT {}", path.display()));
+    assert!(snap.starts_with("OK "), "{snap}");
+    assert!(ask("SUBMIT ghost").starts_with("ERR "));
+    assert_eq!(ask("QUIT"), "BYE");
+    daemon.stop();
+
+    // The snapshot written over the wire warm-starts a new service.
+    let revived = Service::from_snapshot(ServiceConfig::default(), &path).unwrap();
+    register_mock_suite(&revived, 8);
+    let ticket = revived.submit("apx").unwrap();
+    revived.run_pending();
+    let outcome = done_outcome(&revived, ticket);
+    assert_eq!(outcome.result.stats.oracle_calls, 0);
+    assert!(outcome.shared_hits() > 0);
+    std::fs::remove_file(&path).unwrap();
+}
