@@ -1,0 +1,59 @@
+//! Front-end benchmarks: the seed's thread-per-connection daemon vs. the
+//! non-blocking reactor, under sequential and pipelined clients.
+//!
+//! The committed `BENCH_reactor.json` baseline is written by the
+//! `bench_reactor_baseline` binary from the same workload
+//! (`modis_bench::reactor_workload`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::{drive_clients, BlockingDaemon, ClientMode};
+use modis_service::{Daemon, Service, ServiceConfig};
+
+const CLIENTS: usize = 4;
+const REQUESTS: usize = 200;
+const WINDOW: usize = 64;
+
+fn bench_front_ends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reactor_frontend");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("thread_per_connection_sequential", CLIENTS),
+        &CLIENTS,
+        |b, _| {
+            b.iter(|| {
+                let service = Arc::new(Service::new(ServiceConfig::default()));
+                let daemon =
+                    BlockingDaemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+                let elapsed =
+                    drive_clients(daemon.addr(), CLIENTS, REQUESTS, ClientMode::Sequential);
+                daemon.stop();
+                elapsed
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reactor_pipelined", CLIENTS),
+        &CLIENTS,
+        |b, _| {
+            b.iter(|| {
+                let service = Arc::new(Service::new(ServiceConfig::default()));
+                let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+                let elapsed = drive_clients(
+                    daemon.addr(),
+                    CLIENTS,
+                    REQUESTS,
+                    ClientMode::Pipelined { window: WINDOW },
+                );
+                daemon.stop();
+                elapsed
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_front_ends);
+criterion_main!(benches);

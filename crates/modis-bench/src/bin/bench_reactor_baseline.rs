@@ -1,0 +1,103 @@
+//! Save-baseline runner for the reactor front-end: measures protocol
+//! requests/sec for (1) the seed's thread-per-connection daemon driven
+//! the way the seed was driven (sequential request/response clients),
+//! (2) the non-blocking reactor under the same sequential clients, and
+//! (3) the reactor with pipelined clients, then writes the numbers to
+//! `BENCH_reactor.json`.
+//!
+//! Usage: `bench_reactor_baseline [--clients N] [--requests N]
+//! [--window N] [--iters N] [--out PATH] [--quick]` — `--quick` shrinks
+//! the workload to one short iteration for the CI smoke step.
+
+use std::sync::Arc;
+
+use modis_bench::{drive_clients, requests_per_sec, BlockingDaemon, ClientMode};
+use modis_service::{Daemon, Service, ServiceConfig};
+
+/// Median of `iters` samples produced by `f`.
+fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1)).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = flag_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 4 } else { 16 });
+    let requests: usize = flag_value("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 4_000 });
+    let window: usize = flag_value("--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 5 });
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_reactor.json".into());
+
+    // (1) Thread-per-connection seed, sequential clients — the daemon the
+    // reactor replaced, driven exactly as every seed test/example drove it.
+    eprintln!("timing thread-per-connection baseline ({clients} clients × {requests})…");
+    let blocking_rps = median_of(iters, || {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = BlockingDaemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let elapsed = drive_clients(daemon.addr(), clients, requests, ClientMode::Sequential);
+        daemon.stop();
+        requests_per_sec(clients, requests, elapsed)
+    });
+
+    // (2) Reactor, the same sequential clients: one request in flight per
+    // connection, so every request pays one idle-park latency — the
+    // honest cost of moving from per-connection blocking reads to a
+    // single sweeping thread.
+    eprintln!("timing reactor with sequential clients…");
+    let reactor_sequential_rps = median_of(iters, || {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let elapsed = drive_clients(daemon.addr(), clients, requests, ClientMode::Sequential);
+        daemon.stop();
+        requests_per_sec(clients, requests, elapsed)
+    });
+
+    // (3) Reactor, pipelined clients — the mode the reactor exists for:
+    // `window` requests in flight per connection, responses streamed back
+    // in order, every sweep amortised over whole bursts.
+    eprintln!("timing reactor with pipelined clients (window {window})…");
+    let reactor_pipelined_rps = median_of(iters, || {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let elapsed = drive_clients(
+            daemon.addr(),
+            clients,
+            requests,
+            ClientMode::Pipelined { window },
+        );
+        daemon.stop();
+        requests_per_sec(clients, requests, elapsed)
+    });
+
+    let speedup_pipelined = reactor_pipelined_rps / blocking_rps.max(1e-9);
+    let speedup_sequential = reactor_sequential_rps / blocking_rps.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"reactor\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"thread_per_connection_sequential\": {blocking_rps:.0},\n    \"reactor_sequential\": {reactor_sequential_rps:.0},\n    \"reactor_pipelined\": {reactor_pipelined_rps:.0}\n  }},\n  \"speedup_vs_thread_per_connection\": {{\n    \"reactor_pipelined\": {speedup_pipelined:.2},\n    \"reactor_sequential\": {speedup_sequential:.2}\n  }}\n}}\n"
+    );
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick || speedup_pipelined > 1.0,
+        "pipelined reactor {reactor_pipelined_rps:.0} req/s must beat \
+         thread-per-connection {blocking_rps:.0} req/s"
+    );
+}

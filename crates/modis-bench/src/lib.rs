@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod reactor_workload;
 pub mod report;
 pub mod service_workload;
 pub mod workloads;
 
+pub use reactor_workload::{drive_clients, requests_per_sec, BlockingDaemon, ClientMode};
 pub use report::{print_method_table, print_series, print_table, Row};
 pub use service_workload::{
     register_service_suite, register_service_suite_over, service_config, service_probe_states,

@@ -1,0 +1,198 @@
+//! Shared workload for the reactor front-end benchmarks: the Criterion
+//! bench (`benches/bench_reactor.rs`) and the committed-baseline binary
+//! (`bench_reactor_baseline`) must measure the same thing, so the
+//! baseline server and the client drivers live here.
+//!
+//! The baseline is the **seed's thread-per-connection daemon**, preserved
+//! here verbatim-in-spirit after `modis-service` replaced it with the
+//! non-blocking reactor: one blocking accept loop, one handler thread per
+//! client, one `BufReader` line loop per handler. Both servers speak the
+//! same protocol through [`modis_service::handle_command`], so any
+//! throughput difference is the front-end architecture, not the command
+//! implementations.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modis_service::{handle_command, Reply, Service};
+
+/// The seed's thread-per-connection TCP front-end, kept as the benchmark
+/// baseline for the reactor.
+pub struct BlockingDaemon {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl BlockingDaemon {
+    /// Binds `addr` and starts accepting, one handler thread per client —
+    /// the exact architecture `modis-service`'s daemon had before the
+    /// reactor.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<BlockingDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let accept_service = Arc::clone(&service);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_service.is_stopped() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_service = Arc::clone(&accept_service);
+                std::thread::spawn(move || {
+                    let _ = handle_blocking_connection(&conn_service, stream);
+                });
+            }
+        });
+        Ok(BlockingDaemon {
+            service,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop the way the seed did: shut the service down,
+    /// then unblock `accept(2)` with a throwaway connection.
+    pub fn stop(mut self) {
+        self.service.shutdown();
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_blocking_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if service.is_stopped() {
+            writeln!(writer, "ERR service is shut down")?;
+            break;
+        }
+        match handle_command(service, &line) {
+            Reply::Line(text) => writeln!(writer, "{text}")?,
+            Reply::Close(text) => {
+                writeln!(writer, "{text}")?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How the bench clients converse with a front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// One request on the wire at a time: write a line, block for its
+    /// response — the seed's usage model (every seed test, example and
+    /// script drove the daemon this way).
+    Sequential,
+    /// `window` requests written back-to-back before the first response is
+    /// read, then all `window` responses drained; repeated until done.
+    /// Requires a front-end with ordered pipelined responses.
+    Pipelined {
+        /// In-flight requests per batch.
+        window: usize,
+    },
+}
+
+/// Drives `clients` concurrent connections of `requests` `PING`s each
+/// against `addr` and returns the wall-clock of the whole conversation
+/// (connections set up first, clock started behind a barrier). Panics on
+/// any protocol deviation, so a throughput number can never come from
+/// dropped or misordered responses.
+pub fn drive_clients(
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    mode: ClientMode,
+) -> Duration {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let threads: Vec<JoinHandle<()>> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect bench client");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut reply = String::new();
+                let mut expect_pong = |reader: &mut BufReader<TcpStream>| {
+                    reply.clear();
+                    reader.read_line(&mut reply).expect("read reply");
+                    assert_eq!(reply, "PONG\n", "bench protocol deviation");
+                };
+                barrier.wait();
+                match mode {
+                    ClientMode::Sequential => {
+                        for _ in 0..requests {
+                            writer.write_all(b"PING\n").expect("write request");
+                            expect_pong(&mut reader);
+                        }
+                    }
+                    ClientMode::Pipelined { window } => {
+                        let window = window.max(1);
+                        let mut sent = 0;
+                        while sent < requests {
+                            let batch = window.min(requests - sent);
+                            let burst = "PING\n".repeat(batch);
+                            writer.write_all(burst.as_bytes()).expect("write burst");
+                            for _ in 0..batch {
+                                expect_pong(&mut reader);
+                            }
+                            sent += batch;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for thread in threads {
+        thread.join().expect("bench client");
+    }
+    started.elapsed()
+}
+
+/// Requests per second for a measured conversation.
+pub fn requests_per_sec(clients: usize, requests: usize, elapsed: Duration) -> f64 {
+    (clients * requests) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_service::{Daemon, ServiceConfig};
+
+    #[test]
+    fn both_front_ends_serve_both_client_modes() {
+        // Blocking baseline, sequential clients (its native mode).
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = BlockingDaemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let elapsed = drive_clients(daemon.addr(), 2, 5, ClientMode::Sequential);
+        assert!(requests_per_sec(2, 5, elapsed) > 0.0);
+        daemon.stop();
+
+        // Reactor, pipelined clients.
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let elapsed = drive_clients(daemon.addr(), 2, 9, ClientMode::Pipelined { window: 4 });
+        assert!(requests_per_sec(2, 9, elapsed) > 0.0);
+        daemon.stop();
+    }
+}

@@ -65,7 +65,7 @@
 //! assert!(!skyline.is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apx;
 pub mod baselines;

@@ -14,7 +14,7 @@
 //!   GBM estimator (GBmovie, LGCmental, MO-GBM);
 //! * [`linear`] — ridge/OLS and logistic regression (LRavocado, H2O-style
 //!   baseline);
-//! * [`kmeans`] — multi-dimensional k-means (universal-table compression,
+//! * [`kmeans`](mod@kmeans) — multi-dimensional k-means (universal-table compression,
 //!   scalability sweeps);
 //! * [`feature`] — Fisher score, mutual information, top-k selection
 //!   (`p_Fsc`, `p_MI`, SkSFM baseline);

@@ -39,9 +39,15 @@
 //!   hand-rolled, versioned, checksummed binary format and warm-starts a
 //!   fresh process: a restarted service answers repeated suites with
 //!   cache hits from its very first run.
-//! * [`net`] — a minimal TCP line protocol (`SUBMIT` / `POLL` / `RUN` /
-//!   `STATS` / `SNAPSHOT`) so the service runs as a daemon in tests and
-//!   examples.
+//! * [`net`] — the TCP line protocol (`SUBMIT` / `POLL` / `WAIT` / `RUN`
+//!   / `STATS` / `SNAPSHOT`) so the service runs as a daemon in tests and
+//!   examples; the formal spec lives in `docs/PROTOCOL.md`.
+//! * [`reactor`] — the non-blocking front-end behind [`Daemon`]: one
+//!   reactor thread drives every connection (`std::net` sockets in
+//!   non-blocking mode, timed readiness sweep), requests pipeline freely
+//!   with strictly ordered responses, `RUN` drains and `SNAPSHOT` writes
+//!   execute on a companion executor thread, and a wakeup socket pair connects job completions
+//!   and shutdown to a parked reactor.
 //!
 //! ## Quick example
 //!
@@ -70,11 +76,12 @@
 //! assert!(!outcome.result.is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod error;
 pub mod net;
+pub mod reactor;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
@@ -82,8 +89,9 @@ pub mod snapshot;
 
 pub use batch::ValuationRequest;
 pub use error::ServiceError;
-pub use net::{handle_command, Daemon, Reply};
+pub use net::{dispatch, done_line, handle_command, Daemon, Reply, Request};
+pub use reactor::{ReactorConfig, Wakeup};
 pub use registry::{RegisteredScenario, ScenarioRegistry};
 pub use scheduler::{CostModel, CostScheduler, QueuedRequest};
-pub use service::{JobState, Service, ServiceConfig, Ticket};
+pub use service::{CompletionNotifier, JobState, Service, ServiceConfig, Ticket};
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,29 +1,37 @@
-//! A minimal line-protocol front-end over `std::net::TcpListener`, so the
-//! service can be driven as a daemon from tests, examples and scripts.
+//! The TCP line-protocol front-end, served by the non-blocking reactor in
+//! [`crate::reactor`].
 //!
-//! One request per line, one response line per request (ASCII, `\n`
-//! terminated). Commands:
+//! One request per line (ASCII, `\n` terminated); responses come back in
+//! request order, so clients may **pipeline** any number of requests on
+//! one connection. Commands:
 //!
 //! | command            | response                                                        |
 //! |--------------------|-----------------------------------------------------------------|
 //! | `PING`             | `PONG`                                                          |
 //! | `LIST`             | `SCENARIOS <name> <name> …`                                     |
 //! | `SUBMIT <name>`    | `TICKET <id>` — enqueue a registered scenario                   |
-//! | `RUN`              | `OK <n>` — drain the queue now (n runs executed)                |
+//! | `RUN`              | `OK <n>` — drain the queue (n runs executed, off-thread)        |
 //! | `POLL <id>`        | `QUEUED` / `RUNNING` / `DONE entries=… states=… shared_hits=…`  |
+//! | `WAIT <id> [<id>…]`| one `DONE <id> entries=…` line per ticket, streamed in          |
+//! |                    | completion order as the jobs finish                             |
 //! | `STATS`            | `STATS hits=… misses=… entries=… evictions=… memo_entries=…`    |
 //! | `SNAPSHOT <path>`  | `OK <bytes>` — persist the evaluation cache                     |
 //! | `QUIT`             | `BYE` (connection closes)                                       |
 //!
 //! Anything else answers `ERR …`. Registration stays in-process (substrates
 //! are live objects); the wire protocol only *drives* registered scenarios.
+//! The formal grammar — framing, pipelining rules, every error line — is
+//! specified in `docs/PROTOCOL.md` at the repository root.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::reactor::{wakeup_pair, Executor, Reactor, ReactorConfig, Wakeup};
 use crate::service::{JobState, Service, Ticket};
+use modis_engine::ScenarioOutcome;
 
 /// Outcome of one protocol line.
 pub enum Reply {
@@ -42,7 +50,85 @@ impl Reply {
     }
 }
 
-/// Executes one protocol line against the service.
+/// How the reactor must answer one request line. Where [`handle_command`]
+/// executes everything synchronously, the reactor defers the verbs whose
+/// responses depend on background work.
+pub enum Request {
+    /// The response is known now; emit it in order.
+    Immediate(String),
+    /// Emit the response in order, then close the connection (`QUIT`).
+    CloseAfter(String),
+    /// `RUN`: drain the scheduler queue off-thread, answer `OK <n>` when
+    /// the drain completes.
+    Drain,
+    /// `SNAPSHOT <path>`: persist the evaluation cache off-thread (a
+    /// full-cache serialisation plus disk write must not stall the
+    /// reactor), answer `OK <bytes>`/`ERR …` when the write completes.
+    Snapshot(String),
+    /// `WAIT`: stream one `DONE <id> …` line per ticket as each job
+    /// completes.
+    Wait(Vec<u64>),
+}
+
+/// The key/value payload of a `DONE` response for `outcome` (shared by
+/// `POLL`, which prefixes nothing, and `WAIT`, which prefixes the ticket).
+pub fn done_line(outcome: &ScenarioOutcome) -> String {
+    format!(
+        "entries={} states={} shared_hits={} cost={} valuations={}",
+        outcome.result.len(),
+        outcome.result.states_valuated,
+        outcome.shared_hits(),
+        outcome.valuation_cost(),
+        outcome.result.total_valuations(),
+    )
+}
+
+/// Classifies one protocol line for the reactor, without blocking on any
+/// background work. Synchronous verbs are answered inline via the same
+/// code paths as [`handle_command`].
+pub fn dispatch(service: &Service, line: &str) -> Request {
+    let trimmed = line.trim();
+    let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (trimmed, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "RUN" => Request::Drain,
+        // Empty-path SNAPSHOT falls through to handle_command, which
+        // answers the seed's `ERR unknown command` for it.
+        "SNAPSHOT" if !rest.is_empty() => Request::Snapshot(rest.to_string()),
+        "WAIT" => {
+            if rest.is_empty() {
+                return Request::Immediate("ERR WAIT expects one or more numeric tickets".into());
+            }
+            let mut tickets = Vec::new();
+            for token in rest.split_whitespace() {
+                match token.parse::<u64>() {
+                    Ok(id) => tickets.push(id),
+                    Err(_) => {
+                        return Request::Immediate(
+                            "ERR WAIT expects one or more numeric tickets".into(),
+                        )
+                    }
+                }
+            }
+            Request::Wait(tickets)
+        }
+        _ => match handle_command(service, trimmed) {
+            Reply::Line(text) => Request::Immediate(text),
+            Reply::Close(text) => Request::CloseAfter(text),
+        },
+    }
+}
+
+/// Executes one protocol line against the service, synchronously.
+///
+/// This is the in-process entry point (tests, embedding, the baseline
+/// bench server). The reactor routes `RUN` and `WAIT` through
+/// [`dispatch`] instead so they cannot block the event loop; every other
+/// verb lands here. A synchronous `RUN` drains the queue on the calling
+/// thread; a synchronous `WAIT` is rejected (it only makes sense where
+/// deferred responses exist).
 pub fn handle_command(service: &Service, line: &str) -> Reply {
     let line = line.trim();
     let (verb, rest) = match line.split_once(char::is_whitespace) {
@@ -64,18 +150,12 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
             Err(err) => format!("ERR {err}"),
         },
         "RUN" => format!("OK {}", service.run_pending()),
+        "WAIT" => "ERR WAIT requires the reactor front-end".to_string(),
         "POLL" => match rest.parse::<u64>() {
             Ok(id) => match service.poll(Ticket(id)) {
                 Ok(JobState::Queued) => "QUEUED".to_string(),
                 Ok(JobState::Running) => "RUNNING".to_string(),
-                Ok(JobState::Done(outcome)) => format!(
-                    "DONE entries={} states={} shared_hits={} cost={} valuations={}",
-                    outcome.result.len(),
-                    outcome.result.states_valuated,
-                    outcome.shared_hits(),
-                    outcome.valuation_cost(),
-                    outcome.result.total_valuations(),
-                ),
+                Ok(JobState::Done(outcome)) => format!("DONE {}", done_line(&outcome)),
                 Err(err) => format!("ERR {err}"),
             },
             Err(_) => "ERR POLL expects a numeric ticket".to_string(),
@@ -106,58 +186,100 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
     Reply::Line(reply)
 }
 
-fn handle_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        // A stopped service answers nothing further: submissions could not
-        // be drained any more, so close instead of half-serving.
-        if service.is_stopped() {
-            writeln!(writer, "ERR service is shut down")?;
-            break;
-        }
-        match handle_command(service, &line) {
-            Reply::Line(text) => writeln!(writer, "{text}")?,
-            Reply::Close(text) => {
-                writeln!(writer, "{text}")?;
-                break;
-            }
-        }
-    }
-    Ok(())
-}
-
-/// A running TCP front-end: the bound address plus the accept-loop thread.
+/// A running TCP front-end: the bound address plus the reactor and drain
+/// executor threads.
+///
+/// Unlike the seed's thread-per-connection daemon, a `Daemon` serves every
+/// connection from **one** non-blocking reactor thread (see
+/// [`crate::reactor`]): clients may pipeline requests, `RUN` drains
+/// execute on the companion executor thread, and [`Daemon::stop`] tears
+/// everything down deterministically through the wakeup channel.
+///
+/// ```
+/// use std::io::{BufRead, BufReader, Write};
+/// use std::net::TcpStream;
+/// use std::sync::Arc;
+/// use modis_service::{Daemon, Service, ServiceConfig};
+///
+/// let service = Arc::new(Service::new(ServiceConfig::default()));
+/// let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+///
+/// let mut stream = TcpStream::connect(daemon.addr()).unwrap();
+/// // Pipelined: both requests are on the wire before a response is read;
+/// // responses come back in request order.
+/// stream.write_all(b"PING\nLIST\n").unwrap();
+/// let mut reader = BufReader::new(stream);
+/// let mut reply = String::new();
+/// reader.read_line(&mut reply).unwrap();
+/// assert_eq!(reply, "PONG\n");
+/// reply.clear();
+/// reader.read_line(&mut reply).unwrap();
+/// assert_eq!(reply, "SCENARIOS\n");
+/// daemon.stop();
+/// ```
 pub struct Daemon {
     service: Arc<Service>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    wakeup: Wakeup,
+    executor: Arc<Executor>,
+    reactor_thread: Option<JoinHandle<()>>,
+    executor_thread: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// accepting connections, one handler thread per client.
-    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Daemon> {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the reactor with default [`ReactorConfig`] tuning.
+    pub fn bind(service: Arc<Service>, addr: &str) -> io::Result<Daemon> {
+        Daemon::bind_with(service, addr, ReactorConfig::default())
+    }
+
+    /// Binds `addr` with explicit reactor tuning.
+    pub fn bind_with(
+        service: Arc<Service>,
+        addr: &str,
+        config: ReactorConfig,
+    ) -> io::Result<Daemon> {
         let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let accept_service = Arc::clone(&service);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_service.is_stopped() {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn_service = Arc::clone(&accept_service);
-                std::thread::spawn(move || {
-                    let _ = handle_connection(&conn_service, stream);
-                });
-            }
+        let (wakeup, wakeup_rx) = wakeup_pair(config.idle_park)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let executor = Arc::new(Executor::new());
+        let reactor = Reactor::new(
+            listener,
+            Arc::clone(&service),
+            Arc::clone(&executor),
+            wakeup_rx,
+            Arc::clone(&stop),
+            config,
+        )?;
+        let addr = reactor.local_addr()?;
+
+        // Registered only after every fallible step: a failed bind must
+        // not leave a dead notifier on the service. Completions anywhere
+        // (the drain executor, an external `spawn_worker` thread,
+        // in-process `run_pending` calls) wake a parked reactor so `WAIT`
+        // responses stream immediately. One front-end per service: a
+        // later registration replaces an earlier one.
+        service.set_completion_notifier({
+            let wakeup = wakeup.clone();
+            Arc::new(move || wakeup.notify())
         });
+
+        let reactor_thread = std::thread::spawn(move || reactor.run());
+        let executor_thread = {
+            let service = Arc::clone(&service);
+            let executor = Arc::clone(&executor);
+            let wakeup = wakeup.clone();
+            std::thread::spawn(move || executor.run(&service, &wakeup))
+        };
         Ok(Daemon {
             service,
-            addr: local,
-            accept_thread: Some(accept_thread),
+            addr,
+            stop,
+            wakeup,
+            executor,
+            reactor_thread: Some(reactor_thread),
+            executor_thread: Some(executor_thread),
         })
     }
 
@@ -166,18 +288,43 @@ impl Daemon {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept loop. This also
-    /// calls [`Service::shutdown`]: open connections answer their next line
-    /// with an error and close, further submissions (in-process included)
-    /// are rejected with `ServiceError::Stopped`, and any
+    /// Stops the front-end deterministically and joins both threads. This
+    /// also calls [`Service::shutdown`]: open connections are flushed a
+    /// final error line and closed, further submissions (in-process
+    /// included) are rejected with `ServiceError::Stopped`, and any
     /// [`Service::spawn_worker`] thread exits its loop. Read-only calls
     /// (`poll`, `cache_stats`, `snapshot_to`) remain usable in-process.
+    ///
+    /// The shutdown path is the wakeup channel: the stop flag is set, a
+    /// wakeup byte interrupts the reactor's idle park, and the reactor
+    /// closes its listener and connections before exiting — no throwaway
+    /// connection, no waiting for a future client. Once `stop` returns,
+    /// the listening port is fully released and immediately rebindable.
     pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
         self.service.shutdown();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
+        self.stop.store(true, Ordering::SeqCst);
+        self.executor.stop();
+        self.wakeup.notify();
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
+        }
+        if let Some(handle) = self.executor_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.clear_completion_notifier();
+    }
+}
+
+impl Drop for Daemon {
+    /// A dropped daemon stops exactly like [`Daemon::stop`] — tests that
+    /// panic mid-protocol still release their port and threads.
+    fn drop(&mut self) {
+        if self.reactor_thread.is_some() || self.executor_thread.is_some() {
+            self.stop_inner();
         }
     }
 }
@@ -239,5 +386,41 @@ mod tests {
         assert!(matches!(handle_command(&service, "QUIT"), Reply::Close(_)));
         // Case-insensitive verbs, tolerant whitespace.
         assert_eq!(handle_command(&service, "  ping  ").text(), "PONG");
+    }
+
+    #[test]
+    fn dispatch_classifies_deferred_verbs() {
+        let service = service();
+        assert!(matches!(dispatch(&service, "RUN"), Request::Drain));
+        assert!(matches!(dispatch(&service, "run "), Request::Drain));
+        match dispatch(&service, "WAIT 3 1 2") {
+            Request::Wait(ids) => assert_eq!(ids, vec![3, 1, 2]),
+            _ => panic!("WAIT with tickets must defer"),
+        }
+        match dispatch(&service, "SNAPSHOT /tmp/some.snap") {
+            Request::Snapshot(path) => assert_eq!(path, "/tmp/some.snap"),
+            _ => panic!("SNAPSHOT with a path must defer"),
+        }
+        assert!(matches!(
+            dispatch(&service, "SNAPSHOT"),
+            Request::Immediate(ref s) if s.starts_with("ERR unknown command")
+        ));
+        assert!(matches!(
+            dispatch(&service, "WAIT"),
+            Request::Immediate(ref s) if s.starts_with("ERR ")
+        ));
+        assert!(matches!(
+            dispatch(&service, "WAIT one two"),
+            Request::Immediate(ref s) if s.starts_with("ERR ")
+        ));
+        assert!(matches!(
+            dispatch(&service, "PING"),
+            Request::Immediate(ref s) if s == "PONG"
+        ));
+        assert!(matches!(dispatch(&service, "QUIT"), Request::CloseAfter(_)));
+        // The synchronous entry point rejects WAIT outright.
+        assert!(handle_command(&service, "WAIT 1")
+            .text()
+            .starts_with("ERR "));
     }
 }

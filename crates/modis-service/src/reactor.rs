@@ -1,0 +1,757 @@
+//! A single-threaded, non-blocking TCP reactor for the line protocol.
+//!
+//! The seed front-end was a thread-per-connection blocking loop: one OS
+//! thread per client, blocked in `read(2)` between requests, with `RUN`
+//! executing searches *on the connection thread*. That shape cannot serve
+//! many concurrent clients — threads pile up, shutdown depends on a
+//! throwaway connection unblocking `accept(2)`, and a slow search stalls
+//! its connection entirely.
+//!
+//! This module replaces it with a reactor:
+//!
+//! * **One thread, many connections** — the listener and every accepted
+//!   stream run in [`set_nonblocking`](std::net::TcpStream::set_nonblocking)
+//!   mode and are driven by a timed readiness sweep (the workspace vendors
+//!   no `mio`/`libc`, so readiness is discovered by attempting the
+//!   syscalls and treating [`WouldBlock`](std::io::ErrorKind::WouldBlock)
+//!   as "not ready"; when a sweep makes no progress the reactor parks on
+//!   the wakeup socket with a short read timeout instead of spinning).
+//! * **Per-connection state machines** — each `Connection` owns an
+//!   incremental read buffer (lines may arrive fragmented across many
+//!   reads), an incremental write buffer (responses are flushed as the
+//!   socket accepts them), and an ordered queue of `Slot`s: one slot per
+//!   received request, resolved strictly in request order.
+//! * **Request pipelining** — a client may enqueue any number of requests
+//!   without waiting for responses; the reactor parses every complete
+//!   line it has, queues one slot each, and answers them in order.
+//!   Slow responses (a `RUN` drain, a `WAIT` on unfinished jobs) hold
+//!   *their* position in the queue without blocking the reactor, other
+//!   connections, or the parsing of later requests.
+//! * **Wakeup channel** — a connected loopback socket pair. The scheduler
+//!   worker ([`Service::spawn_worker`]), the drain executor and
+//!   [`Service::shutdown`] write a byte to the [`Wakeup`] handle whenever
+//!   something a parked reactor may be waiting on happens (a job finished,
+//!   a drain completed, shutdown was requested); the reactor's idle park
+//!   is a timed `read` on the other end, so it reacts immediately instead
+//!   of sleeping out its timeout.
+//! * **Off-thread slow verbs** — `RUN` hands the queue drain to the
+//!   `Executor` thread and answers `OK <n>` when it completes, and
+//!   `SNAPSHOT` persists the cache there too, so the reactor keeps
+//!   serving every other connection while searches run and snapshots
+//!   hit the disk.
+//!
+//! Shutdown is deterministic: [`Daemon::stop`](crate::Daemon::stop) sets
+//! the stop flag and notifies the wakeup channel; the reactor wakes (it
+//! never blocks anywhere else), flushes a final `ERR` to every open
+//! connection, drops the listener and exits — no throwaway connection, no
+//! reliance on a future client arriving.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use crate::net::{dispatch, done_line, Request};
+use crate::service::{JobState, Service, Ticket};
+
+/// Tuning knobs of the reactor loop. The defaults suit tests, examples and
+/// the benches; none of them change protocol semantics.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Longest accepted request line in bytes (terminator excluded). A
+    /// longer line is answered with a protocol error and discarded up to
+    /// its terminating newline; the connection stays usable.
+    pub max_line_len: usize,
+    /// Nap between sweeps while the connection set is *recently active*
+    /// (progress within the last [`ReactorConfig::spin_sweeps`] sweeps).
+    /// `nanosleep`-based, so it keeps sub-100µs request latency during a
+    /// conversation; the cost is a mostly-idle reactor waking a few
+    /// thousand times a second — only while traffic is fresh.
+    pub spin_sleep: Duration,
+    /// How many progress-free sweeps the reactor spins through before
+    /// falling back to the deep [`ReactorConfig::idle_park`].
+    pub spin_sweeps: u32,
+    /// How long a *deep-idle* sweep parks on the wakeup socket before
+    /// rechecking readiness. Bounds the latency of events that bypass the
+    /// wakeup channel (new connections, first bytes after a lull) — the
+    /// kernel rounds this receive timeout up to its tick, so it is a
+    /// coarse bound; wakeup-channel events (job completions, drains,
+    /// shutdown) interrupt the park immediately.
+    pub idle_park: Duration,
+    /// Pending-response high watermark per connection, in bytes. While a
+    /// connection's write buffer sits above this, the reactor stops
+    /// *reading* from it (natural pipelining backpressure: a client that
+    /// never drains responses cannot buffer unbounded requests).
+    pub write_high_watermark: usize,
+    /// Maximum unresolved pipeline slots per connection. While a
+    /// connection's queue is at this depth — e.g. requests piling up
+    /// behind a pending `WAIT` — the reactor stops reading from it, so
+    /// per-connection memory stays bounded by
+    /// `max_pipelined × max_line_len` even when the head response is
+    /// slow.
+    pub max_pipelined: usize,
+    /// Upper bound on bytes read from one connection per sweep, so a
+    /// firehose client cannot monopolise a sweep.
+    pub max_read_per_sweep: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_line_len: 4096,
+            spin_sleep: Duration::from_micros(20),
+            spin_sweeps: 256,
+            idle_park: Duration::from_millis(2),
+            write_high_watermark: 1 << 20,
+            max_pipelined: 1024,
+            max_read_per_sweep: 1 << 16,
+        }
+    }
+}
+
+/// Sending half of the reactor's wakeup channel: a cloneable handle that
+/// any thread may [`notify`](Wakeup::notify) to interrupt the reactor's
+/// idle park. Notifications are level-style — what matters is that at
+/// least one byte is pending, so notifying an already-notified channel is
+/// free and never blocks.
+#[derive(Clone)]
+pub struct Wakeup {
+    tx: Arc<Mutex<TcpStream>>,
+}
+
+impl Wakeup {
+    /// Wakes the reactor if it is parked. Never blocks: the sender socket
+    /// is non-blocking, and a full pipe already means "wakeup pending".
+    pub fn notify(&self) {
+        let mut tx = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        // WouldBlock ⇒ the pipe is full of unread wakeups: the reactor
+        // will wake regardless. Any other error means the reactor is gone.
+        let _ = tx.write(&[1u8]);
+    }
+}
+
+impl std::fmt::Debug for Wakeup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Wakeup")
+    }
+}
+
+/// Builds the wakeup channel: a connected loopback socket pair (the
+/// workspace has no `libc`, so no `pipe(2)`; a TCP pair over `127.0.0.1`
+/// provides the same self-pipe semantics through `std::net` alone).
+/// Returns the cloneable sending handle and the receiving stream the
+/// reactor parks on.
+pub(crate) fn wakeup_pair(idle_park: Duration) -> io::Result<(Wakeup, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let local = tx.local_addr()?;
+    // Guard against a stray foreign connection racing our connect.
+    let rx = loop {
+        let (rx, peer) = listener.accept()?;
+        if peer == local {
+            break rx;
+        }
+    };
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    // The receiver stays blocking *with a read timeout*: that timed read
+    // is the reactor's idle park.
+    rx.set_read_timeout(Some(idle_park.max(Duration::from_micros(1))))?;
+    Ok((
+        Wakeup {
+            tx: Arc::new(Mutex::new(tx)),
+        },
+        rx,
+    ))
+}
+
+/// A response computed off the reactor thread: the executor publishes
+/// the final reply text, the reactor emits the slot once the cell fills.
+type DeferredReply = Arc<OnceLock<String>>;
+
+/// Work the reactor hands to the executor thread.
+enum ExecJob {
+    /// `RUN`: drain the scheduler queue, answer `OK <n>`.
+    Drain(DeferredReply),
+    /// `SNAPSHOT <path>`: persist the evaluation cache (a full-cache
+    /// serialisation plus disk write — far too slow for the reactor
+    /// thread), answer `OK <bytes>` or `ERR …`.
+    Snapshot(String, DeferredReply),
+}
+
+/// The off-reactor executor: `RUN` drains and `SNAPSHOT` writes enqueue
+/// here, a dedicated thread runs them and wakes the reactor with each
+/// result. Serialising them on one thread keeps `RUN` semantics
+/// identical to the seed (each `RUN` answers the number of runs *it*
+/// executed) without ever blocking the reactor.
+pub(crate) struct Executor {
+    queue: Mutex<VecDeque<ExecJob>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl Executor {
+    pub(crate) fn new() -> Self {
+        Executor {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn submit_with(&self, job: impl FnOnce(DeferredReply) -> ExecJob) -> DeferredReply {
+        let reply: DeferredReply = Arc::new(OnceLock::new());
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job(Arc::clone(&reply)));
+        self.ready.notify_one();
+        reply
+    }
+
+    /// Enqueues one drain and returns the cell its reply will appear in.
+    fn submit_drain(&self) -> DeferredReply {
+        self.submit_with(ExecJob::Drain)
+    }
+
+    /// Enqueues one snapshot write and returns its reply cell.
+    fn submit_snapshot(&self, path: String) -> DeferredReply {
+        self.submit_with(|reply| ExecJob::Snapshot(path, reply))
+    }
+
+    /// Signals the executor thread to exit once its queue is empty.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+
+    /// The executor thread body: run jobs until stopped *and* empty, so
+    /// every accepted `RUN`/`SNAPSHOT` still executes during shutdown.
+    pub(crate) fn run(&self, service: &Service, wakeup: &Wakeup) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    queue = self
+                        .ready
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(job) = job else { return };
+            match job {
+                ExecJob::Drain(reply) => {
+                    let _ = reply.set(format!("OK {}", service.run_pending()));
+                }
+                ExecJob::Snapshot(path, reply) => {
+                    let text = match service.snapshot_to(std::path::Path::new(&path)) {
+                        Ok(bytes) => format!("OK {bytes}"),
+                        Err(err) => format!("ERR {err}"),
+                    };
+                    let _ = reply.set(text);
+                }
+            }
+            wakeup.notify();
+        }
+    }
+}
+
+/// One response position in a connection's ordered pipeline.
+///
+/// A parsed request enters the queue as [`Slot::Request`] and is
+/// **dispatched only when it reaches the front** — exactly the seed's
+/// sequential semantics: a pipelined `POLL` behind a `RUN` observes the
+/// drained queue, a `SUBMIT` behind a `WAIT` executes after the wait
+/// resolves. Pipelining overlaps transport and scheduling, never
+/// evaluation order.
+enum Slot {
+    /// A raw request line, not yet evaluated.
+    Request(String),
+    /// The response text is known; emit it when this slot reaches the
+    /// front.
+    Ready(String),
+    /// A `RUN` or `SNAPSHOT` handed to the executor; resolves when its
+    /// reply cell is filled.
+    Deferred(DeferredReply),
+    /// A `WAIT`: emits one `DONE <id> …` line per ticket *as each job
+    /// completes* (progressive streaming), resolving once none remain.
+    Wait(Vec<u64>),
+}
+
+/// Per-connection state machine: incremental read/write buffers plus the
+/// ordered response pipeline.
+struct Connection {
+    stream: TcpStream,
+    /// Bytes received but not yet forming a complete line.
+    read_buf: Vec<u8>,
+    /// Bytes owed to the client; `write_pos` marks how far flushing got.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// One slot per parsed request, answered strictly in order.
+    slots: VecDeque<Slot>,
+    /// An over-long line is being discarded up to its newline.
+    discarding: bool,
+    /// No more requests will be read (EOF or `QUIT`); flush what is owed,
+    /// then drop. Pipelined requests parsed before EOF are still answered.
+    closing: bool,
+    /// The connection is finished and will be dropped this sweep.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> io::Result<Connection> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            slots: VecDeque::new(),
+            discarding: false,
+            closing: false,
+            dead: false,
+        })
+    }
+
+    fn queue_line(&mut self, text: &str) {
+        self.write_buf.extend_from_slice(text.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// The reactor: owns the listener, the connections and the receiving end
+/// of the wakeup channel, and runs the readiness sweep until stopped.
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    service: Arc<Service>,
+    executor: Arc<Executor>,
+    wakeup_rx: TcpStream,
+    stop: Arc<AtomicBool>,
+    config: ReactorConfig,
+    conns: Vec<Connection>,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        listener: TcpListener,
+        service: Arc<Service>,
+        executor: Arc<Executor>,
+        wakeup_rx: TcpStream,
+        stop: Arc<AtomicBool>,
+        config: ReactorConfig,
+    ) -> io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        Ok(Reactor {
+            listener,
+            service,
+            executor,
+            wakeup_rx,
+            stop,
+            config,
+            conns: Vec::new(),
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The reactor thread body: sweep until the stop flag is set, then
+    /// close down deterministically.
+    ///
+    /// Idling is two-phase. While progress is fresh (a conversation is in
+    /// flight) a progress-free sweep naps [`ReactorConfig::spin_sleep`],
+    /// keeping request latency in the tens of microseconds. After
+    /// [`ReactorConfig::spin_sweeps`] progress-free sweeps the reactor
+    /// parks on the wakeup socket for up to [`ReactorConfig::idle_park`]
+    /// — a coarse timed read the wakeup channel interrupts immediately,
+    /// so deep idle costs a handful of syscalls per second without
+    /// delaying completions or shutdown.
+    pub(crate) fn run(mut self) {
+        let mut idle_streak: u32 = 0;
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progress = self.accept_ready();
+            for i in 0..self.conns.len() {
+                progress |= self.sweep_connection(i);
+            }
+            self.conns.retain(|c| !c.dead);
+            if progress {
+                idle_streak = 0;
+            } else if !self.stop.load(Ordering::SeqCst) {
+                idle_streak = idle_streak.saturating_add(1);
+                if idle_streak < self.config.spin_sweeps {
+                    std::thread::sleep(self.config.spin_sleep);
+                } else {
+                    self.park();
+                }
+            }
+        }
+        self.close_all();
+    }
+
+    /// Parks on the wakeup socket: returns on a wakeup byte or after the
+    /// configured deep-idle timeout. This is the only place the reactor
+    /// blocks.
+    fn park(&mut self) {
+        let mut buf = [0u8; 64];
+        match self.wakeup_rx.read(&mut buf) {
+            // Wakeup bytes drained (or the sender vanished: both ends are
+            // owned by the daemon, so that also means "stop soon").
+            Ok(_) => {}
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Accepts every connection the listener has ready.
+    fn accept_ready(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Ok(conn) = Connection::new(stream) {
+                        self.conns.push(conn);
+                        progress = true;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (aborted handshake, fd pressure):
+                // skip this sweep, try again next one.
+                Err(_) => break,
+            }
+        }
+        progress
+    }
+
+    /// One sweep over one connection: read what is ready, parse complete
+    /// lines into slots, resolve leading slots, flush what the socket
+    /// accepts. Returns whether any progress was made.
+    fn sweep_connection(&mut self, index: usize) -> bool {
+        let mut progress = false;
+        progress |= self.read_ready(index);
+        progress |= self.resolve_slots(index);
+        progress |= self.flush_ready(index);
+        let conn = &mut self.conns[index];
+        if conn.closing && !conn.dead && conn.slots.is_empty() && conn.pending_write() == 0 {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.dead = true;
+            progress = true;
+        }
+        progress
+    }
+
+    /// Drains readable bytes into the connection's line buffer and parses
+    /// every complete request line into a response slot.
+    fn read_ready(&mut self, index: usize) -> bool {
+        let conn = &mut self.conns[index];
+        if conn.closing || conn.dead {
+            return false;
+        }
+        // Backpressure, both directions: a client that does not drain
+        // responses does not get new requests parsed, and requests piling
+        // up behind a slow head response (a pending WAIT/RUN) stop being
+        // read once the pipeline is `max_pipelined` deep — so
+        // per-connection memory stays bounded either way.
+        if conn.pending_write() > self.config.write_high_watermark
+            || conn.slots.len() >= self.config.max_pipelined
+        {
+            return false;
+        }
+        let mut consumed = 0usize;
+        let mut saw_eof = false;
+        let mut buf = [0u8; 4096];
+        while consumed < self.config.max_read_per_sweep {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    consumed += n;
+                    conn.read_buf.extend_from_slice(&buf[..n]);
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        let mut progress = consumed > 0 || saw_eof;
+        progress |= self.parse_lines(index);
+        if saw_eof {
+            let conn = &mut self.conns[index];
+            // The seed's `BufRead::lines` answered a final unterminated
+            // line; preserve that.
+            if !conn.read_buf.is_empty() && !conn.discarding {
+                let line = std::mem::take(&mut conn.read_buf);
+                self.handle_line(index, &line);
+            }
+            let conn = &mut self.conns[index];
+            conn.read_buf.clear();
+            conn.closing = true;
+        }
+        progress
+    }
+
+    /// Extracts every complete line from the read buffer, enforcing the
+    /// line-length cap. Scans with a cursor over the taken buffer and
+    /// copies only the unterminated tail back — O(bytes) per sweep, not
+    /// O(lines × bytes).
+    fn parse_lines(&mut self, index: usize) -> bool {
+        let mut progress = false;
+        let buf = std::mem::take(&mut self.conns[index].read_buf);
+        let mut cursor = 0;
+        while let Some(offset) = buf[cursor..].iter().position(|&b| b == b'\n') {
+            let line = &buf[cursor..cursor + offset];
+            cursor += offset + 1;
+            progress = true;
+            if self.conns[index].discarding {
+                // Tail of an oversized line: already answered.
+                self.conns[index].discarding = false;
+            } else if line.len() > self.config.max_line_len {
+                self.reject_oversized(index);
+            } else {
+                self.handle_line(index, line);
+            }
+        }
+        let conn = &mut self.conns[index];
+        let tail = &buf[cursor..];
+        if conn.discarding {
+            // Still inside an oversized line: keep discarding the tail.
+        } else if tail.len() > self.config.max_line_len {
+            conn.discarding = true;
+            self.reject_oversized(index);
+            progress = true;
+        } else {
+            conn.read_buf.extend_from_slice(tail);
+        }
+        progress
+    }
+
+    fn reject_oversized(&mut self, index: usize) {
+        let reply = format!("ERR line too long (max {} bytes)", self.config.max_line_len);
+        self.conns[index].slots.push_back(Slot::Ready(reply));
+    }
+
+    /// Queues one request line into the connection's pipeline. Dispatch
+    /// happens later, when the slot reaches the front (see [`Slot`]).
+    fn handle_line(&mut self, index: usize, raw: &[u8]) {
+        // Invalid UTF-8 cannot name a verb; lossy decoding turns it into
+        // a request that answers `ERR unknown command`, never a panic.
+        let line = String::from_utf8_lossy(raw).into_owned();
+        self.conns[index].slots.push_back(Slot::Request(line));
+    }
+
+    /// Resolves leading slots into response bytes, strictly in request
+    /// order: requests are dispatched as they reach the front, and a
+    /// pending slot (unfinished drain or wait) blocks *this connection's*
+    /// later responses — and nothing else.
+    fn resolve_slots(&mut self, index: usize) -> bool {
+        let mut progress = false;
+        loop {
+            let service = Arc::clone(&self.service);
+            let executor = Arc::clone(&self.executor);
+            let conn = &mut self.conns[index];
+            match conn.slots.front_mut() {
+                Some(Slot::Request(_)) => {
+                    let Some(Slot::Request(line)) = conn.slots.pop_front() else {
+                        unreachable!("front_mut just matched Request");
+                    };
+                    progress = true;
+                    // A stopped service answers nothing further (seed
+                    // semantics: error the next line, then close).
+                    if service.is_stopped() {
+                        conn.queue_line("ERR service is shut down");
+                        conn.slots.clear();
+                        conn.closing = true;
+                        break;
+                    }
+                    match dispatch(&service, &line) {
+                        Request::Immediate(text) => conn.queue_line(&text),
+                        Request::CloseAfter(text) => {
+                            conn.queue_line(&text);
+                            // Later pipelined requests are dropped, as the
+                            // seed's per-connection loop did on QUIT.
+                            conn.slots.clear();
+                            conn.closing = true;
+                            break;
+                        }
+                        // Deferred verbs re-enter the queue at the front
+                        // and resolve on subsequent iterations/sweeps.
+                        Request::Drain => conn
+                            .slots
+                            .push_front(Slot::Deferred(executor.submit_drain())),
+                        Request::Snapshot(path) => conn
+                            .slots
+                            .push_front(Slot::Deferred(executor.submit_snapshot(path))),
+                        Request::Wait(tickets) => conn.slots.push_front(Slot::Wait(tickets)),
+                    }
+                }
+                Some(Slot::Ready(_)) => {
+                    let Some(Slot::Ready(text)) = conn.slots.pop_front() else {
+                        unreachable!("front_mut just matched Ready");
+                    };
+                    conn.queue_line(&text);
+                    progress = true;
+                }
+                Some(Slot::Deferred(reply)) => {
+                    let Some(text) = reply.get() else { break };
+                    let text = text.clone();
+                    conn.slots.pop_front();
+                    conn.queue_line(&text);
+                    progress = true;
+                }
+                Some(Slot::Wait(_)) => {
+                    let Some(Slot::Wait(mut remaining)) = conn.slots.pop_front() else {
+                        unreachable!("front_mut just matched Wait");
+                    };
+                    // Emit finished tickets progressively, in completion
+                    // order across sweeps (listed order within one).
+                    let mut i = 0;
+                    while i < remaining.len() {
+                        let id = remaining[i];
+                        match service.poll(Ticket(id)) {
+                            Ok(JobState::Done(outcome)) => {
+                                remaining.remove(i);
+                                conn.queue_line(&format!("DONE {id} {}", done_line(&outcome)));
+                                progress = true;
+                            }
+                            Ok(_) => i += 1,
+                            Err(err) => {
+                                remaining.remove(i);
+                                conn.queue_line(&format!("ERR {err}"));
+                                progress = true;
+                            }
+                        }
+                    }
+                    if remaining.is_empty() {
+                        progress = true;
+                    } else {
+                        conn.slots.push_front(Slot::Wait(remaining));
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        progress
+    }
+
+    /// Writes as much of the pending response bytes as the socket accepts.
+    fn flush_ready(&mut self, index: usize) -> bool {
+        let conn = &mut self.conns[index];
+        if conn.dead || conn.pending_write() == 0 {
+            return false;
+        }
+        let mut progress = false;
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    progress = true;
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        } else if conn.write_pos > 64 * 1024 {
+            // Reclaim flushed prefix of a large, partially-written buffer.
+            conn.write_buf.drain(..conn.write_pos);
+            conn.write_pos = 0;
+        }
+        progress
+    }
+
+    /// Deterministic teardown: resolve whatever is already answerable
+    /// (responses whose work completed before the stop), then tell every
+    /// open connection the service is going away, flush best-effort,
+    /// close, drop the listener. Responses still pending at this point —
+    /// a drain mid-execution, a `WAIT` on an unfinished job — are
+    /// superseded by the shutdown error (the drain itself still executes
+    /// to completion on the executor thread).
+    fn close_all(&mut self) {
+        for index in 0..self.conns.len() {
+            self.resolve_slots(index);
+        }
+        for conn in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            if !conn.closing {
+                conn.queue_line("ERR service is shut down");
+            }
+            let pending = conn.write_pos.min(conn.write_buf.len());
+            let _ = conn.stream.write_all(&conn.write_buf[pending..]);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.conns.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_pair_notifies_and_times_out() {
+        let (wakeup, mut rx) = wakeup_pair(Duration::from_millis(1)).unwrap();
+        // Timeout path: nothing pending.
+        let mut buf = [0u8; 8];
+        let err = rx.read(&mut buf).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ));
+        // Notify path: a byte arrives, repeated notifies never block.
+        for _ in 0..10_000 {
+            wakeup.notify();
+        }
+        assert!(rx.read(&mut buf).unwrap() > 0);
+    }
+
+    #[test]
+    fn executor_answers_queued_jobs_even_after_stop() {
+        let service = Service::new(crate::ServiceConfig::default());
+        let (wakeup, _rx) = wakeup_pair(Duration::from_millis(1)).unwrap();
+        let executor = Arc::new(Executor::new());
+        let first = executor.submit_drain();
+        let second = executor.submit_drain();
+        let doomed = executor.submit_snapshot("/definitely/not/a/dir/x.snap".into());
+        executor.stop();
+        // Queued before stop ⇒ all still answered (empty queue ⇒ 0 runs;
+        // an unwritable snapshot path ⇒ a protocol error, not a panic).
+        executor.run(&service, &wakeup);
+        assert_eq!(first.get().map(String::as_str), Some("OK 0"));
+        assert_eq!(second.get().map(String::as_str), Some("OK 0"));
+        assert!(doomed.get().unwrap().starts_with("ERR "));
+    }
+}

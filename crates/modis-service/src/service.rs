@@ -133,6 +133,11 @@ impl Inner {
     }
 }
 
+/// Callback invoked whenever a submitted job finishes (and on shutdown):
+/// the reactor front-end registers its wakeup channel here so deferred
+/// `WAIT` responses stream the moment their jobs complete.
+pub type CompletionNotifier = Arc<dyn Fn() + Send + Sync>;
+
 /// A persistent skyline-serving service: one engine, one shared cache,
 /// many requests.
 pub struct Service {
@@ -140,6 +145,7 @@ pub struct Service {
     engine: Engine,
     inner: Mutex<Inner>,
     stop: AtomicBool,
+    notifier: Mutex<Option<CompletionNotifier>>,
 }
 
 impl Service {
@@ -159,6 +165,7 @@ impl Service {
             engine,
             config,
             stop: AtomicBool::new(false),
+            notifier: Mutex::new(None),
         }
     }
 
@@ -306,14 +313,43 @@ impl Service {
                 (request, scenario)
             };
             let outcome = self.engine.run_scenario(&scenario);
-            let mut inner = self.lock();
-            inner
-                .costs
-                .observe(&request.scenario, outcome.valuation_cost() as f64);
-            inner.finish_job(request.ticket, outcome, self.config.completed_retention);
+            {
+                let mut inner = self.lock();
+                inner
+                    .costs
+                    .observe(&request.scenario, outcome.valuation_cost() as f64);
+                inner.finish_job(request.ticket, outcome, self.config.completed_retention);
+            }
+            // Per-job (not per-drain), so `WAIT` watchers stream each
+            // completion as it happens instead of at the end of the wave.
+            self.notify_completion();
             executed += 1;
         }
         executed
+    }
+
+    /// Registers the callback invoked after every finished job and on
+    /// shutdown (the reactor's wakeup channel). One notifier at a time:
+    /// a later registration replaces an earlier one.
+    pub fn set_completion_notifier(&self, notifier: CompletionNotifier) {
+        *self.notifier.lock().unwrap_or_else(PoisonError::into_inner) = Some(notifier);
+    }
+
+    /// Removes the completion notifier (a stopping front-end detaching
+    /// its wakeup channel).
+    pub fn clear_completion_notifier(&self) {
+        *self.notifier.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    fn notify_completion(&self) {
+        let notifier = self
+            .notifier
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(notify) = notifier {
+            notify();
+        }
     }
 
     /// Batch-valuates the start states of every queued scenario, one
@@ -412,8 +448,12 @@ impl Service {
     /// [`Service::submit`] calls; together with the worker's final drain,
     /// every accepted submission is guaranteed to execute.
     pub fn shutdown(&self) {
-        let _inner = self.lock();
-        self.stop.store(true, Ordering::SeqCst);
+        {
+            let _inner = self.lock();
+            self.stop.store(true, Ordering::SeqCst);
+        }
+        // A parked reactor must observe the flag now, not at its timeout.
+        self.notify_completion();
     }
 
     /// Whether [`Service::shutdown`] has been called.

@@ -1,9 +1,11 @@
 //! The persistent skyline service, driven end-to-end as a daemon:
 //!
 //! 1. register scenarios over two tabular pools,
-//! 2. start the background worker and the TCP line-protocol front-end,
-//! 3. drive SUBMIT / POLL / STATS / SNAPSHOT over a real socket,
-//! 4. restart a fresh service from the snapshot and show its first run
+//! 2. start the background worker and the non-blocking reactor front-end,
+//! 3. **pipeline** a burst of SUBMITs on one connection, then WAIT —
+//!    completions stream back progressively as the worker finishes them,
+//! 4. drive STATS / SNAPSHOT over the same socket,
+//! 5. restart a fresh service from the snapshot and show its first run
 //!    answering from the warm cache.
 //!
 //! Run with `cargo run --release --example service_daemon`.
@@ -11,7 +13,6 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
 
 use modis_bench::{task_t1, task_t3};
 use modis_core::prelude::*;
@@ -63,18 +64,26 @@ fn main() {
     let stream = TcpStream::connect(daemon.addr()).expect("connect");
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
-    let mut ask = move |line: &str| -> String {
-        writeln!(writer, "{line}").expect("send");
+    let mut recv = move || -> String {
         let mut reply = String::new();
         reader.read_line(&mut reply).expect("recv");
         reply.trim_end().to_string()
     };
 
-    println!("> LIST\n< {}", ask("LIST"));
+    // Pipelining: the LIST and all four SUBMITs go out in one burst —
+    // no waiting between requests — and the reactor answers them in order.
+    let names = ["t1/apx", "t1/bi", "t3/apx", "t3/div"];
+    let mut burst = String::from("LIST\n");
+    for name in &names {
+        burst.push_str(&format!("SUBMIT {name}\n"));
+    }
+    writer.write_all(burst.as_bytes()).expect("send burst");
+    println!("> LIST + 4×SUBMIT (one pipelined burst)");
+    println!("< {}", recv());
     let mut tickets = Vec::new();
-    for name in ["t1/apx", "t1/bi", "t3/apx", "t3/div"] {
-        let reply = ask(&format!("SUBMIT {name}"));
-        println!("> SUBMIT {name}\n< {reply}");
+    for name in &names {
+        let reply = recv();
+        println!("< {reply}  ({name})");
         let id: u64 = reply
             .strip_prefix("TICKET ")
             .expect("ticket")
@@ -83,18 +92,22 @@ fn main() {
         tickets.push((name, id));
     }
 
-    // The background worker drains the queue; poll until every run is done.
-    for (name, id) in &tickets {
-        loop {
-            let reply = ask(&format!("POLL {id}"));
-            if reply.starts_with("DONE") {
-                println!("> POLL {id} ({name})\n< {reply}");
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(25));
-        }
+    // WAIT subscribes to all four jobs: the background worker drains the
+    // queue and each DONE line streams back the moment that run finishes
+    // (completion order — no polling, no sleeps).
+    let ids: Vec<String> = tickets.iter().map(|(_, id)| id.to_string()).collect();
+    writeln!(writer, "WAIT {}", ids.join(" ")).expect("send wait");
+    println!("> WAIT {}", ids.join(" "));
+    for _ in &tickets {
+        println!("< {}", recv());
     }
-    println!("> STATS\n< {}", ask("STATS"));
+
+    writeln!(writer, "STATS").expect("send stats");
+    println!("> STATS\n< {}", recv());
+    let mut ask = move |line: &str| -> String {
+        writeln!(writer, "{line}").expect("send");
+        recv()
+    };
 
     let reply = ask(&format!("SNAPSHOT {}", snapshot_path.display()));
     println!("> SNAPSHOT …\n< {reply}");

@@ -1,0 +1,332 @@
+//! Integration tests of the non-blocking reactor front-end: request
+//! pipelining with ordered responses, fragmented and oversized lines,
+//! `WAIT` streaming through the wakeup channel, deterministic shutdown
+//! with port reuse, and a malformed-input property (the reactor never
+//! panics and always answers a protocol line).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use modis_core::prelude::*;
+use modis_core::substrate::mock::MockSubstrate;
+use modis_core::substrate::Substrate;
+use modis_engine::{Algorithm, Scenario};
+use modis_service::{Daemon, Service, ServiceConfig};
+
+fn oracle_config(max_states: usize) -> ModisConfig {
+    ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(max_states)
+        .with_max_level(4)
+        .with_estimator(EstimatorMode::Oracle)
+}
+
+/// A service with the three-algorithm mock suite registered.
+fn mock_service(units: usize) -> Arc<Service> {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(units));
+    for (name, alg) in [
+        ("apx", Algorithm::Apx),
+        ("bi", Algorithm::Bi),
+        ("div", Algorithm::Div),
+    ] {
+        service
+            .register(
+                Scenario::new(name, substrate.clone(), alg, oracle_config(60))
+                    .with_cache_namespace("mock-pool"),
+            )
+            .unwrap();
+    }
+    service
+}
+
+/// A connected client with a read timeout, so a hung reactor fails the
+/// test instead of hanging it.
+fn client(daemon: &Daemon) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply line");
+    assert!(reply.ends_with('\n'), "truncated reply: {reply:?}");
+    reply.trim_end().to_string()
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let service = mock_service(8);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+
+    // One burst: 16 submissions, 16 polls, 4 pings — 36 in-flight
+    // requests on a single connection before the first response is read.
+    let mut burst = String::new();
+    for _ in 0..16 {
+        burst.push_str("SUBMIT apx\n");
+    }
+    for id in 1..=16 {
+        burst.push_str(&format!("POLL {id}\n"));
+    }
+    for _ in 0..4 {
+        burst.push_str("PING\n");
+    }
+    writer.write_all(burst.as_bytes()).unwrap();
+
+    // Responses arrive strictly in request order.
+    for id in 1..=16 {
+        assert_eq!(read_reply(&mut reader), format!("TICKET {id}"));
+    }
+    for _ in 0..16 {
+        assert_eq!(read_reply(&mut reader), "QUEUED");
+    }
+    for _ in 0..4 {
+        assert_eq!(read_reply(&mut reader), "PONG");
+    }
+
+    // Drain through the executor, then confirm over the same connection.
+    writer.write_all(b"RUN\nPOLL 1\n").unwrap();
+    assert_eq!(read_reply(&mut reader), "OK 16");
+    assert!(read_reply(&mut reader).starts_with("DONE entries="));
+    daemon.stop();
+}
+
+#[test]
+fn pipelined_burst_with_half_close_is_fully_answered() {
+    // A client that writes everything, closes its write half, and only
+    // then reads: the reactor must answer every request parsed before EOF.
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+
+    let mut burst = String::new();
+    let n = 40;
+    for _ in 0..n {
+        burst.push_str("PING\n");
+    }
+    writer.write_all(burst.as_bytes()).unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+
+    let mut replies = String::new();
+    reader.read_to_string(&mut replies).unwrap();
+    let got: Vec<&str> = replies.lines().collect();
+    assert_eq!(got, vec!["PONG"; n]);
+    daemon.stop();
+}
+
+#[test]
+fn fragmented_lines_are_reassembled() {
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+
+    // One request split across many writes, with pauses long enough for
+    // the reactor to sweep between fragments — plus a second request
+    // whose first fragment rides in the same packet as the first's tail.
+    for fragment in ["SUB", "MIT a", "px\nPI", "NG", "\n"] {
+        writer.write_all(fragment.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(read_reply(&mut reader), "TICKET 1");
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    // A final unterminated line is still answered at EOF (seed parity).
+    writer.write_all(b"PING").unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    assert_eq!(read_reply(&mut reader), "PONG");
+    daemon.stop();
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_killing_the_connection() {
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+
+    // Far beyond the 4096-byte default cap, written in chunks so the
+    // rejection triggers mid-line, long before the newline arrives.
+    let chunk = vec![b'A'; 8192];
+    for _ in 0..8 {
+        writer.write_all(&chunk).unwrap();
+    }
+    writer.write_all(b"\nPING\n").unwrap();
+    let reply = read_reply(&mut reader);
+    assert!(
+        reply.starts_with("ERR line too long"),
+        "oversized line must be rejected: {reply}"
+    );
+    // The tail of the oversized line was discarded; the connection and
+    // the framing survive.
+    assert_eq!(read_reply(&mut reader), "PONG");
+    daemon.stop();
+}
+
+#[test]
+fn wait_streams_completions_from_the_worker() {
+    let service = mock_service(8);
+    let worker = service.spawn_worker();
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+
+    // Submissions and the WAIT pipeline in one burst; the background
+    // worker drains the queue and each completion is pushed through the
+    // wakeup channel to the parked reactor.
+    writer
+        .write_all(b"SUBMIT apx\nSUBMIT bi\nSUBMIT div\nWAIT 1 2 3\nPING\n")
+        .unwrap();
+    assert_eq!(read_reply(&mut reader), "TICKET 1");
+    assert_eq!(read_reply(&mut reader), "TICKET 2");
+    assert_eq!(read_reply(&mut reader), "TICKET 3");
+    let mut done_ids = Vec::new();
+    for _ in 0..3 {
+        let reply = read_reply(&mut reader);
+        let mut parts = reply.split_whitespace();
+        assert_eq!(parts.next(), Some("DONE"), "streamed line: {reply}");
+        done_ids.push(parts.next().unwrap().parse::<u64>().unwrap());
+        assert!(
+            parts.any(|p| p.starts_with("entries=")),
+            "DONE payload: {reply}"
+        );
+    }
+    done_ids.sort_unstable();
+    assert_eq!(done_ids, vec![1, 2, 3]);
+    // Ordering: the PING pipelined *behind* the WAIT answers only after
+    // every streamed completion.
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    // WAIT on unknown tickets answers an error immediately — no hang.
+    writer.write_all(b"WAIT 999\nWAIT nope\nWAIT\n").unwrap();
+    assert!(read_reply(&mut reader).starts_with("ERR unknown ticket"));
+    assert!(read_reply(&mut reader).starts_with("ERR WAIT expects"));
+    assert!(read_reply(&mut reader).starts_with("ERR WAIT expects"));
+
+    daemon.stop();
+    worker.join().unwrap();
+}
+
+#[test]
+fn daemon_stop_is_deterministic_and_the_port_is_immediately_reusable() {
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = daemon.addr();
+
+    // An active connection exists while the daemon stops. The client
+    // closes first so the server side never lands in TIME_WAIT.
+    {
+        let (mut writer, mut reader) = client(&daemon);
+        writer.write_all(b"PING\n").unwrap();
+        assert_eq!(read_reply(&mut reader), "PONG");
+    }
+    std::thread::sleep(Duration::from_millis(20));
+
+    // Stop must complete via the wakeup channel — quickly and without any
+    // helper connection (the seed needed a throwaway connect to unblock
+    // its accept loop).
+    let started = Instant::now();
+    daemon.stop();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop must not wait on external events"
+    );
+    assert!(service.is_stopped(), "stop shuts the service down");
+
+    // The exact same port binds again at once: the listener (and every
+    // accepted socket) was fully closed.
+    let service2 = mock_service(6);
+    let revived = Daemon::bind(Arc::clone(&service2), &addr.to_string())
+        .expect("rebinding the stopped daemon's port must succeed immediately");
+    assert_eq!(revived.addr(), addr);
+    let (mut writer, mut reader) = client(&revived);
+    writer.write_all(b"PING\nLIST\n").unwrap();
+    assert_eq!(read_reply(&mut reader), "PONG");
+    assert_eq!(read_reply(&mut reader), "SCENARIOS apx bi div");
+    revived.stop();
+}
+
+#[test]
+fn stopped_daemon_answers_in_flight_connections_with_an_error() {
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let (mut writer, mut reader) = client(&daemon);
+    writer.write_all(b"PING\n").unwrap();
+    assert_eq!(read_reply(&mut reader), "PONG");
+
+    daemon.stop();
+    // The reactor flushed a final protocol error before closing; the
+    // stream then reports EOF rather than a reset.
+    let mut rest = String::new();
+    let _ = reader.read_to_string(&mut rest);
+    assert!(rest.starts_with("ERR service is shut down"), "got {rest:?}");
+}
+
+/// Lines of arbitrary bytes (newline-free so each is one request).
+/// Verbs with side effects beyond the protocol surface are defanged:
+/// `SNAPSHOT` writes files, `QUIT` closes early, `WAIT`/`RUN` defer —
+/// any of them would make reply counting depend on luck rather than the
+/// reactor. A leading `0xFF` keeps such a line malformed while still
+/// exercising the parser with its bytes.
+fn malformed_lines() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    let line = prop::collection::vec(
+        any::<u8>().prop_filter("no newline", |&b| b != b'\n'),
+        0..200,
+    )
+    .prop_map(|mut bytes: Vec<u8>| {
+        let upper = String::from_utf8_lossy(&bytes).to_uppercase();
+        let verb = upper.split_whitespace().next().unwrap_or("");
+        if matches!(verb, "SNAPSHOT" | "QUIT" | "WAIT" | "RUN" | "SUBMIT") {
+            bytes.insert(0, 0xFF);
+        }
+        bytes
+    });
+    prop::collection::vec(line, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any malformed input the reactor never panics, never drops the
+    /// connection, and answers exactly one line per request — each either
+    /// a well-formed response or an `ERR` protocol line.
+    #[test]
+    fn malformed_input_always_gets_a_protocol_reply(lines in malformed_lines()) {
+        let service = mock_service(6);
+        let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let (mut writer, mut reader) = client(&daemon);
+
+        let mut payload = Vec::new();
+        for line in &lines {
+            payload.extend_from_slice(line);
+            payload.push(b'\n');
+        }
+        payload.extend_from_slice(b"PING\n");
+        writer.write_all(&payload).unwrap();
+
+        for line in &lines {
+            let reply = read_reply(&mut reader);
+            prop_assert!(!reply.is_empty(), "empty reply to {line:?}");
+            let well_formed = reply.starts_with("ERR ")
+                || reply.starts_with("PONG")
+                || reply.starts_with("SCENARIOS")
+                || reply.starts_with("STATS ")
+                || reply.starts_with("QUEUED")
+                || reply.starts_with("RUNNING")
+                || reply.starts_with("DONE ")
+                || reply.starts_with("TICKET ")
+                || reply.starts_with("OK ");
+            prop_assert!(well_formed, "reply {reply:?} to line {line:?}");
+        }
+        // The connection survived every malformed line.
+        prop_assert_eq!(read_reply(&mut reader), "PONG");
+        daemon.stop();
+    }
+}
