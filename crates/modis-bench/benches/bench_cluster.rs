@@ -1,0 +1,46 @@
+//! Cluster-layer benchmarks: steady-state suite throughput of a sharded
+//! cluster vs. a single shard under a fixed **per-process** resource
+//! budget.
+//!
+//! Each shard's engine cache holds roughly one namespace's working set.
+//! A single shard serving every namespace therefore thrashes between
+//! waves (each namespace's refill evicts the others'), while each shard
+//! of a 2-shard cluster keeps its namespaces resident — the partitioned-
+//! processing payoff that motivates sharding skyline serving.
+//!
+//! The committed `BENCH_cluster.json` baseline is written by the
+//! `bench_cluster_baseline` binary from the same workload
+//! (`modis_bench::cluster_workload`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::{drive_suite, ClusterWorkload};
+
+const ROWS: usize = 400;
+const MAX_STATES: usize = 10;
+const WAVES: usize = 3;
+
+fn bench_cluster_suite(c: &mut Criterion) {
+    let workload = ClusterWorkload::bench(ROWS, MAX_STATES);
+    let names = workload.scenario_names();
+    let mut group = c.benchmark_group("cluster_suite");
+    group.sample_size(10);
+    for shards in [1usize, 2] {
+        let cluster = workload.build_cluster(shards);
+        let addr = cluster.router.addr();
+        group.bench_with_input(BenchmarkId::new("suite_waves", shards), &shards, |b, _| {
+            b.iter(|| {
+                let mut total = 0;
+                for _ in 0..WAVES {
+                    total += drive_suite(addr, &names).len();
+                }
+                total
+            })
+        });
+        cluster.stop();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_suite);
+criterion_main!(benches);

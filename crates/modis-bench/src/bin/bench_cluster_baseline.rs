@@ -1,0 +1,128 @@
+//! Save-baseline runner for the cluster layer: measures multi-wave suite
+//! throughput through the router at 1 shard vs. 2 shards under a fixed
+//! per-process resource budget, then writes `BENCH_cluster.json`.
+//!
+//! Each shard's engine cache is sized to roughly one namespace's working
+//! set. With every namespace on one shard the waves thrash the cache
+//! (each namespace's refill evicts the others', so steady-state waves
+//! retrain like cold ones); with two shards each namespace stays
+//! resident and steady-state waves answer from cache. The headline
+//! number is suite requests/sec across all waves — the serving regime a
+//! cluster exists for.
+//!
+//! Usage: `bench_cluster_baseline [--rows N] [--waves N] [--iters N]
+//! [--out PATH] [--quick]` — `--quick` shrinks the workload to one short
+//! iteration for the CI smoke step.
+
+use std::time::Instant;
+
+use modis_bench::{drive_suite, fetch_stats, ClusterWorkload};
+
+/// Median of `iters` samples produced by `f`.
+fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1)).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let rows: usize = flag_value("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 200 } else { 4_000 });
+    let waves: usize = flag_value("--waves")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 4 });
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 3 });
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_cluster.json".into());
+    let max_states = if quick { 6 } else { 12 };
+
+    let workload = ClusterWorkload::bench(rows, max_states);
+    let names = workload.scenario_names();
+
+    let throughput = |shards: usize| -> (f64, String) {
+        let mut stats = String::new();
+        let rps = median_of(iters, || {
+            let cluster = workload.build_cluster(shards);
+            let addr = cluster.router.addr();
+            let start = Instant::now();
+            let mut served = 0usize;
+            for wave in 0..waves {
+                let wave_start = Instant::now();
+                served += drive_suite(addr, &names).len();
+                if std::env::var_os("CLUSTER_BENCH_TRACE").is_some() {
+                    eprintln!(
+                        "  shards={shards} wave={wave} {:.1}ms",
+                        wave_start.elapsed().as_secs_f64() * 1e3
+                    );
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            stats = fetch_stats(addr);
+            cluster.stop();
+            served as f64 / elapsed
+        });
+        (rps, stats)
+    };
+
+    if std::env::var_os("CLUSTER_BENCH_TRACE").is_some() {
+        // Bisection probe 1: the same waves driven in-process (no router,
+        // no daemon) against one shard-configured service.
+        let service = modis_service::Service::new(workload.service_config());
+        workload.register_on(&service);
+        for wave in 0..waves {
+            let start = Instant::now();
+            for name in &names {
+                service.submit(name).expect("submit");
+            }
+            service.run_pending();
+            eprintln!(
+                "  in-process wave={wave} {:.1}ms",
+                start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        // Bisection probe 2: one daemon, no router.
+        let shard = workload.spawn_shard("probe");
+        for wave in 0..waves {
+            let start = Instant::now();
+            drive_suite(shard.daemon.addr(), &names);
+            eprintln!(
+                "  daemon-only wave={wave} {:.1}ms",
+                start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        shard.daemon.stop();
+    }
+
+    eprintln!("timing {waves}-wave suite at 1 shard ({rows} rows)…");
+    let (rps_1, stats_1) = throughput(1);
+    eprintln!("timing {waves}-wave suite at 2 shards…");
+    let (rps_2, stats_2) = throughput(2);
+    let speedup = rps_2 / rps_1.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"workload\": {{ \"namespaces\": {namespaces}, \"scenarios\": {scenarios}, \"rows\": {rows}, \"max_states\": {max_states}, \"waves\": {waves}, \"per_shard_cache_capacity\": {capacity}, \"iters\": {iters} }},\n  \"suite_requests_per_sec\": {{\n    \"one_shard\": {rps_1:.2},\n    \"two_shards\": {rps_2:.2}\n  }},\n  \"cluster_stats\": {{\n    \"one_shard\": \"{stats_1}\",\n    \"two_shards\": \"{stats_2}\"\n  }},\n  \"speedup\": {{\n    \"two_shards_vs_one\": {speedup:.2}\n  }}\n}}\n",
+        namespaces = workload.namespaces,
+        scenarios = names.len(),
+        capacity = workload.engine_cache_capacity,
+    );
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick || speedup >= 1.5,
+        "2 shards must serve the suite ≥1.5× faster than 1 under the same \
+         per-shard budget: {rps_2:.2} vs {rps_1:.2} req/s ({speedup:.2}×)"
+    );
+}

@@ -7,11 +7,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_workload;
 pub mod reactor_workload;
 pub mod report;
 pub mod service_workload;
 pub mod workloads;
 
+pub use cluster_workload::{
+    drive_suite, fetch_stats, register_t3_cluster, t3_cluster_namespace, t3_cluster_scenarios,
+    t3_cluster_spec, ClusterHarness, ClusterShard, ClusterWorkload, DrivenOutcome,
+};
 pub use reactor_workload::{drive_clients, requests_per_sec, BlockingDaemon, ClientMode};
 pub use report::{print_method_table, print_series, print_table, Row};
 pub use service_workload::{
@@ -20,7 +25,7 @@ pub use service_workload::{
     SERVICE_SCENARIO_NAMES,
 };
 pub use workloads::{
-    materialize_state, materialize_substrate, run_graph_methods, run_table_methods, run_variant,
-    skyline_to_row, t5_measures, task_t1, task_t2, task_t3, task_t4, MethodRow, ModisVariant,
-    Workload,
+    materialize_state, materialize_substrate, materialize_substrate_with, run_graph_methods,
+    run_table_methods, run_variant, skyline_to_row, t5_measures, task_t1, task_t2, task_t3,
+    task_t4, MethodRow, ModisVariant, Workload,
 };

@@ -305,6 +305,18 @@ pub fn run_table_methods(workload: &Workload, config: &ModisConfig) -> Vec<Metho
 /// materialisation benchmarks: mixed numeric/categorical features with
 /// missingness over a linear target, deterministic in `seed`.
 pub fn materialize_substrate(rows: usize, seed: u64) -> TableSubstrate {
+    materialize_substrate_with(rows, seed, &TableSpaceConfig::default())
+}
+
+/// [`materialize_substrate`] with an explicit space configuration — the
+/// cluster benchmarks bound the per-substrate raw-metrics memo
+/// (`eval_cache_capacity`) so that serving performance is carried by the
+/// engine's shared evaluation cache, the store that sharding partitions.
+pub fn materialize_substrate_with(
+    rows: usize,
+    seed: u64,
+    space: &TableSpaceConfig,
+) -> TableSubstrate {
     let mut state = seed | 1;
     let mut next = move || {
         state = state
@@ -353,7 +365,7 @@ pub fn materialize_substrate(rows: usize, seed: u64) -> TableSubstrate {
         train_ratio: 0.7,
         seed,
     };
-    TableSubstrate::from_universal(data, task, &TableSpaceConfig::default())
+    TableSubstrate::from_universal(data, task, space)
 }
 
 /// A representative non-trivial state for the materialisation benchmarks:

@@ -225,6 +225,51 @@ impl SharedEvalCache {
             .collect()
     }
 
+    /// Exports only the entries belonging to the given hashed namespace
+    /// keys ([`Self::namespace_key`]) — the portable unit a cluster ships
+    /// between shard processes when namespace ownership moves. Slot order
+    /// within each shard is preserved; the hand is reported as 0 because a
+    /// filtered export is for *merging* into a live cache
+    /// ([`Self::merge_exports`]), not for geometry-exact restores.
+    pub fn export_namespaces(&self, keys: &[u64]) -> Vec<ShardExport> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+                ShardExport {
+                    hand: 0,
+                    entries: map
+                        .iter_slots()
+                        .filter(|(key, _, _)| keys.contains(&key.0))
+                        .map(|(key, value, referenced)| ExportedEvaluation {
+                            namespace: key.0,
+                            bitmap: key.1.clone(),
+                            referenced,
+                            evaluation: value.clone(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Merges exported entries into the cache through the normal hashed
+    /// insertion path, returning how many were processed. Unlike
+    /// [`Self::import_shards`] this never replays slot geometry or moves
+    /// the clock hand, so it is safe on a cache that is already serving
+    /// traffic — the shape a shard is in when a rebalanced namespace's
+    /// snapshot arrives.
+    pub fn merge_exports(&self, shards: Vec<ShardExport>) -> usize {
+        let mut merged = 0;
+        for export in shards {
+            for entry in export.entries {
+                self.record(entry.namespace, &entry.bitmap, &entry.evaluation);
+                merged += 1;
+            }
+        }
+        merged
+    }
+
     /// Imports a snapshot produced by [`Self::export_shards`], returning the
     /// number of snapshot entries *processed*. (An entry may overwrite a
     /// duplicate key, and restoring more entries than a bounded shard holds
@@ -486,6 +531,45 @@ mod tests {
         let mut b = StateBitmap::empty(32);
         b.set(7, true);
         assert_eq!(rh.lookup(&b), Some(eval(7.0)));
+    }
+
+    #[test]
+    fn namespace_export_filters_and_merges_into_a_live_cache() {
+        let source = Arc::new(SharedEvalCache::with_capacity(4, 0));
+        for ns in ["keep-a", "keep-b", "drop"] {
+            let h = source.handle(ns);
+            for i in 0..6 {
+                let mut b = StateBitmap::empty(16);
+                b.set(i, true);
+                h.record(&b, &eval(i as f64));
+            }
+        }
+        let keys = [
+            SharedEvalCache::namespace_key("keep-a"),
+            SharedEvalCache::namespace_key("keep-b"),
+        ];
+        let export = source.export_namespaces(&keys);
+        let exported: usize = export.iter().map(|s| s.entries.len()).sum();
+        assert_eq!(exported, 12, "only the selected namespaces are exported");
+        assert!(export
+            .iter()
+            .flat_map(|s| &s.entries)
+            .all(|e| keys.contains(&e.namespace)));
+
+        // Merge into a cache that already serves other namespaces: the
+        // resident state survives, the shipped entries answer afterwards.
+        let target = Arc::new(SharedEvalCache::with_capacity(2, 0));
+        let resident = target.handle("resident");
+        let b0 = StateBitmap::full(16);
+        resident.record(&b0, &eval(9.0));
+        assert_eq!(target.merge_exports(export), 12);
+        assert_eq!(resident.lookup(&b0), Some(eval(9.0)));
+        let ha = target.handle("keep-a");
+        let mut b = StateBitmap::empty(16);
+        b.set(3, true);
+        assert_eq!(ha.lookup(&b), Some(eval(3.0)));
+        assert!(target.handle("drop").lookup(&b).is_none());
+        assert_eq!(target.stats().entries, 13);
     }
 
     #[test]

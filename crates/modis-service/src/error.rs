@@ -30,6 +30,21 @@ pub enum ServiceError {
     Stopped,
     /// Persisting or restoring an evaluation-cache snapshot failed.
     Snapshot(SnapshotError),
+    /// A cluster routing table was malformed (empty or multi-token names,
+    /// duplicate scenarios).
+    InvalidClusterSpec(String),
+    /// A cluster operation could not reach a shard daemon (connect, send
+    /// or receive failed) — the request may be retried once the shard is
+    /// back or rewired to a new address.
+    ShardUnavailable {
+        /// The unreachable shard's name.
+        shard: String,
+        /// What failed.
+        reason: String,
+    },
+    /// A cluster topology change named an unknown shard, or would leave
+    /// the cluster without any shard.
+    InvalidTopology(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -50,6 +65,13 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownTicket(id) => write!(f, "unknown ticket {id}"),
             ServiceError::Stopped => write!(f, "service is shut down"),
             ServiceError::Snapshot(err) => write!(f, "snapshot error: {err}"),
+            ServiceError::InvalidClusterSpec(reason) => {
+                write!(f, "invalid cluster spec: {reason}")
+            }
+            ServiceError::ShardUnavailable { shard, reason } => {
+                write!(f, "shard {shard:?} unavailable: {reason}")
+            }
+            ServiceError::InvalidTopology(reason) => write!(f, "invalid topology: {reason}"),
         }
     }
 }

@@ -48,6 +48,14 @@
 //!   with strictly ordered responses, `RUN` drains and `SNAPSHOT` writes
 //!   execute on a companion executor thread, and a wakeup socket pair connects job completions
 //!   and shutdown to a parked reactor.
+//! * [`cluster`] + [`router`] — the horizontal scaling layer: cache
+//!   namespaces are partitioned across shard daemons by rendezvous
+//!   hashing ([`cluster::ShardMap`]), and a [`Router`] fronts the shard
+//!   set behind the same wire protocol (pipelining preserved end-to-end,
+//!   cluster-wide tickets, aggregated `STATS`). Topology changes ship
+//!   exactly the namespaces that move as snapshot shipments (`SNAPSHOT
+//!   NAMESPACE` / `RESTORE`), so a grown cluster answers its first run
+//!   from the shipped warm cache.
 //!
 //! ## Quick example
 //!
@@ -79,19 +87,25 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod cluster;
 pub mod error;
 pub mod net;
 pub mod reactor;
 pub mod registry;
+pub mod router;
 pub mod scheduler;
 pub mod service;
 pub mod snapshot;
 
 pub use batch::ValuationRequest;
+pub use cluster::{ClusterScenario, ClusterSpec, ShardMap};
 pub use error::ServiceError;
-pub use net::{dispatch, done_line, handle_command, Daemon, Reply, Request};
+pub use net::{dispatch, done_line, handle_command, result_line, Daemon, Reply, Request};
 pub use reactor::{ReactorConfig, Wakeup};
 pub use registry::{RegisteredScenario, ScenarioRegistry};
+pub use router::{Router, RouterConfig, ShippedNamespace};
 pub use scheduler::{CostModel, CostScheduler, QueuedRequest};
 pub use service::{CompletionNotifier, JobState, Service, ServiceConfig, Ticket};
-pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    SnapshotError, SHIPMENT_MAGIC, SHIPMENT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -15,7 +15,12 @@
 //! | `WAIT <id> [<id>…]`| one `DONE <id> entries=…` line per ticket, streamed in          |
 //! |                    | completion order as the jobs finish                             |
 //! | `STATS`            | `STATS hits=… misses=… entries=… evictions=… memo_entries=…`    |
+//! | `RESULT <id>`      | `RESULT <id> entries=… <entry>…` — the finished skyline,        |
+//! |                    | byte-exactly encoded (f64 bit patterns, not decimal)            |
 //! | `SNAPSHOT <path>`  | `OK <bytes>` — persist the evaluation cache                     |
+//! | `SNAPSHOT NAMESPACE <ns>… <path>` | `OK <bytes>` — persist only the given           |
+//! |                    | namespaces (a shippable rebalancing unit)                       |
+//! | `RESTORE <path>`   | `OK <entries>` — merge a snapshot/shipment into the live cache  |
 //! | `QUIT`             | `BYE` (connection closes)                                       |
 //!
 //! Anything else answers `ERR …`. Registration stays in-process (substrates
@@ -26,7 +31,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::reactor::{wakeup_pair, Executor, Reactor, ReactorConfig, Wakeup};
@@ -50,6 +55,12 @@ impl Reply {
     }
 }
 
+/// A deferred command body: runs on the executor thread, produces the
+/// response line. `SNAPSHOT NAMESPACE` and `RESTORE` ride on this — both
+/// serialise or merge cache state against the disk, far too slow for the
+/// reactor thread.
+pub type OffloadFn = Box<dyn FnOnce(&Service) -> String + Send>;
+
 /// How the reactor must answer one request line. Where [`handle_command`]
 /// executes everything synchronously, the reactor defers the verbs whose
 /// responses depend on background work.
@@ -65,6 +76,10 @@ pub enum Request {
     /// full-cache serialisation plus disk write must not stall the
     /// reactor), answer `OK <bytes>`/`ERR …` when the write completes.
     Snapshot(String),
+    /// A slow verb without dedicated state (`SNAPSHOT NAMESPACE`,
+    /// `RESTORE`): run the closure on the executor thread, answer its
+    /// returned line.
+    Offload(OffloadFn),
     /// `WAIT`: stream one `DONE <id> …` line per ticket as each job
     /// completes.
     Wait(Vec<u64>),
@@ -83,6 +98,76 @@ pub fn done_line(outcome: &ScenarioOutcome) -> String {
     )
 }
 
+/// The full finished skyline of ticket `id`, encoded byte-exactly on one
+/// line: `RESULT <id> entries=<n>` followed by one token per entry —
+/// `b=<bits>:<words hex>;r=<raw f64 bit patterns>;p=<perf bit patterns>;`
+/// `s=<rows>x<cols>;l=<level>`. Floats travel as hex `f64::to_bits`, so
+/// two skylines are byte-identical **iff** their `RESULT` payloads are
+/// string-equal — the property the cluster tests assert across process
+/// boundaries.
+pub fn result_line(id: u64, outcome: &ScenarioOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("RESULT {id} entries={}", outcome.result.len());
+    for entry in &outcome.result.entries {
+        out.push_str(" b=");
+        let _ = write!(out, "{}:", entry.bitmap.len());
+        for (i, word) in entry.bitmap.words().iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            let _ = write!(out, "{word:x}");
+        }
+        out.push_str(";r=");
+        for (i, v) in entry.raw.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:x}", v.to_bits());
+        }
+        out.push_str(";p=");
+        for (i, v) in entry.perf.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:x}", v.to_bits());
+        }
+        let _ = write!(
+            out,
+            ";s={}x{};l={}",
+            entry.size.0, entry.size.1, entry.level
+        );
+    }
+    out
+}
+
+/// Parses `SNAPSHOT NAMESPACE <ns>… <path>` arguments (everything after
+/// the `NAMESPACE` keyword): at least one namespace followed by the path.
+fn parse_namespace_snapshot(rest: &str) -> Option<(Vec<String>, String)> {
+    let mut tokens: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+    if tokens.len() < 2 {
+        return None;
+    }
+    let path = tokens.pop().expect("len checked above");
+    Some((tokens, path))
+}
+
+/// Executes `SNAPSHOT NAMESPACE` against the service (shared by the
+/// synchronous entry point and the executor offload).
+fn snapshot_namespaces_reply(service: &Service, namespaces: &[String], path: &str) -> String {
+    match service.snapshot_namespaces_to(namespaces, std::path::Path::new(path)) {
+        Ok(bytes) => format!("OK {bytes}"),
+        Err(err) => format!("ERR {err}"),
+    }
+}
+
+/// Executes `RESTORE` against the service (shared like the above).
+fn restore_reply(service: &Service, path: &str) -> String {
+    match service.restore_from(std::path::Path::new(path)) {
+        Ok(entries) => format!("OK {entries}"),
+        Err(err) => format!("ERR {err}"),
+    }
+}
+
 /// Classifies one protocol line for the reactor, without blocking on any
 /// background work. Synchronous verbs are answered inline via the same
 /// code paths as [`handle_command`].
@@ -94,9 +179,31 @@ pub fn dispatch(service: &Service, line: &str) -> Request {
     };
     match verb.to_ascii_uppercase().as_str() {
         "RUN" => Request::Drain,
+        // `SNAPSHOT NAMESPACE …` offloads with its own parse; a malformed
+        // one answers immediately so nothing slow runs for a bad line.
+        "SNAPSHOT"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("NAMESPACE")) =>
+        {
+            let args = rest.split_once(char::is_whitespace).map_or("", |(_, r)| r);
+            match parse_namespace_snapshot(args) {
+                Some((namespaces, path)) => Request::Offload(Box::new(move |service| {
+                    snapshot_namespaces_reply(service, &namespaces, &path)
+                })),
+                None => Request::Immediate(
+                    "ERR SNAPSHOT NAMESPACE expects one or more namespaces then a path".into(),
+                ),
+            }
+        }
         // Empty-path SNAPSHOT falls through to handle_command, which
         // answers the seed's `ERR unknown command` for it.
         "SNAPSHOT" if !rest.is_empty() => Request::Snapshot(rest.to_string()),
+        "RESTORE" if !rest.is_empty() => {
+            let path = rest.to_string();
+            Request::Offload(Box::new(move |service| restore_reply(service, &path)))
+        }
         "WAIT" => {
             if rest.is_empty() {
                 return Request::Immediate("ERR WAIT expects one or more numeric tickets".into());
@@ -176,15 +283,39 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
                 cache.per_shard_capacity(),
             )
         }
+        "RESULT" => match rest.parse::<u64>() {
+            Ok(id) => match service.poll(Ticket(id)) {
+                Ok(JobState::Done(outcome)) => result_line(id, &outcome),
+                Ok(_) => format!("ERR ticket {id} is not finished"),
+                Err(err) => format!("ERR {err}"),
+            },
+            Err(_) => "ERR RESULT expects a numeric ticket".to_string(),
+        },
+        "SNAPSHOT"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("NAMESPACE")) =>
+        {
+            let args = rest.split_once(char::is_whitespace).map_or("", |(_, r)| r);
+            match parse_namespace_snapshot(args) {
+                Some((namespaces, path)) => snapshot_namespaces_reply(service, &namespaces, &path),
+                None => "ERR SNAPSHOT NAMESPACE expects one or more namespaces then a path".into(),
+            }
+        }
         "SNAPSHOT" if !rest.is_empty() => match service.snapshot_to(std::path::Path::new(rest)) {
             Ok(bytes) => format!("OK {bytes}"),
             Err(err) => format!("ERR {err}"),
         },
+        "RESTORE" if !rest.is_empty() => restore_reply(service, rest),
         "QUIT" => return Reply::Close("BYE".to_string()),
         _ => format!("ERR unknown command {verb:?}"),
     };
     Reply::Line(reply)
 }
+
+/// The daemon's two worker threads, `take`n exactly once during stop.
+type DaemonThreads = (Option<JoinHandle<()>>, Option<JoinHandle<()>>);
 
 /// A running TCP front-end: the bound address plus the reactor and drain
 /// executor threads.
@@ -223,8 +354,13 @@ pub struct Daemon {
     stop: Arc<AtomicBool>,
     wakeup: Wakeup,
     executor: Arc<Executor>,
-    reactor_thread: Option<JoinHandle<()>>,
-    executor_thread: Option<JoinHandle<()>>,
+    /// Reactor + executor join handles, taken exactly once. The mutex is
+    /// what makes [`Daemon::stop`] idempotent under concurrent double-stop
+    /// (e.g. an explicit `stop` racing a `Drop`, or two owners of an
+    /// `Arc<Daemon>`): the winner holds the lock through the whole
+    /// teardown, losers block until it finishes and then find the handles
+    /// already taken.
+    threads: Mutex<DaemonThreads>,
 }
 
 impl Daemon {
@@ -278,8 +414,7 @@ impl Daemon {
             stop,
             wakeup,
             executor,
-            reactor_thread: Some(reactor_thread),
-            executor_thread: Some(executor_thread),
+            threads: Mutex::new((Some(reactor_thread), Some(executor_thread))),
         })
     }
 
@@ -300,19 +435,33 @@ impl Daemon {
     /// closes its listener and connections before exiting — no throwaway
     /// connection, no waiting for a future client. Once `stop` returns,
     /// the listening port is fully released and immediately rebindable.
-    pub fn stop(mut self) {
+    ///
+    /// `stop` is **idempotent, including under concurrency**: any number
+    /// of callers (say two threads sharing an `Arc<Daemon>`, or a manual
+    /// stop racing `Drop`) may invoke it; the first performs the teardown
+    /// while holding the internal lock, the rest block until it completes
+    /// and then return with nothing left to do. Every caller observes a
+    /// fully-stopped daemon when its call returns.
+    pub fn stop(&self) {
         self.stop_inner();
     }
 
-    fn stop_inner(&mut self) {
+    fn stop_inner(&self) {
+        let mut threads = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+        if threads.0.is_none() && threads.1.is_none() {
+            return;
+        }
         self.service.shutdown();
         self.stop.store(true, Ordering::SeqCst);
         self.executor.stop();
+        // Notified under the lock: a racing second stopper cannot interleave
+        // between the flag store and the wakeup byte (the race that could
+        // previously leave a parked reactor sleeping out its timeout).
         self.wakeup.notify();
-        if let Some(handle) = self.reactor_thread.take() {
+        if let Some(handle) = threads.0.take() {
             let _ = handle.join();
         }
-        if let Some(handle) = self.executor_thread.take() {
+        if let Some(handle) = threads.1.take() {
             let _ = handle.join();
         }
         self.service.clear_completion_notifier();
@@ -323,9 +472,7 @@ impl Drop for Daemon {
     /// A dropped daemon stops exactly like [`Daemon::stop`] — tests that
     /// panic mid-protocol still release their port and threads.
     fn drop(&mut self) {
-        if self.reactor_thread.is_some() || self.executor_thread.is_some() {
-            self.stop_inner();
-        }
+        self.stop_inner();
     }
 }
 
@@ -389,6 +536,82 @@ mod tests {
     }
 
     #[test]
+    fn namespace_snapshot_restore_and_result_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("modis_net_ns_{}.ship", std::process::id()));
+        let warm = service();
+        assert_eq!(handle_command(&warm, "SUBMIT apx").text(), "TICKET 1");
+        // RESULT before the run finishes is an error, not a hang.
+        assert!(handle_command(&warm, "RESULT 1")
+            .text()
+            .starts_with("ERR ticket 1 is not finished"));
+        assert_eq!(handle_command(&warm, "RUN").text(), "OK 1");
+        let result = handle_command(&warm, "RESULT 1").text().to_string();
+        assert!(result.starts_with("RESULT 1 entries="), "{result}");
+        assert!(result.contains(";r="), "{result}");
+        // Byte-exact: asking again yields the identical line.
+        assert_eq!(handle_command(&warm, "RESULT 1").text(), result);
+        assert!(handle_command(&warm, "RESULT nope")
+            .text()
+            .starts_with("ERR RESULT expects"));
+        assert!(handle_command(&warm, "RESULT 99")
+            .text()
+            .starts_with("ERR unknown ticket"));
+
+        // Ship the namespace, merge it into a fresh service, and confirm
+        // the shipped evaluations answer the same scenario warm.
+        let reply = handle_command(
+            &warm,
+            &format!("SNAPSHOT NAMESPACE pool {}", path.display()),
+        );
+        assert!(reply.text().starts_with("OK "), "{}", reply.text());
+        assert!(handle_command(&warm, "SNAPSHOT NAMESPACE pool")
+            .text()
+            .starts_with("ERR SNAPSHOT NAMESPACE expects"));
+
+        let fresh = service();
+        let reply = handle_command(&fresh, &format!("RESTORE {}", path.display()));
+        assert!(reply.text().starts_with("OK "), "{}", reply.text());
+        assert_eq!(handle_command(&fresh, "SUBMIT apx").text(), "TICKET 1");
+        assert_eq!(handle_command(&fresh, "RUN").text(), "OK 1");
+        assert_eq!(handle_command(&fresh, "RESULT 1").text(), result);
+        assert!(handle_command(&fresh, "RESTORE /no/such/file.ship")
+            .text()
+            .starts_with("ERR "));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_double_stop_is_idempotent() {
+        let service = Arc::new(service());
+        let daemon = Arc::new(Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap());
+        let addr = daemon.addr();
+        let stoppers: Vec<_> = (0..4)
+            .map(|_| {
+                let daemon = Arc::clone(&daemon);
+                std::thread::spawn(move || daemon.stop())
+            })
+            .collect();
+        for stopper in stoppers {
+            stopper.join().expect("no stop may panic");
+        }
+        assert!(service.is_stopped());
+        // Every stop returned ⇒ the port is fully released and rebindable.
+        let service2 = Arc::new(service_for_rebind());
+        let revived = Daemon::bind(service2, &addr.to_string())
+            .expect("port must be rebindable after concurrent stops");
+        revived.stop();
+        // Stopping an already-stopped daemon (and the later Drop) is a
+        // no-op rather than a second teardown.
+        revived.stop();
+        daemon.stop();
+    }
+
+    fn service_for_rebind() -> Service {
+        service()
+    }
+
+    #[test]
     fn dispatch_classifies_deferred_verbs() {
         let service = service();
         assert!(matches!(dispatch(&service, "RUN"), Request::Drain));
@@ -401,6 +624,26 @@ mod tests {
             Request::Snapshot(path) => assert_eq!(path, "/tmp/some.snap"),
             _ => panic!("SNAPSHOT with a path must defer"),
         }
+        assert!(matches!(
+            dispatch(&service, "SNAPSHOT NAMESPACE pool /tmp/x.ship"),
+            Request::Offload(_)
+        ));
+        assert!(matches!(
+            dispatch(&service, "snapshot namespace pool other /tmp/x.ship"),
+            Request::Offload(_)
+        ));
+        assert!(matches!(
+            dispatch(&service, "SNAPSHOT NAMESPACE onlyonearg"),
+            Request::Immediate(ref s) if s.starts_with("ERR SNAPSHOT NAMESPACE expects")
+        ));
+        assert!(matches!(
+            dispatch(&service, "RESTORE /tmp/x.ship"),
+            Request::Offload(_)
+        ));
+        assert!(matches!(
+            dispatch(&service, "RESTORE"),
+            Request::Immediate(ref s) if s.starts_with("ERR unknown command")
+        ));
         assert!(matches!(
             dispatch(&service, "SNAPSHOT"),
             Request::Immediate(ref s) if s.starts_with("ERR unknown command")

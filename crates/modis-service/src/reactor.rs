@@ -179,6 +179,9 @@ enum ExecJob {
     /// serialisation plus disk write — far too slow for the reactor
     /// thread), answer `OK <bytes>` or `ERR …`.
     Snapshot(String, DeferredReply),
+    /// A pre-bound slow verb (`SNAPSHOT NAMESPACE`, `RESTORE`): run the
+    /// closure, answer whatever line it returns.
+    Task(crate::net::OffloadFn, DeferredReply),
 }
 
 /// The off-reactor executor: `RUN` drains and `SNAPSHOT` writes enqueue
@@ -221,6 +224,11 @@ impl Executor {
         self.submit_with(|reply| ExecJob::Snapshot(path, reply))
     }
 
+    /// Enqueues an arbitrary deferred command and returns its reply cell.
+    fn submit_task(&self, task: crate::net::OffloadFn) -> DeferredReply {
+        self.submit_with(|reply| ExecJob::Task(task, reply))
+    }
+
     /// Signals the executor thread to exit once its queue is empty.
     pub(crate) fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -257,6 +265,9 @@ impl Executor {
                         Err(err) => format!("ERR {err}"),
                     };
                     let _ = reply.set(text);
+                }
+                ExecJob::Task(task, reply) => {
+                    let _ = reply.set(task(service));
                 }
             }
             wakeup.notify();
@@ -602,6 +613,9 @@ impl Reactor {
                         Request::Snapshot(path) => conn
                             .slots
                             .push_front(Slot::Deferred(executor.submit_snapshot(path))),
+                        Request::Offload(task) => conn
+                            .slots
+                            .push_front(Slot::Deferred(executor.submit_task(task))),
                         Request::Wait(tickets) => conn.slots.push_front(Slot::Wait(tickets)),
                     }
                 }

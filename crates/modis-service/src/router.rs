@@ -1,0 +1,1351 @@
+//! The cluster router: one TCP front-end over N shard daemons.
+//!
+//! A [`Router`] speaks the same line protocol as a single [`crate::Daemon`]
+//! and fronts a set of shard daemons (each a reactor-served [`crate::Service`]
+//! in its own process), so a client cannot tell a cluster from a single
+//! daemon — same verbs, same responses, same pipelining rules:
+//!
+//! * **Placement** — every scenario maps to a cache namespace
+//!   ([`ClusterSpec`]), every namespace to exactly one shard by rendezvous
+//!   hashing ([`ShardMap`]); `SUBMIT` goes to the owner, so one
+//!   namespace's evaluations always concentrate in one process.
+//! * **Pipelining end-to-end** — a client may burst any number of
+//!   requests; each is forwarded to its shard *immediately on parse*
+//!   (shards work concurrently on one client's pipeline), while responses
+//!   are emitted strictly in request order through an ordered queue of
+//!   expectations, exactly like the reactor's response slots.
+//! * **Ticket remapping** — shards issue process-local ticket ids; the
+//!   router allocates cluster-wide ids and translates on every `SUBMIT`
+//!   response, `POLL`/`RESULT`/`WAIT` request and streamed `DONE` line.
+//! * **Fan-out verbs** — `RUN` drains every shard concurrently and sums
+//!   the counts; `STATS` aggregates every shard's counters into one
+//!   cluster-wide line (plus a `SHARDS` verb for per-shard telemetry);
+//!   `SNAPSHOT <path>` persists every shard to `<path>.<shard>`.
+//! * **`WAIT` across shards** — the router splits the ticket list per
+//!   owning shard, forwards per-shard `WAIT`s, and streams the merged
+//!   `DONE` lines back in arrival order (≈ cluster-wide completion
+//!   order), rewritten to cluster ids.
+//! * **Rebalancing** — [`Router::join_shard`] / [`Router::leave_shard`]
+//!   recompute ownership and ship exactly the namespaces that move (a
+//!   rendezvous-hash guarantee) as snapshot shipments: `SNAPSHOT
+//!   NAMESPACE` on the old owner, `RESTORE` on the new one. A grown
+//!   cluster answers its first run of a moved namespace from the shipped
+//!   warm cache. Shipping goes through a file path visible to both shard
+//!   processes (same host or shared filesystem; a cross-host transfer
+//!   would add a copy step between the two verbs).
+//! * **Fault handling** — a shard that cannot be reached answers `ERR
+//!   shard <name> unavailable …` for the affected requests only; other
+//!   shards keep serving. [`Router::set_shard_addr`] rewires a restarted
+//!   shard (e.g. revived from its last snapshot via
+//!   `Service::from_snapshot`) and invalidates the dead process's
+//!   tickets.
+//!
+//! The router itself holds no evaluation state and does no search work —
+//! it is a thin I/O forwarder, so a plain thread-per-connection design is
+//! deliberate (the CPU-heavy side, the shard daemons, already runs on the
+//! non-blocking reactor; routing hundreds of client connections through
+//! one process is the reactor follow-up in the ROADMAP).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::cluster::{validate_token, ClusterSpec, ShardMap};
+use crate::error::ServiceError;
+
+/// Tuning knobs of the router. Defaults suit tests and examples; none
+/// change protocol semantics.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Read timeout used as the polling quantum on every connection
+    /// (client and shard side): bounds how long the handler loop blocks
+    /// before re-checking other work and the stop flag.
+    pub poll_interval: Duration,
+    /// Longest accepted client request line (reactor parity).
+    pub max_line_len: usize,
+    /// Maximum unresolved expectations per client connection; beyond it
+    /// the router stops reading that client (pipelining backpressure).
+    pub max_pipelined: usize,
+    /// Connect timeout for shard connections.
+    pub connect_timeout: Duration,
+    /// How long a lifecycle operation (snapshot shipping on join/leave)
+    /// waits for one shard reply.
+    pub ship_timeout: Duration,
+    /// Directory shipment files are staged in during rebalancing
+    /// (`None` = the system temp directory). Must be visible to both
+    /// shard processes involved, and its path must not contain
+    /// whitespace (the shipping verbs are whitespace-delimited lines).
+    pub ship_dir: Option<PathBuf>,
+    /// How many ticket mappings the router retains (FIFO; 0 = unbounded).
+    /// Mirrors the shard daemons' bounded completed-job retention — a
+    /// ticket older than either bound answers `ERR unknown ticket`.
+    pub max_tickets: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            // Small on purpose: every client⇄router⇄shard exchange pays up
+            // to two of these quanta, so the quantum is the router's
+            // latency floor. The cost is one read syscall per quantum per
+            // open idle connection — cheap at router connection counts
+            // (the CPU-heavy side lives in the shard daemons).
+            poll_interval: Duration::from_micros(200),
+            max_line_len: 4096,
+            max_pipelined: 1024,
+            connect_timeout: Duration::from_secs(2),
+            ship_timeout: Duration::from_secs(120),
+            ship_dir: None,
+            max_tickets: 1 << 16,
+        }
+    }
+}
+
+/// One shard's identity and current address.
+#[derive(Debug, Clone)]
+struct ShardState {
+    name: String,
+    addr: SocketAddr,
+}
+
+/// The live topology: shard addresses plus the ownership map, kept under
+/// one lock so routing decisions always see a consistent pair.
+struct Topology {
+    shards: Vec<ShardState>,
+    map: ShardMap,
+}
+
+impl Topology {
+    fn addr_of(&self, name: &str) -> Option<SocketAddr> {
+        self.shards.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+}
+
+/// Cluster-wide ticket table: router ids ↔ per-shard local ids, retained
+/// FIFO up to [`RouterConfig::max_tickets`] (the shard daemons bound their
+/// own completed-job retention, so an unbounded router-side table would
+/// mostly map ids the shards have already forgotten — and grow with every
+/// request the router ever served).
+#[derive(Default)]
+struct TicketTable {
+    next: u64,
+    forward: HashMap<u64, (String, u64)>,
+    reverse: HashMap<(String, u64), u64>,
+    /// Allocation order, for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+impl TicketTable {
+    fn allocate(&mut self, shard: &str, local: u64, retention: usize) -> u64 {
+        self.next += 1;
+        let global = self.next;
+        self.forward.insert(global, (shard.to_string(), local));
+        self.reverse.insert((shard.to_string(), local), global);
+        self.order.push_back(global);
+        if retention > 0 {
+            while self.order.len() > retention {
+                if let Some(oldest) = self.order.pop_front() {
+                    if let Some(key) = self.forward.remove(&oldest) {
+                        self.reverse.remove(&key);
+                    }
+                }
+            }
+        }
+        global
+    }
+
+    fn lookup(&self, global: u64) -> Option<(String, u64)> {
+        self.forward.get(&global).cloned()
+    }
+
+    fn global_for(&self, shard: &str, local: u64) -> Option<u64> {
+        self.reverse.get(&(shard.to_string(), local)).copied()
+    }
+
+    /// Drops every mapping of `shard` — its process died (or was
+    /// replaced), so its local ids no longer name anything.
+    fn purge_shard(&mut self, shard: &str) {
+        self.forward.retain(|_, (s, _)| s != shard);
+        self.reverse.retain(|(s, _), _| s != shard);
+        let forward = &self.forward;
+        self.order.retain(|g| forward.contains_key(g));
+    }
+}
+
+struct RouterInner {
+    spec: ClusterSpec,
+    topology: Mutex<Topology>,
+    tickets: Mutex<TicketTable>,
+    stop: AtomicBool,
+    config: RouterConfig,
+}
+
+impl RouterInner {
+    fn lock_topology(&self) -> std::sync::MutexGuard<'_, Topology> {
+        self.topology.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_tickets(&self) -> std::sync::MutexGuard<'_, TicketTable> {
+        self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What a rebalancing operation shipped: one entry per moved namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedNamespace {
+    /// The namespace that changed owner.
+    pub namespace: String,
+    /// The shard it moved from.
+    pub from: String,
+    /// The shard it moved to.
+    pub to: String,
+}
+
+/// A running cluster router: the bound address, the accept thread and one
+/// handler thread per client connection.
+pub struct Router {
+    inner: Arc<RouterInner>,
+    addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Serialises join/leave/rewire so two topology changes cannot
+    /// interleave their shipping phases.
+    lifecycle: Mutex<()>,
+}
+
+impl Router {
+    /// Binds the router on `addr` over the given shard daemons (name,
+    /// address). Shard names must be non-empty single tokens; at least one
+    /// shard is required.
+    pub fn bind(
+        spec: ClusterSpec,
+        shards: Vec<(String, SocketAddr)>,
+        addr: &str,
+    ) -> io::Result<Router> {
+        Router::bind_with(spec, shards, addr, RouterConfig::default())
+    }
+
+    /// [`Router::bind`] with explicit tuning.
+    pub fn bind_with(
+        spec: ClusterSpec,
+        shards: Vec<(String, SocketAddr)>,
+        addr: &str,
+        config: RouterConfig,
+    ) -> io::Result<Router> {
+        if shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard",
+            ));
+        }
+        let mut map = ShardMap::new();
+        let mut states = Vec::new();
+        for (name, addr) in shards {
+            if let Err(reason) = validate_token(&name, "shard name") {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, reason));
+            }
+            if !map.add(name.clone()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("shard name {name:?} listed twice"),
+                ));
+            }
+            states.push(ShardState { name, addr });
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(RouterInner {
+            spec,
+            topology: Mutex::new(Topology {
+                shards: states,
+                map,
+            }),
+            tickets: Mutex::new(TicketTable::default()),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let inner = Arc::clone(&inner);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || accept_loop(listener, inner, handlers))
+        };
+        Ok(Router {
+            inner,
+            addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            handlers,
+            lifecycle: Mutex::new(()),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the current ownership map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.inner.lock_topology().map.clone()
+    }
+
+    /// The current shard set with addresses, sorted by name.
+    pub fn shards(&self) -> Vec<(String, SocketAddr)> {
+        let topology = self.inner.lock_topology();
+        let mut shards: Vec<(String, SocketAddr)> = topology
+            .shards
+            .iter()
+            .map(|s| (s.name.clone(), s.addr))
+            .collect();
+        shards.sort();
+        shards
+    }
+
+    /// The shard currently owning `namespace`.
+    pub fn owner_of(&self, namespace: &str) -> Option<String> {
+        self.inner
+            .lock_topology()
+            .map
+            .owner_of_namespace(namespace)
+            .map(str::to_string)
+    }
+
+    /// Adds a shard daemon to the cluster. Ownership is recomputed; every
+    /// namespace the new shard now owns is shipped from its previous owner
+    /// (`SNAPSHOT NAMESPACE` there, `RESTORE` on the joiner) **before**
+    /// routing flips, so the new shard's first request finds the warm
+    /// cache already in place. Returns the shipped namespaces.
+    pub fn join_shard(
+        &self,
+        name: &str,
+        addr: SocketAddr,
+    ) -> Result<Vec<ShippedNamespace>, ServiceError> {
+        validate_token(name, "shard name").map_err(ServiceError::InvalidTopology)?;
+        let _lifecycle = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let before = {
+            let topology = self.inner.lock_topology();
+            if topology.addr_of(name).is_some() {
+                return Err(ServiceError::InvalidTopology(format!(
+                    "shard {name:?} is already a member"
+                )));
+            }
+            topology.map.clone()
+        };
+        let mut after = before.clone();
+        after.add(name.to_string());
+
+        // Rendezvous property: everything that moves, moves *to* the
+        // joiner. Ship per source shard (one shipment may carry several
+        // namespaces).
+        let mut by_source: HashMap<String, Vec<String>> = HashMap::new();
+        let mut shipped = Vec::new();
+        for namespace in self.inner.spec.namespaces() {
+            let old_owner = before.owner_of_namespace(namespace);
+            let new_owner = after.owner_of_namespace(namespace);
+            if let (Some(old), Some(new)) = (old_owner, new_owner) {
+                if old != new {
+                    debug_assert_eq!(new, name, "rendezvous join moved an unrelated namespace");
+                    by_source
+                        .entry(old.to_string())
+                        .or_default()
+                        .push(namespace.to_string());
+                    shipped.push(ShippedNamespace {
+                        namespace: namespace.to_string(),
+                        from: old.to_string(),
+                        to: name.to_string(),
+                    });
+                }
+            }
+        }
+        for (source, namespaces) in by_source {
+            let source_addr = self.inner.lock_topology().addr_of(&source).ok_or_else(|| {
+                ServiceError::InvalidTopology(format!("shard {source:?} vanished"))
+            })?;
+            self.ship(&source, source_addr, &namespaces, name, addr)?;
+        }
+
+        let mut topology = self.inner.lock_topology();
+        topology.shards.push(ShardState {
+            name: name.to_string(),
+            addr,
+        });
+        topology.map = after;
+        Ok(shipped)
+    }
+
+    /// Removes a shard gracefully: every namespace it owns is shipped to
+    /// its new owner first, then routing flips and the shard's tickets are
+    /// invalidated. (For a *crashed* shard there is nothing to ship —
+    /// restart it from its last snapshot and [`Router::set_shard_addr`]
+    /// it back in instead.)
+    pub fn leave_shard(&self, name: &str) -> Result<Vec<ShippedNamespace>, ServiceError> {
+        let _lifecycle = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (before, leaving_addr) = {
+            let topology = self.inner.lock_topology();
+            let addr = topology.addr_of(name).ok_or_else(|| {
+                ServiceError::InvalidTopology(format!("shard {name:?} is not a member"))
+            })?;
+            (topology.map.clone(), addr)
+        };
+        if before.len() == 1 {
+            return Err(ServiceError::InvalidTopology(
+                "cannot remove the last shard".to_string(),
+            ));
+        }
+        let mut after = before.clone();
+        after.remove(name);
+
+        // Rendezvous property: everything that moves, moves *off* the
+        // leaver. Group by destination.
+        let mut by_target: HashMap<String, Vec<String>> = HashMap::new();
+        let mut shipped = Vec::new();
+        for namespace in self.inner.spec.namespaces() {
+            let old_owner = before.owner_of_namespace(namespace);
+            let new_owner = after.owner_of_namespace(namespace);
+            if let (Some(old), Some(new)) = (old_owner, new_owner) {
+                if old != new {
+                    debug_assert_eq!(old, name, "rendezvous leave moved an unrelated namespace");
+                    by_target
+                        .entry(new.to_string())
+                        .or_default()
+                        .push(namespace.to_string());
+                    shipped.push(ShippedNamespace {
+                        namespace: namespace.to_string(),
+                        from: name.to_string(),
+                        to: new.to_string(),
+                    });
+                }
+            }
+        }
+        for (target, namespaces) in by_target {
+            let target_addr = self.inner.lock_topology().addr_of(&target).ok_or_else(|| {
+                ServiceError::InvalidTopology(format!("shard {target:?} vanished"))
+            })?;
+            self.ship(name, leaving_addr, &namespaces, &target, target_addr)?;
+        }
+
+        let mut topology = self.inner.lock_topology();
+        topology.shards.retain(|s| s.name != name);
+        topology.map = after;
+        drop(topology);
+        self.inner.lock_tickets().purge_shard(name);
+        Ok(shipped)
+    }
+
+    /// Rewires a shard to a new address — the recovery path after a crash
+    /// and restart (`Service::from_snapshot` + a fresh daemon). The dead
+    /// process's tickets are invalidated (its queued/finished jobs died
+    /// with it; the snapshot carries evaluations, not job state), and
+    /// handler connections to the old address are dropped on their next
+    /// use.
+    pub fn set_shard_addr(&self, name: &str, addr: SocketAddr) -> Result<(), ServiceError> {
+        let _lifecycle = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut topology = self.inner.lock_topology();
+            let shard = topology
+                .shards
+                .iter_mut()
+                .find(|s| s.name == name)
+                .ok_or_else(|| {
+                    ServiceError::InvalidTopology(format!("shard {name:?} is not a member"))
+                })?;
+            shard.addr = addr;
+        }
+        self.inner.lock_tickets().purge_shard(name);
+        Ok(())
+    }
+
+    /// Ships `namespaces` from one shard to another: `SNAPSHOT NAMESPACE`
+    /// on the source, `RESTORE` on the target, staged in a shipment file.
+    fn ship(
+        &self,
+        source: &str,
+        source_addr: SocketAddr,
+        namespaces: &[String],
+        target: &str,
+        target_addr: SocketAddr,
+    ) -> Result<(), ServiceError> {
+        static SHIP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = self
+            .inner
+            .config
+            .ship_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let path = dir.join(format!(
+            "modis_ship_{}_{}_{}.ship",
+            std::process::id(),
+            SHIP_COUNTER.fetch_add(1, Ordering::Relaxed),
+            source,
+        ));
+        // The shipping verbs are whitespace-delimited lines: a staging
+        // path containing whitespace would be mis-parsed by the shard
+        // (last token wins) and silently land somewhere else.
+        let path_str = path.display().to_string();
+        validate_token(&path_str, "shipment path").map_err(ServiceError::InvalidTopology)?;
+        let request = format!(
+            "SNAPSHOT NAMESPACE {} {}",
+            namespaces.join(" "),
+            path.display()
+        );
+        let result = (|| {
+            let reply = self.ask(source, source_addr, &request)?;
+            if !reply.starts_with("OK ") {
+                return Err(ServiceError::ShardUnavailable {
+                    shard: source.to_string(),
+                    reason: reply,
+                });
+            }
+            let reply = self.ask(target, target_addr, &format!("RESTORE {}", path.display()))?;
+            if !reply.starts_with("OK ") {
+                return Err(ServiceError::ShardUnavailable {
+                    shard: target.to_string(),
+                    reason: reply,
+                });
+            }
+            Ok(())
+        })();
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+
+    /// One-shot request/response against a shard daemon.
+    fn ask(&self, shard: &str, addr: SocketAddr, line: &str) -> Result<String, ServiceError> {
+        let fail = |reason: String| ServiceError::ShardUnavailable {
+            shard: shard.to_string(),
+            reason,
+        };
+        let mut stream = TcpStream::connect_timeout(&addr, self.inner.config.connect_timeout)
+            .map_err(|e| fail(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.inner.config.ship_timeout))
+            .map_err(|e| fail(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| fail(e.to_string()))?;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| fail(e.to_string()))?;
+        let mut reply = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => return Err(fail("connection closed before reply".to_string())),
+                Ok(_) if byte[0] == b'\n' => break,
+                Ok(_) => reply.push(byte[0]),
+                Err(e) => return Err(fail(e.to_string())),
+            }
+        }
+        Ok(String::from_utf8_lossy(&reply).trim_end().to_string())
+    }
+
+    /// Stops the router: the accept loop exits, every client handler
+    /// flushes a final protocol error and exits, all threads are joined.
+    /// Idempotent, including under concurrent callers (same discipline as
+    /// [`crate::Daemon::stop`]). Shard daemons are *not* stopped — they
+    /// are independent processes.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        let mut accept = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(handle) = accept.take() {
+            let _ = handle.join();
+        }
+        drop(accept);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handlers = self.handlers.lock().unwrap_or_else(PoisonError::into_inner);
+            handlers.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts client connections until stopped, pruning finished handlers.
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<RouterInner>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = Arc::clone(&inner);
+                let handle = std::thread::spawn(move || serve_client(inner, stream));
+                let mut handlers = handlers.lock().unwrap_or_else(PoisonError::into_inner);
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handle);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// A line-buffered connection polled with a read timeout.
+struct LineConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+/// One poll of a [`LineConn`].
+enum Polled {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// Nothing complete yet.
+    Pending,
+    /// Orderly end of input; a final unterminated line was already
+    /// surfaced as [`Polled::Line`].
+    Eof,
+    /// The connection failed.
+    Dead,
+}
+
+impl LineConn {
+    fn new(stream: TcpStream, poll_interval: Duration) -> io::Result<LineConn> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(poll_interval.max(Duration::from_micros(1))))?;
+        Ok(LineConn {
+            stream,
+            buf: Vec::new(),
+            eof: false,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(format!("{line}\n").as_bytes())
+    }
+
+    /// Returns the next complete line, reading at most one chunk from the
+    /// socket when the buffer has none.
+    fn poll_line(&mut self) -> Polled {
+        if let Some(line) = self.take_buffered_line() {
+            return Polled::Line(line);
+        }
+        if self.eof {
+            return self.drain_tail_or_eof();
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {
+                self.eof = true;
+                self.drain_tail_or_eof()
+            }
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                match self.take_buffered_line() {
+                    Some(line) => Polled::Line(line),
+                    None => Polled::Pending,
+                }
+            }
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut
+                    || err.kind() == io::ErrorKind::Interrupted =>
+            {
+                Polled::Pending
+            }
+            Err(_) => Polled::Dead,
+        }
+    }
+
+    fn take_buffered_line(&mut self) -> Option<String> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop();
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    fn drain_tail_or_eof(&mut self) -> Polled {
+        if self.buf.is_empty() {
+            Polled::Eof
+        } else {
+            let line = String::from_utf8_lossy(&std::mem::take(&mut self.buf)).into_owned();
+            Polled::Line(line)
+        }
+    }
+}
+
+/// A cached connection to one shard, pinned to the address it was opened
+/// against so a rewired shard invalidates it, and stamped with an epoch
+/// so an expectation can only ever read from the *same* connection its
+/// request was sent on (a response owed by a dead connection must fail,
+/// never consume a fresh connection's line for a later request).
+struct ShardConn {
+    conn: LineConn,
+    addr: SocketAddr,
+    epoch: u64,
+}
+
+/// One client handler's shard connections plus the epoch counter.
+#[derive(Default)]
+struct ConnPool {
+    conns: HashMap<String, ShardConn>,
+    next_epoch: u64,
+}
+
+/// Rewrite applied to a single forwarded response line.
+enum Rewrite {
+    /// `SUBMIT`: translate `TICKET <local>` to a cluster-wide id.
+    Submit,
+    /// `POLL`: pass through, but re-express `ERR unknown ticket` with the
+    /// cluster id the client asked about.
+    TicketErr {
+        /// The cluster-wide ticket id of the request.
+        global: u64,
+    },
+    /// `RESULT`: rewrite the echoed ticket id to the cluster id.
+    Result {
+        /// The cluster-wide ticket id of the request.
+        global: u64,
+    },
+}
+
+/// A fan-out verb's accumulator.
+enum FanKind {
+    /// `RUN`: sum the per-shard `OK <n>` counts.
+    Run { total: u64 },
+    /// `SNAPSHOT <path>`: sum the per-shard `OK <bytes>` sizes.
+    Snapshot { total: u64 },
+    /// `STATS`: sum the per-shard cache counters.
+    Stats { sums: [u64; 6] },
+}
+
+/// STATS keys aggregated cluster-wide, in output order.
+const STAT_KEYS: [&str; 6] = [
+    "hits",
+    "misses",
+    "entries",
+    "evictions",
+    "memo_entries",
+    "memo_evictions",
+];
+
+/// One pending `WAIT` slice on one shard.
+struct WaitPart {
+    shard: String,
+    epoch: u64,
+    remaining: usize,
+}
+
+/// One response position in a client's ordered pipeline (the router-side
+/// mirror of the reactor's `Slot`). Every shard-owed response carries the
+/// epoch of the connection its request went out on.
+enum Expect {
+    /// The response text is known (may span multiple lines).
+    Local(String),
+    /// `BYE`, then close the connection.
+    Quit,
+    /// One line owed by one shard.
+    Forward {
+        shard: String,
+        epoch: u64,
+        rewrite: Rewrite,
+    },
+    /// One line owed by each listed shard, folded into one response.
+    FanOut {
+        kind: FanKind,
+        pending: Vec<(String, u64)>,
+        error: Option<String>,
+    },
+    /// A cross-shard `WAIT`: local error lines first, then streamed
+    /// `DONE`s merged in arrival order.
+    Wait {
+        pre: Vec<String>,
+        parts: Vec<WaitPart>,
+    },
+}
+
+/// Serves one client connection until QUIT/EOF/stop.
+fn serve_client(inner: Arc<RouterInner>, stream: TcpStream) {
+    let poll = inner.config.poll_interval;
+    let Ok(mut client) = LineConn::new(stream, poll) else {
+        return;
+    };
+    let mut pool = ConnPool::default();
+    let mut expects: VecDeque<Expect> = VecDeque::new();
+    let mut discarding = false;
+    let mut client_eof = false;
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            let _ = client.send("ERR service is shut down");
+            return;
+        }
+        // 1. Read and immediately dispatch client requests (pipelining:
+        // every parsed request is forwarded before earlier responses are
+        // read back), under the same backpressure rule as the reactor.
+        if !client_eof && expects.len() < inner.config.max_pipelined {
+            match client.poll_line() {
+                Polled::Line(line) => {
+                    if discarding {
+                        discarding = false;
+                    } else if line.len() > inner.config.max_line_len {
+                        expects.push_back(Expect::Local(format!(
+                            "ERR line too long (max {} bytes)",
+                            inner.config.max_line_len
+                        )));
+                    } else {
+                        let expect = route_request(&inner, &mut pool, &line);
+                        expects.push_back(expect);
+                    }
+                }
+                Polled::Pending => {
+                    // An oversized partial line is rejected eagerly and
+                    // discarded through its eventual terminator.
+                    if !discarding && client.buf.len() > inner.config.max_line_len {
+                        discarding = true;
+                        client.buf.clear();
+                        expects.push_back(Expect::Local(format!(
+                            "ERR line too long (max {} bytes)",
+                            inner.config.max_line_len
+                        )));
+                    }
+                }
+                Polled::Eof => client_eof = true,
+                Polled::Dead => return,
+            }
+        }
+        // 2. Resolve the head of the pipeline as far as it goes.
+        match resolve_head(&inner, &mut pool, &mut expects, &mut client) {
+            ClientState::Open => {}
+            ClientState::Closed => return,
+        }
+        if client_eof && expects.is_empty() {
+            return;
+        }
+    }
+}
+
+enum ClientState {
+    Open,
+    Closed,
+}
+
+/// Classifies and forwards one request, returning the expectation that
+/// will produce its response.
+fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> Expect {
+    let trimmed = line.trim();
+    let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (trimmed, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Expect::Local("PONG".into()),
+        "LIST" => {
+            let mut out = String::from("SCENARIOS");
+            for name in inner.spec.scenario_names() {
+                out.push(' ');
+                out.push_str(name);
+            }
+            Expect::Local(out)
+        }
+        "SHARDS" => {
+            let topology = inner.lock_topology();
+            let mut shards: Vec<&ShardState> = topology.shards.iter().collect();
+            shards.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut out = format!("SHARDS {}", shards.len());
+            for shard in shards {
+                let owned = inner
+                    .spec
+                    .namespaces()
+                    .iter()
+                    .filter(|ns| topology.map.owner_of_namespace(ns) == Some(shard.name.as_str()))
+                    .count();
+                out.push_str(&format!(
+                    "\nSHARD {} addr={} namespaces={owned}",
+                    shard.name, shard.addr
+                ));
+            }
+            Expect::Local(out)
+        }
+        "SUBMIT" if !rest.is_empty() => {
+            let Some(namespace) = inner.spec.namespace_of(rest) else {
+                return Expect::Local(format!("ERR unknown scenario {rest:?}"));
+            };
+            let Some(owner) = inner
+                .lock_topology()
+                .map
+                .owner_of_namespace(namespace)
+                .map(str::to_string)
+            else {
+                return Expect::Local("ERR cluster has no shards".into());
+            };
+            match forward(inner, pool, &owner, trimmed) {
+                Ok(epoch) => Expect::Forward {
+                    shard: owner,
+                    epoch,
+                    rewrite: Rewrite::Submit,
+                },
+                Err(err) => Expect::Local(err),
+            }
+        }
+        "POLL" | "RESULT" => {
+            let upper = verb.to_ascii_uppercase();
+            let Ok(global) = rest.parse::<u64>() else {
+                return Expect::Local(if upper == "POLL" {
+                    "ERR POLL expects a numeric ticket".into()
+                } else {
+                    "ERR RESULT expects a numeric ticket".into()
+                });
+            };
+            let Some((shard, local)) = inner.lock_tickets().lookup(global) else {
+                return Expect::Local(format!("ERR unknown ticket {global}"));
+            };
+            match forward(inner, pool, &shard, &format!("{upper} {local}")) {
+                Ok(epoch) => Expect::Forward {
+                    shard,
+                    epoch,
+                    rewrite: if upper == "POLL" {
+                        Rewrite::TicketErr { global }
+                    } else {
+                        Rewrite::Result { global }
+                    },
+                },
+                Err(err) => Expect::Local(err),
+            }
+        }
+        "RUN" => fan_out(inner, pool, FanKind::Run { total: 0 }, |_| "RUN".into()),
+        "STATS" => fan_out(inner, pool, FanKind::Stats { sums: [0; 6] }, |_| {
+            "STATS".into()
+        }),
+        "SNAPSHOT" if !rest.is_empty() => {
+            let base = rest.to_string();
+            fan_out(inner, pool, FanKind::Snapshot { total: 0 }, move |shard| {
+                format!("SNAPSHOT {base}.{shard}")
+            })
+        }
+        "WAIT" => {
+            if rest.is_empty() {
+                return Expect::Local("ERR WAIT expects one or more numeric tickets".into());
+            }
+            let mut globals = Vec::new();
+            for token in rest.split_whitespace() {
+                match token.parse::<u64>() {
+                    Ok(id) => globals.push(id),
+                    Err(_) => {
+                        return Expect::Local("ERR WAIT expects one or more numeric tickets".into())
+                    }
+                }
+            }
+            let mut pre = Vec::new();
+            let mut per_shard: Vec<(String, Vec<u64>)> = Vec::new();
+            {
+                let tickets = inner.lock_tickets();
+                for global in globals {
+                    match tickets.lookup(global) {
+                        Some((shard, local)) => {
+                            match per_shard.iter_mut().find(|(s, _)| *s == shard) {
+                                Some((_, locals)) => locals.push(local),
+                                None => per_shard.push((shard, vec![local])),
+                            }
+                        }
+                        None => pre.push(format!("ERR unknown ticket {global}")),
+                    }
+                }
+            }
+            let mut parts = Vec::new();
+            for (shard, locals) in per_shard {
+                let locals_line = locals
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                match forward(inner, pool, &shard, &format!("WAIT {locals_line}")) {
+                    Ok(epoch) => parts.push(WaitPart {
+                        shard,
+                        epoch,
+                        remaining: locals.len(),
+                    }),
+                    Err(err) => {
+                        for _ in &locals {
+                            pre.push(err.clone());
+                        }
+                    }
+                }
+            }
+            Expect::Wait { pre, parts }
+        }
+        "QUIT" => Expect::Quit,
+        _ => Expect::Local(format!("ERR unknown command {verb:?}")),
+    }
+}
+
+/// Forwards `line` to every shard (lines derived per shard by `render`),
+/// returning the folding expectation.
+fn fan_out(
+    inner: &Arc<RouterInner>,
+    pool: &mut ConnPool,
+    kind: FanKind,
+    render: impl Fn(&str) -> String,
+) -> Expect {
+    let shards: Vec<String> = inner.lock_topology().map.shards().to_vec();
+    if shards.is_empty() {
+        return Expect::Local("ERR cluster has no shards".into());
+    }
+    let mut pending = Vec::new();
+    let mut error = None;
+    for shard in shards {
+        match forward(inner, pool, &shard, &render(&shard)) {
+            Ok(epoch) => pending.push((shard, epoch)),
+            Err(err) => error = Some(error.unwrap_or(err)),
+        }
+    }
+    if pending.is_empty() {
+        return Expect::Local(error.unwrap_or_else(|| "ERR cluster has no shards".into()));
+    }
+    Expect::FanOut {
+        kind,
+        pending,
+        error,
+    }
+}
+
+/// Sends one line to `shard`, (re)connecting as needed. Returns the epoch
+/// of the connection the line went out on — the expectation must read its
+/// response from that epoch only. The error value is a ready-to-emit
+/// protocol line.
+fn forward(
+    inner: &Arc<RouterInner>,
+    pool: &mut ConnPool,
+    shard: &str,
+    line: &str,
+) -> Result<u64, String> {
+    let unavailable = |reason: &str| format!("ERR shard {shard} unavailable ({reason})");
+    let Some(addr) = inner.lock_topology().addr_of(shard) else {
+        return Err(unavailable("not a member"));
+    };
+    // A rewired shard invalidates the cached connection.
+    if pool.conns.get(shard).is_some_and(|c| c.addr != addr) {
+        pool.conns.remove(shard);
+    }
+    for attempt in 0..2 {
+        if !pool.conns.contains_key(shard) {
+            let stream = TcpStream::connect_timeout(&addr, inner.config.connect_timeout)
+                .map_err(|e| unavailable(&e.to_string()))?;
+            let conn = LineConn::new(stream, inner.config.poll_interval)
+                .map_err(|e| unavailable(&e.to_string()))?;
+            pool.next_epoch += 1;
+            pool.conns.insert(
+                shard.to_string(),
+                ShardConn {
+                    conn,
+                    addr,
+                    epoch: pool.next_epoch,
+                },
+            );
+        }
+        let entry = pool.conns.get_mut(shard).expect("inserted above");
+        let epoch = entry.epoch;
+        match entry.conn.send(line) {
+            Ok(()) => return Ok(epoch),
+            Err(err) => {
+                // A stale pooled connection (shard restarted) fails here.
+                // Dropping it retires its epoch: responses still owed on
+                // it resolve to "shard unavailable" instead of consuming
+                // this request's reply off the fresh connection — which
+                // makes the single clean retry below safe.
+                pool.conns.remove(shard);
+                if attempt == 1 {
+                    return Err(unavailable(&err.to_string()));
+                }
+            }
+        }
+    }
+    unreachable!("loop either returns or errors on the second attempt")
+}
+
+/// Reads one response line owed by `shard` on the connection with the
+/// given `epoch`. A missing, retired (epoch mismatch) or rewired
+/// connection means the response is lost — never read a newer
+/// connection's lines for an older request.
+fn poll_shard(inner: &Arc<RouterInner>, pool: &mut ConnPool, shard: &str, epoch: u64) -> Polled {
+    let current_addr = inner.lock_topology().addr_of(shard);
+    let Some(entry) = pool.conns.get_mut(shard) else {
+        return Polled::Dead;
+    };
+    if entry.epoch != epoch {
+        // The connection this response was owed on is gone; the current
+        // one carries other requests' replies.
+        return Polled::Dead;
+    }
+    if current_addr != Some(entry.addr) {
+        // Rewired mid-flight: the old process (and the response) is gone.
+        pool.conns.remove(shard);
+        return Polled::Dead;
+    }
+    match entry.conn.poll_line() {
+        Polled::Line(line) => Polled::Line(line),
+        Polled::Pending => Polled::Pending,
+        Polled::Eof | Polled::Dead => {
+            pool.conns.remove(shard);
+            Polled::Dead
+        }
+    }
+}
+
+/// Resolves as many leading expectations as currently possible, writing
+/// response lines to the client in order.
+fn resolve_head(
+    inner: &Arc<RouterInner>,
+    pool: &mut ConnPool,
+    expects: &mut VecDeque<Expect>,
+    client: &mut LineConn,
+) -> ClientState {
+    loop {
+        let Some(head) = expects.front_mut() else {
+            return ClientState::Open;
+        };
+        match head {
+            Expect::Local(_) => {
+                let Some(Expect::Local(text)) = expects.pop_front() else {
+                    unreachable!("front matched Local");
+                };
+                if client.send(&text).is_err() {
+                    return ClientState::Closed;
+                }
+            }
+            Expect::Quit => {
+                let _ = client.send("BYE");
+                return ClientState::Closed;
+            }
+            Expect::Forward {
+                shard,
+                epoch,
+                rewrite,
+            } => {
+                let shard_name = shard.clone();
+                match poll_shard(inner, pool, &shard_name, *epoch) {
+                    Polled::Line(line) => {
+                        let reply = apply_rewrite(inner, &shard_name, rewrite, &line);
+                        expects.pop_front();
+                        if client.send(&reply).is_err() {
+                            return ClientState::Closed;
+                        }
+                    }
+                    Polled::Pending => return ClientState::Open,
+                    Polled::Eof | Polled::Dead => {
+                        expects.pop_front();
+                        let reply = format!("ERR shard {shard_name} unavailable (connection lost)");
+                        if client.send(&reply).is_err() {
+                            return ClientState::Closed;
+                        }
+                    }
+                }
+            }
+            Expect::FanOut {
+                kind,
+                pending,
+                error,
+            } => {
+                let mut progressed = true;
+                while progressed && !pending.is_empty() {
+                    progressed = false;
+                    let mut index = 0;
+                    while index < pending.len() {
+                        let (shard, epoch) = pending[index].clone();
+                        match poll_shard(inner, pool, &shard, epoch) {
+                            Polled::Line(line) => {
+                                fold_fan_line(kind, error, &shard, &line);
+                                pending.remove(index);
+                                progressed = true;
+                            }
+                            Polled::Pending => index += 1,
+                            Polled::Eof | Polled::Dead => {
+                                let reason =
+                                    format!("ERR shard {shard} unavailable (connection lost)");
+                                error.get_or_insert(reason);
+                                pending.remove(index);
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+                if !pending.is_empty() {
+                    return ClientState::Open;
+                }
+                let reply = match (&*kind, error.take()) {
+                    (_, Some(err)) => err,
+                    (FanKind::Run { total } | FanKind::Snapshot { total }, None) => {
+                        format!("OK {total}")
+                    }
+                    (FanKind::Stats { sums }, None) => {
+                        let shard_count = inner.lock_topology().map.len();
+                        let mut out = String::from("STATS");
+                        for (key, value) in STAT_KEYS.iter().zip(sums) {
+                            out.push_str(&format!(" {key}={value}"));
+                        }
+                        out.push_str(&format!(" cluster_shards={shard_count}"));
+                        out
+                    }
+                };
+                expects.pop_front();
+                if client.send(&reply).is_err() {
+                    return ClientState::Closed;
+                }
+            }
+            Expect::Wait { pre, parts } => {
+                for line in pre.drain(..) {
+                    if client.send(&line).is_err() {
+                        return ClientState::Closed;
+                    }
+                }
+                let mut any_pending = false;
+                for part in parts.iter_mut() {
+                    while part.remaining > 0 {
+                        match poll_shard(inner, pool, &part.shard, part.epoch) {
+                            Polled::Line(line) => {
+                                part.remaining -= 1;
+                                let reply = rewrite_wait_line(inner, &part.shard, &line);
+                                if client.send(&reply).is_err() {
+                                    return ClientState::Closed;
+                                }
+                            }
+                            Polled::Pending => {
+                                any_pending = true;
+                                break;
+                            }
+                            Polled::Eof | Polled::Dead => {
+                                let reply = format!(
+                                    "ERR shard {} unavailable (connection lost)",
+                                    part.shard
+                                );
+                                for _ in 0..part.remaining {
+                                    if client.send(&reply).is_err() {
+                                        return ClientState::Closed;
+                                    }
+                                }
+                                part.remaining = 0;
+                            }
+                        }
+                    }
+                }
+                if any_pending {
+                    return ClientState::Open;
+                }
+                expects.pop_front();
+            }
+        }
+    }
+}
+
+/// Applies a single-line response rewrite.
+fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line: &str) -> String {
+    match rewrite {
+        Rewrite::Submit => match line
+            .strip_prefix("TICKET ")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            Some(local) => {
+                let global = inner
+                    .lock_tickets()
+                    .allocate(shard, local, inner.config.max_tickets);
+                format!("TICKET {global}")
+            }
+            None => line.to_string(),
+        },
+        Rewrite::TicketErr { global } => {
+            if line.starts_with("ERR unknown ticket") {
+                format!("ERR unknown ticket {global}")
+            } else {
+                line.to_string()
+            }
+        }
+        Rewrite::Result { global } => {
+            if let Some(rest) = line.strip_prefix("RESULT ") {
+                match rest.split_once(' ') {
+                    Some((_, payload)) => format!("RESULT {global} {payload}"),
+                    None => format!("RESULT {global}"),
+                }
+            } else if line.starts_with("ERR unknown ticket") {
+                format!("ERR unknown ticket {global}")
+            } else if line.starts_with("ERR ticket ") {
+                // `ERR ticket <local> is not finished` — re-express with
+                // the cluster id.
+                format!("ERR ticket {global} is not finished")
+            } else {
+                line.to_string()
+            }
+        }
+    }
+}
+
+/// Folds one shard's fan-out response line into the accumulator.
+fn fold_fan_line(kind: &mut FanKind, error: &mut Option<String>, shard: &str, line: &str) {
+    if line.starts_with("ERR ") {
+        error.get_or_insert_with(|| format!("ERR shard {shard}: {}", &line[4..]));
+        return;
+    }
+    match kind {
+        FanKind::Run { total } | FanKind::Snapshot { total } => {
+            match line.strip_prefix("OK ").and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => *total += n,
+                None => {
+                    error.get_or_insert_with(|| {
+                        format!("ERR shard {shard}: unexpected reply {line:?}")
+                    });
+                }
+            }
+        }
+        FanKind::Stats { sums } => {
+            if !line.starts_with("STATS ") {
+                error
+                    .get_or_insert_with(|| format!("ERR shard {shard}: unexpected reply {line:?}"));
+                return;
+            }
+            for token in line.split_whitespace().skip(1) {
+                if let Some((key, value)) = token.split_once('=') {
+                    if let (Some(slot), Ok(v)) = (
+                        STAT_KEYS.iter().position(|k| *k == key),
+                        value.parse::<u64>(),
+                    ) {
+                        sums[slot] += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites one streamed `WAIT` line (`DONE <local> …` or an error) to
+/// cluster ticket ids.
+fn rewrite_wait_line(inner: &Arc<RouterInner>, shard: &str, line: &str) -> String {
+    let translate = |local: u64| inner.lock_tickets().global_for(shard, local);
+    if let Some(rest) = line.strip_prefix("DONE ") {
+        if let Some((id, payload)) = rest.split_once(' ') {
+            if let Some(global) = id.parse::<u64>().ok().and_then(translate) {
+                return format!("DONE {global} {payload}");
+            }
+        }
+    } else if let Some(rest) = line.strip_prefix("ERR unknown ticket ") {
+        if let Some(global) = rest.trim().parse::<u64>().ok().and_then(translate) {
+            return format!("ERR unknown ticket {global}");
+        }
+    }
+    line.to_string()
+}

@@ -443,6 +443,62 @@ impl Service {
         )?)
     }
 
+    /// Persists only the given cache namespaces (plus their guard pairs
+    /// and a manifest of the names) to `path` as a namespace *shipment* —
+    /// the portable unit the cluster layer moves between shard processes
+    /// when namespace ownership rebalances. Returns the size in bytes.
+    pub fn snapshot_namespaces_to(
+        &self,
+        namespaces: &[String],
+        path: &Path,
+    ) -> Result<usize, ServiceError> {
+        let keys: Vec<u64> = namespaces
+            .iter()
+            .map(|ns| modis_engine::SharedEvalCache::namespace_key(ns))
+            .collect();
+        let guards: Vec<(u64, u64)> = self
+            .engine
+            .namespace_fingerprints()
+            .into_iter()
+            .filter(|(key, _)| keys.contains(key))
+            .collect();
+        Ok(snapshot::save_shipment_to_path(
+            namespaces,
+            self.engine.cache(),
+            &keys,
+            &guards,
+            path,
+        )?)
+    }
+
+    /// Merges a snapshot or namespace shipment from `path` into the live
+    /// cache (hashed insertion — no slot-geometry replay, safe while
+    /// serving), returning the number of evaluations merged.
+    ///
+    /// Guard pairs carried by the file are validated against this engine's
+    /// namespace guard *before* anything is merged: a shipment whose
+    /// fingerprint disagrees with what this process has recorded for the
+    /// same namespace describes a different search space, and merging it
+    /// would poison valuations — the whole file is rejected instead.
+    pub fn restore_from(&self, path: &Path) -> Result<usize, ServiceError> {
+        let bytes = std::fs::read(path).map_err(snapshot::SnapshotError::Io)?;
+        let decoded = snapshot::decode_any(&bytes)?;
+        for &(key, fingerprint) in &decoded.namespace_fingerprints {
+            if let Some(recorded) = self.engine.namespace_fingerprint(key) {
+                if recorded != fingerprint {
+                    return Err(ServiceError::NamespaceConflict {
+                        namespace: format!("key {key:#x}"),
+                        registered_by: "this process (conflicting shipment rejected)".to_string(),
+                    });
+                }
+            }
+        }
+        let merged = self.engine.cache().merge_exports(decoded.shards);
+        self.engine
+            .seed_namespace_fingerprints(&decoded.namespace_fingerprints);
+        Ok(merged)
+    }
+
     /// Signals the background worker (and any front-end loops) to stop.
     /// Taken under the inner lock so it serialises against in-flight
     /// [`Service::submit`] calls; together with the worker's final drain,

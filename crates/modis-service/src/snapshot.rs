@@ -55,6 +55,21 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MODISNAP";
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 2;
 
+/// File magic of a namespace *shipment* — the per-namespace snapshot slice
+/// a cluster ships between shard processes when ownership rebalances. A
+/// shipment wraps a standard snapshot (filtered to the shipped namespaces)
+/// with a manifest of the namespace names it carries.
+pub const SHIPMENT_MAGIC: &[u8; 8] = b"MODISHIP";
+
+/// Current shipment format version.
+pub const SHIPMENT_VERSION: u32 = 1;
+
+/// Upper bound accepted for a shipped namespace name's byte length.
+const MAX_NAMESPACE_NAME: usize = 1 << 12;
+
+/// Upper bound accepted for the number of namespaces in one shipment.
+const MAX_SHIPMENT_NAMESPACES: usize = 1 << 16;
+
 /// Upper bound accepted for a single bitmap's bit length (a corrupted
 /// length field must not drive a huge allocation).
 const MAX_BITMAP_BITS: usize = 1 << 28;
@@ -139,14 +154,20 @@ pub fn encode_cache(cache: &SharedEvalCache) -> Vec<u8> {
 /// guard into the versioned snapshot format (including the trailing
 /// checksum seal).
 pub fn encode_snapshot(cache: &SharedEvalCache, namespace_fingerprints: &[(u64, u64)]) -> Vec<u8> {
-    let shards = cache.export_shards();
+    encode_shards(&cache.export_shards(), namespace_fingerprints)
+}
+
+/// Serialises pre-exported shard contents plus guard pairs into the
+/// snapshot format — the writer shared by full snapshots
+/// ([`encode_snapshot`]) and namespace shipments ([`encode_shipment`]).
+fn encode_shards(shards: &[ShardExport], namespace_fingerprints: &[(u64, u64)]) -> Vec<u8> {
     let total: usize = shards.iter().map(|s| s.entries.len()).sum();
     let mut w = ByteWriter::with_capacity(64 + total * 96);
     w.put_bytes(SNAPSHOT_MAGIC);
     w.put_u32(SNAPSHOT_VERSION);
     w.put_u32(shards.len() as u32);
     w.put_u64(total as u64);
-    for shard in &shards {
+    for shard in shards {
         w.put_u64(shard.hand as u64);
         w.put_u64(shard.entries.len() as u64);
         for entry in &shard.entries {
@@ -282,19 +303,88 @@ pub fn restore_cache(cache: &SharedEvalCache, bytes: &[u8]) -> Result<usize, Sna
     Ok(cache.import_shards(decode_snapshot(bytes)?.shards))
 }
 
-/// Writes a snapshot of `cache` plus the guard pairs to `path` (atomically
-/// via a sibling temporary file), returning the snapshot size in bytes.
-pub fn save_to_path(
+/// A decoded namespace shipment: the manifest of shipped namespace names
+/// plus the wrapped (filtered) snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedShipment {
+    /// Names of the namespaces this shipment carries, as the exporting
+    /// shard knew them (observability: keys in the payload are hashed).
+    pub namespaces: Vec<String>,
+    /// The wrapped snapshot: entries of the shipped namespaces only, plus
+    /// their guard pairs.
+    pub snapshot: DecodedSnapshot,
+}
+
+/// Serialises a namespace shipment: the entries of the hashed `keys` (in
+/// the order [`SharedEvalCache::export_namespaces`] yields them), the
+/// matching guard pairs, and a manifest of the human-readable `names`.
+pub fn encode_shipment(
+    names: &[String],
     cache: &SharedEvalCache,
+    keys: &[u64],
     namespace_fingerprints: &[(u64, u64)],
-    path: &Path,
-) -> Result<usize, SnapshotError> {
+) -> Vec<u8> {
+    let inner = encode_shards(&cache.export_namespaces(keys), namespace_fingerprints);
+    let mut w = ByteWriter::with_capacity(64 + inner.len());
+    w.put_bytes(SHIPMENT_MAGIC);
+    w.put_u32(SHIPMENT_VERSION);
+    w.put_u64(names.len() as u64);
+    for name in names {
+        w.put_str(name);
+    }
+    w.put_u64(inner.len() as u64);
+    w.put_bytes(&inner);
+    let seal = checksum(w.bytes());
+    w.put_u64(seal);
+    w.into_bytes()
+}
+
+/// Decodes a shipment produced by [`encode_shipment`], validating the
+/// outer magic/version/checksum, the manifest, and the wrapped snapshot.
+pub fn decode_shipment(bytes: &[u8]) -> Result<DecodedShipment, SnapshotError> {
+    if bytes.len() < SHIPMENT_MAGIC.len() + 4 + 8 {
+        return Err(SnapshotError::Corrupt(CodecError::Truncated {
+            needed: SHIPMENT_MAGIC.len() + 12,
+            remaining: bytes.len(),
+        }));
+    }
+    let (payload, seal) = bytes.split_at(bytes.len() - 8);
+    let mut r = ByteReader::new(payload);
+    if r.get_bytes(SHIPMENT_MAGIC.len())? != SHIPMENT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != SHIPMENT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let declared = u64::from_le_bytes(seal.try_into().unwrap());
+    if checksum(payload) != declared {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let count = r.get_len(MAX_SHIPMENT_NAMESPACES)?;
+    let mut namespaces = Vec::with_capacity(count);
+    for _ in 0..count {
+        namespaces.push(r.get_str(MAX_NAMESPACE_NAME)?);
+    }
+    let inner_len = r.get_len(r.remaining())?;
+    let inner = r.get_bytes(inner_len)?;
+    if !r.is_exhausted() {
+        return Err(SnapshotError::Corrupt(CodecError::Invalid(
+            "trailing bytes after wrapped snapshot",
+        )));
+    }
+    Ok(DecodedShipment {
+        namespaces,
+        snapshot: decode_snapshot(inner)?,
+    })
+}
+
+/// Writes `bytes` to `path` atomically via a uniquely-named sibling
+/// temporary file, so a concurrent reader never observes a half-written
+/// snapshot and concurrent writers never clobber each other's temp file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-    let bytes = encode_snapshot(cache, namespace_fingerprints);
-    // Unique sibling temp name: a fixed `.tmp` suffix would clobber
-    // unrelated files sharing the stem and collide across concurrent
-    // snapshots (each TCP connection runs on its own thread).
     let tmp = path.with_file_name(format!(
         "{}.{}.{}.tmp",
         path.file_name()
@@ -303,12 +393,63 @@ pub fn save_to_path(
         std::process::id(),
         TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
     ));
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     if let Err(err) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(err.into());
     }
+    Ok(())
+}
+
+/// Writes a snapshot of `cache` plus the guard pairs to `path` (atomically
+/// via a sibling temporary file), returning the snapshot size in bytes.
+pub fn save_to_path(
+    cache: &SharedEvalCache,
+    namespace_fingerprints: &[(u64, u64)],
+    path: &Path,
+) -> Result<usize, SnapshotError> {
+    let bytes = encode_snapshot(cache, namespace_fingerprints);
+    write_atomic(path, &bytes)?;
     Ok(bytes.len())
+}
+
+/// Writes a namespace shipment to `path` (atomic like [`save_to_path`]),
+/// returning its size in bytes.
+pub fn save_shipment_to_path(
+    names: &[String],
+    cache: &SharedEvalCache,
+    keys: &[u64],
+    namespace_fingerprints: &[(u64, u64)],
+    path: &Path,
+) -> Result<usize, SnapshotError> {
+    let bytes = encode_shipment(names, cache, keys, namespace_fingerprints);
+    write_atomic(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads either format from `path` — a full snapshot (`MODISNAP`) or a
+/// namespace shipment (`MODISHIP`) — and **merges** its evaluations into
+/// `cache` through the hashed insertion path (no slot-geometry replay, no
+/// hand movement: safe on a cache already serving traffic). Returns the
+/// merged entry count plus the guard pairs for the caller to seed.
+pub fn merge_from_path(
+    cache: &SharedEvalCache,
+    path: &Path,
+) -> Result<(usize, Vec<(u64, u64)>), SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let decoded = decode_any(&bytes)?;
+    let merged = cache.merge_exports(decoded.shards);
+    Ok((merged, decoded.namespace_fingerprints))
+}
+
+/// Decodes either format — a full snapshot (`MODISNAP`) or a namespace
+/// shipment (`MODISHIP`) — to the wrapped snapshot contents.
+pub fn decode_any(bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
+    if bytes.starts_with(SHIPMENT_MAGIC) {
+        Ok(decode_shipment(bytes)?.snapshot)
+    } else {
+        decode_snapshot(bytes)
+    }
 }
 
 /// Reads a snapshot file, restores its evaluations into `cache` and
@@ -421,6 +562,80 @@ mod tests {
             decode_snapshot(&wrong_version),
             Err(SnapshotError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn shipment_round_trips_and_rejects_damage() {
+        let cache = populated_cache();
+        let keys = [modis_engine::SharedEvalCache::namespace_key("alpha")];
+        let names = vec!["alpha".to_string()];
+        let guards = vec![(keys[0], 0xfeedu64)];
+        let bytes = encode_shipment(&names, &cache, &keys, &guards);
+        let decoded = decode_shipment(&bytes).unwrap();
+        assert_eq!(decoded.namespaces, names);
+        assert_eq!(decoded.snapshot.namespace_fingerprints, guards);
+        let shipped: usize = decoded
+            .snapshot
+            .shards
+            .iter()
+            .map(|s| s.entries.len())
+            .sum();
+        assert_eq!(shipped, 20, "only alpha's 20 entries travel");
+        assert!(decoded
+            .snapshot
+            .shards
+            .iter()
+            .flat_map(|s| &s.entries)
+            .all(|e| e.namespace == keys[0]));
+
+        // A shipment is not a snapshot and vice versa.
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            decode_shipment(&encode_cache(&cache)),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Bit flips anywhere are rejected (outer seal, or inner seal when
+        // the flip lands inside the outer seal bytes).
+        for pos in (0..bytes.len()).step_by(89) {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x20;
+            assert!(decode_shipment(&corrupted).is_err(), "flip at {pos}");
+        }
+        for cut in [0, 9, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_shipment(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn merge_from_path_accepts_both_formats() {
+        let cache = populated_cache();
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("modis_merge_snap_{}.bin", std::process::id()));
+        let ship = dir.join(format!("modis_merge_ship_{}.bin", std::process::id()));
+        let alpha = modis_engine::SharedEvalCache::namespace_key("alpha");
+        save_to_path(&cache, &[(alpha, 1)], &snap).unwrap();
+        save_shipment_to_path(
+            &["alpha".to_string()],
+            &cache,
+            &[alpha],
+            &[(alpha, 1)],
+            &ship,
+        )
+        .unwrap();
+
+        let full = Arc::new(SharedEvalCache::with_capacity(2, 0));
+        let (merged, guards) = merge_from_path(&full, &snap).unwrap();
+        assert_eq!((merged, guards), (40, vec![(alpha, 1)]));
+
+        let partial = Arc::new(SharedEvalCache::with_capacity(2, 0));
+        let (merged, guards) = merge_from_path(&partial, &ship).unwrap();
+        assert_eq!((merged, guards), (20, vec![(alpha, 1)]));
+        assert_eq!(partial.stats().entries, 20);
+        std::fs::remove_file(&snap).unwrap();
+        std::fs::remove_file(&ship).unwrap();
     }
 
     #[test]

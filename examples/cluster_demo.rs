@@ -1,0 +1,127 @@
+//! The sharded cluster, end to end:
+//!
+//! 1. boot a 2-shard cluster (two full services, each with its own engine
+//!    and bounded cache, behind their own reactors) fronted by a router,
+//! 2. drive a pipelined suite through the router — placement by
+//!    rendezvous hashing is invisible to the client,
+//! 3. print per-shard (`SHARDS`) and aggregated cluster (`STATS`)
+//!    telemetry,
+//! 4. grow the cluster: a third shard joins, the namespaces it now owns
+//!    are shipped as snapshot shipments, and its **first** request is
+//!    answered entirely from the shipped warm cache (zero paid
+//!    valuations).
+//!
+//! Run with `cargo run --release --example cluster_demo`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use modis_bench::{drive_suite, ClusterWorkload};
+
+fn main() {
+    let workload = ClusterWorkload {
+        namespaces: 3,
+        rows: 400,
+        max_states: 12,
+        engine_cache_capacity: 0,
+        memo_capacity: 0,
+    };
+    let cluster = workload.build_cluster(2);
+    println!(
+        "router on {} fronting {} shards",
+        cluster.router.addr(),
+        cluster.shards.len()
+    );
+    for i in 0..workload.namespaces {
+        let namespace = workload.namespace(i);
+        println!(
+            "  namespace {namespace} -> {}",
+            cluster.router.owner_of(&namespace).expect("owned")
+        );
+    }
+
+    // ── Suite through the router (pipelined SUBMITs + RUN, WAIT, RESULT) ──
+    let names = workload.scenario_names();
+    let outcomes = drive_suite(cluster.router.addr(), &names);
+    println!("\n{:<10} DONE payload", "scenario");
+    for outcome in &outcomes {
+        println!("{:<10} {}", outcome.scenario, outcome.done);
+    }
+
+    // ── Telemetry: per shard, then the cluster-wide aggregate ─────────────
+    let stream = TcpStream::connect(cluster.router.addr()).expect("connect router");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut recv = move || -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        line.trim_end().to_string()
+    };
+    writeln!(writer, "SHARDS").expect("send SHARDS");
+    let header = recv();
+    println!("\n{header}");
+    let count: usize = header.strip_prefix("SHARDS ").unwrap().parse().unwrap();
+    for _ in 0..count {
+        println!("{}", recv());
+    }
+    writeln!(writer, "STATS").expect("send STATS");
+    let stats = recv();
+    println!("{stats}");
+    assert!(
+        stats.contains("cluster_shards=2"),
+        "aggregate line: {stats}"
+    );
+
+    // ── Grow the cluster: join a shard, ship its namespaces' caches ───────
+    // Pick a joiner name that rendezvous-owns at least one namespace
+    // (ownership is a pure function of the name set, so we can plan it).
+    let current = cluster.router.shard_map();
+    let joiner = (2..100)
+        .map(|i| format!("shard{i}"))
+        .find(|candidate| {
+            let mut with = current.clone();
+            with.add(candidate.clone());
+            (0..workload.namespaces).any(|i| {
+                with.owner_of_namespace(&workload.namespace(i)) == Some(candidate.as_str())
+            })
+        })
+        .expect("a candidate that owns something");
+    let new_shard = workload.spawn_shard(&joiner);
+    let shipped = cluster
+        .router
+        .join_shard(&joiner, new_shard.daemon.addr())
+        .expect("join ships and commits");
+    println!("\n{joiner} joined; shipped warm caches:");
+    for shipment in &shipped {
+        println!(
+            "  {} : {} -> {}",
+            shipment.namespace, shipment.from, shipment.to
+        );
+    }
+
+    // First request on the grown cluster for a moved namespace: answered
+    // from the shipped snapshot — zero paid valuation cost.
+    let moved = &shipped.first().expect("something moved").namespace;
+    let scenario = names
+        .iter()
+        .find(|n| {
+            let pool: usize = n[2..n.find('/').unwrap()].parse().unwrap();
+            &workload.namespace(pool) == moved
+        })
+        .expect("a scenario on the moved namespace");
+    let rerun = drive_suite(cluster.router.addr(), std::slice::from_ref(scenario));
+    let done = &rerun[0].done;
+    println!("\nfirst request on {joiner} ({scenario}): {done}");
+    assert!(
+        done.contains(" cost=0 "),
+        "the joined shard paid for valuations: {done}"
+    );
+    writeln!(writer, "STATS").expect("send STATS");
+    let stats = recv();
+    println!("cluster after join: {stats}");
+    assert!(stats.contains("cluster_shards=3"), "{stats}");
+
+    let _ = writeln!(writer, "QUIT");
+    cluster.stop();
+    new_shard.daemon.stop();
+}

@@ -1,0 +1,607 @@
+//! Integration tests of the cluster layer: a 2-shard cluster is
+//! indistinguishable from (and byte-identical to) the single-process
+//! engine, rendezvous rebalancing moves exactly the affected namespaces
+//! and ships their warm caches, and a shard process killed mid-suite is
+//! revived from its last snapshot without perturbing a single result
+//! byte.
+//!
+//! Byte identity is asserted through the `RESULT` wire encoding, which
+//! carries every float as its IEEE-754 bit pattern: two skylines are
+//! byte-identical iff their `RESULT` payloads are string-equal. For the
+//! T3 workload (whose `p_Train` measure includes real wall-clock) the
+//! identity path is the shipped evaluations themselves — the same
+//! trained valuations answering in both topologies — which is exactly
+//! the guarantee the snapshot-shipping tentpole must provide.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use modis_bench::{
+    drive_suite, fetch_stats, register_t3_cluster, t3_cluster_namespace, t3_cluster_scenarios,
+    t3_cluster_spec, ClusterWorkload,
+};
+use modis_core::config::ModisConfig;
+use modis_core::estimator::EstimatorMode;
+use modis_core::substrate::mock::MockSubstrate;
+use modis_core::substrate::Substrate;
+use modis_engine::{Algorithm, Scenario, SharedEvalCache};
+use modis_service::{
+    result_line, ClusterSpec, Daemon, JobState, Router, Service, ServiceConfig, ShardMap,
+};
+
+static TEMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "modis_cluster_it_{}_{}_{}",
+        tag,
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs `scenarios` on an in-process service and returns each scenario's
+/// `RESULT` payload (after the ticket id) — the same bytes the wire
+/// protocol would serve.
+fn run_in_process(service: &Service, scenarios: &[String]) -> Vec<String> {
+    let tickets: Vec<_> = scenarios
+        .iter()
+        .map(|name| service.submit(name).expect("submit"))
+        .collect();
+    service.run_pending();
+    scenarios
+        .iter()
+        .zip(&tickets)
+        .map(|(name, &ticket)| {
+            let JobState::Done(outcome) = service.poll(ticket).expect("poll") else {
+                panic!("{name} did not finish");
+            };
+            let line = result_line(ticket.0, &outcome);
+            line.split_once(' ')
+                .and_then(|(_, rest)| rest.split_once(' '))
+                .map(|(_, payload)| payload.to_string())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous-hash stability (property test)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding a shard reassigns only namespaces the new shard now owns;
+    /// removing one reassigns only namespaces it owned. No unrelated
+    /// namespace ever moves — the invariant that lets a topology change
+    /// ship exactly the affected snapshot slices.
+    #[test]
+    fn rendezvous_moves_only_the_joining_or_leaving_shards_namespaces(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        shard_count in 1usize..8,
+        victim_pick in 0usize..8,
+    ) {
+        let names: Vec<String> = (0..shard_count).map(|i| format!("s{i}")).collect();
+        let before = ShardMap::from_names(names.clone());
+
+        // Join: everything that moves, moves to the joiner.
+        let mut joined = before.clone();
+        joined.add("joiner".to_string());
+        for (key, _, to) in before.reassigned(&joined, keys.iter().copied()) {
+            prop_assert_eq!(to, "joiner", "key {:#x} moved to an unrelated shard", key);
+        }
+        // Ownership of unmoved keys is untouched even by name: re-check
+        // against an independently rebuilt map (pure function of the set).
+        let rebuilt = ShardMap::from_names(
+            names.iter().cloned().chain(["joiner".to_string()]),
+        );
+        for &key in &keys {
+            prop_assert_eq!(joined.owner_of(key), rebuilt.owner_of(key));
+        }
+
+        // Leave: everything that moves, moves off the victim.
+        if shard_count > 1 {
+            let victim = names[victim_pick % shard_count].clone();
+            let mut left = before.clone();
+            left.remove(&victim);
+            for (key, from, _) in before.reassigned(&left, keys.iter().copied()) {
+                prop_assert_eq!(from, victim.as_str(), "key {:#x} moved off a survivor", key);
+            }
+            // Join-then-leave of the same shard is a perfect round trip.
+            let mut back = joined.clone();
+            back.remove("joiner");
+            for &key in &keys {
+                prop_assert_eq!(back.owner_of(key), before.owner_of(key));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cold byte-identity on a fully deterministic workload
+// ---------------------------------------------------------------------------
+
+fn mock_spec() -> ClusterSpec {
+    ClusterSpec::new([
+        ("m8/apx", "m8-pool"),
+        ("m8/bi", "m8-pool"),
+        ("m10/apx", "m10-pool"),
+        ("m10/bi", "m10-pool"),
+    ])
+    .unwrap()
+}
+
+fn register_mock_cluster(service: &Service) {
+    let config = ModisConfig::default()
+        .with_epsilon(0.15)
+        .with_max_states(60)
+        .with_max_level(4)
+        .with_estimator(EstimatorMode::Oracle);
+    for (units, tag) in [(8usize, "m8"), (10, "m10")] {
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(units));
+        for (suffix, algorithm) in [("apx", Algorithm::Apx), ("bi", Algorithm::Bi)] {
+            service
+                .register(
+                    Scenario::new(
+                        format!("{tag}/{suffix}"),
+                        substrate.clone(),
+                        algorithm,
+                        config.clone(),
+                    )
+                    .with_cache_namespace(format!("{tag}-pool")),
+                )
+                .unwrap();
+        }
+    }
+}
+
+/// A cold 2-shard cluster and a cold single process produce byte-identical
+/// skylines on a fully deterministic workload: sharding and routing do not
+/// perturb a single result byte.
+#[test]
+fn cold_two_shard_cluster_matches_the_single_process_engine() {
+    let scenarios: Vec<String> = ["m8/apx", "m8/bi", "m10/apx", "m10/bi"]
+        .map(str::to_string)
+        .to_vec();
+
+    let reference = Service::new(ServiceConfig::default());
+    register_mock_cluster(&reference);
+    let expected = run_in_process(&reference, &scenarios);
+
+    let shards: Vec<(Arc<Service>, Daemon)> = (0..2)
+        .map(|_| {
+            let service = Arc::new(Service::new(ServiceConfig::default()));
+            register_mock_cluster(&service);
+            let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+            (service, daemon)
+        })
+        .collect();
+    let router = Router::bind(
+        mock_spec(),
+        vec![
+            ("shard0".to_string(), shards[0].1.addr()),
+            ("shard1".to_string(), shards[1].1.addr()),
+        ],
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    let outcomes = drive_suite(router.addr(), &scenarios);
+    for (outcome, expected) in outcomes.iter().zip(&expected) {
+        assert_eq!(
+            &outcome.result, expected,
+            "{}: cluster vs single-process skyline bytes",
+            outcome.scenario
+        );
+    }
+    // The cluster aggregate sees both shards.
+    let stats = fetch_stats(router.addr());
+    assert!(stats.contains("cluster_shards=2"), "{stats}");
+
+    router.stop();
+    for (_, daemon) in shards {
+        daemon.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router protocol semantics
+// ---------------------------------------------------------------------------
+
+fn recv(reader: &mut BufReader<TcpStream>) -> String {
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply line");
+    assert!(reply.ends_with('\n'), "truncated reply {reply:?}");
+    reply.trim_end().to_string()
+}
+
+/// LIST/SHARDS/error-path semantics of the router, plus the `SNAPSHOT`
+/// fan-out writing one file per shard. Requests are pipelined in bursts —
+/// exercising that the router preserves ordering end-to-end.
+#[test]
+fn router_serves_cluster_verbs_and_error_paths() {
+    let workload = ClusterWorkload {
+        namespaces: 2,
+        rows: 100,
+        max_states: 5,
+        engine_cache_capacity: 0,
+        memo_capacity: 0,
+    };
+    let cluster = workload.build_cluster(2);
+
+    let stream = TcpStream::connect(cluster.router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // One pipelined burst covering local verbs and every error path; the
+    // responses must come back strictly in request order.
+    writer
+        .write_all(
+            b"PING\nLIST\nSHARDS\nSUBMIT ghost\nPOLL 999\nRESULT 999\nPOLL abc\nWAIT\n\
+              NONSENSE\nWAIT 41 42\nPING\n",
+        )
+        .unwrap();
+    assert_eq!(recv(&mut reader), "PONG");
+    assert_eq!(recv(&mut reader), "SCENARIOS ws0/apx ws0/bi ws1/apx ws1/bi");
+    assert_eq!(recv(&mut reader), "SHARDS 2");
+    for _ in 0..2 {
+        let line = recv(&mut reader);
+        assert!(line.starts_with("SHARD shard"), "{line}");
+        assert!(line.contains("namespaces="), "{line}");
+    }
+    assert!(recv(&mut reader).starts_with("ERR unknown scenario"));
+    assert_eq!(recv(&mut reader), "ERR unknown ticket 999");
+    assert_eq!(recv(&mut reader), "ERR unknown ticket 999");
+    assert!(recv(&mut reader).starts_with("ERR POLL expects"));
+    assert!(recv(&mut reader).starts_with("ERR WAIT expects"));
+    assert!(recv(&mut reader).starts_with("ERR unknown command"));
+    // A WAIT over only unknown tickets answers one error line per ticket
+    // — and holds its pipeline position: the trailing PONG comes after.
+    assert_eq!(recv(&mut reader), "ERR unknown ticket 41");
+    assert_eq!(recv(&mut reader), "ERR unknown ticket 42");
+    assert_eq!(recv(&mut reader), "PONG");
+
+    // SNAPSHOT fans out to per-shard files.
+    let base = temp_path("fanout");
+    writeln!(writer, "SNAPSHOT {}", base.display()).unwrap();
+    let reply = recv(&mut reader);
+    assert!(reply.starts_with("OK "), "{reply}");
+    for shard in ["shard0", "shard1"] {
+        let path = PathBuf::from(format!("{}.{shard}", base.display()));
+        assert!(path.exists(), "missing per-shard snapshot {path:?}");
+        std::fs::remove_file(path).unwrap();
+    }
+    writeln!(writer, "QUIT").unwrap();
+    assert_eq!(recv(&mut reader), "BYE");
+    cluster.stop();
+}
+
+/// Extracts a numeric `key=value` field from a `DONE` payload.
+fn done_field(payload: &str, key: &str) -> u64 {
+    payload
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {payload:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key}= in {payload:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Join mid-run: the new shard answers from the shipped warm cache
+// ---------------------------------------------------------------------------
+
+/// Grow a 1-shard cluster to 2 shards mid-run: the join ships the moved
+/// namespaces' snapshots, and the new shard's very first requests are
+/// served entirely from the shipped cache — zero paid valuations, byte-
+/// identical skylines to the pre-join run (even though the workload's
+/// `p_Train` measure contains real wall-clock, because nothing retrains).
+#[test]
+fn joined_shard_serves_its_first_request_from_the_shipped_warm_cache() {
+    let workload = ClusterWorkload {
+        namespaces: 2,
+        rows: 160,
+        max_states: 8,
+        engine_cache_capacity: 0,
+        memo_capacity: 0,
+    };
+    let cluster = workload.build_cluster(1);
+    let names = workload.scenario_names();
+    let first = drive_suite(cluster.router.addr(), &names);
+
+    // Pick a joiner name that rendezvous-owns at least one namespace
+    // alongside shard0 (ownership is a pure function of the name set, so
+    // the test derives it instead of hoping).
+    let current = cluster.router.shard_map();
+    let namespace_keys: Vec<(String, u64)> = (0..workload.namespaces)
+        .map(|i| {
+            let ns = workload.namespace(i);
+            let key = SharedEvalCache::namespace_key(&ns);
+            (ns, key)
+        })
+        .collect();
+    let joiner = (1..100)
+        .map(|i| format!("shard{i}"))
+        .find(|candidate| {
+            let mut with = current.clone();
+            with.add(candidate.clone());
+            namespace_keys
+                .iter()
+                .any(|(_, key)| with.owner_of(*key) == Some(candidate.as_str()))
+        })
+        .expect("some candidate name owns a namespace");
+
+    let new_shard = workload.spawn_shard(&joiner);
+    let shipped = cluster
+        .router
+        .join_shard(&joiner, new_shard.daemon.addr())
+        .expect("join ships and commits");
+    assert!(!shipped.is_empty(), "the joiner took over some namespace");
+    for shipment in &shipped {
+        assert_eq!(
+            shipment.to, joiner,
+            "rendezvous join ships only to the joiner"
+        );
+        assert_eq!(shipment.from, "shard0");
+    }
+    let moved: Vec<&str> = shipped.iter().map(|s| s.namespace.as_str()).collect();
+    for (ns, _) in &namespace_keys {
+        if moved.contains(&ns.as_str()) {
+            assert_eq!(cluster.router.owner_of(ns), Some(joiner.clone()));
+        }
+    }
+
+    // Second wave through the grown cluster: scenarios on moved
+    // namespaces now execute on the new shard, warm from the shipment.
+    let second = drive_suite(cluster.router.addr(), &names);
+    let mut warm_checked = 0;
+    for (a, b) in first.iter().zip(&second) {
+        let pool: usize = a.scenario[2..a.scenario.find('/').unwrap()]
+            .parse()
+            .expect("ws<i>/… scenario name");
+        if moved.contains(&workload.namespace(pool).as_str()) {
+            assert_eq!(
+                a.result, b.result,
+                "{}: shipped-warm skyline must be byte-identical",
+                a.scenario
+            );
+            assert_eq!(
+                done_field(&b.done, "cost"),
+                0,
+                "{}: first request on the joined shard paid for valuations ({})",
+                a.scenario,
+                b.done
+            );
+            assert!(
+                done_field(&b.done, "shared_hits") > 0,
+                "{}: no cache hits on the joined shard ({})",
+                a.scenario,
+                b.done
+            );
+            warm_checked += 1;
+        }
+    }
+    assert!(warm_checked > 0);
+    // The joined shard really served them (not shard0): its own cache
+    // answered lookups.
+    assert!(new_shard.service.cache_stats().hits > 0);
+
+    cluster.stop();
+    new_shard.daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: kill a shard process, revive it from its snapshot
+// ---------------------------------------------------------------------------
+
+struct ShardProc {
+    child: Child,
+    addr: std::net::SocketAddr,
+}
+
+impl ShardProc {
+    fn spawn(seeds: &str, max_states: usize, snapshot: Option<&std::path::Path>) -> ShardProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_modis_shard"));
+        cmd.args(["--seeds", seeds, "--max-states", &max_states.to_string()]);
+        if let Some(path) = snapshot {
+            cmd.args(["--snapshot", path.to_str().expect("utf-8 path")]);
+        }
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = cmd.spawn().expect("spawn modis_shard");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("ADDR line");
+        let addr = line
+            .trim()
+            .strip_prefix("ADDR ")
+            .unwrap_or_else(|| panic!("unexpected shard banner {line:?}"))
+            .parse()
+            .expect("socket addr");
+        ShardProc { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The tentpole's acceptance path, against **real OS processes**: a
+/// 2-shard cluster runs the T3 suite; one shard process is killed
+/// mid-suite; the router reports it unavailable while the survivor keeps
+/// serving; the victim is revived *from its last snapshot* in a fresh
+/// process and rewired; the resumed suite's skylines are byte-identical
+/// to the pre-crash run and cost zero paid valuations; and a
+/// single-process engine restored from the same snapshots reproduces
+/// every skyline byte-for-byte.
+#[test]
+fn killed_shard_restarts_from_snapshot_with_byte_identical_skylines() {
+    let seeds = [5u64, 9];
+    let max_states = 12;
+    let names = t3_cluster_scenarios(&seeds);
+
+    let mut s1 = ShardProc::spawn("5,9", max_states, None);
+    let mut s2 = ShardProc::spawn("5,9", max_states, None);
+    let router = Router::bind(
+        t3_cluster_spec(&seeds),
+        vec![("s1".to_string(), s1.addr), ("s2".to_string(), s2.addr)],
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // Full cold suite through the cluster.
+    let first = drive_suite(router.addr(), &names);
+
+    // Snapshot every shard over the wire (one file per shard).
+    let base = temp_path("t3snap");
+    let stream = TcpStream::connect(router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "SNAPSHOT {}", base.display()).unwrap();
+    let reply = recv(&mut reader);
+    assert!(reply.starts_with("OK "), "cluster snapshot: {reply}");
+
+    // Kill the shard owning the seed-9 pool. Mid-suite: the survivor must
+    // keep serving, requests to the victim must fail loudly (not hang).
+    let victim_ns = t3_cluster_namespace(9);
+    let victim = router.owner_of(&victim_ns).expect("namespace owned");
+    let victim_snapshot = PathBuf::from(format!("{}.{victim}", base.display()));
+    let survivor_scenario = {
+        // A scenario whose namespace the *other* shard owns, if any; the
+        // rendezvous map may put both pools on one shard, in which case
+        // every scenario is a victim scenario.
+        names
+            .iter()
+            .find(|name| {
+                let seed: u64 = name[3..name.find('/').unwrap()].parse().unwrap();
+                router.owner_of(&t3_cluster_namespace(seed)).as_deref() != Some(victim.as_str())
+            })
+            .cloned()
+    };
+    if victim == "s1" {
+        s1.kill();
+    } else {
+        s2.kill();
+    }
+
+    let victim_scenarios: Vec<String> = names
+        .iter()
+        .filter(|name| {
+            let seed: u64 = name[3..name.find('/').unwrap()].parse().unwrap();
+            t3_cluster_namespace(seed) == victim_ns
+                || router.owner_of(&t3_cluster_namespace(seed)).as_deref() == Some(victim.as_str())
+        })
+        .cloned()
+        .collect();
+    assert!(!victim_scenarios.is_empty());
+
+    let reply_for = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str| {
+        writeln!(writer, "{line}").unwrap();
+        recv(reader)
+    };
+    let dead_reply = reply_for(
+        &mut writer,
+        &mut reader,
+        &format!("SUBMIT {}", victim_scenarios[0]),
+    );
+    assert!(
+        dead_reply.starts_with(&format!("ERR shard {victim} unavailable")),
+        "dead shard must fail loudly: {dead_reply}"
+    );
+    if let Some(scenario) = &survivor_scenario {
+        let alive = reply_for(&mut writer, &mut reader, &format!("SUBMIT {scenario}"));
+        assert!(
+            alive.starts_with("TICKET "),
+            "survivor must keep serving: {alive}"
+        );
+    }
+
+    // Revive the victim from its last snapshot in a brand-new process and
+    // rewire the router. The dead process's tickets are invalidated.
+    let revived = ShardProc::spawn("5,9", max_states, Some(&victim_snapshot));
+    router.set_shard_addr(&victim, revived.addr).unwrap();
+    let victim_first_ticket = first
+        .iter()
+        .find(|o| victim_scenarios.contains(&o.scenario))
+        .expect("victim ran something")
+        .ticket;
+    let purged = reply_for(
+        &mut writer,
+        &mut reader,
+        &format!("POLL {victim_first_ticket}"),
+    );
+    assert!(
+        purged.starts_with("ERR unknown ticket"),
+        "tickets of the dead process must be invalidated: {purged}"
+    );
+
+    // Resume the suite on the revived shard: byte-identical skylines,
+    // zero paid valuations — everything answers from the snapshot.
+    let resumed = drive_suite(router.addr(), &victim_scenarios);
+    for outcome in &resumed {
+        let original = first
+            .iter()
+            .find(|o| o.scenario == outcome.scenario)
+            .unwrap();
+        assert_eq!(
+            original.result, outcome.result,
+            "{}: resumed skyline must be byte-identical to the pre-crash run",
+            outcome.scenario
+        );
+        assert_eq!(
+            done_field(&outcome.done, "cost"),
+            0,
+            "{}: resume retrained something ({})",
+            outcome.scenario,
+            outcome.done
+        );
+    }
+
+    // Independent check against the single-process engine: a lone service
+    // restored from the *same shipped state* reproduces the whole cluster
+    // suite byte-for-byte.
+    let reference = Service::new(ServiceConfig::default());
+    register_t3_cluster(&reference, &seeds, max_states);
+    for shard in ["s1", "s2"] {
+        let merged = reference
+            .restore_from(&PathBuf::from(format!("{}.{shard}", base.display())))
+            .expect("merge shard snapshot");
+        assert!(merged > 0, "shard {shard} snapshot was empty");
+    }
+    let reference_results = run_in_process(&reference, &names);
+    for (outcome, reference_payload) in first.iter().zip(&reference_results) {
+        assert_eq!(
+            &outcome.result, reference_payload,
+            "{}: cluster vs single-process engine skyline bytes",
+            outcome.scenario
+        );
+    }
+
+    let _ = writeln!(writer, "QUIT");
+    router.stop();
+    for shard in ["s1", "s2"] {
+        let _ = std::fs::remove_file(format!("{}.{shard}", base.display()));
+    }
+}

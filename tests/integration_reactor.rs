@@ -214,6 +214,66 @@ fn wait_streams_completions_from_the_worker() {
     worker.join().unwrap();
 }
 
+/// Open file descriptors of this process (Linux; the only platform CI and
+/// the tier-1 gate run on).
+#[cfg(target_os = "linux")]
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").expect("procfs").count()
+}
+
+/// Connection-churn soak: hundreds of short-lived sequential connections
+/// must not leak descriptors — the reactor reaps every closed connection
+/// — and `stop` stays deterministic afterwards.
+#[cfg(target_os = "linux")]
+#[test]
+fn connection_churn_leaks_no_descriptors_and_stop_stays_deterministic() {
+    let service = mock_service(6);
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+    // One warm-up conversation, fully closed, to reach steady state.
+    {
+        let (mut writer, mut reader) = client(&daemon);
+        writer.write_all(b"PING\nQUIT\n").unwrap();
+        assert_eq!(read_reply(&mut reader), "PONG");
+        assert_eq!(read_reply(&mut reader), "BYE");
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let baseline = open_fds();
+
+    for i in 0..300 {
+        let (mut writer, mut reader) = client(&daemon);
+        writer.write_all(b"PING\nQUIT\n").unwrap();
+        assert_eq!(read_reply(&mut reader), "PONG", "connection {i}");
+        assert_eq!(read_reply(&mut reader), "BYE", "connection {i}");
+    }
+
+    // The reactor reaps asynchronously (a closed peer is discovered on the
+    // next sweep); poll until the descriptor count returns to baseline.
+    // Other tests in this binary run concurrently and open sockets of
+    // their own, so allow a modest slack above the baseline.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let slack = 16;
+    let mut current = open_fds();
+    while current > baseline + slack {
+        assert!(
+            Instant::now() < deadline,
+            "descriptor leak: baseline {baseline}, still {current} after churn"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        current = open_fds();
+    }
+
+    // Stop is still deterministic after the churn, and the port rebinds.
+    let addr = daemon.addr();
+    let started = Instant::now();
+    daemon.stop();
+    assert!(started.elapsed() < Duration::from_secs(5));
+    let service2 = mock_service(6);
+    let revived = Daemon::bind(Arc::clone(&service2), &addr.to_string())
+        .expect("port must rebind after churn + stop");
+    revived.stop();
+}
+
 #[test]
 fn daemon_stop_is_deterministic_and_the_port_is_immediately_reusable() {
     let service = mock_service(6);

@@ -186,6 +186,12 @@ impl Arbitrary for u8 {
     }
 }
 
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         rng.unit_f64() * 2.0 - 1.0
