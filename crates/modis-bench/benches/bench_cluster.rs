@@ -10,7 +10,9 @@
 //!
 //! The committed `BENCH_cluster.json` baseline is written by the
 //! `bench_cluster_baseline` binary from the same workload
-//! (`modis_bench::cluster_workload`).
+//! (`modis_bench::cluster_workload`) — suite throughput via the
+//! clock-free `drive_suite`, plus p50/p99 per-response latency columns
+//! from `drive_suite_timed`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

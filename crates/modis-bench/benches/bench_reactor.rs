@@ -3,7 +3,11 @@
 //!
 //! The committed `BENCH_reactor.json` baseline is written by the
 //! `bench_reactor_baseline` binary from the same workload
-//! (`modis_bench::reactor_workload`).
+//! (`modis_bench::reactor_workload`) — throughput medians via the
+//! clock-free `drive_clients`, plus p50/p99 per-request latency columns
+//! from a separate `drive_clients_timed` pass. The telemetry overhead
+//! gate (`bench_telemetry_baseline` → `BENCH_telemetry.json`) reuses the
+//! same drivers.
 
 use std::sync::Arc;
 

@@ -16,7 +16,8 @@
 
 use std::time::Instant;
 
-use modis_bench::{drive_suite, fetch_stats, ClusterWorkload};
+use modis_bench::{drive_suite, drive_suite_timed, fetch_stats, ClusterWorkload};
+use modis_core::telemetry::Histogram;
 
 /// Median of `iters` samples produced by `f`.
 fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
@@ -49,8 +50,11 @@ fn main() {
     let workload = ClusterWorkload::bench(rows, max_states);
     let names = workload.scenario_names();
 
-    let throughput = |shards: usize| -> (f64, String) {
+    let throughput = |shards: usize| -> (f64, String, u64, u64) {
         let mut stats = String::new();
+        // Per-response latency merged across waves and iterations (every
+        // ticket/DONE/RESULT line, measured from its burst's write).
+        let latency = Histogram::new();
         let rps = median_of(iters, || {
             let cluster = workload.build_cluster(shards);
             let addr = cluster.router.addr();
@@ -58,7 +62,9 @@ fn main() {
             let mut served = 0usize;
             for wave in 0..waves {
                 let wave_start = Instant::now();
-                served += drive_suite(addr, &names).len();
+                let (outcomes, wave_latency) = drive_suite_timed(addr, &names);
+                served += outcomes.len();
+                latency.merge(&wave_latency);
                 if std::env::var_os("CLUSTER_BENCH_TRACE").is_some() {
                     eprintln!(
                         "  shards={shards} wave={wave} {:.1}ms",
@@ -71,7 +77,7 @@ fn main() {
             cluster.stop();
             served as f64 / elapsed
         });
-        (rps, stats)
+        (rps, stats, latency.p50(), latency.p99())
     };
 
     if std::env::var_os("CLUSTER_BENCH_TRACE").is_some() {
@@ -104,13 +110,13 @@ fn main() {
     }
 
     eprintln!("timing {waves}-wave suite at 1 shard ({rows} rows)…");
-    let (rps_1, stats_1) = throughput(1);
+    let (rps_1, stats_1, p50_1, p99_1) = throughput(1);
     eprintln!("timing {waves}-wave suite at 2 shards…");
-    let (rps_2, stats_2) = throughput(2);
+    let (rps_2, stats_2, p50_2, p99_2) = throughput(2);
     let speedup = rps_2 / rps_1.max(1e-9);
 
     let json = format!(
-        "{{\n  \"bench\": \"cluster\",\n  \"workload\": {{ \"namespaces\": {namespaces}, \"scenarios\": {scenarios}, \"rows\": {rows}, \"max_states\": {max_states}, \"waves\": {waves}, \"per_shard_cache_capacity\": {capacity}, \"iters\": {iters} }},\n  \"suite_requests_per_sec\": {{\n    \"one_shard\": {rps_1:.2},\n    \"two_shards\": {rps_2:.2}\n  }},\n  \"cluster_stats\": {{\n    \"one_shard\": \"{stats_1}\",\n    \"two_shards\": \"{stats_2}\"\n  }},\n  \"speedup\": {{\n    \"two_shards_vs_one\": {speedup:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"cluster\",\n  \"workload\": {{ \"namespaces\": {namespaces}, \"scenarios\": {scenarios}, \"rows\": {rows}, \"max_states\": {max_states}, \"waves\": {waves}, \"per_shard_cache_capacity\": {capacity}, \"iters\": {iters} }},\n  \"suite_requests_per_sec\": {{\n    \"one_shard\": {rps_1:.2},\n    \"two_shards\": {rps_2:.2}\n  }},\n  \"suite_request_latency_us\": {{\n    \"one_shard\": {{ \"p50\": {p50_1}, \"p99\": {p99_1} }},\n    \"two_shards\": {{ \"p50\": {p50_2}, \"p99\": {p99_2} }}\n  }},\n  \"cluster_stats\": {{\n    \"one_shard\": \"{stats_1}\",\n    \"two_shards\": \"{stats_2}\"\n  }},\n  \"speedup\": {{\n    \"two_shards_vs_one\": {speedup:.2}\n  }}\n}}\n",
         namespaces = workload.namespaces,
         scenarios = names.len(),
         capacity = workload.engine_cache_capacity,

@@ -3,7 +3,9 @@
 //! the way the seed was driven (sequential request/response clients),
 //! (2) the non-blocking reactor under the same sequential clients, and
 //! (3) the reactor with pipelined clients, then writes the numbers to
-//! `BENCH_reactor.json`.
+//! `BENCH_reactor.json` — throughput medians plus p50/p99 per-request
+//! latency columns from a separate timed pass (the throughput pass stays
+//! clock-free on the client threads).
 //!
 //! Usage: `bench_reactor_baseline [--clients N] [--requests N]
 //! [--window N] [--iters N] [--out PATH] [--quick]` — `--quick` shrinks
@@ -11,7 +13,9 @@
 
 use std::sync::Arc;
 
-use modis_bench::{drive_clients, requests_per_sec, BlockingDaemon, ClientMode};
+use modis_bench::{
+    drive_clients, drive_clients_timed, requests_per_sec, BlockingDaemon, ClientMode,
+};
 use modis_service::{Daemon, Service, ServiceConfig};
 
 /// Median of `iters` samples produced by `f`.
@@ -85,10 +89,32 @@ fn main() {
         requests_per_sec(clients, requests, elapsed)
     });
 
+    // Latency columns from one timed pass per mode (client-side clock
+    // reads perturb throughput, so they stay out of the medians above).
+    eprintln!("sampling per-request latency (timed pass per mode)…");
+    let latency_of = |mode: ClientMode, reactor: bool| -> (u64, u64) {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let report = if reactor {
+            let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+            let report = drive_clients_timed(daemon.addr(), clients, requests, mode);
+            daemon.stop();
+            report
+        } else {
+            let daemon = BlockingDaemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+            let report = drive_clients_timed(daemon.addr(), clients, requests, mode);
+            daemon.stop();
+            report
+        };
+        (report.latency.p50(), report.latency.p99())
+    };
+    let (blocking_p50, blocking_p99) = latency_of(ClientMode::Sequential, false);
+    let (sequential_p50, sequential_p99) = latency_of(ClientMode::Sequential, true);
+    let (pipelined_p50, pipelined_p99) = latency_of(ClientMode::Pipelined { window }, true);
+
     let speedup_pipelined = reactor_pipelined_rps / blocking_rps.max(1e-9);
     let speedup_sequential = reactor_sequential_rps / blocking_rps.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"reactor\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"thread_per_connection_sequential\": {blocking_rps:.0},\n    \"reactor_sequential\": {reactor_sequential_rps:.0},\n    \"reactor_pipelined\": {reactor_pipelined_rps:.0}\n  }},\n  \"speedup_vs_thread_per_connection\": {{\n    \"reactor_pipelined\": {speedup_pipelined:.2},\n    \"reactor_sequential\": {speedup_sequential:.2}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"reactor\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"thread_per_connection_sequential\": {blocking_rps:.0},\n    \"reactor_sequential\": {reactor_sequential_rps:.0},\n    \"reactor_pipelined\": {reactor_pipelined_rps:.0}\n  }},\n  \"request_latency_us\": {{\n    \"thread_per_connection_sequential\": {{ \"p50\": {blocking_p50}, \"p99\": {blocking_p99} }},\n    \"reactor_sequential\": {{ \"p50\": {sequential_p50}, \"p99\": {sequential_p99} }},\n    \"reactor_pipelined\": {{ \"p50\": {pipelined_p50}, \"p99\": {pipelined_p99} }}\n  }},\n  \"speedup_vs_thread_per_connection\": {{\n    \"reactor_pipelined\": {speedup_pipelined:.2},\n    \"reactor_sequential\": {speedup_sequential:.2}\n  }}\n}}\n"
     );
     println!("{json}");
     if !quick {

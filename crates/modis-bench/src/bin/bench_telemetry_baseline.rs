@@ -1,0 +1,172 @@
+//! Overhead gate for the telemetry spine: the *instrumented* reactor
+//! under pipelined clients must stay within a tolerance (default 5%) of
+//! the pre-instrumentation pipelined baseline, and the run's `METRICS`
+//! exposition must account for every request actually sent.
+//!
+//! The measured number uses the exact same clock-free driver
+//! (`drive_clients`) the committed `BENCH_reactor.json` was produced
+//! with, so the comparison isolates the instrumentation itself. After
+//! the measured pass a separate timed pass samples p50/p99 request
+//! latency, and a final scrape cross-checks
+//! `reactor_requests_total{verb="ping"}` against the driven request
+//! count — the throughput gate and the correctness check ride the same
+//! workload.
+//!
+//! Usage: `bench_telemetry_baseline [--clients N] [--requests N]
+//! [--window N] [--iters N] [--baseline-rps N] [--tolerance PCT]
+//! [--out PATH] [--quick]`. Without `--baseline-rps` the baseline is the
+//! `reactor_pipelined` requests/sec of `BENCH_reactor.json` — pass the
+//! pre-instrumentation number explicitly when regenerating committed
+//! baselines, since the checked-in reactor baseline is refreshed from
+//! instrumented builds. `--quick` shrinks the workload and skips the
+//! gate (CI smoke).
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+use modis_bench::{drive_clients, drive_clients_timed, requests_per_sec, ClientMode};
+use modis_service::{Daemon, Service, ServiceConfig};
+
+/// Median of `iters` samples produced by `f`.
+fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1)).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// The `reactor_pipelined` requests/sec recorded in a
+/// `BENCH_reactor.json` (looked up inside its `requests_per_sec`
+/// object, no JSON dependency needed for the fixed shape we write).
+fn pipelined_rps_from(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let section = &text[text.find("\"requests_per_sec\"")?..];
+    let field = &section[section.find("\"reactor_pipelined\":")? + 20..];
+    field
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = flag_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 4 } else { 16 });
+    let requests: usize = flag_value("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 4_000 });
+    let window: usize = flag_value("--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 5 });
+    let tolerance: f64 = flag_value("--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_telemetry.json".into());
+    let (baseline_rps, baseline_source) = match flag_value("--baseline-rps") {
+        Some(v) => (
+            v.parse().expect("--baseline-rps takes a number"),
+            "--baseline-rps".to_string(),
+        ),
+        None => (
+            pipelined_rps_from("BENCH_reactor.json").unwrap_or(0.0),
+            "BENCH_reactor.json reactor_pipelined".to_string(),
+        ),
+    };
+
+    // Throughput of the instrumented reactor, measured with the same
+    // clock-free driver as the committed reactor baseline.
+    eprintln!("timing instrumented reactor, pipelined ({clients} clients × {requests})…");
+    let instrumented_rps = median_of(iters, || {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let elapsed = drive_clients(
+            daemon.addr(),
+            clients,
+            requests,
+            ClientMode::Pipelined { window },
+        );
+        daemon.stop();
+        requests_per_sec(clients, requests, elapsed)
+    });
+
+    // Timed pass: p50/p99 request latency, then a scrape of the same
+    // daemon cross-checking the per-verb counter against what we sent.
+    eprintln!("sampling latency and cross-checking the METRICS exposition…");
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let report = drive_clients_timed(
+        daemon.addr(),
+        clients,
+        requests,
+        ClientMode::Pipelined { window },
+    );
+    let (p50, p99) = (report.latency.p50(), report.latency.p99());
+
+    let stream = std::net::TcpStream::connect(daemon.addr()).expect("connect for scrape");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"METRICS\n").expect("send METRICS");
+    let mut header = String::new();
+    reader.read_line(&mut header).expect("METRICS header");
+    let count: usize = header
+        .trim_end()
+        .strip_prefix("METRICS ")
+        .unwrap_or_else(|| panic!("bad METRICS header {header:?}"))
+        .parse()
+        .expect("numeric line count");
+    let ping_line = (0..count)
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("METRICS line");
+            line.trim_end().to_string()
+        })
+        .find(|l| l.starts_with("reactor_requests_total{verb=\"ping\"}"))
+        .expect("ping counter in the exposition");
+    let counted: usize = ping_line
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("numeric ping count");
+    let _ = writer.write_all(b"QUIT\n");
+    daemon.stop();
+    assert_eq!(
+        counted,
+        clients * requests,
+        "the exposition must account for every request sent"
+    );
+
+    let overhead_pct = if baseline_rps > 0.0 {
+        (baseline_rps - instrumented_rps) / baseline_rps * 100.0
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"reactor_pipelined_uninstrumented_baseline\": {baseline_rps:.0},\n    \"reactor_pipelined_instrumented\": {instrumented_rps:.0}\n  }},\n  \"instrumentation_overhead_pct\": {overhead_pct:.2},\n  \"request_latency_us\": {{\n    \"reactor_pipelined_instrumented\": {{ \"p50\": {p50}, \"p99\": {p99} }}\n  }},\n  \"metrics_crosscheck\": {{ \"pings_sent\": {sent}, \"pings_counted\": {counted} }},\n  \"baseline_source\": \"{baseline_source}\",\n  \"tolerance_pct\": {tolerance:.1}\n}}\n",
+        sent = clients * requests,
+    );
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick
+            || baseline_rps <= 0.0
+            || instrumented_rps >= baseline_rps * (1.0 - tolerance / 100.0),
+        "instrumented reactor {instrumented_rps:.0} req/s fell more than {tolerance}% below \
+         the uninstrumented baseline {baseline_rps:.0} req/s ({overhead_pct:.2}% overhead)"
+    );
+}

@@ -24,7 +24,9 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use modis_core::telemetry::Histogram;
 
 use modis_core::config::ModisConfig;
 use modis_core::estimator::EstimatorMode;
@@ -282,6 +284,18 @@ pub struct DrivenOutcome {
 /// one burst, `WAIT` for all tickets, then fetch every `RESULT`. Returns
 /// outcomes in submission order.
 pub fn drive_suite(addr: SocketAddr, scenarios: &[String]) -> Vec<DrivenOutcome> {
+    drive_suite_timed(addr, scenarios).0
+}
+
+/// [`drive_suite`] plus the per-response latency distribution: every
+/// response line (tickets, drain `OK`, streamed `DONE`s, `RESULT`s) is
+/// recorded as microseconds since its request burst was written — the
+/// latency a pipelining suite client observes. Clock reads are noise
+/// next to scenario execution, so [`drive_suite`] shares this path.
+pub fn drive_suite_timed(
+    addr: SocketAddr,
+    scenarios: &[String],
+) -> (Vec<DrivenOutcome>, Histogram) {
     let stream = TcpStream::connect(addr).expect("connect front-end");
     stream
         .set_read_timeout(Some(Duration::from_secs(300)))
@@ -301,18 +315,22 @@ pub fn drive_suite(addr: SocketAddr, scenarios: &[String]) -> Vec<DrivenOutcome>
         reply.trim_end().to_string()
     };
 
+    let latency = Histogram::new();
+
     // One pipelined burst: all submissions plus the drain.
     let mut burst = String::new();
     for name in scenarios {
         burst.push_str(&format!("SUBMIT {name}\n"));
     }
     burst.push_str("RUN\n");
+    let burst_start = Instant::now();
     writer.write_all(burst.as_bytes()).expect("send burst");
 
     let tickets: Vec<u64> = scenarios
         .iter()
         .map(|name| {
             let reply = recv();
+            latency.record_duration(burst_start.elapsed());
             reply
                 .strip_prefix("TICKET ")
                 .unwrap_or_else(|| panic!("SUBMIT {name}: {reply}"))
@@ -321,15 +339,18 @@ pub fn drive_suite(addr: SocketAddr, scenarios: &[String]) -> Vec<DrivenOutcome>
         })
         .collect();
     let run = recv();
+    latency.record_duration(burst_start.elapsed());
     assert!(run.starts_with("OK "), "RUN: {run}");
 
     let ids: Vec<String> = tickets.iter().map(u64::to_string).collect();
+    let wait_start = Instant::now();
     writer
         .write_all(format!("WAIT {}\n", ids.join(" ")).as_bytes())
         .expect("send WAIT");
     let mut done: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
     for _ in &tickets {
         let reply = recv();
+        latency.record_duration(wait_start.elapsed());
         let rest = reply
             .strip_prefix("DONE ")
             .unwrap_or_else(|| panic!("WAIT line: {reply}"));
@@ -342,12 +363,14 @@ pub fn drive_suite(addr: SocketAddr, scenarios: &[String]) -> Vec<DrivenOutcome>
     for ticket in &tickets {
         result_burst.push_str(&format!("RESULT {ticket}\n"));
     }
+    let result_start = Instant::now();
     writer
         .write_all(result_burst.as_bytes())
         .expect("send RESULTs");
     let mut outcomes = Vec::new();
     for (name, &ticket) in scenarios.iter().zip(&tickets) {
         let reply = recv();
+        latency.record_duration(result_start.elapsed());
         let rest = reply
             .strip_prefix("RESULT ")
             .unwrap_or_else(|| panic!("RESULT {ticket}: {reply}"));
@@ -361,7 +384,7 @@ pub fn drive_suite(addr: SocketAddr, scenarios: &[String]) -> Vec<DrivenOutcome>
         });
     }
     let _ = writer.write_all(b"QUIT\n");
-    outcomes
+    (outcomes, latency)
 }
 
 /// Asks any front-end for its `STATS` line.

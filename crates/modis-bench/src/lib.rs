@@ -14,10 +14,13 @@ pub mod service_workload;
 pub mod workloads;
 
 pub use cluster_workload::{
-    drive_suite, fetch_stats, register_t3_cluster, t3_cluster_namespace, t3_cluster_scenarios,
-    t3_cluster_spec, ClusterHarness, ClusterShard, ClusterWorkload, DrivenOutcome,
+    drive_suite, drive_suite_timed, fetch_stats, register_t3_cluster, t3_cluster_namespace,
+    t3_cluster_scenarios, t3_cluster_spec, ClusterHarness, ClusterShard, ClusterWorkload,
+    DrivenOutcome,
 };
-pub use reactor_workload::{drive_clients, requests_per_sec, BlockingDaemon, ClientMode};
+pub use reactor_workload::{
+    drive_clients, drive_clients_timed, requests_per_sec, BlockingDaemon, ClientMode, DriveReport,
+};
 pub use report::{print_method_table, print_series, print_table, Row};
 pub use service_workload::{
     register_service_suite, register_service_suite_over, service_config, service_probe_states,

@@ -13,10 +13,11 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use modis_core::telemetry::Histogram;
 use modis_service::{handle_command, Reply, Service};
 
 /// The seed's thread-per-connection TCP front-end, kept as the benchmark
@@ -172,6 +173,93 @@ pub fn drive_clients(
 /// Requests per second for a measured conversation.
 pub fn requests_per_sec(clients: usize, requests: usize, elapsed: Duration) -> f64 {
     (clients * requests) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// A timed conversation: wall-clock plus the merged per-request latency
+/// distribution across every client.
+pub struct DriveReport {
+    /// Wall-clock of the whole conversation (barrier → last client done).
+    pub elapsed: Duration,
+    /// Per-request latency in microseconds, merged across clients. For
+    /// sequential clients this is the round-trip of each request; for
+    /// pipelined clients it is response arrival measured from its burst's
+    /// write start (the latency a batching caller actually observes —
+    /// later responses of a burst wait behind earlier ones by design).
+    pub latency: Histogram,
+}
+
+/// [`drive_clients`] with per-request latency sampling. A separate entry
+/// point on purpose: the clock reads live on the client threads, so the
+/// plain throughput driver stays byte-identical to the one the committed
+/// baselines were measured with.
+pub fn drive_clients_timed(
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    mode: ClientMode,
+) -> DriveReport {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let latency = Arc::new(Mutex::new(Histogram::new()));
+    let threads: Vec<JoinHandle<()>> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect bench client");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let local = Histogram::new();
+                let mut reply = String::new();
+                let mut expect_pong = |reader: &mut BufReader<TcpStream>| {
+                    reply.clear();
+                    reader.read_line(&mut reply).expect("read reply");
+                    assert_eq!(reply, "PONG\n", "bench protocol deviation");
+                };
+                barrier.wait();
+                match mode {
+                    ClientMode::Sequential => {
+                        for _ in 0..requests {
+                            let sent = Instant::now();
+                            writer.write_all(b"PING\n").expect("write request");
+                            expect_pong(&mut reader);
+                            local.record_duration(sent.elapsed());
+                        }
+                    }
+                    ClientMode::Pipelined { window } => {
+                        let window = window.max(1);
+                        let mut sent = 0;
+                        while sent < requests {
+                            let batch = window.min(requests - sent);
+                            let burst = "PING\n".repeat(batch);
+                            let burst_start = Instant::now();
+                            writer.write_all(burst.as_bytes()).expect("write burst");
+                            for _ in 0..batch {
+                                expect_pong(&mut reader);
+                                local.record_duration(burst_start.elapsed());
+                            }
+                            sent += batch;
+                        }
+                    }
+                }
+                latency.lock().expect("latency lock").merge(&local);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    for thread in threads {
+        thread.join().expect("bench client");
+    }
+    let elapsed = started.elapsed();
+    let latency = Arc::try_unwrap(latency)
+        .unwrap_or_else(|_| panic!("all clients joined"))
+        .into_inner()
+        .expect("latency lock");
+    DriveReport { elapsed, latency }
 }
 
 #[cfg(test)]

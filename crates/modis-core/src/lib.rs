@@ -85,6 +85,7 @@ pub mod search_common;
 pub mod substrate;
 pub mod table_substrate;
 pub mod task;
+pub mod telemetry;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -108,6 +109,9 @@ pub mod prelude {
     pub use crate::table_substrate::{TableSpaceConfig, TableSubstrate};
     pub use crate::task::{
         evaluate_dataset, evaluate_dataset_view, MetricKind, ModelKind, TaskEvaluation, TaskSpec,
+    };
+    pub use crate::telemetry::{
+        Counter, Gauge, Histogram, MetricsRegistry, Span, SpanRecord, Telemetry, Tracer,
     };
 }
 

@@ -9,6 +9,7 @@ use modis_core::bimodis::bi_modis_with_context;
 use modis_core::divmodis::div_modis_with_context;
 use modis_core::estimator::{EstimatorMode, EvaluationHook, SharedEvaluation, ValuationContext};
 use modis_core::substrate::Substrate;
+use modis_core::telemetry::{self, MetricsRegistry, Telemetry, Tracer};
 use modis_data::StateBitmap;
 
 use crate::cache::{CacheStats, SharedEvalCache};
@@ -183,6 +184,10 @@ pub struct Engine {
     /// rejects it instead. Keyed by the stable hashed key so the map can be
     /// persisted with cache snapshots and seeded after a restart.
     namespace_guard: Mutex<HashMap<u64, u64>>,
+    /// The engine's metrics registry + span tracer. The service layer and
+    /// reactor register their instruments here too, so one `METRICS`
+    /// scrape sees the whole daemon.
+    telemetry: Telemetry,
 }
 
 impl Default for Engine {
@@ -210,7 +215,29 @@ impl Engine {
             cache,
             memo_sources: Mutex::new(Vec::new()),
             namespace_guard: Mutex::new(HashMap::new()),
+            telemetry: Telemetry {
+                metrics: Arc::new(MetricsRegistry::new()),
+                tracer: Arc::new(Tracer::with_capacity(4096)),
+            },
         }
+    }
+
+    /// The engine's metrics registry — the single registry a daemon's
+    /// `METRICS` verb renders. Layers above the engine (service, reactor)
+    /// register their instruments into this registry rather than keeping
+    /// their own, so one scrape covers the whole process.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry.metrics
+    }
+
+    /// The engine's span tracer (dumped by the `TRACE DUMP` verb).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.telemetry.tracer
+    }
+
+    /// The registry + tracer pair, cloneable into ambient scopes.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// The engine's configuration.
@@ -358,11 +385,47 @@ impl Engine {
                 (evaluation, false)
             });
         let shared_hits = resolved.iter().filter(|(_, hit)| *hit).count();
+        let trained = unique.len() - shared_hits;
+        self.record_valuations(namespace, trained as u64, shared_hits as u64);
+        if states.len() > unique.len() {
+            self.telemetry
+                .metrics
+                .counter(
+                    "engine_batch_dedup_saved_total",
+                    "Valuations avoided because duplicate states within one batch share a resolution.",
+                )
+                .add((states.len() - unique.len()) as u64);
+        }
         BatchValuation {
             unique_states: unique.len(),
             shared_hits,
-            trained: unique.len() - shared_hits,
+            trained,
             evaluations: slot.into_iter().map(|i| resolved[i].0.clone()).collect(),
+        }
+    }
+
+    /// Attributes paid (oracle-trained) vs cache-served valuations to a
+    /// namespace — the per-tenant cost-accounting counters.
+    fn record_valuations(&self, namespace: &str, paid: u64, cached: u64) {
+        if paid > 0 {
+            self.telemetry
+                .metrics
+                .counter_with(
+                    "engine_paid_valuations_total",
+                    "Oracle valuations paid for (model training runs) per cache namespace.",
+                    &[("namespace", namespace)],
+                )
+                .add(paid);
+        }
+        if cached > 0 {
+            self.telemetry
+                .metrics
+                .counter_with(
+                    "engine_cached_valuations_total",
+                    "Oracle valuations answered by the shared cache per cache namespace.",
+                    &[("namespace", namespace)],
+                )
+                .add(cached);
         }
     }
 
@@ -382,20 +445,37 @@ impl Engine {
         };
         let ctx = ValuationContext::new(substrate, mode).with_hook(hook);
         let threads = self.config.worker_threads;
-        let result = match scenario.algorithm {
+        let _span = self.telemetry.tracer.span("scenario");
+        // Install the engine's telemetry as the ambient for the algorithm
+        // call tree, so deep layers (the wave expander) can time themselves
+        // without any signature changes.
+        let result = telemetry::with_ambient(self.telemetry.clone(), || match scenario.algorithm {
             Algorithm::Apx => parallel_apx_modis_with_context(&ctx, &scenario.config, threads),
             Algorithm::Exact => parallel_exact_modis_with_context(&ctx, &scenario.config, threads),
             Algorithm::Bi => bi_modis_with_context(&ctx, &scenario.config, true).0,
             Algorithm::NoBi => bi_modis_with_context(&ctx, &scenario.config, false).0,
             Algorithm::Div => div_modis_with_context(&ctx, &scenario.config),
-        };
-        ScenarioOutcome {
+        });
+        let outcome = ScenarioOutcome {
             name: scenario.name.clone(),
             algorithm: scenario.algorithm,
             result,
             wall_seconds: start.elapsed().as_secs_f64(),
             substrate_cache: substrate.memo_stats(),
-        }
+        };
+        self.record_valuations(
+            scenario.namespace(),
+            outcome.valuation_cost() as u64,
+            outcome.shared_hits() as u64,
+        );
+        self.telemetry
+            .metrics
+            .histogram(
+                "engine_scenario_us",
+                "Wall time of one scenario run, microseconds.",
+            )
+            .record_duration(start.elapsed());
+        outcome
     }
 
     /// Executes a suite of scenarios, at most

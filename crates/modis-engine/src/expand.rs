@@ -155,7 +155,24 @@ fn process_schedule<S, F>(
             end += 1;
         }
         let wave = &schedule[i..end];
+        let wave_start = Instant::now();
         let results = evaluate_wave(ctx, wave, threads);
+        if let Some(telemetry) = modis_core::telemetry::ambient() {
+            telemetry
+                .metrics
+                .histogram(
+                    "engine_wave_us",
+                    "Wall time of one parallel wave expansion, microseconds.",
+                )
+                .record_duration(wave_start.elapsed());
+            telemetry
+                .metrics
+                .histogram(
+                    "engine_wave_states",
+                    "States valuated per parallel wave expansion.",
+                )
+                .record(wave.len() as u64);
+        }
         for ((state, level), (raw, from_shared)) in wave.iter().zip(results) {
             let perf = ctx.record_oracle(state, raw, from_shared);
             commit(state, *level, perf);

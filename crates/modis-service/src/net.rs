@@ -15,6 +15,11 @@
 //! | `WAIT <id> [<id>…]`| one `DONE <id> entries=…` line per ticket, streamed in          |
 //! |                    | completion order as the jobs finish                             |
 //! | `STATS`            | `STATS hits=… misses=… entries=… evictions=… memo_entries=…`    |
+//! |                    | `… hit_rate=… uptime_s=… jobs_completed=… jobs_pending=…`       |
+//! | `METRICS`          | `METRICS <n>` followed by `n` Prometheus-style exposition       |
+//! |                    | lines rendered from the daemon's metrics registry               |
+//! | `TRACE DUMP <n>`   | `SPANS <k>` followed by `k` (≤ n) `SPAN id=… parent=… …`        |
+//! |                    | lines — the most recent completed tracer spans                  |
 //! | `RESULT <id>`      | `RESULT <id> entries=… <entry>…` — the finished skyline,        |
 //! |                    | byte-exactly encoded (f64 bit patterns, not decimal)            |
 //! | `SNAPSHOT <path>`  | `OK <bytes>` — persist the evaluation cache                     |
@@ -168,6 +173,35 @@ fn restore_reply(service: &Service, path: &str) -> String {
     }
 }
 
+/// Renders the `METRICS` response: a `METRICS <n>` header followed by `n`
+/// Prometheus-style exposition lines, all in one count-prefixed reply (the
+/// framing the router's fan-in relies on — see `docs/PROTOCOL.md` §7).
+fn metrics_reply(service: &Service) -> String {
+    let lines = service.engine().metrics().render();
+    let mut out = format!("METRICS {}", lines.len());
+    for line in &lines {
+        out.push('\n');
+        out.push_str(line);
+    }
+    out
+}
+
+/// Renders the `TRACE DUMP <n>` response: a `SPANS <k>` header (`k ≤ n`)
+/// followed by one `SPAN key=value…` line per recent completed span,
+/// oldest first.
+fn trace_dump_reply(service: &Service, n: usize) -> String {
+    let spans = service.engine().tracer().recent(n);
+    let mut out = format!("SPANS {}", spans.len());
+    for span in &spans {
+        out.push('\n');
+        out.push_str(&format!(
+            "SPAN id={} parent={} thread={:x} name={} start_us={} dur_us={}",
+            span.id, span.parent, span.thread, span.name, span.start_us, span.dur_us
+        ));
+    }
+    out
+}
+
 /// Classifies one protocol line for the reactor, without blocking on any
 /// background work. Synchronous verbs are answered inline via the same
 /// code paths as [`handle_command`].
@@ -272,7 +306,8 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
             let cache = service.engine().cache();
             format!(
                 "STATS hits={} misses={} entries={} evictions={} memo_entries={} \
-                 memo_evictions={} shards={} shard_capacity={}",
+                 memo_evictions={} shards={} shard_capacity={} hit_rate={:.4} \
+                 uptime_s={} jobs_completed={} jobs_pending={}",
                 stats.hits,
                 stats.misses,
                 stats.entries,
@@ -281,7 +316,24 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
                 stats.memo_evictions,
                 cache.shard_count(),
                 cache.per_shard_capacity(),
+                stats.hit_rate(),
+                service.uptime().as_secs(),
+                service.jobs_completed(),
+                service.pending(),
             )
+        }
+        "METRICS" => metrics_reply(service),
+        "TRACE"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("DUMP")) =>
+        {
+            let args = rest.split_once(char::is_whitespace).map_or("", |(_, r)| r);
+            match args.trim().parse::<usize>() {
+                Ok(n) => trace_dump_reply(service, n),
+                Err(_) => "ERR TRACE DUMP expects a numeric span count".to_string(),
+            }
         }
         "RESULT" => match rest.parse::<u64>() {
             Ok(id) => match service.poll(Ticket(id)) {
@@ -533,6 +585,59 @@ mod tests {
         assert!(matches!(handle_command(&service, "QUIT"), Reply::Close(_)));
         // Case-insensitive verbs, tolerant whitespace.
         assert_eq!(handle_command(&service, "  ping  ").text(), "PONG");
+    }
+
+    #[test]
+    fn metrics_and_trace_verbs_render_counted_multiline_replies() {
+        let service = service();
+        assert_eq!(handle_command(&service, "SUBMIT apx").text(), "TICKET 1");
+        assert_eq!(handle_command(&service, "RUN").text(), "OK 1");
+
+        let reply = handle_command(&service, "METRICS").text().to_string();
+        let mut lines = reply.lines();
+        let header = lines.next().expect("header");
+        let count: usize = header
+            .strip_prefix("METRICS ")
+            .expect("METRICS header")
+            .parse()
+            .expect("numeric count");
+        assert_eq!(lines.count(), count, "body must match the header count");
+        assert!(reply.contains("service_jobs_completed_total 1"), "{reply}");
+        assert!(
+            reply.contains("engine_paid_valuations_total{namespace=\"pool\"}"),
+            "{reply}"
+        );
+
+        let dump = handle_command(&service, "TRACE DUMP 16").text().to_string();
+        let mut lines = dump.lines();
+        let header = lines.next().expect("header");
+        let count: usize = header
+            .strip_prefix("SPANS ")
+            .expect("SPANS header")
+            .parse()
+            .expect("numeric count");
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), count);
+        assert!(count >= 1, "the RUN drain must have recorded spans");
+        assert!(body.iter().all(|l| l.starts_with("SPAN id=")), "{dump}");
+        assert!(dump.contains("name=scenario"), "{dump}");
+
+        assert!(handle_command(&service, "TRACE DUMP many")
+            .text()
+            .starts_with("ERR TRACE DUMP expects"));
+        assert!(handle_command(&service, "TRACE")
+            .text()
+            .starts_with("ERR unknown command"));
+
+        let stats = handle_command(&service, "STATS").text().to_string();
+        for key in [
+            "hit_rate=",
+            "uptime_s=",
+            "jobs_completed=1",
+            "jobs_pending=0",
+        ] {
+            assert!(stats.contains(key), "missing {key}: {stats}");
+        }
     }
 
     #[test]

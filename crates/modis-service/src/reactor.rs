@@ -51,7 +51,9 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use modis_core::telemetry::{Counter, Gauge, Histogram};
 
 use crate::net::{dispatch, done_line, Request};
 use crate::service::{JobState, Service, Ticket};
@@ -257,7 +259,10 @@ impl Executor {
             let Some(job) = job else { return };
             match job {
                 ExecJob::Drain(reply) => {
-                    let _ = reply.set(format!("OK {}", service.run_pending()));
+                    let span = service.engine().tracer().span("drain");
+                    let executed = service.run_pending();
+                    drop(span);
+                    let _ = reply.set(format!("OK {executed}"));
                 }
                 ExecJob::Snapshot(path, reply) => {
                     let text = match service.snapshot_to(std::path::Path::new(&path)) {
@@ -275,6 +280,131 @@ impl Executor {
     }
 }
 
+/// The verbs the reactor attributes request counters and latency to.
+/// Classification is a branchy `eq_ignore_ascii_case` over the first
+/// token — no allocation, no table lookup — so it is safe on the
+/// pipelined hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VerbClass {
+    Ping,
+    List,
+    Submit,
+    Run,
+    Poll,
+    Wait,
+    Stats,
+    Result,
+    Snapshot,
+    Restore,
+    Quit,
+    Metrics,
+    Trace,
+    Other,
+}
+
+/// Number of [`VerbClass`] variants (instrument array size).
+const VERB_CLASSES: usize = 14;
+
+impl VerbClass {
+    /// The exposition label value of this class.
+    fn label(self) -> &'static str {
+        match self {
+            VerbClass::Ping => "ping",
+            VerbClass::List => "list",
+            VerbClass::Submit => "submit",
+            VerbClass::Run => "run",
+            VerbClass::Poll => "poll",
+            VerbClass::Wait => "wait",
+            VerbClass::Stats => "stats",
+            VerbClass::Result => "result",
+            VerbClass::Snapshot => "snapshot",
+            VerbClass::Restore => "restore",
+            VerbClass::Quit => "quit",
+            VerbClass::Metrics => "metrics",
+            VerbClass::Trace => "trace",
+            VerbClass::Other => "other",
+        }
+    }
+
+    /// Every class, in instrument-array order.
+    fn all() -> [VerbClass; VERB_CLASSES] {
+        [
+            VerbClass::Ping,
+            VerbClass::List,
+            VerbClass::Submit,
+            VerbClass::Run,
+            VerbClass::Poll,
+            VerbClass::Wait,
+            VerbClass::Stats,
+            VerbClass::Result,
+            VerbClass::Snapshot,
+            VerbClass::Restore,
+            VerbClass::Quit,
+            VerbClass::Metrics,
+            VerbClass::Trace,
+            VerbClass::Other,
+        ]
+    }
+
+    /// Classifies a request line by its first token.
+    fn classify(line: &str) -> VerbClass {
+        let verb = line.split_whitespace().next().unwrap_or("");
+        for class in VerbClass::all() {
+            if class != VerbClass::Other && verb.eq_ignore_ascii_case(class.label()) {
+                return class;
+            }
+        }
+        VerbClass::Other
+    }
+}
+
+/// Pre-resolved instrument handles for the reactor (looked up once at
+/// construction — the sweep loop only touches relaxed atomics).
+struct ReactorMetrics {
+    open_connections: Arc<Gauge>,
+    backpressure_events: Arc<Counter>,
+    sweep_us: Arc<Histogram>,
+    /// Per-verb request counter + parse-to-response latency histogram,
+    /// indexed by [`VerbClass`] discriminant order.
+    verb_requests: [Arc<Counter>; VERB_CLASSES],
+    verb_latency: [Arc<Histogram>; VERB_CLASSES],
+}
+
+impl ReactorMetrics {
+    fn new(service: &Service) -> ReactorMetrics {
+        let metrics = service.engine().metrics();
+        let classes = VerbClass::all();
+        ReactorMetrics {
+            open_connections: metrics.gauge(
+                "reactor_open_connections",
+                "Client connections currently held by the reactor.",
+            ),
+            backpressure_events: metrics.counter(
+                "reactor_backpressure_events_total",
+                "Times a connection crossed into read-backpressure (write buffer above the high watermark or pipeline at max depth).",
+            ),
+            sweep_us: metrics.histogram(
+                "reactor_sweep_us",
+                "Duration of one reactor sweep that made progress, microseconds.",
+            ),
+            verb_requests: std::array::from_fn(|i| {
+                metrics.counter_with(
+                    "reactor_requests_total",
+                    "Requests dispatched by the reactor, per verb.",
+                    &[("verb", classes[i].label())],
+                )
+            }),
+            verb_latency: std::array::from_fn(|i| {
+                metrics.histogram_with(
+                    "reactor_request_us",
+                    "Parse-to-response latency inside the reactor, per verb, microseconds. Same-sweep resolutions record 0 (sub-sweep).",
+                    &[("verb", classes[i].label())],
+                )
+            }),
+        }
+    }
+}
+
 /// One response position in a connection's ordered pipeline.
 ///
 /// A parsed request enters the queue as [`Slot::Request`] and is
@@ -283,18 +413,24 @@ impl Executor {
 /// drained queue, a `SUBMIT` behind a `WAIT` executes after the wait
 /// resolves. Pipelining overlaps transport and scheduling, never
 /// evaluation order.
+///
+/// Requests carry the timestamp of the sweep that parsed them; deferred
+/// slots keep it (plus their verb class) so the latency a slow response
+/// accrued across sweeps is attributed to its verb when it resolves.
+/// Timestamps are amortised — one `Instant::now()` per sweep, never per
+/// request.
 enum Slot {
-    /// A raw request line, not yet evaluated.
-    Request(String),
+    /// A raw request line, not yet evaluated, stamped at parse time.
+    Request(String, Instant),
     /// The response text is known; emit it when this slot reaches the
     /// front.
     Ready(String),
     /// A `RUN` or `SNAPSHOT` handed to the executor; resolves when its
     /// reply cell is filled.
-    Deferred(DeferredReply),
+    Deferred(DeferredReply, VerbClass, Instant),
     /// A `WAIT`: emits one `DONE <id> …` line per ticket *as each job
     /// completes* (progressive streaming), resolving once none remain.
-    Wait(Vec<u64>),
+    Wait(Vec<u64>, Instant),
 }
 
 /// Per-connection state machine: incremental read/write buffers plus the
@@ -315,6 +451,9 @@ struct Connection {
     closing: bool,
     /// The connection is finished and will be dropped this sweep.
     dead: bool,
+    /// Whether the last sweep saw this connection in read-backpressure
+    /// (edge-detects the backpressure-events counter).
+    backpressured: bool,
 }
 
 impl Connection {
@@ -330,6 +469,7 @@ impl Connection {
             discarding: false,
             closing: false,
             dead: false,
+            backpressured: false,
         })
     }
 
@@ -353,6 +493,7 @@ pub(crate) struct Reactor {
     stop: Arc<AtomicBool>,
     config: ReactorConfig,
     conns: Vec<Connection>,
+    metrics: ReactorMetrics,
 }
 
 impl Reactor {
@@ -365,6 +506,7 @@ impl Reactor {
         config: ReactorConfig,
     ) -> io::Result<Reactor> {
         listener.set_nonblocking(true)?;
+        let metrics = ReactorMetrics::new(&service);
         Ok(Reactor {
             listener,
             service,
@@ -373,6 +515,7 @@ impl Reactor {
             stop,
             config,
             conns: Vec::new(),
+            metrics,
         })
     }
 
@@ -394,13 +537,19 @@ impl Reactor {
     pub(crate) fn run(mut self) {
         let mut idle_streak: u32 = 0;
         while !self.stop.load(Ordering::SeqCst) {
+            // One clock read per sweep: every request parsed or resolved
+            // this sweep shares this timestamp, so telemetry adds no
+            // per-request syscalls to the pipelined hot path.
+            let sweep_start = Instant::now();
             let mut progress = self.accept_ready();
             for i in 0..self.conns.len() {
-                progress |= self.sweep_connection(i);
+                progress |= self.sweep_connection(i, sweep_start);
             }
             self.conns.retain(|c| !c.dead);
+            self.metrics.open_connections.set(self.conns.len() as i64);
             if progress {
                 idle_streak = 0;
+                self.metrics.sweep_us.record_duration(sweep_start.elapsed());
             } else if !self.stop.load(Ordering::SeqCst) {
                 idle_streak = idle_streak.saturating_add(1);
                 if idle_streak < self.config.spin_sweeps {
@@ -453,10 +602,10 @@ impl Reactor {
     /// One sweep over one connection: read what is ready, parse complete
     /// lines into slots, resolve leading slots, flush what the socket
     /// accepts. Returns whether any progress was made.
-    fn sweep_connection(&mut self, index: usize) -> bool {
+    fn sweep_connection(&mut self, index: usize, now: Instant) -> bool {
         let mut progress = false;
-        progress |= self.read_ready(index);
-        progress |= self.resolve_slots(index);
+        progress |= self.read_ready(index, now);
+        progress |= self.resolve_slots(index, now);
         progress |= self.flush_ready(index);
         let conn = &mut self.conns[index];
         if conn.closing && !conn.dead && conn.slots.is_empty() && conn.pending_write() == 0 {
@@ -469,7 +618,7 @@ impl Reactor {
 
     /// Drains readable bytes into the connection's line buffer and parses
     /// every complete request line into a response slot.
-    fn read_ready(&mut self, index: usize) -> bool {
+    fn read_ready(&mut self, index: usize, now: Instant) -> bool {
         let conn = &mut self.conns[index];
         if conn.closing || conn.dead {
             return false;
@@ -482,8 +631,13 @@ impl Reactor {
         if conn.pending_write() > self.config.write_high_watermark
             || conn.slots.len() >= self.config.max_pipelined
         {
+            if !conn.backpressured {
+                conn.backpressured = true;
+                self.metrics.backpressure_events.inc();
+            }
             return false;
         }
+        conn.backpressured = false;
         let mut consumed = 0usize;
         let mut saw_eof = false;
         let mut buf = [0u8; 4096];
@@ -506,14 +660,14 @@ impl Reactor {
             }
         }
         let mut progress = consumed > 0 || saw_eof;
-        progress |= self.parse_lines(index);
+        progress |= self.parse_lines(index, now);
         if saw_eof {
             let conn = &mut self.conns[index];
             // The seed's `BufRead::lines` answered a final unterminated
             // line; preserve that.
             if !conn.read_buf.is_empty() && !conn.discarding {
                 let line = std::mem::take(&mut conn.read_buf);
-                self.handle_line(index, &line);
+                self.handle_line(index, &line, now);
             }
             let conn = &mut self.conns[index];
             conn.read_buf.clear();
@@ -526,7 +680,7 @@ impl Reactor {
     /// line-length cap. Scans with a cursor over the taken buffer and
     /// copies only the unterminated tail back — O(bytes) per sweep, not
     /// O(lines × bytes).
-    fn parse_lines(&mut self, index: usize) -> bool {
+    fn parse_lines(&mut self, index: usize, now: Instant) -> bool {
         let mut progress = false;
         let buf = std::mem::take(&mut self.conns[index].read_buf);
         let mut cursor = 0;
@@ -540,7 +694,7 @@ impl Reactor {
             } else if line.len() > self.config.max_line_len {
                 self.reject_oversized(index);
             } else {
-                self.handle_line(index, line);
+                self.handle_line(index, line, now);
             }
         }
         let conn = &mut self.conns[index];
@@ -564,26 +718,26 @@ impl Reactor {
 
     /// Queues one request line into the connection's pipeline. Dispatch
     /// happens later, when the slot reaches the front (see [`Slot`]).
-    fn handle_line(&mut self, index: usize, raw: &[u8]) {
+    fn handle_line(&mut self, index: usize, raw: &[u8], now: Instant) {
         // Invalid UTF-8 cannot name a verb; lossy decoding turns it into
         // a request that answers `ERR unknown command`, never a panic.
         let line = String::from_utf8_lossy(raw).into_owned();
-        self.conns[index].slots.push_back(Slot::Request(line));
+        self.conns[index].slots.push_back(Slot::Request(line, now));
     }
 
     /// Resolves leading slots into response bytes, strictly in request
     /// order: requests are dispatched as they reach the front, and a
     /// pending slot (unfinished drain or wait) blocks *this connection's*
     /// later responses — and nothing else.
-    fn resolve_slots(&mut self, index: usize) -> bool {
+    fn resolve_slots(&mut self, index: usize, now: Instant) -> bool {
         let mut progress = false;
         loop {
             let service = Arc::clone(&self.service);
             let executor = Arc::clone(&self.executor);
             let conn = &mut self.conns[index];
             match conn.slots.front_mut() {
-                Some(Slot::Request(_)) => {
-                    let Some(Slot::Request(line)) = conn.slots.pop_front() else {
+                Some(Slot::Request(..)) => {
+                    let Some(Slot::Request(line, stamp)) = conn.slots.pop_front() else {
                         unreachable!("front_mut just matched Request");
                     };
                     progress = true;
@@ -595,10 +749,18 @@ impl Reactor {
                         conn.closing = true;
                         break;
                     }
+                    let class = VerbClass::classify(&line);
+                    self.metrics.verb_requests[class as usize].inc();
                     match dispatch(&service, &line) {
-                        Request::Immediate(text) => conn.queue_line(&text),
+                        Request::Immediate(text) => {
+                            conn.queue_line(&text);
+                            self.metrics.verb_latency[class as usize]
+                                .record_duration(now.saturating_duration_since(stamp));
+                        }
                         Request::CloseAfter(text) => {
                             conn.queue_line(&text);
+                            self.metrics.verb_latency[class as usize]
+                                .record_duration(now.saturating_duration_since(stamp));
                             // Later pipelined requests are dropped, as the
                             // seed's per-connection loop did on QUIT.
                             conn.slots.clear();
@@ -607,16 +769,22 @@ impl Reactor {
                         }
                         // Deferred verbs re-enter the queue at the front
                         // and resolve on subsequent iterations/sweeps.
-                        Request::Drain => conn
-                            .slots
-                            .push_front(Slot::Deferred(executor.submit_drain())),
-                        Request::Snapshot(path) => conn
-                            .slots
-                            .push_front(Slot::Deferred(executor.submit_snapshot(path))),
-                        Request::Offload(task) => conn
-                            .slots
-                            .push_front(Slot::Deferred(executor.submit_task(task))),
-                        Request::Wait(tickets) => conn.slots.push_front(Slot::Wait(tickets)),
+                        Request::Drain => conn.slots.push_front(Slot::Deferred(
+                            executor.submit_drain(),
+                            class,
+                            stamp,
+                        )),
+                        Request::Snapshot(path) => conn.slots.push_front(Slot::Deferred(
+                            executor.submit_snapshot(path),
+                            class,
+                            stamp,
+                        )),
+                        Request::Offload(task) => conn.slots.push_front(Slot::Deferred(
+                            executor.submit_task(task),
+                            class,
+                            stamp,
+                        )),
+                        Request::Wait(tickets) => conn.slots.push_front(Slot::Wait(tickets, stamp)),
                     }
                 }
                 Some(Slot::Ready(_)) => {
@@ -626,15 +794,19 @@ impl Reactor {
                     conn.queue_line(&text);
                     progress = true;
                 }
-                Some(Slot::Deferred(reply)) => {
+                Some(Slot::Deferred(reply, ..)) => {
                     let Some(text) = reply.get() else { break };
                     let text = text.clone();
-                    conn.slots.pop_front();
+                    let Some(Slot::Deferred(_, class, stamp)) = conn.slots.pop_front() else {
+                        unreachable!("front_mut just matched Deferred");
+                    };
                     conn.queue_line(&text);
+                    self.metrics.verb_latency[class as usize]
+                        .record_duration(now.saturating_duration_since(stamp));
                     progress = true;
                 }
-                Some(Slot::Wait(_)) => {
-                    let Some(Slot::Wait(mut remaining)) = conn.slots.pop_front() else {
+                Some(Slot::Wait(..)) => {
+                    let Some(Slot::Wait(mut remaining, stamp)) = conn.slots.pop_front() else {
                         unreachable!("front_mut just matched Wait");
                     };
                     // Emit finished tickets progressively, in completion
@@ -657,9 +829,11 @@ impl Reactor {
                         }
                     }
                     if remaining.is_empty() {
+                        self.metrics.verb_latency[VerbClass::Wait as usize]
+                            .record_duration(now.saturating_duration_since(stamp));
                         progress = true;
                     } else {
-                        conn.slots.push_front(Slot::Wait(remaining));
+                        conn.slots.push_front(Slot::Wait(remaining, stamp));
                         break;
                     }
                 }
@@ -713,8 +887,9 @@ impl Reactor {
     /// superseded by the shutdown error (the drain itself still executes
     /// to completion on the executor thread).
     fn close_all(&mut self) {
+        let now = Instant::now();
         for index in 0..self.conns.len() {
-            self.resolve_slots(index);
+            self.resolve_slots(index, now);
         }
         for conn in &mut self.conns {
             if conn.dead {

@@ -21,6 +21,14 @@
 //!   the counts; `STATS` aggregates every shard's counters into one
 //!   cluster-wide line (plus a `SHARDS` verb for per-shard telemetry);
 //!   `SNAPSHOT <path>` persists every shard to `<path>.<shard>`.
+//! * **Cluster-wide observability** — `METRICS` gathers every shard's
+//!   exposition, injects a `shard="<name>"` label into each sample line
+//!   and prepends the router's own metrics (forward latency per shard,
+//!   reconnects, ticket remaps), so one scrape sees the whole cluster;
+//!   `TRACE DUMP <n>` merges per-shard span dumps with a `shard=` suffix.
+//!   An unreachable shard degrades a `METRICS` scrape to a comment line
+//!   (monitoring keeps working while a shard is down) but fails a
+//!   `TRACE DUMP` like any other fan-out verb.
 //! * **`WAIT` across shards** — the router splits the ticket list per
 //!   owning shard, forwards per-shard `WAIT`s, and streams the merged
 //!   `DONE` lines back in arrival order (≈ cluster-wide completion
@@ -46,14 +54,16 @@
 //! non-blocking reactor; routing hundreds of client connections through
 //! one process is the reactor follow-up in the ROADMAP).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use modis_core::telemetry::{Counter, MetricsRegistry};
 
 use crate::cluster::{validate_token, ClusterSpec, ShardMap};
 use crate::error::ServiceError;
@@ -183,6 +193,14 @@ struct RouterInner {
     tickets: Mutex<TicketTable>,
     stop: AtomicBool,
     config: RouterConfig,
+    /// The router's own instruments; rendered (unrelabeled — `router_*`
+    /// family names cannot collide with shard-side families) at the head
+    /// of every merged `METRICS` reply.
+    metrics: Arc<MetricsRegistry>,
+    /// Shard connections re-established after a send failure or rewire.
+    reconnects: Arc<Counter>,
+    /// Shard-local ticket ids remapped to cluster-wide ids.
+    remaps: Arc<Counter>,
 }
 
 impl RouterInner {
@@ -260,6 +278,15 @@ impl Router {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let reconnects = metrics.counter(
+            "router_reconnects_total",
+            "Shard connections re-established after a send failure or rewire.",
+        );
+        let remaps = metrics.counter(
+            "router_ticket_remaps_total",
+            "Shard-local ticket ids remapped to cluster-wide ids.",
+        );
         let inner = Arc::new(RouterInner {
             spec,
             topology: Mutex::new(Topology {
@@ -269,6 +296,9 @@ impl Router {
             tickets: Mutex::new(TicketTable::default()),
             stop: AtomicBool::new(false),
             config,
+            metrics,
+            reconnects,
+            remaps,
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
@@ -288,6 +318,13 @@ impl Router {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The router's own metrics registry (forward latency per shard,
+    /// reconnects, ticket remaps). Rendered at the head of every merged
+    /// `METRICS` reply; exposed for tests and embedding processes.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.metrics
     }
 
     /// A snapshot of the current ownership map.
@@ -754,6 +791,45 @@ struct WaitPart {
     remaining: usize,
 }
 
+/// Which counted multi-line verb a [`Expect::Gather`] is collecting.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GatherKind {
+    /// `METRICS`: per-shard header `METRICS <n>`, merged with `shard=`
+    /// labels; an unreachable shard degrades to a comment line.
+    Metrics,
+    /// `TRACE DUMP <n>`: per-shard header `SPANS <k>`, merged with a
+    /// `shard=` suffix; an unreachable shard fails the whole reply.
+    Trace,
+}
+
+impl GatherKind {
+    /// The header word a shard's reply must start with.
+    fn header(self) -> &'static str {
+        match self {
+            GatherKind::Metrics => "METRICS",
+            GatherKind::Trace => "SPANS",
+        }
+    }
+}
+
+/// One shard's slice of a counted multi-line fan-in.
+struct GatherPart {
+    shard: String,
+    epoch: u64,
+    /// `None` until the `<HEADER> <n>` count line arrives.
+    remaining: Option<usize>,
+    /// Body lines collected so far (un-relabeled).
+    lines: Vec<String>,
+    /// Set when the shard failed (unavailable, or a malformed header).
+    failed: Option<String>,
+}
+
+impl GatherPart {
+    fn done(&self) -> bool {
+        self.failed.is_some() || self.remaining == Some(0)
+    }
+}
+
 /// One response position in a client's ordered pipeline (the router-side
 /// mirror of the reactor's `Slot`). Every shard-owed response carries the
 /// epoch of the connection its request went out on.
@@ -767,6 +843,9 @@ enum Expect {
         shard: String,
         epoch: u64,
         rewrite: Rewrite,
+        /// When the request left the router (feeds the per-shard
+        /// forward-latency histogram on resolution).
+        sent: Instant,
     },
     /// One line owed by each listed shard, folded into one response.
     FanOut {
@@ -779,6 +858,12 @@ enum Expect {
     Wait {
         pre: Vec<String>,
         parts: Vec<WaitPart>,
+    },
+    /// A counted multi-line reply owed by each shard (`METRICS` /
+    /// `TRACE DUMP`), merged into one counted reply with shard labels.
+    Gather {
+        kind: GatherKind,
+        parts: Vec<GatherPart>,
     },
 }
 
@@ -901,6 +986,7 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     shard: owner,
                     epoch,
                     rewrite: Rewrite::Submit,
+                    sent: Instant::now(),
                 },
                 Err(err) => Expect::Local(err),
             }
@@ -926,11 +1012,28 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     } else {
                         Rewrite::Result { global }
                     },
+                    sent: Instant::now(),
                 },
                 Err(err) => Expect::Local(err),
             }
         }
         "RUN" => fan_out(inner, pool, FanKind::Run { total: 0 }, |_| "RUN".into()),
+        "METRICS" => gather(inner, pool, GatherKind::Metrics, "METRICS"),
+        "TRACE"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("DUMP")) =>
+        {
+            let count = rest.split_whitespace().nth(1);
+            if count.is_some_and(|t| t.parse::<u64>().is_ok()) {
+                // Each shard returns up to <n> spans; the merged dump may
+                // carry up to <n> per shard (documented in the protocol).
+                gather(inner, pool, GatherKind::Trace, trimmed)
+            } else {
+                Expect::Local("ERR TRACE DUMP expects a numeric span count".into())
+            }
+        }
         "STATS" => fan_out(inner, pool, FanKind::Stats { sums: [0; 6] }, |_| {
             "STATS".into()
         }),
@@ -1026,6 +1129,120 @@ fn fan_out(
     }
 }
 
+/// Forwards a counted multi-line verb (`METRICS` / `TRACE DUMP`) to every
+/// shard, returning the merging expectation. A shard that cannot even be
+/// reached starts out failed; the merge policy per failure lives in
+/// [`GatherKind`].
+fn gather(inner: &Arc<RouterInner>, pool: &mut ConnPool, kind: GatherKind, line: &str) -> Expect {
+    let shards: Vec<String> = inner.lock_topology().map.shards().to_vec();
+    if shards.is_empty() {
+        return Expect::Local("ERR cluster has no shards".into());
+    }
+    let mut parts = Vec::new();
+    for shard in shards {
+        let part = match forward(inner, pool, &shard, line) {
+            Ok(epoch) => GatherPart {
+                shard,
+                epoch,
+                remaining: None,
+                lines: Vec::new(),
+                failed: None,
+            },
+            Err(err) => GatherPart {
+                shard,
+                epoch: 0,
+                remaining: None,
+                lines: Vec::new(),
+                failed: Some(err),
+            },
+        };
+        parts.push(part);
+    }
+    Expect::Gather { kind, parts }
+}
+
+/// Injects `shard="<name>"` as the *first* label of a Prometheus sample
+/// line (`name{a="b"} v` or `name v`). Comment lines are never passed
+/// here; the registry never renders an empty `{}` block.
+fn inject_shard_label(line: &str, shard: &str) -> String {
+    match line.find('{') {
+        Some(brace) if line.find(' ').is_none_or(|space| brace < space) => {
+            format!(
+                "{}{{shard=\"{}\",{}",
+                &line[..brace],
+                shard,
+                &line[brace + 1..]
+            )
+        }
+        _ => match line.split_once(' ') {
+            Some((name, rest)) => format!("{name}{{shard=\"{shard}\"}} {rest}"),
+            None => line.to_string(),
+        },
+    }
+}
+
+/// Merges the completed parts of a `METRICS` / `TRACE DUMP` gather into
+/// one counted multi-line reply.
+fn render_gather(inner: &Arc<RouterInner>, kind: GatherKind, parts: &[GatherPart]) -> String {
+    match kind {
+        GatherKind::Metrics => {
+            // Router-own families first (already carry their own labels;
+            // `router_*` names cannot collide with shard-side families),
+            // then each shard's exposition relabeled. `# HELP` / `# TYPE`
+            // comments repeat per shard — keep the first occurrence.
+            let mut out = Vec::new();
+            let mut seen_comments: HashSet<String> = HashSet::new();
+            for line in inner.metrics.render() {
+                if line.starts_with('#') {
+                    seen_comments.insert(line.clone());
+                }
+                out.push(line);
+            }
+            for part in parts {
+                if let Some(reason) = &part.failed {
+                    // A dead shard must not kill the scrape — that is
+                    // exactly when monitoring matters. Degrade to a
+                    // comment so the gap is visible in the exposition.
+                    out.push(format!("# shard {} unavailable: {reason}", part.shard));
+                    continue;
+                }
+                for line in &part.lines {
+                    if line.starts_with('#') {
+                        if seen_comments.insert(line.clone()) {
+                            out.push(line.clone());
+                        }
+                    } else {
+                        out.push(inject_shard_label(line, &part.shard));
+                    }
+                }
+            }
+            let mut reply = format!("METRICS {}", out.len());
+            for line in out {
+                reply.push('\n');
+                reply.push_str(&line);
+            }
+            reply
+        }
+        GatherKind::Trace => {
+            if let Some(part) = parts.iter().find(|p| p.failed.is_some()) {
+                return part.failed.clone().expect("found a failed part");
+            }
+            let mut out = Vec::new();
+            for part in parts {
+                for line in &part.lines {
+                    out.push(format!("{line} shard={}", part.shard));
+                }
+            }
+            let mut reply = format!("SPANS {}", out.len());
+            for line in out {
+                reply.push('\n');
+                reply.push_str(&line);
+            }
+            reply
+        }
+    }
+}
+
 /// Sends one line to `shard`, (re)connecting as needed. Returns the epoch
 /// of the connection the line went out on — the expectation must read its
 /// response from that epoch only. The error value is a ready-to-emit
@@ -1043,6 +1260,7 @@ fn forward(
     // A rewired shard invalidates the cached connection.
     if pool.conns.get(shard).is_some_and(|c| c.addr != addr) {
         pool.conns.remove(shard);
+        inner.reconnects.inc();
     }
     for attempt in 0..2 {
         if !pool.conns.contains_key(shard) {
@@ -1071,6 +1289,7 @@ fn forward(
                 // this request's reply off the fresh connection — which
                 // makes the single clean retry below safe.
                 pool.conns.remove(shard);
+                inner.reconnects.inc();
                 if attempt == 1 {
                     return Err(unavailable(&err.to_string()));
                 }
@@ -1138,10 +1357,21 @@ fn resolve_head(
                 shard,
                 epoch,
                 rewrite,
+                sent,
             } => {
                 let shard_name = shard.clone();
+                let sent = *sent;
                 match poll_shard(inner, pool, &shard_name, *epoch) {
                     Polled::Line(line) => {
+                        inner
+                            .metrics
+                            .histogram_with(
+                                "router_forward_us",
+                                "Round-trip latency of single-shard forwards \
+                                 (SUBMIT/POLL/RESULT), router-side, in microseconds.",
+                                &[("shard", &shard_name)],
+                            )
+                            .record_duration(sent.elapsed());
                         let reply = apply_rewrite(inner, &shard_name, rewrite, &line);
                         expects.pop_front();
                         if client.send(&reply).is_err() {
@@ -1250,6 +1480,60 @@ fn resolve_head(
                 }
                 expects.pop_front();
             }
+            Expect::Gather { kind, parts } => {
+                let kind = *kind;
+                let mut progressed = true;
+                while progressed {
+                    progressed = false;
+                    for part in parts.iter_mut() {
+                        while !part.done() {
+                            match poll_shard(inner, pool, &part.shard, part.epoch) {
+                                Polled::Line(line) => {
+                                    progressed = true;
+                                    match part.remaining {
+                                        None => {
+                                            // First line: `<HEADER> <n>`
+                                            // or a shard-side error.
+                                            let count = line
+                                                .strip_prefix(kind.header())
+                                                .map(str::trim)
+                                                .and_then(|n| n.parse::<usize>().ok());
+                                            match count {
+                                                Some(n) => part.remaining = Some(n),
+                                                None => {
+                                                    part.failed = Some(format!(
+                                                        "ERR shard {}: unexpected reply {line:?}",
+                                                        part.shard
+                                                    ));
+                                                }
+                                            }
+                                        }
+                                        Some(n) => {
+                                            part.lines.push(line);
+                                            part.remaining = Some(n - 1);
+                                        }
+                                    }
+                                }
+                                Polled::Pending => break,
+                                Polled::Eof | Polled::Dead => {
+                                    part.failed = Some(format!(
+                                        "ERR shard {} unavailable (connection lost)",
+                                        part.shard
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                if parts.iter().any(|p| !p.done()) {
+                    return ClientState::Open;
+                }
+                let reply = render_gather(inner, kind, parts);
+                expects.pop_front();
+                if client.send(&reply).is_err() {
+                    return ClientState::Closed;
+                }
+            }
         }
     }
 }
@@ -1265,6 +1549,7 @@ fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line:
                 let global = inner
                     .lock_tickets()
                     .allocate(shard, local, inner.config.max_tickets);
+                inner.remaps.inc();
                 format!("TICKET {global}")
             }
             None => line.to_string(),

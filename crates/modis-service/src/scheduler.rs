@@ -14,6 +14,7 @@
 //! a scenario that has never run falls back to its configured state budget.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Exponentially weighted per-scenario cost estimates.
 #[derive(Debug, Clone)]
@@ -72,6 +73,8 @@ pub struct QueuedRequest {
     /// popped ahead of this one (maintained by the scheduler; submit with
     /// 0). At [`MAX_BYPASSES`] the request stops being bypassable.
     pub bypassed: u32,
+    /// When the request was enqueued (feeds the queue-wait histogram).
+    pub submitted_at: Instant,
 }
 
 /// The namespace-aware cost priority queue.
@@ -171,6 +174,7 @@ mod tests {
             seq,
             estimated_cost: cost,
             bypassed: 0,
+            submitted_at: Instant::now(),
         }
     }
 

@@ -18,9 +18,10 @@ use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use modis_core::estimator::SharedEvaluation;
+use modis_core::telemetry::{Counter, Gauge, Histogram};
 use modis_data::StateBitmap;
 use modis_engine::{BatchValuation, CacheStats, Engine, EngineConfig, Scenario, ScenarioOutcome};
 
@@ -138,6 +139,45 @@ impl Inner {
 /// `WAIT` responses stream the moment their jobs complete.
 pub type CompletionNotifier = Arc<dyn Fn() + Send + Sync>;
 
+/// Pre-resolved handles into the engine's metrics registry for the
+/// service's own instruments (resolved once — job paths never take the
+/// registry lock).
+struct ServiceMetrics {
+    queue_depth: Arc<Gauge>,
+    jobs_submitted: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    job_queue_wait_us: Arc<Histogram>,
+    job_run_us: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new(engine: &Engine) -> ServiceMetrics {
+        let metrics = engine.metrics();
+        ServiceMetrics {
+            queue_depth: metrics.gauge(
+                "service_queue_depth",
+                "Run requests currently waiting in the cost-aware scheduler.",
+            ),
+            jobs_submitted: metrics.counter(
+                "service_jobs_submitted_total",
+                "Run requests accepted by SUBMIT over the service lifetime.",
+            ),
+            jobs_completed: metrics.counter(
+                "service_jobs_completed_total",
+                "Run requests finished over the service lifetime.",
+            ),
+            job_queue_wait_us: metrics.histogram(
+                "service_job_queue_wait_us",
+                "Time a run request spent queued before execution, microseconds.",
+            ),
+            job_run_us: metrics.histogram(
+                "service_job_run_us",
+                "Execution wall time of one run request, microseconds.",
+            ),
+        }
+    }
+}
+
 /// A persistent skyline-serving service: one engine, one shared cache,
 /// many requests.
 pub struct Service {
@@ -146,12 +186,15 @@ pub struct Service {
     inner: Mutex<Inner>,
     stop: AtomicBool,
     notifier: Mutex<Option<CompletionNotifier>>,
+    metrics: ServiceMetrics,
+    started: Instant,
 }
 
 impl Service {
     /// Creates a service with a cold cache.
     pub fn new(config: ServiceConfig) -> Self {
         let engine = Engine::new(config.engine.clone());
+        let metrics = ServiceMetrics::new(&engine);
         Service {
             inner: Mutex::new(Inner {
                 registry: ScenarioRegistry::new(),
@@ -166,7 +209,20 @@ impl Service {
             config,
             stop: AtomicBool::new(false),
             notifier: Mutex::new(None),
+            metrics,
+            started: Instant::now(),
         }
+    }
+
+    /// How long this service has been up.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Run requests finished over the service lifetime (monotonic — not
+    /// bounded by the completed-outcome retention window).
+    pub fn jobs_completed(&self) -> u64 {
+        self.metrics.jobs_completed.get()
     }
 
     /// Creates a service whose shared cache is warm-started from a snapshot
@@ -258,8 +314,11 @@ impl Service {
             seq,
             estimated_cost,
             bypassed: 0,
+            submitted_at: Instant::now(),
         });
         inner.jobs.insert(ticket.0, JobState::Queued);
+        self.metrics.jobs_submitted.inc();
+        self.metrics.queue_depth.set(inner.scheduler.len() as i64);
         Ok(ticket)
     }
 
@@ -303,6 +362,7 @@ impl Service {
                 let Some(request) = inner.scheduler.pop() else {
                     break;
                 };
+                self.metrics.queue_depth.set(inner.scheduler.len() as i64);
                 let scenario = match inner.registry.get(&request.scenario) {
                     Some(registered) => registered.scenario.clone(),
                     // Registry entries are never removed, so a queued name
@@ -312,12 +372,38 @@ impl Service {
                 inner.jobs.insert(request.ticket, JobState::Running);
                 (request, scenario)
             };
+            self.metrics
+                .job_queue_wait_us
+                .record_duration(request.submitted_at.elapsed());
+            let run_start = Instant::now();
+            let job_span = self.engine.tracer().span("job");
             let outcome = self.engine.run_scenario(&scenario);
+            drop(job_span);
+            self.metrics.job_run_us.record_duration(run_start.elapsed());
+            self.metrics.jobs_completed.inc();
+            let observed = outcome.valuation_cost() as f64;
+            // Predicted-vs-observed cost accounting per namespace: the
+            // scheduler's whole premise is that EWMA estimates track real
+            // paid cost, so expose both sides of that bet.
+            let registry = self.engine.metrics();
+            let labels = [("namespace", request.namespace.as_str())];
+            registry
+                .counter_with(
+                    "service_predicted_cost_total",
+                    "Scheduler-estimated paid valuation cost of executed jobs, per namespace.",
+                    &labels,
+                )
+                .add(request.estimated_cost.max(0.0).round() as u64);
+            registry
+                .counter_with(
+                    "service_observed_cost_total",
+                    "Observed paid valuation cost of executed jobs, per namespace.",
+                    &labels,
+                )
+                .add(observed.max(0.0).round() as u64);
             {
                 let mut inner = self.lock();
-                inner
-                    .costs
-                    .observe(&request.scenario, outcome.valuation_cost() as f64);
+                inner.costs.observe(&request.scenario, observed);
                 inner.finish_job(request.ticket, outcome, self.config.completed_retention);
             }
             // Per-job (not per-drain), so `WAIT` watchers stream each
@@ -436,6 +522,7 @@ impl Service {
     /// snapshots between `run_pending` waves for an exact
     /// (eviction-order-preserving) capture.
     pub fn snapshot_to(&self, path: &Path) -> Result<usize, ServiceError> {
+        let _span = self.engine.tracer().span("snapshot");
         Ok(snapshot::save_to_path(
             self.engine.cache(),
             &self.engine.namespace_fingerprints(),
@@ -481,6 +568,7 @@ impl Service {
     /// same namespace describes a different search space, and merging it
     /// would poison valuations — the whole file is rejected instead.
     pub fn restore_from(&self, path: &Path) -> Result<usize, ServiceError> {
+        let _span = self.engine.tracer().span("restore");
         let bytes = std::fs::read(path).map_err(snapshot::SnapshotError::Io)?;
         let decoded = snapshot::decode_any(&bytes)?;
         for &(key, fingerprint) in &decoded.namespace_fingerprints {

@@ -13,6 +13,10 @@
 //! Every shard registers the *full* scenario set: placement is the
 //! router's job (rendezvous over namespaces), and registration is
 //! idempotent warmth-wise — it costs a substrate build, not a search.
+//!
+//! Each shard serves its own `METRICS` / `TRACE DUMP` exposition (see
+//! `docs/OBSERVABILITY.md`); a fronting router merges those into one
+//! cluster-wide scrape with `shard="…"` labels.
 
 use std::io::Read;
 use std::sync::Arc;

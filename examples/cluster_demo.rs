@@ -5,7 +5,9 @@
 //! 2. drive a pipelined suite through the router — placement by
 //!    rendezvous hashing is invisible to the client,
 //! 3. print per-shard (`SHARDS`) and aggregated cluster (`STATS`)
-//!    telemetry,
+//!    telemetry, then scrape the cluster-wide `METRICS` exposition (every
+//!    shard's instruments behind one scrape, labeled `shard="…"`) and the
+//!    merged `TRACE DUMP` spans,
 //! 4. grow the cluster: a third shard joins, the namespaces it now owns
 //!    are shipped as snapshot shipments, and its **first** request is
 //!    answered entirely from the shipped warm cache (zero paid
@@ -71,6 +73,56 @@ fn main() {
         stats.contains("cluster_shards=2"),
         "aggregate line: {stats}"
     );
+
+    // ── Cluster-wide METRICS scrape: one scrape sees every shard ──────────
+    writeln!(writer, "METRICS").expect("send METRICS");
+    let header = recv();
+    let count: usize = header
+        .strip_prefix("METRICS ")
+        .expect("METRICS header")
+        .parse()
+        .expect("line count");
+    let lines: Vec<String> = (0..count).map(|_| recv()).collect();
+    let paid: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("engine_paid_valuations_total{"))
+        .collect();
+    println!("\nMETRICS scrape: {count} lines; paid-valuation counters:");
+    for line in &paid {
+        println!("  {line}");
+    }
+    if let Some(bucket) = lines
+        .iter()
+        .find(|l| l.starts_with("reactor_request_us_bucket{shard=\""))
+    {
+        println!("  sample per-shard histogram line: {bucket}");
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("_bucket{shard=\"")),
+        "no per-shard-labeled histogram lines in the scrape"
+    );
+    assert!(
+        paid.iter().any(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|v| v > 0)
+        }),
+        "no shard reported paid valuations: {paid:?}"
+    );
+
+    // ── Merged trace dump: the newest spans across the cluster ────────────
+    writeln!(writer, "TRACE DUMP 4").expect("send TRACE DUMP");
+    let header = recv();
+    let spans: usize = header
+        .strip_prefix("SPANS ")
+        .expect("SPANS header")
+        .parse()
+        .expect("span count");
+    println!("\nTRACE DUMP (up to 4 spans per shard):");
+    for _ in 0..spans {
+        println!("  {}", recv());
+    }
 
     // ── Grow the cluster: join a shard, ship its namespaces' caches ───────
     // Pick a joiner name that rendezvous-owns at least one namespace

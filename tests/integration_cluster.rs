@@ -287,6 +287,120 @@ fn router_serves_cluster_verbs_and_error_paths() {
     cluster.stop();
 }
 
+/// `METRICS` through the router merges every shard's exposition behind
+/// one scrape — samples relabeled `shard="…"`, `# HELP`/`# TYPE` comments
+/// deduplicated, the router's own families at the head — and `TRACE DUMP`
+/// merges per-shard span dumps with a `shard=` suffix. Both hold their
+/// pipeline position like any other verb.
+#[test]
+fn router_merges_cluster_metrics_and_trace_dumps() {
+    let workload = ClusterWorkload {
+        namespaces: 2,
+        rows: 100,
+        max_states: 5,
+        engine_cache_capacity: 0,
+        memo_capacity: 0,
+    };
+    let cluster = workload.build_cluster(2);
+    let names = workload.scenario_names();
+    let _ = drive_suite(cluster.router.addr(), &names);
+
+    let stream = TcpStream::connect(cluster.router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "METRICS").unwrap();
+    let header = recv(&mut reader);
+    let count: usize = header
+        .strip_prefix("METRICS ")
+        .unwrap_or_else(|| panic!("bad METRICS header {header:?}"))
+        .parse()
+        .expect("numeric line count");
+    let lines: Vec<String> = (0..count).map(|_| recv(&mut reader)).collect();
+
+    // The router's own families lead the exposition, unrelabeled.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("router_ticket_remaps_total ")),
+        "router-own counter missing from the merged scrape"
+    );
+    // Every shard's reactor counters appear under its own shard label
+    // (the router injects `shard=` as the first label).
+    for shard in ["shard0", "shard1"] {
+        let want = format!("reactor_requests_total{{shard=\"{shard}\",verb=\"run\"}}");
+        assert!(
+            lines.iter().any(|l| l.starts_with(&want)),
+            "no {want} line in the merged scrape"
+        );
+    }
+    // Histogram series are shard-labeled too (the CI smoke greps this).
+    assert!(
+        lines.iter().any(|l| l.contains("_bucket{shard=\"")),
+        "no shard-labeled histogram bucket lines"
+    );
+    // `# HELP`/`# TYPE` comments repeat per shard on the wire but must be
+    // deduplicated in the merge.
+    let mut comment_counts: std::collections::HashMap<&str, usize> =
+        std::collections::HashMap::new();
+    for line in lines.iter().filter(|l| l.starts_with('#')) {
+        *comment_counts.entry(line.as_str()).or_insert(0) += 1;
+    }
+    assert!(
+        comment_counts.values().all(|&c| c == 1),
+        "duplicated comment lines survived the merge"
+    );
+    // The suite paid for valuations somewhere in the cluster, and the
+    // merged scrape sees it.
+    let paid: u64 = lines
+        .iter()
+        .filter(|l| l.starts_with("engine_paid_valuations_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert!(paid > 0, "no paid valuations visible cluster-wide");
+
+    writeln!(writer, "TRACE DUMP 8").unwrap();
+    let header = recv(&mut reader);
+    let spans: usize = header
+        .strip_prefix("SPANS ")
+        .unwrap_or_else(|| panic!("bad TRACE DUMP header {header:?}"))
+        .parse()
+        .expect("numeric span count");
+    assert!(
+        spans > 0 && spans <= 16,
+        "expected 1..=8 spans per shard, got {spans}"
+    );
+    let mut shards_seen = std::collections::HashSet::new();
+    for _ in 0..spans {
+        let line = recv(&mut reader);
+        assert!(line.starts_with("SPAN id="), "{line}");
+        let shard = line
+            .rsplit(' ')
+            .next()
+            .and_then(|t| t.strip_prefix("shard="))
+            .unwrap_or_else(|| panic!("no shard= suffix on {line:?}"));
+        shards_seen.insert(shard.to_string());
+    }
+    assert_eq!(
+        shards_seen.len(),
+        2,
+        "spans from both shards: {shards_seen:?}"
+    );
+
+    // Error path + pipeline position.
+    writer.write_all(b"TRACE DUMP nope\nPING\nQUIT\n").unwrap();
+    assert_eq!(
+        recv(&mut reader),
+        "ERR TRACE DUMP expects a numeric span count"
+    );
+    assert_eq!(recv(&mut reader), "PONG");
+    assert_eq!(recv(&mut reader), "BYE");
+    cluster.stop();
+}
+
 /// Extracts a numeric `key=value` field from a `DONE` payload.
 fn done_field(payload: &str, key: &str) -> u64 {
     payload

@@ -1,0 +1,256 @@
+//! Integration tests of the telemetry spine: histogram algebra under
+//! arbitrary inputs (property tests), registry behavior under real
+//! thread contention, and the `METRICS` exposition of a live reactor
+//! daemon accounting for every request actually sent.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use modis_core::telemetry::{Histogram, MetricsRegistry};
+use modis_service::{Daemon, Service, ServiceConfig};
+
+// ---------------------------------------------------------------------------
+// Histogram algebra (property tests)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The observation count always equals the sum over buckets — no
+    /// recorded value can land outside the bucket range or be dropped.
+    #[test]
+    fn histogram_count_equals_bucket_sum(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucket_sum: u64 = h.snapshot().iter().sum();
+        prop_assert_eq!(bucket_sum, values.len() as u64);
+    }
+
+    /// Quantiles are monotone in rank: a higher quantile can never
+    /// report a smaller value, whatever was recorded.
+    #[test]
+    fn histogram_quantiles_are_monotone_in_rank(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quantiles: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles regressed: {:?}", quantiles);
+        }
+        // The estimate is an upper bound of its bucket, so the maximum
+        // quantile is at least the true maximum's bucket lower edge and
+        // p100 never exceeds the bucket bound of the recorded maximum.
+        prop_assert!(h.quantile(1.0) >= *values.iter().max().unwrap() / 2);
+    }
+
+    /// Merging is lossless and order-insensitive: a⊕b and b⊕a agree
+    /// bucket-for-bucket with recording everything into one histogram.
+    #[test]
+    fn histogram_merge_is_order_insensitive(
+        left in prop::collection::vec(any::<u64>(), 0..100),
+        right in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            combined.record(v);
+        }
+        let ab = Histogram::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Histogram::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(ab.snapshot(), combined.snapshot());
+        prop_assert_eq!(ab.value_sum(), ba.value_sum());
+        prop_assert_eq!(ab.count(), (left.len() + right.len()) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry under real contention
+// ---------------------------------------------------------------------------
+
+/// Eight threads hammering the same counter, gauge and histogram through
+/// independently-resolved registry handles: no increment is lost, and
+/// idempotent registration hands every thread the same instruments.
+#[test]
+fn registry_instruments_lose_nothing_under_eight_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // Each thread resolves its own handles — registration is
+                // idempotent, so all of them alias the same instruments.
+                let counter = registry.counter("hammer_total", "contended counter");
+                let gauge = registry.gauge("hammer_level", "contended gauge");
+                let histogram = registry.histogram("hammer_us", "contended histogram");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(if t % 2 == 0 { 1 } else { -1 });
+                    histogram.record(i);
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("hammer thread");
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(
+        registry.counter("hammer_total", "contended counter").get(),
+        total
+    );
+    // Four threads added +PER_THREAD each, four subtracted it.
+    assert_eq!(registry.gauge("hammer_level", "contended gauge").get(), 0);
+    let histogram = registry.histogram("hammer_us", "contended histogram");
+    assert_eq!(histogram.count(), total);
+    assert_eq!(histogram.snapshot().iter().sum::<u64>(), total);
+    // The recorded values are known exactly: sum of 0..PER_THREAD per thread.
+    assert_eq!(
+        histogram.value_sum(),
+        THREADS as u64 * (PER_THREAD * (PER_THREAD - 1) / 2)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live daemon exposition
+// ---------------------------------------------------------------------------
+
+/// A `key value` or `key{labels} value` sample line's value.
+fn sample_value(lines: &[String], prefix: &str) -> u64 {
+    let line = lines
+        .iter()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no {prefix} line in exposition"));
+    line.rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("non-numeric sample {line:?}"))
+}
+
+/// The `METRICS` exposition of a live reactor daemon parses as
+/// Prometheus text (comments and samples only, HELP/TYPE per family)
+/// and its per-verb request counters match the requests actually sent.
+#[test]
+fn reactor_metrics_exposition_accounts_for_every_request() {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind daemon");
+
+    let stream = std::net::TcpStream::connect(daemon.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut recv = move || -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply line");
+        assert!(line.ends_with('\n'), "truncated reply {line:?}");
+        line.trim_end().to_string()
+    };
+
+    // A known request mix, pipelined in one burst: 3 PING, 2 LIST,
+    // 1 STATS, 1 bogus verb.
+    writer
+        .write_all(b"PING\nPING\nPING\nLIST\nLIST\nSTATS\nNONSENSE\n")
+        .expect("send burst");
+    for _ in 0..7 {
+        recv();
+    }
+
+    writer.write_all(b"METRICS\n").expect("send METRICS");
+    let header = recv();
+    let count: usize = header
+        .strip_prefix("METRICS ")
+        .unwrap_or_else(|| panic!("bad METRICS header {header:?}"))
+        .parse()
+        .expect("numeric line count");
+    assert!(count > 0, "empty exposition");
+    let lines: Vec<String> = (0..count).map(|_| recv()).collect();
+
+    // Every line is a comment or a `key[{labels}] value` sample; every
+    // sample's family is introduced by a HELP and a TYPE comment.
+    let mut announced = std::collections::HashSet::new();
+    for line in &lines {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            let kind = words.next().expect("comment kind");
+            assert!(kind == "HELP" || kind == "TYPE", "odd comment {line:?}");
+            announced.insert(words.next().expect("family name").to_string());
+        } else {
+            let (key, value) = line.rsplit_once(' ').expect("sample line shape");
+            let family = key
+                .split('{')
+                .next()
+                .expect("family name")
+                .trim_end_matches('}');
+            let base = family
+                .strip_suffix("_bucket")
+                .or_else(|| family.strip_suffix("_sum"))
+                .or_else(|| family.strip_suffix("_count"))
+                .unwrap_or(family);
+            assert!(
+                announced.contains(base) || announced.contains(family),
+                "sample {line:?} has no HELP/TYPE"
+            );
+            assert!(value.parse::<f64>().is_ok(), "non-numeric sample {line:?}");
+        }
+    }
+
+    // Per-verb counters match the burst exactly (the METRICS request
+    // itself is counted too — it resolved before rendering).
+    assert_eq!(
+        sample_value(&lines, "reactor_requests_total{verb=\"ping\"}"),
+        3
+    );
+    assert_eq!(
+        sample_value(&lines, "reactor_requests_total{verb=\"list\"}"),
+        2
+    );
+    assert_eq!(
+        sample_value(&lines, "reactor_requests_total{verb=\"stats\"}"),
+        1
+    );
+    assert_eq!(
+        sample_value(&lines, "reactor_requests_total{verb=\"other\"}"),
+        1
+    );
+    assert_eq!(
+        sample_value(&lines, "reactor_requests_total{verb=\"metrics\"}"),
+        1
+    );
+    // Latency histograms counted the same requests.
+    assert_eq!(
+        sample_value(&lines, "reactor_request_us_count{verb=\"ping\"}"),
+        3
+    );
+    // The daemon kept exactly this one connection open.
+    assert_eq!(sample_value(&lines, "reactor_open_connections"), 1);
+
+    let _ = writer.write_all(b"QUIT\n");
+    daemon.stop();
+}
