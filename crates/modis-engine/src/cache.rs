@@ -253,6 +253,35 @@ impl SharedEvalCache {
             .collect()
     }
 
+    /// A stable content digest over the entries of the given hashed
+    /// namespaces: each resident `(namespace, state)` pair contributes an
+    /// FNV-1a hash, XOR-folded with the entry count so the digest is
+    /// independent of slot geometry, insertion order and shard count. Two
+    /// caches digest equal for a namespace set **iff** they hold the same
+    /// states in it (evaluations are write-once per state, so state
+    /// identity is content identity). The cluster's replication driver
+    /// compares digests to skip re-shipping a namespace whose replica is
+    /// already current — the "incremental" in incremental delta push.
+    pub fn namespace_digest(&self, keys: &[u64]) -> u64 {
+        let mut digest = 0u64;
+        let mut count = 0u64;
+        for shard in &self.shards {
+            let map = shard.map.lock().unwrap_or_else(PoisonError::into_inner);
+            for (key, _, _) in map.iter_slots() {
+                if keys.contains(&key.0) {
+                    let mut h = fnv1a(FNV_OFFSET_BASIS, &key.0.to_le_bytes());
+                    for &word in key.1.words() {
+                        h = fnv1a(h, &word.to_le_bytes());
+                    }
+                    h = fnv1a(h, &(key.1.len() as u64).to_le_bytes());
+                    digest ^= h;
+                    count += 1;
+                }
+            }
+        }
+        fnv1a(digest, &count.to_le_bytes())
+    }
+
     /// Merges exported entries into the cache through the normal hashed
     /// insertion path, returning how many were processed. Unlike
     /// [`Self::import_shards`] this never replays slot geometry or moves
@@ -570,6 +599,40 @@ mod tests {
         assert_eq!(ha.lookup(&b), Some(eval(3.0)));
         assert!(target.handle("drop").lookup(&b).is_none());
         assert_eq!(target.stats().entries, 13);
+    }
+
+    #[test]
+    fn namespace_digest_tracks_content_not_geometry() {
+        let a = Arc::new(SharedEvalCache::with_capacity(4, 0));
+        let b = Arc::new(SharedEvalCache::with_capacity(1, 0));
+        let key = SharedEvalCache::namespace_key("repl");
+        let other = SharedEvalCache::namespace_key("other");
+        assert_eq!(a.namespace_digest(&[key]), b.namespace_digest(&[key]));
+        let (ha, hb) = (a.handle("repl"), b.handle("repl"));
+        // Same states, different insertion order and shard geometry.
+        for i in 0..8 {
+            let mut bm = StateBitmap::empty(16);
+            bm.set(i, true);
+            ha.record(&bm, &eval(i as f64));
+        }
+        for i in (0..8).rev() {
+            let mut bm = StateBitmap::empty(16);
+            bm.set(i, true);
+            hb.record(&bm, &eval(i as f64));
+        }
+        assert_eq!(a.namespace_digest(&[key]), b.namespace_digest(&[key]));
+        // Foreign namespaces do not perturb the digest…
+        a.handle("other").record(&StateBitmap::full(16), &eval(1.0));
+        assert_eq!(a.namespace_digest(&[key]), b.namespace_digest(&[key]));
+        assert_ne!(
+            a.namespace_digest(&[key, other]),
+            b.namespace_digest(&[key])
+        );
+        // …but a new state in the set does.
+        let mut bm = StateBitmap::empty(16);
+        bm.set(9, true);
+        ha.record(&bm, &eval(9.0));
+        assert_ne!(a.namespace_digest(&[key]), b.namespace_digest(&[key]));
     }
 
     #[test]

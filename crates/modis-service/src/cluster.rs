@@ -8,12 +8,15 @@
 //! Placement is **rendezvous (highest-random-weight) hashing** over the
 //! stable FNV primitives in [`modis_core::codec`]: every `(shard name,
 //! namespace key)` pair gets a score, the highest score owns the
-//! namespace. Rendezvous hashing gives the property the rebalancing
-//! machinery leans on: when a shard joins, the only namespaces that move
-//! are those the *new* shard now owns; when a shard leaves, the only ones
-//! that move are those the *leaving* shard owned. No unrelated namespace
-//! ever changes hands, so a topology change ships exactly the affected
-//! namespaces' snapshots and nothing else (asserted by a property test in
+//! namespace. Under K-way replication the K highest scores own it — the
+//! first is the **primary**, the rest are **replicas**, and the same
+//! ranking doubles as the failover order. Rendezvous hashing gives the
+//! property the rebalancing machinery leans on: when a shard joins, the
+//! only namespaces that move are those the *new* shard now owns (at any
+//! rank); when a shard leaves, the only ones that move are those the
+//! *leaving* shard owned. No unrelated namespace ever changes hands, so a
+//! topology change ships exactly the affected namespaces' snapshots and
+//! nothing else (asserted by a property test in
 //! `tests/integration_cluster.rs`).
 //!
 //! The hash is FNV-1a — deliberately not std's `DefaultHasher` — for the
@@ -133,6 +136,27 @@ impl ShardMap {
         self.owner_of(SharedEvalCache::namespace_key(namespace))
     }
 
+    /// The `min(k, len)` shards owning the hashed namespace `key` under
+    /// K-way replication, ranked: index 0 is the primary (identical to
+    /// [`ShardMap::owner_of`]), the rest are replicas in failover order.
+    /// Because the ranking is per-shard scores sorted descending, the K
+    /// owners are always `min(k, len)` *distinct* shards, and a topology
+    /// change perturbs each rank minimally (the rendezvous property holds
+    /// rank by rank).
+    pub fn owners_of(&self, key: u64, k: usize) -> Vec<&str> {
+        let mut ranked: Vec<&str> = self.shards.iter().map(String::as_str).collect();
+        ranked.sort_unstable_by(|a, b| {
+            (rendezvous_score(b, key), *b).cmp(&(rendezvous_score(a, key), *a))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Convenience: the ranked owners of a namespace given by name.
+    pub fn owners_of_namespace(&self, namespace: &str, k: usize) -> Vec<&str> {
+        self.owners_of(SharedEvalCache::namespace_key(namespace), k)
+    }
+
     /// The namespace keys (from `keys`) whose owner differs between `self`
     /// and `other`, with both owners: `(key, owner in self, owner in
     /// other)`. This is the rebalancing plan for a topology change.
@@ -149,6 +173,71 @@ impl ShardMap {
             })
             .collect()
     }
+
+    /// The replica-aware rebalancing plan for a topology change under
+    /// K-way replication: for each key whose owner *set* changed, the
+    /// shards that must newly receive the namespace (`gained`) and the
+    /// shards that stop owning it (`lost`), plus a surviving source to
+    /// ship from. Shards that own the key in both topologies never appear
+    /// in either list — the plan is minimal by construction.
+    pub fn reassigned_replicas(
+        &self,
+        other: &ShardMap,
+        keys: impl IntoIterator<Item = u64>,
+        k: usize,
+    ) -> Vec<ReplicaMove> {
+        keys.into_iter()
+            .filter_map(|key| {
+                let before = self.owners_of(key, k);
+                let after = other.owners_of(key, k);
+                let gained: Vec<String> = after
+                    .iter()
+                    .filter(|s| !before.contains(s))
+                    .map(|s| s.to_string())
+                    .collect();
+                let lost: Vec<String> = before
+                    .iter()
+                    .filter(|s| !after.contains(s))
+                    .map(|s| s.to_string())
+                    .collect();
+                if gained.is_empty() && lost.is_empty() {
+                    return None;
+                }
+                // Ship from the highest-ranked owner that survives the
+                // change (it is as warm as any), falling back to the old
+                // primary when the whole owner set turns over.
+                let source = before
+                    .iter()
+                    .find(|s| after.contains(s))
+                    .or_else(|| before.first())
+                    .map(|s| s.to_string());
+                Some(ReplicaMove {
+                    key,
+                    source,
+                    gained,
+                    lost,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One entry of a replica-aware rebalancing plan
+/// ([`ShardMap::reassigned_replicas`]): which shards gain and lose a
+/// namespace when the topology changes, and which surviving owner the
+/// shipment should come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaMove {
+    /// The hashed namespace key ([`SharedEvalCache::namespace_key`]).
+    pub key: u64,
+    /// A shard that owned the key before and (preferably) still does —
+    /// the warm source to ship from. `None` only on an empty old topology.
+    pub source: Option<String>,
+    /// Shards that own the key after but not before: they need the
+    /// namespace shipped in.
+    pub gained: Vec<String>,
+    /// Shards that owned the key before but no longer do.
+    pub lost: Vec<String>,
 }
 
 /// One routable scenario: its registered name and the cache namespace that
@@ -291,6 +380,52 @@ mod tests {
                 *count > 40,
                 "shard {shard} owns a degenerate share: {counts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn top_k_owners_are_distinct_ranked_and_led_by_the_primary() {
+        let map = ShardMap::from_names(["a", "b", "c", "d"]);
+        for key in 0..300u64 {
+            for k in 1..=6 {
+                let owners = map.owners_of(key, k);
+                assert_eq!(owners.len(), k.min(4), "min(k, shards) distinct owners");
+                let mut dedup = owners.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), owners.len(), "owners are distinct");
+                assert_eq!(owners.first().copied(), map.owner_of(key));
+                // Prefixes agree: rank r is a pure function of the shard
+                // set, independent of how many ranks were asked for.
+                if k > 1 {
+                    let prefix = (k - 1).min(owners.len());
+                    assert_eq!(map.owners_of(key, k - 1), owners[..prefix].to_vec());
+                }
+            }
+        }
+        assert!(ShardMap::new().owners_of(7, 2).is_empty());
+    }
+
+    #[test]
+    fn replica_plan_is_minimal_on_join_and_leave() {
+        let before = ShardMap::from_names(["s1", "s2", "s3"]);
+        let mut joined = before.clone();
+        joined.add("s4".into());
+        let keys: Vec<u64> = (0..400u64)
+            .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .collect();
+        for mv in before.reassigned_replicas(&joined, keys.iter().copied(), 2) {
+            assert_eq!(mv.gained, vec!["s4".to_string()], "only the joiner gains");
+            assert!(mv.lost.len() <= 1, "at most the displaced rank leaves");
+            let src = mv.source.expect("warm source");
+            assert_ne!(src, "s4", "source survives from the old owner set");
+        }
+        let mut left = before.clone();
+        left.remove("s2");
+        for mv in before.reassigned_replicas(&left, keys.iter().copied(), 2) {
+            assert_eq!(mv.lost, vec!["s2".to_string()], "only the leaver loses");
+            assert!(mv.gained.len() <= 1);
+            assert_ne!(mv.source.as_deref(), Some("s2"));
         }
     }
 

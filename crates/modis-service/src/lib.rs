@@ -53,9 +53,14 @@
 //!   hashing ([`cluster::ShardMap`]), and a [`Router`] fronts the shard
 //!   set behind the same wire protocol (pipelining preserved end-to-end,
 //!   cluster-wide tickets, aggregated `STATS`). Topology changes ship
-//!   exactly the namespaces that move as snapshot shipments (`SNAPSHOT
-//!   NAMESPACE` / `RESTORE`), so a grown cluster answers its first run
-//!   from the shipped warm cache.
+//!   exactly the namespaces that move as wire shipments (`EXPORT` /
+//!   `SHIP`), so a grown cluster answers its first run from the shipped
+//!   warm cache. With K-way replication (`RouterConfig::replication` ≥ 2)
+//!   the router heartbeats every shard, pushes namespace deltas to the
+//!   K−1 replica owners after each completed `RUN`, and — when a primary
+//!   dies — fails over to the freshest warm replica with zero operator
+//!   action: tickets are re-homed, responses flagged `degraded=`, and
+//!   per-shard circuit breakers keep dead shards from stalling traffic.
 //!
 //! ## Quick example
 //!
@@ -98,12 +103,15 @@ pub mod service;
 pub mod snapshot;
 
 pub use batch::ValuationRequest;
-pub use cluster::{ClusterScenario, ClusterSpec, ShardMap};
+pub use cluster::{ClusterScenario, ClusterSpec, ReplicaMove, ShardMap};
 pub use error::ServiceError;
-pub use net::{dispatch, done_line, handle_command, result_line, Daemon, Reply, Request};
+pub use net::{
+    dispatch, done_line, handle_command, parse_ship_header, result_line, ship_request, Daemon,
+    Reply, Request,
+};
 pub use reactor::{ReactorConfig, Wakeup};
 pub use registry::{RegisteredScenario, ScenarioRegistry};
-pub use router::{Router, RouterConfig, ShippedNamespace};
+pub use router::{CircuitState, Router, RouterConfig, ShippedNamespace};
 pub use scheduler::{CostModel, CostScheduler, QueuedRequest};
 pub use service::{CompletionNotifier, JobState, Service, ServiceConfig, Ticket};
 pub use snapshot::{

@@ -26,6 +26,10 @@
 //! | `SNAPSHOT NAMESPACE <ns>… <path>` | `OK <bytes>` — persist only the given           |
 //! |                    | namespaces (a shippable rebalancing unit)                       |
 //! | `RESTORE <path>`   | `OK <entries>` — merge a snapshot/shipment into the live cache  |
+//! | `EXPORT <ns>…`     | `SHIPMENT <digest> <len> <hex>` — the named namespaces as       |
+//! |                    | hex-encoded shipment bytes plus their content digest            |
+//! | `SHIP <ns>… <len>` | `OK <entries>` — `<len>` raw shipment bytes follow the line;    |
+//! |                    | merged into the live cache (wire-shipped rebalancing/replication)|
 //! | `QUIT`             | `BYE` (connection closes)                                       |
 //!
 //! Anything else answers `ERR …`. Registration stays in-process (substrates
@@ -156,6 +160,53 @@ fn parse_namespace_snapshot(rest: &str) -> Option<(Vec<String>, String)> {
     Some((tokens, path))
 }
 
+/// Parses a `SHIP <ns> [<ns>…] <len>` header line: at least one namespace
+/// followed by the binary payload length. Returns `None` when the line is
+/// not a well-formed `SHIP` header (the reactor then treats it as an
+/// ordinary — unknown — text request and never enters binary mode).
+pub fn parse_ship_header(line: &str) -> Option<(Vec<String>, usize)> {
+    let trimmed = line.trim();
+    let (verb, rest) = trimmed.split_once(char::is_whitespace)?;
+    if !verb.eq_ignore_ascii_case("SHIP") {
+        return None;
+    }
+    let mut tokens: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+    if tokens.len() < 2 {
+        return None;
+    }
+    let len = tokens.pop().expect("len checked above").parse().ok()?;
+    Some((tokens, len))
+}
+
+/// Builds the deferred execution of a completed `SHIP` frame: the payload
+/// bytes are merged into the live cache on the executor thread (same
+/// wholesale guard validation as `RESTORE`), answering `OK <entries>`.
+pub fn ship_request(payload: Vec<u8>) -> Request {
+    Request::Offload(Box::new(move |service| {
+        match service.restore_from_bytes(&payload) {
+            Ok(entries) => format!("OK {entries}"),
+            Err(err) => format!("ERR {err}"),
+        }
+    }))
+}
+
+/// Executes `EXPORT <ns>…` against the service: the named namespaces as a
+/// hex-encoded in-memory shipment, prefixed with their stable content
+/// digest and the decoded byte length —
+/// `SHIPMENT <digest> <len> <hex>`. The digest lets a replication driver
+/// skip pushing a payload its replica already holds.
+fn export_reply(service: &Service, namespaces: &[String]) -> String {
+    use std::fmt::Write as _;
+    let digest = service.namespace_digest(namespaces);
+    let bytes = service.shipment_bytes(namespaces);
+    let mut out = String::with_capacity(40 + bytes.len() * 2);
+    let _ = write!(out, "SHIPMENT {digest:x} {} ", bytes.len());
+    for b in &bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
 /// Executes `SNAPSHOT NAMESPACE` against the service (shared by the
 /// synchronous entry point and the executor offload).
 fn snapshot_namespaces_reply(service: &Service, namespaces: &[String], path: &str) -> String {
@@ -237,6 +288,13 @@ pub fn dispatch(service: &Service, line: &str) -> Request {
         "RESTORE" if !rest.is_empty() => {
             let path = rest.to_string();
             Request::Offload(Box::new(move |service| restore_reply(service, &path)))
+        }
+        // Serialising + hex-encoding a namespace export is far too slow
+        // for the reactor thread — same offload rationale as `SNAPSHOT
+        // NAMESPACE`.
+        "EXPORT" if !rest.is_empty() => {
+            let namespaces: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+            Request::Offload(Box::new(move |service| export_reply(service, &namespaces)))
         }
         "WAIT" => {
             if rest.is_empty() {
@@ -360,6 +418,13 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
             Err(err) => format!("ERR {err}"),
         },
         "RESTORE" if !rest.is_empty() => restore_reply(service, rest),
+        "EXPORT" if !rest.is_empty() => {
+            let namespaces: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+            export_reply(service, &namespaces)
+        }
+        // A SHIP header is followed by raw payload bytes, which only the
+        // reactor's binary read state can frame.
+        "SHIP" => "ERR SHIP requires the reactor front-end".to_string(),
         "QUIT" => return Reply::Close("BYE".to_string()),
         _ => format!("ERR unknown command {verb:?}"),
     };
@@ -684,6 +749,76 @@ mod tests {
             .text()
             .starts_with("ERR "));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn export_and_ship_round_trip_without_touching_disk() {
+        let warm = service();
+        assert_eq!(handle_command(&warm, "SUBMIT apx").text(), "TICKET 1");
+        assert_eq!(handle_command(&warm, "RUN").text(), "OK 1");
+        let result = handle_command(&warm, "RESULT 1").text().to_string();
+
+        let reply = handle_command(&warm, "EXPORT pool").text().to_string();
+        let mut tokens = reply.split_whitespace();
+        assert_eq!(tokens.next(), Some("SHIPMENT"));
+        let digest = tokens.next().expect("digest token").to_string();
+        let len: usize = tokens.next().unwrap().parse().expect("numeric length");
+        let hex = tokens.next().expect("hex payload");
+        assert!(tokens.next().is_none());
+        assert_eq!(hex.len(), len * 2, "hex is two chars per byte");
+        let payload: Vec<u8> = (0..len)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).unwrap())
+            .collect();
+        assert!(payload.starts_with(crate::snapshot::SHIPMENT_MAGIC));
+
+        // Merge the wire payload into a fresh service: the re-run answers
+        // the byte-identical skyline, and the content digests now agree.
+        let fresh = service();
+        match ship_request(payload) {
+            Request::Offload(f) => {
+                let merged = f(&fresh);
+                let n: usize = merged.strip_prefix("OK ").expect(&merged).parse().unwrap();
+                assert!(n > 0, "a warm namespace ships at least one evaluation");
+            }
+            _ => panic!("SHIP must offload"),
+        }
+        let fresh_export = handle_command(&fresh, "EXPORT pool").text().to_string();
+        assert_eq!(
+            fresh_export.split_whitespace().nth(1),
+            Some(digest.as_str()),
+            "replica digest matches after the merge"
+        );
+        assert_eq!(handle_command(&fresh, "SUBMIT apx").text(), "TICKET 1");
+        assert_eq!(handle_command(&fresh, "RUN").text(), "OK 1");
+        assert_eq!(handle_command(&fresh, "RESULT 1").text(), result);
+
+        // A corrupted payload is rejected wholesale.
+        match ship_request(vec![0u8; 16]) {
+            Request::Offload(f) => assert!(f(&service()).starts_with("ERR ")),
+            _ => panic!("SHIP must offload"),
+        }
+        // The synchronous entry point cannot frame a binary payload.
+        assert!(handle_command(&warm, "SHIP pool 16")
+            .text()
+            .starts_with("ERR SHIP requires"));
+    }
+
+    #[test]
+    fn ship_headers_parse_strictly() {
+        assert_eq!(
+            parse_ship_header("SHIP pool 128"),
+            Some((vec!["pool".to_string()], 128))
+        );
+        assert_eq!(
+            parse_ship_header("  ship a b 0\r"),
+            Some((vec!["a".to_string(), "b".to_string()], 0))
+        );
+        assert!(parse_ship_header("SHIP pool").is_none(), "missing length");
+        assert!(parse_ship_header("SHIP 128").is_none(), "missing namespace");
+        assert!(parse_ship_header("SHIP pool many").is_none());
+        assert!(parse_ship_header("SHIPPER pool 1").is_none());
+        assert!(parse_ship_header("SHIP").is_none());
+        assert!(parse_ship_header("PING").is_none());
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct ReactorConfig {
     /// Upper bound on bytes read from one connection per sweep, so a
     /// firehose client cannot monopolise a sweep.
     pub max_read_per_sweep: usize,
+    /// Largest accepted `SHIP` binary payload, in bytes. A frame declaring
+    /// more is answered with a protocol error and its payload bytes are
+    /// discarded as they arrive (never buffered), so the connection stays
+    /// usable and per-connection memory stays bounded.
+    pub max_ship_bytes: usize,
 }
 
 impl Default for ReactorConfig {
@@ -109,6 +114,7 @@ impl Default for ReactorConfig {
             write_high_watermark: 1 << 20,
             max_pipelined: 1024,
             max_read_per_sweep: 1 << 16,
+            max_ship_bytes: 1 << 26,
         }
     }
 }
@@ -299,11 +305,13 @@ enum VerbClass {
     Quit,
     Metrics,
     Trace,
+    Export,
+    Ship,
     Other,
 }
 
 /// Number of [`VerbClass`] variants (instrument array size).
-const VERB_CLASSES: usize = 14;
+const VERB_CLASSES: usize = 16;
 
 impl VerbClass {
     /// The exposition label value of this class.
@@ -322,6 +330,8 @@ impl VerbClass {
             VerbClass::Quit => "quit",
             VerbClass::Metrics => "metrics",
             VerbClass::Trace => "trace",
+            VerbClass::Export => "export",
+            VerbClass::Ship => "ship",
             VerbClass::Other => "other",
         }
     }
@@ -342,6 +352,8 @@ impl VerbClass {
             VerbClass::Quit,
             VerbClass::Metrics,
             VerbClass::Trace,
+            VerbClass::Export,
+            VerbClass::Ship,
             VerbClass::Other,
         ]
     }
@@ -431,6 +443,26 @@ enum Slot {
     /// A `WAIT`: emits one `DONE <id> …` line per ticket *as each job
     /// completes* (progressive streaming), resolving once none remain.
     Wait(Vec<u64>, Instant),
+    /// A completed `SHIP` binary frame: the raw shipment payload, handed
+    /// to the executor (merging deserialises and hashes — too slow for
+    /// the reactor thread) when it reaches the front.
+    Ship(Vec<u8>, Instant),
+}
+
+/// An in-progress `SHIP` binary payload: after its header line, the next
+/// `expected` raw bytes on the connection belong to this frame and bypass
+/// line parsing entirely.
+struct ShipFrame {
+    /// Payload bytes declared by the header.
+    expected: usize,
+    /// Payload bytes consumed so far (buffered *or* discarded).
+    received: usize,
+    /// The buffered payload; stays empty for an oversized (rejected)
+    /// frame, whose bytes are counted and dropped.
+    payload: Vec<u8>,
+    /// Whether the frame fits [`ReactorConfig::max_ship_bytes`] and will
+    /// be dispatched; a rejected frame already queued its `ERR` line.
+    accepted: bool,
 }
 
 /// Per-connection state machine: incremental read/write buffers plus the
@@ -446,6 +478,10 @@ struct Connection {
     slots: VecDeque<Slot>,
     /// An over-long line is being discarded up to its newline.
     discarding: bool,
+    /// A `SHIP` header was parsed and its binary payload is still being
+    /// received; while set, incoming bytes feed the frame, not the line
+    /// parser.
+    ship: Option<ShipFrame>,
     /// No more requests will be read (EOF or `QUIT`); flush what is owed,
     /// then drop. Pipelined requests parsed before EOF are still answered.
     closing: bool,
@@ -467,6 +503,7 @@ impl Connection {
             write_pos: 0,
             slots: VecDeque::new(),
             discarding: false,
+            ship: None,
             closing: false,
             dead: false,
             backpressured: false,
@@ -664,8 +701,9 @@ impl Reactor {
         if saw_eof {
             let conn = &mut self.conns[index];
             // The seed's `BufRead::lines` answered a final unterminated
-            // line; preserve that.
-            if !conn.read_buf.is_empty() && !conn.discarding {
+            // line; preserve that. (EOF inside a SHIP payload instead
+            // drops the incomplete frame: the shipper died mid-upload.)
+            if !conn.read_buf.is_empty() && !conn.discarding && conn.ship.is_none() {
                 let line = std::mem::take(&mut conn.read_buf);
                 self.handle_line(index, &line, now);
             }
@@ -676,15 +714,48 @@ impl Reactor {
         progress
     }
 
-    /// Extracts every complete line from the read buffer, enforcing the
-    /// line-length cap. Scans with a cursor over the taken buffer and
-    /// copies only the unterminated tail back — O(bytes) per sweep, not
-    /// O(lines × bytes).
+    /// Extracts every complete request from the read buffer: request
+    /// *lines* under the line-length cap, plus the raw binary payload of a
+    /// framed `SHIP` (whose header switches the connection into a bounded
+    /// payload-read state until `len` bytes arrive — those bytes bypass
+    /// line parsing entirely, so an arbitrary shipment can never be
+    /// misread as protocol lines). Scans with a cursor over the taken
+    /// buffer and copies only the unterminated tail back — O(bytes) per
+    /// sweep, not O(lines × bytes).
     fn parse_lines(&mut self, index: usize, now: Instant) -> bool {
         let mut progress = false;
         let buf = std::mem::take(&mut self.conns[index].read_buf);
         let mut cursor = 0;
-        while let Some(offset) = buf[cursor..].iter().position(|&b| b == b'\n') {
+        loop {
+            // Payload mode: the pending SHIP frame consumes raw bytes
+            // ahead of any line parsing.
+            if let Some(frame) = self.conns[index].ship.as_mut() {
+                let take = (frame.expected - frame.received).min(buf.len() - cursor);
+                if take > 0 {
+                    if frame.accepted {
+                        frame.payload.extend_from_slice(&buf[cursor..cursor + take]);
+                    }
+                    frame.received += take;
+                    cursor += take;
+                    progress = true;
+                }
+                if frame.received < frame.expected {
+                    // Frame still incomplete and the buffer is drained;
+                    // later bytes continue the payload next sweep.
+                    break;
+                }
+                let frame = self.conns[index].ship.take().expect("frame just borrowed");
+                if frame.accepted {
+                    self.conns[index]
+                        .slots
+                        .push_back(Slot::Ship(frame.payload, now));
+                    progress = true;
+                }
+                continue;
+            }
+            let Some(offset) = buf[cursor..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
             let line = &buf[cursor..cursor + offset];
             cursor += offset + 1;
             progress = true;
@@ -693,11 +764,36 @@ impl Reactor {
                 self.conns[index].discarding = false;
             } else if line.len() > self.config.max_line_len {
                 self.reject_oversized(index);
+            } else if let Some((_namespaces, len)) = std::str::from_utf8(line)
+                .ok()
+                .and_then(crate::net::parse_ship_header)
+            {
+                let accepted = len <= self.config.max_ship_bytes;
+                if !accepted {
+                    // Reject up front, then count-and-drop the declared
+                    // payload so the connection stays in protocol sync.
+                    let reply = format!(
+                        "ERR shipment too large (max {} bytes)",
+                        self.config.max_ship_bytes
+                    );
+                    self.conns[index].slots.push_back(Slot::Ready(reply));
+                }
+                self.conns[index].ship = Some(ShipFrame {
+                    expected: len,
+                    received: 0,
+                    payload: Vec::new(),
+                    accepted,
+                });
             } else {
                 self.handle_line(index, line, now);
             }
         }
         let conn = &mut self.conns[index];
+        if conn.ship.is_some() {
+            // Mid-payload: every buffered byte was consumed by the frame.
+            debug_assert_eq!(cursor, buf.len());
+            return progress;
+        }
         let tail = &buf[cursor..];
         if conn.discarding {
             // Still inside an oversized line: keep discarding the tail.
@@ -835,6 +931,35 @@ impl Reactor {
                     } else {
                         conn.slots.push_front(Slot::Wait(remaining, stamp));
                         break;
+                    }
+                }
+                Some(Slot::Ship(..)) => {
+                    let Some(Slot::Ship(payload, stamp)) = conn.slots.pop_front() else {
+                        unreachable!("front_mut just matched Ship");
+                    };
+                    progress = true;
+                    if service.is_stopped() {
+                        conn.queue_line("ERR service is shut down");
+                        conn.slots.clear();
+                        conn.closing = true;
+                        break;
+                    }
+                    self.metrics.verb_requests[VerbClass::Ship as usize].inc();
+                    // Merging deserialises and re-hashes every shipped
+                    // entry — executor work, like RESTORE.
+                    match crate::net::ship_request(payload) {
+                        Request::Offload(task) => conn.slots.push_front(Slot::Deferred(
+                            executor.submit_task(task),
+                            VerbClass::Ship,
+                            stamp,
+                        )),
+                        other => {
+                            let text = match other {
+                                Request::Immediate(text) | Request::CloseAfter(text) => text,
+                                _ => "ERR internal: SHIP dispatched to a non-reply request".into(),
+                            };
+                            conn.queue_line(&text);
+                        }
                     }
                 }
                 None => break,

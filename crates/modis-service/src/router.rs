@@ -5,10 +5,13 @@
 //! in its own process), so a client cannot tell a cluster from a single
 //! daemon — same verbs, same responses, same pipelining rules:
 //!
-//! * **Placement** — every scenario maps to a cache namespace
-//!   ([`ClusterSpec`]), every namespace to exactly one shard by rendezvous
-//!   hashing ([`ShardMap`]); `SUBMIT` goes to the owner, so one
-//!   namespace's evaluations always concentrate in one process.
+//! * **Placement with K-way replication** — every scenario maps to a cache
+//!   namespace ([`ClusterSpec`]), every namespace to a *ranked owner set*
+//!   of [`RouterConfig::replication`] shards by rendezvous hashing
+//!   ([`ShardMap::owners_of_namespace`]): rank 0 is the primary, the rest
+//!   are failover replicas. `SUBMIT` goes to the highest-ranked live
+//!   owner, so one namespace's evaluations still concentrate in one
+//!   process while warm copies stand by elsewhere.
 //! * **Pipelining end-to-end** — a client may burst any number of
 //!   requests; each is forwarded to its shard *immediately on parse*
 //!   (shards work concurrently on one client's pipeline), while responses
@@ -17,36 +20,42 @@
 //! * **Ticket remapping** — shards issue process-local ticket ids; the
 //!   router allocates cluster-wide ids and translates on every `SUBMIT`
 //!   response, `POLL`/`RESULT`/`WAIT` request and streamed `DONE` line.
-//! * **Fan-out verbs** — `RUN` drains every shard concurrently and sums
-//!   the counts; `STATS` aggregates every shard's counters into one
+//!   When a primary dies, a ticket is *re-homed*: the scenario is
+//!   re-submitted on the freshest live replica and the cluster id remapped
+//!   in place, so the client's id keeps working across the failure.
+//! * **Fan-out verbs** — `RUN` drains every live shard concurrently and
+//!   sums the counts; `STATS` aggregates every shard's counters into one
 //!   cluster-wide line (plus a `SHARDS` verb for per-shard telemetry);
-//!   `SNAPSHOT <path>` persists every shard to `<path>.<shard>`.
-//! * **Cluster-wide observability** — `METRICS` gathers every shard's
-//!   exposition, injects a `shard="<name>"` label into each sample line
-//!   and prepends the router's own metrics (forward latency per shard,
-//!   reconnects, ticket remaps), so one scrape sees the whole cluster;
-//!   `TRACE DUMP <n>` merges per-shard span dumps with a `shard=` suffix.
-//!   An unreachable shard degrades a `METRICS` scrape to a comment line
-//!   (monitoring keeps working while a shard is down) but fails a
-//!   `TRACE DUMP` like any other fan-out verb.
+//!   `SNAPSHOT <path>` persists every shard to `<path>.<shard>` and
+//!   removes the partial per-shard files when the fan-out fails midway.
+//! * **Heartbeats and circuit breakers** — a background thread `PING`s
+//!   every shard each [`RouterConfig::heartbeat_interval`], feeding an
+//!   EWMA liveness score and a per-shard breaker
+//!   (closed → open → half-open → closed, exposed as
+//!   `router_circuit_state`). Forwards retry with jittered exponential
+//!   backoff while the breaker allows, and fail fast (`circuit open`)
+//!   once a shard is declared dead — no request ever hangs on a corpse.
+//! * **Replication shipping over the wire** — after each completed `RUN`
+//!   the primaries' updated namespaces are exported (`EXPORT` → one
+//!   `SHIPMENT` line) and pushed to their replicas with the binary-framed
+//!   `SHIP` verb; a content digest skips unchanged pushes. Rebalancing
+//!   ([`Router::join_shard`] / [`Router::leave_shard`]) uses the same
+//!   wire path — no shared filesystem between shard processes required —
+//!   and moves exactly the minimal replica set (a rank-by-rank rendezvous
+//!   guarantee).
+//! * **Transparent failover** — a request owed to a dead shard re-routes
+//!   to the freshest warm replica with zero operator action: `SUBMIT`
+//!   picks the next live owner, `POLL`/`RESULT`/`WAIT` re-home the ticket
+//!   first. Responses served by a stand-in carry a trailing
+//!   ` degraded=<shard>` marker, `STATS` appends `degraded=<shards>`, and
+//!   a `METRICS` scrape annotates dead shards — degraded service is
+//!   visible, never silent. [`Router::set_shard_addr`] still rewires a
+//!   restarted shard and resets its breaker.
 //! * **`WAIT` across shards** — the router splits the ticket list per
 //!   owning shard, forwards per-shard `WAIT`s, and streams the merged
 //!   `DONE` lines back in arrival order (≈ cluster-wide completion
-//!   order), rewritten to cluster ids.
-//! * **Rebalancing** — [`Router::join_shard`] / [`Router::leave_shard`]
-//!   recompute ownership and ship exactly the namespaces that move (a
-//!   rendezvous-hash guarantee) as snapshot shipments: `SNAPSHOT
-//!   NAMESPACE` on the old owner, `RESTORE` on the new one. A grown
-//!   cluster answers its first run of a moved namespace from the shipped
-//!   warm cache. Shipping goes through a file path visible to both shard
-//!   processes (same host or shared filesystem; a cross-host transfer
-//!   would add a copy step between the two verbs).
-//! * **Fault handling** — a shard that cannot be reached answers `ERR
-//!   shard <name> unavailable …` for the affected requests only; other
-//!   shards keep serving. [`Router::set_shard_addr`] rewires a restarted
-//!   shard (e.g. revived from its last snapshot via
-//!   `Service::from_snapshot`) and invalidates the dead process's
-//!   tickets.
+//!   order), rewritten to cluster ids; tickets stranded by a mid-`WAIT`
+//!   shard death are re-homed and the wait resumes on the replica.
 //!
 //! The router itself holds no evaluation state and does no search work —
 //! it is a thin I/O forwarder, so a plain thread-per-connection design is
@@ -57,16 +66,28 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
 use modis_core::telemetry::{Counter, MetricsRegistry};
 
 use crate::cluster::{validate_token, ClusterSpec, ShardMap};
 use crate::error::ServiceError;
+
+/// Help text of the `router_heartbeat_misses_total{shard}` counter.
+const HEARTBEAT_MISS_HELP: &str = "Heartbeat probes (PING) a shard failed to answer in time.";
+/// Help text of the `router_failovers_total{shard}` counter.
+const FAILOVER_HELP: &str = "Requests transparently re-routed away from this shard to a replica.";
+/// Help text of the `router_backoff_ms{shard}` histogram.
+const BACKOFF_HELP: &str =
+    "Jittered exponential-backoff delays slept before forward retries, in milliseconds.";
+/// Help text of the `router_circuit_state{shard}` gauge.
+const CIRCUIT_HELP: &str = "Per-shard circuit breaker state: 0 = closed (healthy), \
+     1 = half-open (probing), 2 = open (declared dead).";
 
 /// Tuning knobs of the router. Defaults suit tests and examples; none
 /// change protocol semantics.
@@ -83,18 +104,38 @@ pub struct RouterConfig {
     pub max_pipelined: usize,
     /// Connect timeout for shard connections.
     pub connect_timeout: Duration,
-    /// How long a lifecycle operation (snapshot shipping on join/leave)
-    /// waits for one shard reply.
+    /// How long a lifecycle operation (wire shipping on join/leave and
+    /// replication pushes) waits for one shard reply.
     pub ship_timeout: Duration,
-    /// Directory shipment files are staged in during rebalancing
-    /// (`None` = the system temp directory). Must be visible to both
-    /// shard processes involved, and its path must not contain
-    /// whitespace (the shipping verbs are whitespace-delimited lines).
-    pub ship_dir: Option<PathBuf>,
     /// How many ticket mappings the router retains (FIFO; 0 = unbounded).
     /// Mirrors the shard daemons' bounded completed-job retention — a
     /// ticket older than either bound answers `ERR unknown ticket`.
     pub max_tickets: usize,
+    /// Replication factor K: every namespace is owned by the K
+    /// highest-ranked shards of its rendezvous order (clamped to the
+    /// cluster size). `1` disables replication entirely — no pushes, no
+    /// stand-in serving — which is the pre-replication behaviour.
+    pub replication: usize,
+    /// Period of the background heartbeat thread: every shard is `PING`ed
+    /// once per interval, and pending replication pushes are flushed.
+    pub heartbeat_interval: Duration,
+    /// Connect + read timeout of one heartbeat probe. A probe that blows
+    /// this deadline counts as a miss.
+    pub heartbeat_timeout: Duration,
+    /// Consecutive failures (heartbeat misses or forward errors) after
+    /// which a shard's circuit breaker opens and the shard is declared
+    /// dead.
+    pub heartbeat_misses: u32,
+    /// Total send attempts per forwarded request (first try + retries),
+    /// each retry preceded by a jittered exponential backoff sleep.
+    pub forward_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max: Duration,
+    /// How long an open circuit stays fail-fast before one half-open
+    /// trial attempt is allowed through.
+    pub open_cooldown: Duration,
 }
 
 impl Default for RouterConfig {
@@ -110,10 +151,183 @@ impl Default for RouterConfig {
             max_pipelined: 1024,
             connect_timeout: Duration::from_secs(2),
             ship_timeout: Duration::from_secs(120),
-            ship_dir: None,
             max_tickets: 1 << 16,
+            replication: 1,
+            heartbeat_interval: Duration::from_millis(150),
+            heartbeat_timeout: Duration::from_millis(250),
+            heartbeat_misses: 3,
+            forward_attempts: 3,
+            backoff_base: Duration::from_millis(15),
+            backoff_max: Duration::from_millis(400),
+            open_cooldown: Duration::from_millis(400),
         }
     }
+}
+
+/// One shard's circuit breaker position, exposed per shard as the
+/// `router_circuit_state` gauge and via [`Router::circuit_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Probing: one trial request is allowed through after the open
+    /// cooldown; success starts closing the breaker, failure re-opens it.
+    HalfOpen,
+    /// Declared dead: requests fail fast without touching the socket
+    /// until the cooldown elapses.
+    Open,
+}
+
+impl CircuitState {
+    /// The gauge encoding of the state (0 / 1 / 2).
+    fn gauge(self) -> i64 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::HalfOpen => 1,
+            CircuitState::Open => 2,
+        }
+    }
+}
+
+/// EWMA weight of the newest liveness observation (1 = success, 0 =
+/// failure): `live = (1 - α)·live + α·observation`.
+const LIVENESS_ALPHA: f64 = 0.4;
+/// Smoothed liveness at or above which a non-closed breaker closes —
+/// reached after two consecutive successful probes from any depth.
+const LIVENESS_CLOSE: f64 = 0.6;
+
+/// Health book-keeping for one shard: the breaker state, the consecutive
+/// miss count that opens it, and an EWMA-smoothed liveness score that
+/// closes it again (two consecutive successes from any depth).
+#[derive(Debug, Clone)]
+struct ShardHealth {
+    state: CircuitState,
+    misses: u32,
+    liveness: f64,
+    opened_at: Option<Instant>,
+}
+
+impl Default for ShardHealth {
+    fn default() -> Self {
+        ShardHealth {
+            state: CircuitState::Closed,
+            misses: 0,
+            liveness: 1.0,
+            opened_at: None,
+        }
+    }
+}
+
+impl ShardHealth {
+    /// A successful probe or forward: resets the miss streak, bumps the
+    /// EWMA, and closes a non-closed breaker once liveness recovers.
+    fn on_success(&mut self) {
+        self.misses = 0;
+        self.liveness = (1.0 - LIVENESS_ALPHA) * self.liveness + LIVENESS_ALPHA;
+        if self.state != CircuitState::Closed && self.liveness >= LIVENESS_CLOSE {
+            self.state = CircuitState::Closed;
+            self.opened_at = None;
+        }
+    }
+
+    /// A failed probe or forward: decays the EWMA; `threshold`
+    /// consecutive misses open a closed breaker, and any failure of a
+    /// half-open trial re-opens it immediately.
+    fn on_failure(&mut self, threshold: u32) {
+        self.misses = self.misses.saturating_add(1);
+        self.liveness *= 1.0 - LIVENESS_ALPHA;
+        match self.state {
+            CircuitState::Closed if self.misses >= threshold => {
+                self.state = CircuitState::Open;
+                self.opened_at = Some(Instant::now());
+            }
+            CircuitState::HalfOpen => {
+                self.state = CircuitState::Open;
+                self.opened_at = Some(Instant::now());
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether a request may touch the socket right now. An open breaker
+    /// transitions to half-open (and admits one trial) once `cooldown`
+    /// has elapsed since it opened.
+    fn allow_attempt(&mut self, cooldown: Duration) -> bool {
+        match self.state {
+            CircuitState::Closed | CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                let elapsed = self
+                    .opened_at
+                    .map(|at| at.elapsed())
+                    .unwrap_or(Duration::MAX);
+                if elapsed >= cooldown {
+                    self.state = CircuitState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic-enough jitter source: seeded from a global counter so
+/// concurrent handler threads draw different streams without consulting
+/// the wall clock.
+fn jitter_rng() -> StdRng {
+    static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let n = SEED.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+    StdRng::seed_from_u64(n ^ u64::from(std::process::id()).rotate_left(32))
+}
+
+/// The sleep before retry number `attempt` (1-based): exponential from
+/// [`RouterConfig::backoff_base`], capped at [`RouterConfig::backoff_max`],
+/// jittered uniformly into `[cap/2, cap]` so a burst of failing handlers
+/// does not hammer a recovering shard in lockstep.
+fn backoff_delay(config: &RouterConfig, attempt: u32, rng: &mut StdRng) -> Duration {
+    let base = config.backoff_base.max(Duration::from_micros(100));
+    let shift = attempt.saturating_sub(1).min(16);
+    let uncapped = base.saturating_mul(1 << shift);
+    let cap = uncapped.min(config.backoff_max.max(base));
+    let micros = cap.as_micros().max(2) as u64;
+    Duration::from_micros(rng.gen_range(micros / 2..micros + 1))
+}
+
+/// Decodes the lowercase-hex payload of a `SHIPMENT` reply.
+fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in hex.as_bytes().chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// Reads one newline-terminated reply off a blocking stream (the
+/// one-shot `ask`/`SHIP`/heartbeat paths; handler-loop reads go through
+/// [`LineConn`] instead).
+fn read_reply_line(stream: &mut TcpStream) -> io::Result<String> {
+    let mut reply = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before reply",
+                ))
+            }
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => reply.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&reply).trim_end().to_string())
 }
 
 /// One shard's identity and current address.
@@ -136,6 +350,22 @@ impl Topology {
     }
 }
 
+/// One cluster-wide ticket's current home.
+#[derive(Debug, Clone)]
+struct TicketEntry {
+    /// The shard currently serving the ticket.
+    shard: String,
+    /// The shard-local ticket id.
+    local: u64,
+    /// The scenario the ticket runs — needed to re-submit on a replica
+    /// when the original shard dies.
+    scenario: String,
+    /// Set once the ticket was re-homed onto a replica: its responses are
+    /// flagged ` degraded=<shard>` so the client can tell stand-in
+    /// service from primary service.
+    degraded: bool,
+}
+
 /// Cluster-wide ticket table: router ids ↔ per-shard local ids, retained
 /// FIFO up to [`RouterConfig::max_tickets`] (the shard daemons bound their
 /// own completed-job retention, so an unbounded router-side table would
@@ -144,24 +374,39 @@ impl Topology {
 #[derive(Default)]
 struct TicketTable {
     next: u64,
-    forward: HashMap<u64, (String, u64)>,
+    forward: HashMap<u64, TicketEntry>,
     reverse: HashMap<(String, u64), u64>,
     /// Allocation order, for FIFO eviction.
     order: VecDeque<u64>,
 }
 
 impl TicketTable {
-    fn allocate(&mut self, shard: &str, local: u64, retention: usize) -> u64 {
+    fn allocate(
+        &mut self,
+        shard: &str,
+        local: u64,
+        scenario: &str,
+        degraded: bool,
+        retention: usize,
+    ) -> u64 {
         self.next += 1;
         let global = self.next;
-        self.forward.insert(global, (shard.to_string(), local));
+        self.forward.insert(
+            global,
+            TicketEntry {
+                shard: shard.to_string(),
+                local,
+                scenario: scenario.to_string(),
+                degraded,
+            },
+        );
         self.reverse.insert((shard.to_string(), local), global);
         self.order.push_back(global);
         if retention > 0 {
             while self.order.len() > retention {
                 if let Some(oldest) = self.order.pop_front() {
-                    if let Some(key) = self.forward.remove(&oldest) {
-                        self.reverse.remove(&key);
+                    if let Some(entry) = self.forward.remove(&oldest) {
+                        self.reverse.remove(&(entry.shard, entry.local));
                     }
                 }
             }
@@ -169,8 +414,27 @@ impl TicketTable {
         global
     }
 
-    fn lookup(&self, global: u64) -> Option<(String, u64)> {
+    /// Re-homes a cluster ticket onto a replica's fresh local id, marking
+    /// it degraded. Returns `false` for an unknown (evicted) id.
+    fn remap(&mut self, global: u64, shard: &str, local: u64) -> bool {
+        let Some(entry) = self.forward.get_mut(&global) else {
+            return false;
+        };
+        self.reverse.remove(&(entry.shard.clone(), entry.local));
+        entry.shard = shard.to_string();
+        entry.local = local;
+        entry.degraded = true;
+        self.reverse.insert((shard.to_string(), local), global);
+        true
+    }
+
+    fn lookup(&self, global: u64) -> Option<TicketEntry> {
         self.forward.get(&global).cloned()
+    }
+
+    /// Whether the ticket has been re-homed onto a replica.
+    fn degraded(&self, global: u64) -> bool {
+        self.forward.get(&global).is_some_and(|e| e.degraded)
     }
 
     fn global_for(&self, shard: &str, local: u64) -> Option<u64> {
@@ -180,11 +444,31 @@ impl TicketTable {
     /// Drops every mapping of `shard` — its process died (or was
     /// replaced), so its local ids no longer name anything.
     fn purge_shard(&mut self, shard: &str) {
-        self.forward.retain(|_, (s, _)| s != shard);
+        self.forward.retain(|_, e| e.shard != shard);
         self.reverse.retain(|(s, _), _| s != shard);
         let forward = &self.forward;
         self.order.retain(|g| forward.contains_key(g));
     }
+}
+
+/// Replication book-keeping: which namespaces need pushing, and what each
+/// replica last received.
+#[derive(Default)]
+struct ReplicationState {
+    /// Namespaces with submitted-but-not-yet-run work: their caches will
+    /// change, pushing now would ship a stale copy.
+    dirty: HashSet<String>,
+    /// Namespaces whose `RUN` completed: the cache settled, push on the
+    /// next flush.
+    ready: HashSet<String>,
+    /// `(replica, namespace)` → the content digest last pushed there;
+    /// an unchanged digest skips the push entirely.
+    pushed: HashMap<(String, String), u64>,
+    /// `(replica, namespace)` → the flush sequence number of the last
+    /// push; failover prefers the replica with the freshest copy.
+    freshness: HashMap<(String, String), u64>,
+    /// Monotonic flush sequence.
+    seq: u64,
 }
 
 struct RouterInner {
@@ -201,6 +485,11 @@ struct RouterInner {
     reconnects: Arc<Counter>,
     /// Shard-local ticket ids remapped to cluster-wide ids.
     remaps: Arc<Counter>,
+    /// Per-shard breaker + liveness state, fed by heartbeats and forward
+    /// failures.
+    health: Mutex<HashMap<String, ShardHealth>>,
+    /// Replication push queue and per-replica freshness.
+    replication: Mutex<ReplicationState>,
 }
 
 impl RouterInner {
@@ -211,9 +500,408 @@ impl RouterInner {
     fn lock_tickets(&self) -> std::sync::MutexGuard<'_, TicketTable> {
         self.tickets.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, HashMap<String, ShardHealth>> {
+        self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_replication(&self) -> std::sync::MutexGuard<'_, ReplicationState> {
+        self.replication
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The effective replication factor (at least 1).
+    fn k(&self) -> usize {
+        self.config.replication.max(1)
+    }
+
+    /// Pre-registers every per-shard family so scrapes see them (at zero)
+    /// from the first exposition, not only after the first event.
+    fn register_shard_metrics(&self, shard: &str) {
+        self.metrics
+            .gauge_with("router_circuit_state", CIRCUIT_HELP, &[("shard", shard)])
+            .set(CircuitState::Closed.gauge());
+        let _ = self.metrics.counter_with(
+            "router_heartbeat_misses_total",
+            HEARTBEAT_MISS_HELP,
+            &[("shard", shard)],
+        );
+        let _ =
+            self.metrics
+                .counter_with("router_failovers_total", FAILOVER_HELP, &[("shard", shard)]);
+        let _ = self
+            .metrics
+            .histogram_with("router_backoff_ms", BACKOFF_HELP, &[("shard", shard)]);
+    }
+
+    /// Publishes `shard`'s breaker position to the state gauge.
+    fn publish_circuit(&self, shard: &str, state: CircuitState) {
+        self.metrics
+            .gauge_with("router_circuit_state", CIRCUIT_HELP, &[("shard", shard)])
+            .set(state.gauge());
+    }
+
+    /// Records a successful probe or forward against `shard`.
+    fn note_success(&self, shard: &str) {
+        let state = {
+            let mut health = self.lock_health();
+            let entry = health.entry(shard.to_string()).or_default();
+            entry.on_success();
+            entry.state
+        };
+        self.publish_circuit(shard, state);
+    }
+
+    /// Records a failed probe (`heartbeat_miss = true`, counted in the
+    /// miss family) or a failed forward against `shard`.
+    fn note_failure(&self, shard: &str, heartbeat_miss: bool) {
+        if heartbeat_miss {
+            self.metrics
+                .counter_with(
+                    "router_heartbeat_misses_total",
+                    HEARTBEAT_MISS_HELP,
+                    &[("shard", shard)],
+                )
+                .inc();
+        }
+        let state = {
+            let mut health = self.lock_health();
+            let entry = health.entry(shard.to_string()).or_default();
+            entry.on_failure(self.config.heartbeat_misses.max(1));
+            entry.state
+        };
+        self.publish_circuit(shard, state);
+    }
+
+    /// Whether a request may be attempted against `shard` right now
+    /// (possibly flipping an expired open breaker to half-open).
+    fn allow_attempt(&self, shard: &str) -> bool {
+        let (allowed, state) = {
+            let mut health = self.lock_health();
+            let entry = health.entry(shard.to_string()).or_default();
+            (entry.allow_attempt(self.config.open_cooldown), entry.state)
+        };
+        self.publish_circuit(shard, state);
+        allowed
+    }
+
+    /// Whether `shard` is currently declared unhealthy (breaker not
+    /// closed).
+    fn shard_down(&self, shard: &str) -> bool {
+        self.lock_health()
+            .get(shard)
+            .is_some_and(|h| h.state != CircuitState::Closed)
+    }
+
+    /// The sorted names of shards currently declared unhealthy.
+    fn degraded_shards(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .lock_health()
+            .iter()
+            .filter(|(_, h)| h.state != CircuitState::Closed)
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Forgets `shard`'s health and replica-freshness history — the
+    /// recovery path after a rewire (the new process starts from its
+    /// snapshot; pushed copies must be re-shipped).
+    fn reset_health(&self, shard: &str) {
+        self.lock_health()
+            .insert(shard.to_string(), ShardHealth::default());
+        self.publish_circuit(shard, CircuitState::Closed);
+        let mut rep = self.lock_replication();
+        rep.pushed.retain(|(replica, _), _| replica != shard);
+        rep.freshness.retain(|(replica, _), _| replica != shard);
+    }
+
+    /// Bumps the failover counter of the shard routed *away from*.
+    fn count_failover(&self, dead: &str) {
+        self.metrics
+            .counter_with("router_failovers_total", FAILOVER_HELP, &[("shard", dead)])
+            .inc();
+    }
+
+    /// One-shot request/response against a shard daemon.
+    fn ask(&self, shard: &str, addr: SocketAddr, line: &str) -> Result<String, ServiceError> {
+        let fail = |reason: String| ServiceError::ShardUnavailable {
+            shard: shard.to_string(),
+            reason,
+        };
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|e| fail(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.config.ship_timeout))
+            .map_err(|e| fail(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| fail(e.to_string()))?;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| fail(e.to_string()))?;
+        read_reply_line(&mut stream).map_err(|e| fail(e.to_string()))
+    }
+
+    /// Exports `namespaces` from a shard over the wire: one `EXPORT`
+    /// round-trip, returning the content digest and the decoded snapshot
+    /// bytes (empty when the shard holds nothing for them).
+    fn wire_export(
+        &self,
+        shard: &str,
+        addr: SocketAddr,
+        namespaces: &[String],
+    ) -> Result<(u64, Vec<u8>), ServiceError> {
+        let reply = self.ask(shard, addr, &format!("EXPORT {}", namespaces.join(" ")))?;
+        let fail = |reason: String| ServiceError::ShardUnavailable {
+            shard: shard.to_string(),
+            reason,
+        };
+        let mut tokens = reply.split_whitespace();
+        if tokens.next() != Some("SHIPMENT") {
+            return Err(fail(reply.clone()));
+        }
+        let digest = tokens
+            .next()
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| fail(format!("malformed SHIPMENT digest in {reply:?}")))?;
+        let len: usize = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| fail(format!("malformed SHIPMENT length in {reply:?}")))?;
+        // A zero-length shipment renders with no hex token at all.
+        let hex = tokens.next().unwrap_or("");
+        let payload =
+            hex_decode(hex).ok_or_else(|| fail(format!("malformed SHIPMENT hex in {reply:?}")))?;
+        if payload.len() != len {
+            return Err(fail(format!(
+                "SHIPMENT length mismatch: header {len}, payload {}",
+                payload.len()
+            )));
+        }
+        Ok((digest, payload))
+    }
+
+    /// Pushes snapshot bytes into a shard over the wire with the
+    /// binary-framed `SHIP` verb, returning the restored entry count.
+    fn wire_ship(
+        &self,
+        shard: &str,
+        addr: SocketAddr,
+        namespaces: &[String],
+        payload: &[u8],
+    ) -> Result<u64, ServiceError> {
+        let fail = |reason: String| ServiceError::ShardUnavailable {
+            shard: shard.to_string(),
+            reason,
+        };
+        let mut stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)
+            .map_err(|e| fail(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.config.ship_timeout))
+            .map_err(|e| fail(e.to_string()))?;
+        stream.set_nodelay(true).map_err(|e| fail(e.to_string()))?;
+        let header = format!("SHIP {} {}\n", namespaces.join(" "), payload.len());
+        stream
+            .write_all(header.as_bytes())
+            .map_err(|e| fail(e.to_string()))?;
+        stream.write_all(payload).map_err(|e| fail(e.to_string()))?;
+        let reply = read_reply_line(&mut stream).map_err(|e| fail(e.to_string()))?;
+        reply
+            .strip_prefix("OK ")
+            .and_then(|n| n.trim().parse::<u64>().ok())
+            .ok_or_else(|| fail(reply.clone()))
+    }
+
+    /// Marks a namespace as having submitted-but-not-run work.
+    fn mark_dirty(&self, namespace: &str) {
+        if self.k() > 1 {
+            self.lock_replication().dirty.insert(namespace.to_string());
+        }
+    }
+
+    /// Promotes dirty namespaces to ready — called once a cluster `RUN`
+    /// completed, i.e. their caches have settled.
+    fn promote_dirty(&self) {
+        let mut rep = self.lock_replication();
+        let dirty: Vec<String> = rep.dirty.drain().collect();
+        rep.ready.extend(dirty);
+    }
+
+    /// Pushes every ready namespace from its live primary to its live
+    /// replicas (digest-skipped when unchanged). Namespaces that fail to
+    /// replicate are requeued for the next flush. Returns the total
+    /// number of `(replica, namespace)` copies currently confirmed warm.
+    fn flush_ready_replication(&self) -> usize {
+        let ready: Vec<String> = {
+            let mut rep = self.lock_replication();
+            rep.ready.drain().collect()
+        };
+        let mut requeue = Vec::new();
+        for namespace in &ready {
+            if self.replicate_namespace(namespace).is_err() {
+                requeue.push(namespace.clone());
+            }
+        }
+        let mut rep = self.lock_replication();
+        rep.ready.extend(requeue);
+        rep.pushed.len()
+    }
+
+    /// Ships one namespace from its highest-ranked live owner to every
+    /// other live owner that does not already hold the current bytes.
+    fn replicate_namespace(&self, namespace: &str) -> Result<(), ServiceError> {
+        let k = self.k();
+        if k <= 1 {
+            return Ok(());
+        }
+        let (owners, addrs) = {
+            let topology = self.lock_topology();
+            let owners: Vec<String> = topology
+                .map
+                .owners_of_namespace(namespace, k)
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let addrs: HashMap<String, SocketAddr> = owners
+                .iter()
+                .filter_map(|o| topology.addr_of(o).map(|a| (o.clone(), a)))
+                .collect();
+            (owners, addrs)
+        };
+        let primary = owners
+            .iter()
+            .find(|o| !self.shard_down(o) && addrs.contains_key(*o))
+            .cloned()
+            .ok_or_else(|| ServiceError::ShardUnavailable {
+                shard: owners.first().cloned().unwrap_or_default(),
+                reason: format!("no live owner to export namespace {namespace} from"),
+            })?;
+        let namespaces = [namespace.to_string()];
+        let (digest, payload) = self.wire_export(&primary, addrs[&primary], &namespaces)?;
+        if payload.is_empty() {
+            return Ok(());
+        }
+        let seq = {
+            let mut rep = self.lock_replication();
+            rep.seq += 1;
+            rep.seq
+        };
+        let mut first_err = None;
+        for replica in owners.iter().filter(|o| **o != primary) {
+            let key = (replica.clone(), namespace.to_string());
+            if self.shard_down(replica) {
+                first_err.get_or_insert_with(|| ServiceError::ShardUnavailable {
+                    shard: replica.clone(),
+                    reason: "replica down during replication flush".to_string(),
+                });
+                continue;
+            }
+            let Some(addr) = addrs.get(replica).copied() else {
+                continue;
+            };
+            if self.lock_replication().pushed.get(&key) == Some(&digest) {
+                continue;
+            }
+            match self.wire_ship(replica, addr, &namespaces, &payload) {
+                Ok(_) => {
+                    let mut rep = self.lock_replication();
+                    rep.pushed.insert(key.clone(), digest);
+                    rep.freshness.insert(key, seq);
+                }
+                Err(err) => {
+                    first_err.get_or_insert(err);
+                }
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-homes a cluster ticket whose shard is dead: re-submits the
+    /// scenario on the freshest live replica, runs it there (warm cache —
+    /// zero paid valuations when replication kept up), and remaps the
+    /// cluster id in place. Returns the new entry, or a ready-to-emit
+    /// protocol error line.
+    fn failover_ticket(&self, global: u64, entry: &TicketEntry) -> Result<TicketEntry, String> {
+        let dead = entry.shard.clone();
+        let no_replica =
+            || format!("ERR shard {dead} unavailable (no live replica for ticket {global})");
+        let Some(namespace) = self.spec.namespace_of(&entry.scenario).map(str::to_string) else {
+            return Err(no_replica());
+        };
+        let candidates: Vec<(String, SocketAddr)> = {
+            let topology = self.lock_topology();
+            let owners: Vec<String> = topology
+                .map
+                .owners_of_namespace(&namespace, self.k())
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            owners
+                .into_iter()
+                .filter(|o| *o != dead)
+                .filter_map(|o| topology.addr_of(&o).map(|a| (o, a)))
+                .collect()
+        };
+        let mut candidates: Vec<(String, SocketAddr)> = candidates
+            .into_iter()
+            .filter(|(name, _)| !self.shard_down(name))
+            .collect();
+        {
+            // Freshest replica first; the sort is stable, so rendezvous
+            // rank breaks ties.
+            let rep = self.lock_replication();
+            candidates.sort_by_key(|(name, _)| {
+                std::cmp::Reverse(
+                    rep.freshness
+                        .get(&(name.clone(), namespace.clone()))
+                        .copied()
+                        .unwrap_or(0),
+                )
+            });
+        }
+        for (name, addr) in candidates {
+            let submitted = match self.ask(&name, addr, &format!("SUBMIT {}", entry.scenario)) {
+                Ok(reply) => reply,
+                Err(_) => {
+                    self.note_failure(&name, false);
+                    continue;
+                }
+            };
+            let Some(local) = submitted
+                .strip_prefix("TICKET ")
+                .and_then(|s| s.trim().parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let ran = match self.ask(&name, addr, "RUN") {
+                Ok(reply) => reply,
+                Err(_) => continue,
+            };
+            if !ran.starts_with("OK") {
+                continue;
+            }
+            if !self.lock_tickets().remap(global, &name, local) {
+                return Err(format!("ERR unknown ticket {global}"));
+            }
+            self.count_failover(&dead);
+            return Ok(TicketEntry {
+                shard: name,
+                local,
+                scenario: entry.scenario.clone(),
+                degraded: true,
+            });
+        }
+        Err(no_replica())
+    }
 }
 
-/// What a rebalancing operation shipped: one entry per moved namespace.
+/// What a rebalancing operation shipped: one entry per moved namespace
+/// copy (under K-way replication one namespace may ship to several
+/// shards).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShippedNamespace {
     /// The namespace that changed owner.
@@ -224,12 +912,13 @@ pub struct ShippedNamespace {
     pub to: String,
 }
 
-/// A running cluster router: the bound address, the accept thread and one
-/// handler thread per client connection.
+/// A running cluster router: the bound address, the accept thread, the
+/// heartbeat thread and one handler thread per client connection.
 pub struct Router {
     inner: Arc<RouterInner>,
     addr: SocketAddr,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    heartbeat_thread: Mutex<Option<JoinHandle<()>>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     /// Serialises join/leave/rewire so two topology changes cannot
     /// interleave their shipping phases.
@@ -299,17 +988,32 @@ impl Router {
             metrics,
             reconnects,
             remaps,
+            health: Mutex::new(HashMap::new()),
+            replication: Mutex::new(ReplicationState::default()),
         });
+        {
+            let topology = inner.lock_topology();
+            let names: Vec<String> = topology.shards.iter().map(|s| s.name.clone()).collect();
+            drop(topology);
+            for name in names {
+                inner.register_shard_metrics(&name);
+            }
+        }
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
             let inner = Arc::clone(&inner);
             let handlers = Arc::clone(&handlers);
             std::thread::spawn(move || accept_loop(listener, inner, handlers))
         };
+        let heartbeat_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || heartbeat_loop(inner))
+        };
         Ok(Router {
             inner,
             addr,
             accept_thread: Mutex::new(Some(accept_thread)),
+            heartbeat_thread: Mutex::new(Some(heartbeat_thread)),
             handlers,
             lifecycle: Mutex::new(()),
         })
@@ -320,8 +1024,9 @@ impl Router {
         self.addr
     }
 
-    /// The router's own metrics registry (forward latency per shard,
-    /// reconnects, ticket remaps). Rendered at the head of every merged
+    /// The router's own metrics registry (forward latency, reconnects,
+    /// ticket remaps, heartbeat misses, failovers, backoff delays and
+    /// circuit states per shard). Rendered at the head of every merged
     /// `METRICS` reply; exposed for tests and embedding processes.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.inner.metrics
@@ -344,7 +1049,7 @@ impl Router {
         shards
     }
 
-    /// The shard currently owning `namespace`.
+    /// The shard currently owning `namespace` (the replication primary).
     pub fn owner_of(&self, namespace: &str) -> Option<String> {
         self.inner
             .lock_topology()
@@ -353,11 +1058,47 @@ impl Router {
             .map(str::to_string)
     }
 
+    /// The ranked owner set of `namespace` under the configured
+    /// replication factor: the primary first, then the failover replicas.
+    pub fn owners_of(&self, namespace: &str) -> Vec<String> {
+        self.inner
+            .lock_topology()
+            .map
+            .owners_of_namespace(namespace, self.inner.k())
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// The current circuit-breaker position of `shard` as seen by the
+    /// heartbeat/forward machinery ([`CircuitState::Closed`] for a shard
+    /// that has never failed).
+    pub fn circuit_state(&self, shard: &str) -> CircuitState {
+        self.inner
+            .lock_health()
+            .get(shard)
+            .map(|h| h.state)
+            .unwrap_or(CircuitState::Closed)
+    }
+
+    /// Promotes every pending namespace and pushes it to its replicas
+    /// immediately, without waiting for the heartbeat thread's next tick.
+    /// Returns the total number of `(replica, namespace)` copies
+    /// currently confirmed warm cluster-wide. A no-op returning 0 when
+    /// replication is off (`replication <= 1`).
+    pub fn flush_replication(&self) -> usize {
+        if self.inner.k() <= 1 {
+            return 0;
+        }
+        self.inner.promote_dirty();
+        self.inner.flush_ready_replication()
+    }
+
     /// Adds a shard daemon to the cluster. Ownership is recomputed; every
-    /// namespace the new shard now owns is shipped from its previous owner
-    /// (`SNAPSHOT NAMESPACE` there, `RESTORE` on the joiner) **before**
-    /// routing flips, so the new shard's first request finds the warm
-    /// cache already in place. Returns the shipped namespaces.
+    /// namespace copy the new shard now owns (as primary *or* replica) is
+    /// shipped over the wire from a surviving owner **before** routing
+    /// flips, so the new shard's first request finds the warm cache
+    /// already in place. Returns the shipped namespace copies.
     pub fn join_shard(
         &self,
         name: &str,
@@ -380,34 +1121,23 @@ impl Router {
         let mut after = before.clone();
         after.add(name.to_string());
 
-        // Rendezvous property: everything that moves, moves *to* the
-        // joiner. Ship per source shard (one shipment may carry several
-        // namespaces).
-        let mut by_source: HashMap<String, Vec<String>> = HashMap::new();
-        let mut shipped = Vec::new();
-        for namespace in self.inner.spec.namespaces() {
-            let old_owner = before.owner_of_namespace(namespace);
-            let new_owner = after.owner_of_namespace(namespace);
-            if let (Some(old), Some(new)) = (old_owner, new_owner) {
-                if old != new {
-                    debug_assert_eq!(new, name, "rendezvous join moved an unrelated namespace");
-                    by_source
-                        .entry(old.to_string())
-                        .or_default()
-                        .push(namespace.to_string());
-                    shipped.push(ShippedNamespace {
-                        namespace: namespace.to_string(),
-                        from: old.to_string(),
-                        to: name.to_string(),
-                    });
-                }
-            }
-        }
-        for (source, namespaces) in by_source {
+        let (shipped, by_pair) = replica_plan(&self.inner, &before, &after);
+        for ((source, target), namespaces) in by_pair {
+            debug_assert_eq!(
+                target, name,
+                "rendezvous join granted a namespace to an unrelated shard"
+            );
             let source_addr = self.inner.lock_topology().addr_of(&source).ok_or_else(|| {
                 ServiceError::InvalidTopology(format!("shard {source:?} vanished"))
             })?;
-            self.ship(&source, source_addr, &namespaces, name, addr)?;
+            let target_addr = if target == name {
+                addr
+            } else {
+                self.inner.lock_topology().addr_of(&target).ok_or_else(|| {
+                    ServiceError::InvalidTopology(format!("shard {target:?} vanished"))
+                })?
+            };
+            self.ship(&source, source_addr, &namespaces, &target, target_addr)?;
         }
 
         let mut topology = self.inner.lock_topology();
@@ -416,25 +1146,29 @@ impl Router {
             addr,
         });
         topology.map = after;
+        drop(topology);
+        self.inner.register_shard_metrics(name);
         Ok(shipped)
     }
 
-    /// Removes a shard gracefully: every namespace it owns is shipped to
-    /// its new owner first, then routing flips and the shard's tickets are
-    /// invalidated. (For a *crashed* shard there is nothing to ship —
-    /// restart it from its last snapshot and [`Router::set_shard_addr`]
-    /// it back in instead.)
+    /// Removes a shard gracefully: every namespace copy it held that now
+    /// belongs elsewhere is shipped over the wire first (from a surviving
+    /// warm owner when one exists, else from the leaver itself), then
+    /// routing flips and the shard's tickets are invalidated. (For a
+    /// *crashed* shard there is nothing to ask — with replication on, the
+    /// replicas already serve; otherwise restart it from its last
+    /// snapshot and [`Router::set_shard_addr`] it back in.)
     pub fn leave_shard(&self, name: &str) -> Result<Vec<ShippedNamespace>, ServiceError> {
         let _lifecycle = self
             .lifecycle
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let (before, leaving_addr) = {
+        let before = {
             let topology = self.inner.lock_topology();
-            let addr = topology.addr_of(name).ok_or_else(|| {
+            topology.addr_of(name).ok_or_else(|| {
                 ServiceError::InvalidTopology(format!("shard {name:?} is not a member"))
             })?;
-            (topology.map.clone(), addr)
+            topology.map.clone()
         };
         if before.len() == 1 {
             return Err(ServiceError::InvalidTopology(
@@ -444,33 +1178,15 @@ impl Router {
         let mut after = before.clone();
         after.remove(name);
 
-        // Rendezvous property: everything that moves, moves *off* the
-        // leaver. Group by destination.
-        let mut by_target: HashMap<String, Vec<String>> = HashMap::new();
-        let mut shipped = Vec::new();
-        for namespace in self.inner.spec.namespaces() {
-            let old_owner = before.owner_of_namespace(namespace);
-            let new_owner = after.owner_of_namespace(namespace);
-            if let (Some(old), Some(new)) = (old_owner, new_owner) {
-                if old != new {
-                    debug_assert_eq!(old, name, "rendezvous leave moved an unrelated namespace");
-                    by_target
-                        .entry(new.to_string())
-                        .or_default()
-                        .push(namespace.to_string());
-                    shipped.push(ShippedNamespace {
-                        namespace: namespace.to_string(),
-                        from: name.to_string(),
-                        to: new.to_string(),
-                    });
-                }
-            }
-        }
-        for (target, namespaces) in by_target {
+        let (shipped, by_pair) = replica_plan(&self.inner, &before, &after);
+        for ((source, target), namespaces) in by_pair {
+            let source_addr = self.inner.lock_topology().addr_of(&source).ok_or_else(|| {
+                ServiceError::InvalidTopology(format!("shard {source:?} vanished"))
+            })?;
             let target_addr = self.inner.lock_topology().addr_of(&target).ok_or_else(|| {
                 ServiceError::InvalidTopology(format!("shard {target:?} vanished"))
             })?;
-            self.ship(name, leaving_addr, &namespaces, &target, target_addr)?;
+            self.ship(&source, source_addr, &namespaces, &target, target_addr)?;
         }
 
         let mut topology = self.inner.lock_topology();
@@ -478,13 +1194,20 @@ impl Router {
         topology.map = after;
         drop(topology);
         self.inner.lock_tickets().purge_shard(name);
+        self.inner.lock_health().remove(name);
+        {
+            let mut rep = self.inner.lock_replication();
+            rep.pushed.retain(|(replica, _), _| replica != name);
+            rep.freshness.retain(|(replica, _), _| replica != name);
+        }
         Ok(shipped)
     }
 
     /// Rewires a shard to a new address — the recovery path after a crash
     /// and restart (`Service::from_snapshot` + a fresh daemon). The dead
     /// process's tickets are invalidated (its queued/finished jobs died
-    /// with it; the snapshot carries evaluations, not job state), and
+    /// with it; the snapshot carries evaluations, not job state), its
+    /// circuit breaker and replica-freshness history are reset, and
     /// handler connections to the old address are dropped on their next
     /// use.
     pub fn set_shard_addr(&self, name: &str, addr: SocketAddr) -> Result<(), ServiceError> {
@@ -504,11 +1227,13 @@ impl Router {
             shard.addr = addr;
         }
         self.inner.lock_tickets().purge_shard(name);
+        self.inner.reset_health(name);
         Ok(())
     }
 
-    /// Ships `namespaces` from one shard to another: `SNAPSHOT NAMESPACE`
-    /// on the source, `RESTORE` on the target, staged in a shipment file.
+    /// Ships `namespaces` from one shard to another entirely over the
+    /// wire: `EXPORT` on the source, binary-framed `SHIP` into the
+    /// target. No staging file, no shared filesystem.
     fn ship(
         &self,
         source: &str,
@@ -517,83 +1242,33 @@ impl Router {
         target: &str,
         target_addr: SocketAddr,
     ) -> Result<(), ServiceError> {
-        static SHIP_COUNTER: AtomicU64 = AtomicU64::new(0);
-        let dir = self
-            .inner
-            .config
-            .ship_dir
-            .clone()
-            .unwrap_or_else(std::env::temp_dir);
-        let path = dir.join(format!(
-            "modis_ship_{}_{}_{}.ship",
-            std::process::id(),
-            SHIP_COUNTER.fetch_add(1, Ordering::Relaxed),
-            source,
-        ));
-        // The shipping verbs are whitespace-delimited lines: a staging
-        // path containing whitespace would be mis-parsed by the shard
-        // (last token wins) and silently land somewhere else.
-        let path_str = path.display().to_string();
-        validate_token(&path_str, "shipment path").map_err(ServiceError::InvalidTopology)?;
-        let request = format!(
-            "SNAPSHOT NAMESPACE {} {}",
-            namespaces.join(" "),
-            path.display()
-        );
-        let result = (|| {
-            let reply = self.ask(source, source_addr, &request)?;
-            if !reply.starts_with("OK ") {
-                return Err(ServiceError::ShardUnavailable {
-                    shard: source.to_string(),
-                    reason: reply,
-                });
-            }
-            let reply = self.ask(target, target_addr, &format!("RESTORE {}", path.display()))?;
-            if !reply.starts_with("OK ") {
-                return Err(ServiceError::ShardUnavailable {
-                    shard: target.to_string(),
-                    reason: reply,
-                });
-            }
-            Ok(())
-        })();
-        let _ = std::fs::remove_file(&path);
-        result
-    }
-
-    /// One-shot request/response against a shard daemon.
-    fn ask(&self, shard: &str, addr: SocketAddr, line: &str) -> Result<String, ServiceError> {
-        let fail = |reason: String| ServiceError::ShardUnavailable {
-            shard: shard.to_string(),
-            reason,
-        };
-        let mut stream = TcpStream::connect_timeout(&addr, self.inner.config.connect_timeout)
-            .map_err(|e| fail(e.to_string()))?;
-        stream
-            .set_read_timeout(Some(self.inner.config.ship_timeout))
-            .map_err(|e| fail(e.to_string()))?;
-        stream.set_nodelay(true).map_err(|e| fail(e.to_string()))?;
-        stream
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| fail(e.to_string()))?;
-        let mut reply = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            match stream.read(&mut byte) {
-                Ok(0) => return Err(fail("connection closed before reply".to_string())),
-                Ok(_) if byte[0] == b'\n' => break,
-                Ok(_) => reply.push(byte[0]),
-                Err(e) => return Err(fail(e.to_string())),
-            }
+        let (digest, payload) = self.inner.wire_export(source, source_addr, namespaces)?;
+        if payload.is_empty() {
+            // Nothing cached for these namespaces yet — nothing to ship.
+            return Ok(());
         }
-        Ok(String::from_utf8_lossy(&reply).trim_end().to_string())
+        self.inner
+            .wire_ship(target, target_addr, namespaces, &payload)?;
+        if let [namespace] = namespaces {
+            // Single-namespace shipments double as replication pushes:
+            // remember the digest so the next flush can skip it.
+            let mut rep = self.inner.lock_replication();
+            let seq = {
+                rep.seq += 1;
+                rep.seq
+            };
+            let key = (target.to_string(), namespace.clone());
+            rep.pushed.insert(key.clone(), digest);
+            rep.freshness.insert(key, seq);
+        }
+        Ok(())
     }
 
-    /// Stops the router: the accept loop exits, every client handler
-    /// flushes a final protocol error and exits, all threads are joined.
-    /// Idempotent, including under concurrent callers (same discipline as
-    /// [`crate::Daemon::stop`]). Shard daemons are *not* stopped — they
-    /// are independent processes.
+    /// Stops the router: the accept loop exits, the heartbeat thread
+    /// exits, every client handler flushes a final protocol error and
+    /// exits, all threads are joined. Idempotent, including under
+    /// concurrent callers (same discipline as [`crate::Daemon::stop`]).
+    /// Shard daemons are *not* stopped — they are independent processes.
     pub fn stop(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
         let mut accept = self
@@ -604,6 +1279,14 @@ impl Router {
             let _ = handle.join();
         }
         drop(accept);
+        let mut heartbeat = self
+            .heartbeat_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(handle) = heartbeat.take() {
+            let _ = handle.join();
+        }
+        drop(heartbeat);
         let handles: Vec<JoinHandle<()>> = {
             let mut handlers = self.handlers.lock().unwrap_or_else(PoisonError::into_inner);
             handlers.drain(..).collect()
@@ -617,6 +1300,107 @@ impl Router {
 impl Drop for Router {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// The minimal replica-aware shipping plan between two topologies: for
+/// every namespace, each shard that newly enters its owner set receives a
+/// copy from the warmest surviving old owner (falling back to the old
+/// primary when the whole set turns over). Returns the flat shipment list
+/// and the work grouped by `(source, target)` pair.
+#[allow(clippy::type_complexity)]
+fn replica_plan(
+    inner: &Arc<RouterInner>,
+    before: &ShardMap,
+    after: &ShardMap,
+) -> (Vec<ShippedNamespace>, Vec<((String, String), Vec<String>)>) {
+    let k = inner.k();
+    let mut shipped = Vec::new();
+    let mut by_pair: Vec<((String, String), Vec<String>)> = Vec::new();
+    for namespace in inner.spec.namespaces() {
+        let before_owners: Vec<String> = before
+            .owners_of_namespace(namespace, k)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let after_owners: Vec<String> = after
+            .owners_of_namespace(namespace, k)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for target in after_owners.iter().filter(|t| !before_owners.contains(t)) {
+            let Some(source) = before_owners
+                .iter()
+                .find(|s| after_owners.contains(s))
+                .or_else(|| before_owners.first())
+            else {
+                continue;
+            };
+            let pair = (source.clone(), target.clone());
+            match by_pair.iter_mut().find(|(p, _)| *p == pair) {
+                Some((_, namespaces)) => namespaces.push(namespace.to_string()),
+                None => by_pair.push((pair, vec![namespace.to_string()])),
+            }
+            shipped.push(ShippedNamespace {
+                namespace: namespace.to_string(),
+                from: source.clone(),
+                to: target.clone(),
+            });
+        }
+    }
+    (shipped, by_pair)
+}
+
+/// One heartbeat probe: connect, `PING`, expect `PONG`, all under the
+/// heartbeat timeout.
+fn heartbeat_probe(inner: &RouterInner, addr: SocketAddr) -> io::Result<()> {
+    let timeout = inner.config.heartbeat_timeout.max(Duration::from_millis(1));
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(b"PING\n")?;
+    let reply = read_reply_line(&mut stream)?;
+    if reply == "PONG" {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected heartbeat reply {reply:?}"),
+        ))
+    }
+}
+
+/// The heartbeat thread: probes every shard each interval (feeding the
+/// breakers), then flushes pending replication pushes. Sleeps in small
+/// slices so [`Router::stop`] is never blocked behind a full interval.
+fn heartbeat_loop(inner: Arc<RouterInner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        let shards: Vec<(String, SocketAddr)> = inner
+            .lock_topology()
+            .shards
+            .iter()
+            .map(|s| (s.name.clone(), s.addr))
+            .collect();
+        for (name, addr) in shards {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match heartbeat_probe(&inner, addr) {
+                Ok(()) => inner.note_success(&name),
+                Err(_) => inner.note_failure(&name, true),
+            }
+        }
+        if inner.k() > 1 && !inner.stop.load(Ordering::SeqCst) {
+            let _ = inner.flush_ready_replication();
+        }
+        let deadline = Instant::now() + inner.config.heartbeat_interval;
+        while !inner.stop.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+        }
     }
 }
 
@@ -749,15 +1533,23 @@ struct ConnPool {
 
 /// Rewrite applied to a single forwarded response line.
 enum Rewrite {
-    /// `SUBMIT`: translate `TICKET <local>` to a cluster-wide id.
-    Submit,
+    /// `SUBMIT`: translate `TICKET <local>` to a cluster-wide id,
+    /// remembering the scenario (for failover re-submission) and whether
+    /// the request was already routed to a stand-in replica.
+    Submit {
+        /// The submitted scenario name.
+        scenario: String,
+        /// Routed to a replica because the primary was down.
+        degraded: bool,
+    },
     /// `POLL`: pass through, but re-express `ERR unknown ticket` with the
     /// cluster id the client asked about.
     TicketErr {
         /// The cluster-wide ticket id of the request.
         global: u64,
     },
-    /// `RESULT`: rewrite the echoed ticket id to the cluster id.
+    /// `RESULT`: rewrite the echoed ticket id to the cluster id and flag
+    /// stand-in service with a trailing ` degraded=<shard>` token.
     Result {
         /// The cluster-wide ticket id of the request.
         global: u64,
@@ -767,11 +1559,27 @@ enum Rewrite {
 /// A fan-out verb's accumulator.
 enum FanKind {
     /// `RUN`: sum the per-shard `OK <n>` counts.
-    Run { total: u64 },
-    /// `SNAPSHOT <path>`: sum the per-shard `OK <bytes>` sizes.
-    Snapshot { total: u64 },
+    Run {
+        /// Jobs executed across all reachable shards.
+        total: u64,
+    },
+    /// `SNAPSHOT <path>`: sum the per-shard `OK <bytes>` sizes, tracking
+    /// which per-shard files were written so a failed fan-out can remove
+    /// its partial output.
+    Snapshot {
+        /// Bytes written across all shards.
+        total: u64,
+        /// The client-given base path (per-shard files are
+        /// `<base>.<shard>`).
+        base: String,
+        /// Shards whose snapshot file was confirmed written.
+        written: Vec<String>,
+    },
     /// `STATS`: sum the per-shard cache counters.
-    Stats { sums: [u64; 6] },
+    Stats {
+        /// Running sums in [`STAT_KEYS`] order.
+        sums: [u64; 6],
+    },
 }
 
 /// STATS keys aggregated cluster-wide, in output order.
@@ -784,11 +1592,11 @@ const STAT_KEYS: [&str; 6] = [
     "memo_evictions",
 ];
 
-/// One pending `WAIT` slice on one shard.
+/// One pending `WAIT` slice on one shard: the cluster ids still owed.
 struct WaitPart {
     shard: String,
     epoch: u64,
-    remaining: usize,
+    globals: Vec<u64>,
 }
 
 /// Which counted multi-line verb a [`Expect::Gather`] is collecting.
@@ -846,12 +1654,21 @@ enum Expect {
         /// When the request left the router (feeds the per-shard
         /// forward-latency histogram on resolution).
         sent: Instant,
+        /// The original client request, re-dispatched through
+        /// [`route_request`] (which re-resolves ownership and failover)
+        /// when the owed connection dies.
+        request: String,
+        /// Remaining re-dispatch budget for this pipeline position.
+        retries_left: u8,
     },
     /// One line owed by each listed shard, folded into one response.
     FanOut {
         kind: FanKind,
         pending: Vec<(String, u64)>,
         error: Option<String>,
+        /// Shards skipped because they were unreachable — the degraded
+        /// remainder of a `RUN`/`STATS` fan-out.
+        skipped: Vec<String>,
     },
     /// A cross-shard `WAIT`: local error lines first, then streamed
     /// `DONE`s merged in arrival order.
@@ -970,26 +1787,54 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
             Expect::Local(out)
         }
         "SUBMIT" if !rest.is_empty() => {
-            let Some(namespace) = inner.spec.namespace_of(rest) else {
+            let Some(namespace) = inner.spec.namespace_of(rest).map(str::to_string) else {
                 return Expect::Local(format!("ERR unknown scenario {rest:?}"));
             };
-            let Some(owner) = inner
+            let owners: Vec<String> = inner
                 .lock_topology()
                 .map
-                .owner_of_namespace(namespace)
-                .map(str::to_string)
-            else {
+                .owners_of_namespace(&namespace, inner.k())
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let Some(primary) = owners.first().cloned() else {
                 return Expect::Local("ERR cluster has no shards".into());
             };
-            match forward(inner, pool, &owner, trimmed) {
-                Ok(epoch) => Expect::Forward {
-                    shard: owner,
-                    epoch,
-                    rewrite: Rewrite::Submit,
-                    sent: Instant::now(),
-                },
-                Err(err) => Expect::Local(err),
+            // Highest-ranked live owner first; when every owner is down,
+            // still try the primary so the client gets a concrete error.
+            let mut candidates: Vec<String> = owners
+                .iter()
+                .filter(|o| !inner.shard_down(o))
+                .cloned()
+                .collect();
+            if candidates.is_empty() {
+                candidates.push(primary.clone());
             }
+            let mut last_err = None;
+            for owner in candidates {
+                match forward(inner, pool, &owner, trimmed) {
+                    Ok(epoch) => {
+                        let degraded = owner != primary;
+                        if degraded {
+                            inner.count_failover(&primary);
+                        }
+                        inner.mark_dirty(&namespace);
+                        return Expect::Forward {
+                            shard: owner,
+                            epoch,
+                            rewrite: Rewrite::Submit {
+                                scenario: rest.to_string(),
+                                degraded,
+                            },
+                            sent: Instant::now(),
+                            request: trimmed.to_string(),
+                            retries_left: 1,
+                        };
+                    }
+                    Err(err) => last_err = Some(err),
+                }
+            }
+            Expect::Local(last_err.unwrap_or_else(|| "ERR cluster has no shards".into()))
         }
         "POLL" | "RESULT" => {
             let upper = verb.to_ascii_uppercase();
@@ -1000,21 +1845,61 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     "ERR RESULT expects a numeric ticket".into()
                 });
             };
-            let Some((shard, local)) = inner.lock_tickets().lookup(global) else {
+            let Some(mut entry) = inner.lock_tickets().lookup(global) else {
                 return Expect::Local(format!("ERR unknown ticket {global}"));
             };
-            match forward(inner, pool, &shard, &format!("{upper} {local}")) {
+            let rewrite = |upper: &str| {
+                if upper == "POLL" {
+                    Rewrite::TicketErr { global }
+                } else {
+                    Rewrite::Result { global }
+                }
+            };
+            // A ticket homed on a declared-dead shard is re-homed onto a
+            // warm replica *before* forwarding.
+            if inner.shard_down(&entry.shard) {
+                match inner.failover_ticket(global, &entry) {
+                    Ok(rehomed) => entry = rehomed,
+                    Err(line) => return Expect::Local(line),
+                }
+            }
+            match forward(
+                inner,
+                pool,
+                &entry.shard,
+                &format!("{upper} {}", entry.local),
+            ) {
                 Ok(epoch) => Expect::Forward {
-                    shard,
+                    shard: entry.shard.clone(),
                     epoch,
-                    rewrite: if upper == "POLL" {
-                        Rewrite::TicketErr { global }
-                    } else {
-                        Rewrite::Result { global }
-                    },
+                    rewrite: rewrite(&upper),
                     sent: Instant::now(),
+                    request: trimmed.to_string(),
+                    retries_left: 1,
                 },
-                Err(err) => Expect::Local(err),
+                Err(err) => match inner.failover_ticket(global, &entry) {
+                    // The forward just failed — maybe the shard died
+                    // between heartbeats. One immediate failover attempt.
+                    Ok(rehomed) => {
+                        match forward(
+                            inner,
+                            pool,
+                            &rehomed.shard,
+                            &format!("{upper} {}", rehomed.local),
+                        ) {
+                            Ok(epoch) => Expect::Forward {
+                                shard: rehomed.shard.clone(),
+                                epoch,
+                                rewrite: rewrite(&upper),
+                                sent: Instant::now(),
+                                request: trimmed.to_string(),
+                                retries_left: 1,
+                            },
+                            Err(err2) => Expect::Local(err2),
+                        }
+                    }
+                    Err(_) => Expect::Local(err),
+                },
             }
         }
         "RUN" => fan_out(inner, pool, FanKind::Run { total: 0 }, |_| "RUN".into()),
@@ -1039,9 +1924,17 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
         }),
         "SNAPSHOT" if !rest.is_empty() => {
             let base = rest.to_string();
-            fan_out(inner, pool, FanKind::Snapshot { total: 0 }, move |shard| {
-                format!("SNAPSHOT {base}.{shard}")
-            })
+            let render_base = base.clone();
+            fan_out(
+                inner,
+                pool,
+                FanKind::Snapshot {
+                    total: 0,
+                    base,
+                    written: Vec::new(),
+                },
+                move |shard| format!("SNAPSHOT {render_base}.{shard}"),
+            )
         }
         "WAIT" => {
             if rest.is_empty() {
@@ -1057,36 +1950,43 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                 }
             }
             let mut pre = Vec::new();
-            let mut per_shard: Vec<(String, Vec<u64>)> = Vec::new();
-            {
-                let tickets = inner.lock_tickets();
-                for global in globals {
-                    match tickets.lookup(global) {
-                        Some((shard, local)) => {
-                            match per_shard.iter_mut().find(|(s, _)| *s == shard) {
-                                Some((_, locals)) => locals.push(local),
-                                None => per_shard.push((shard, vec![local])),
+            let mut per_shard: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
+            for global in globals {
+                let entry = inner.lock_tickets().lookup(global);
+                match entry {
+                    None => pre.push(format!("ERR unknown ticket {global}")),
+                    Some(mut entry) => {
+                        if inner.shard_down(&entry.shard) {
+                            match inner.failover_ticket(global, &entry) {
+                                Ok(rehomed) => entry = rehomed,
+                                Err(line) => {
+                                    pre.push(line);
+                                    continue;
+                                }
                             }
                         }
-                        None => pre.push(format!("ERR unknown ticket {global}")),
+                        match per_shard.iter_mut().find(|(s, _)| *s == entry.shard) {
+                            Some((_, items)) => items.push((global, entry.local)),
+                            None => per_shard.push((entry.shard, vec![(global, entry.local)])),
+                        }
                     }
                 }
             }
             let mut parts = Vec::new();
-            for (shard, locals) in per_shard {
-                let locals_line = locals
+            for (shard, items) in per_shard {
+                let locals_line = items
                     .iter()
-                    .map(u64::to_string)
+                    .map(|(_, local)| local.to_string())
                     .collect::<Vec<_>>()
                     .join(" ");
                 match forward(inner, pool, &shard, &format!("WAIT {locals_line}")) {
                     Ok(epoch) => parts.push(WaitPart {
                         shard,
                         epoch,
-                        remaining: locals.len(),
+                        globals: items.iter().map(|(global, _)| *global).collect(),
                     }),
                     Err(err) => {
-                        for _ in &locals {
+                        for _ in &items {
                             pre.push(err.clone());
                         }
                     }
@@ -1100,7 +2000,10 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
 }
 
 /// Forwards `line` to every shard (lines derived per shard by `render`),
-/// returning the folding expectation.
+/// returning the folding expectation. `RUN` and `STATS` degrade — an
+/// unreachable shard is skipped and reported in the `degraded=` suffix —
+/// while `SNAPSHOT` keeps all-or-nothing semantics (a partial cluster
+/// snapshot is worse than none).
 fn fan_out(
     inner: &Arc<RouterInner>,
     pool: &mut ConnPool,
@@ -1111,21 +2014,32 @@ fn fan_out(
     if shards.is_empty() {
         return Expect::Local("ERR cluster has no shards".into());
     }
+    let degrade = !matches!(kind, FanKind::Snapshot { .. });
     let mut pending = Vec::new();
     let mut error = None;
+    let mut skipped = Vec::new();
     for shard in shards {
         match forward(inner, pool, &shard, &render(&shard)) {
             Ok(epoch) => pending.push((shard, epoch)),
-            Err(err) => error = Some(error.unwrap_or(err)),
+            Err(err) => {
+                error.get_or_insert(err);
+                if degrade {
+                    skipped.push(shard);
+                }
+            }
         }
     }
     if pending.is_empty() {
         return Expect::Local(error.unwrap_or_else(|| "ERR cluster has no shards".into()));
     }
+    if degrade {
+        error = None;
+    }
     Expect::FanOut {
         kind,
         pending,
         error,
+        skipped,
     }
 }
 
@@ -1159,6 +2073,24 @@ fn gather(inner: &Arc<RouterInner>, pool: &mut ConnPool, kind: GatherKind, line:
         parts.push(part);
     }
     Expect::Gather { kind, parts }
+}
+
+/// The ` degraded=<shards>` suffix appended to degraded `RUN`/`STATS`
+/// replies: the union of shards skipped by this fan-out and shards the
+/// heartbeat currently declares dead, sorted and comma-joined. Empty when
+/// the cluster is healthy.
+fn degraded_suffix(inner: &Arc<RouterInner>, skipped: &[String]) -> String {
+    let mut names = inner.degraded_shards();
+    for shard in skipped {
+        if !names.contains(shard) {
+            names.push(shard.clone());
+        }
+    }
+    if names.is_empty() {
+        return String::new();
+    }
+    names.sort();
+    format!(" degraded={}", names.join(","))
 }
 
 /// Injects `shard="<name>"` as the *first* label of a Prometheus sample
@@ -1216,6 +2148,11 @@ fn render_gather(inner: &Arc<RouterInner>, kind: GatherKind, parts: &[GatherPart
                     }
                 }
             }
+            for shard in inner.degraded_shards() {
+                out.push(format!(
+                    "# shard {shard} degraded: declared dead by heartbeat; replicas serving"
+                ));
+            }
             let mut reply = format!("METRICS {}", out.len());
             for line in out {
                 reply.push('\n');
@@ -1243,10 +2180,12 @@ fn render_gather(inner: &Arc<RouterInner>, kind: GatherKind, parts: &[GatherPart
     }
 }
 
-/// Sends one line to `shard`, (re)connecting as needed. Returns the epoch
-/// of the connection the line went out on — the expectation must read its
-/// response from that epoch only. The error value is a ready-to-emit
-/// protocol line.
+/// Sends one line to `shard`, (re)connecting as needed with bounded
+/// jittered-backoff retries, gated by the shard's circuit breaker (an
+/// open circuit fails fast without touching the socket). Returns the
+/// epoch of the connection the line went out on — the expectation must
+/// read its response from that epoch only. The error value is a
+/// ready-to-emit protocol line.
 fn forward(
     inner: &Arc<RouterInner>,
     pool: &mut ConnPool,
@@ -1262,21 +2201,42 @@ fn forward(
         pool.conns.remove(shard);
         inner.reconnects.inc();
     }
-    for attempt in 0..2 {
+    let attempts = inner.config.forward_attempts.max(1);
+    let mut rng = jitter_rng();
+    let mut last_err = String::from("no attempt allowed");
+    for attempt in 0..attempts {
+        if !inner.allow_attempt(shard) {
+            return Err(unavailable("circuit open"));
+        }
+        if attempt > 0 {
+            let delay = backoff_delay(&inner.config, attempt, &mut rng);
+            inner
+                .metrics
+                .histogram_with("router_backoff_ms", BACKOFF_HELP, &[("shard", shard)])
+                .record(delay.as_millis() as u64);
+            std::thread::sleep(delay);
+        }
         if !pool.conns.contains_key(shard) {
-            let stream = TcpStream::connect_timeout(&addr, inner.config.connect_timeout)
-                .map_err(|e| unavailable(&e.to_string()))?;
-            let conn = LineConn::new(stream, inner.config.poll_interval)
-                .map_err(|e| unavailable(&e.to_string()))?;
-            pool.next_epoch += 1;
-            pool.conns.insert(
-                shard.to_string(),
-                ShardConn {
-                    conn,
-                    addr,
-                    epoch: pool.next_epoch,
-                },
-            );
+            let connected = TcpStream::connect_timeout(&addr, inner.config.connect_timeout)
+                .and_then(|stream| LineConn::new(stream, inner.config.poll_interval));
+            match connected {
+                Ok(conn) => {
+                    pool.next_epoch += 1;
+                    pool.conns.insert(
+                        shard.to_string(),
+                        ShardConn {
+                            conn,
+                            addr,
+                            epoch: pool.next_epoch,
+                        },
+                    );
+                }
+                Err(err) => {
+                    inner.note_failure(shard, false);
+                    last_err = err.to_string();
+                    continue;
+                }
+            }
         }
         let entry = pool.conns.get_mut(shard).expect("inserted above");
         let epoch = entry.epoch;
@@ -1287,16 +2247,15 @@ fn forward(
                 // Dropping it retires its epoch: responses still owed on
                 // it resolve to "shard unavailable" instead of consuming
                 // this request's reply off the fresh connection — which
-                // makes the single clean retry below safe.
+                // makes the clean retry safe.
                 pool.conns.remove(shard);
                 inner.reconnects.inc();
-                if attempt == 1 {
-                    return Err(unavailable(&err.to_string()));
-                }
+                inner.note_failure(shard, false);
+                last_err = err.to_string();
             }
         }
     }
-    unreachable!("loop either returns or errors on the second attempt")
+    Err(unavailable(&last_err))
 }
 
 /// Reads one response line owed by `shard` on the connection with the
@@ -1358,9 +2317,11 @@ fn resolve_head(
                 epoch,
                 rewrite,
                 sent,
+                request,
+                retries_left,
             } => {
                 let shard_name = shard.clone();
-                let sent = *sent;
+                let sent_at = *sent;
                 match poll_shard(inner, pool, &shard_name, *epoch) {
                     Polled::Line(line) => {
                         inner
@@ -1371,7 +2332,7 @@ fn resolve_head(
                                  (SUBMIT/POLL/RESULT), router-side, in microseconds.",
                                 &[("shard", &shard_name)],
                             )
-                            .record_duration(sent.elapsed());
+                            .record_duration(sent_at.elapsed());
                         let reply = apply_rewrite(inner, &shard_name, rewrite, &line);
                         expects.pop_front();
                         if client.send(&reply).is_err() {
@@ -1380,7 +2341,22 @@ fn resolve_head(
                     }
                     Polled::Pending => return ClientState::Open,
                     Polled::Eof | Polled::Dead => {
+                        // The connection died with the response owed. Burn
+                        // one re-dispatch: route_request re-resolves
+                        // ownership (and ticket failover) from scratch, so
+                        // the retry lands on a replica when one exists.
+                        inner.note_failure(&shard_name, false);
+                        let retries = *retries_left;
+                        let request = request.clone();
                         expects.pop_front();
+                        if retries > 0 {
+                            let mut replacement = route_request(inner, pool, &request);
+                            if let Expect::Forward { retries_left, .. } = &mut replacement {
+                                *retries_left = retries - 1;
+                            }
+                            expects.push_front(replacement);
+                            continue;
+                        }
                         let reply = format!("ERR shard {shard_name} unavailable (connection lost)");
                         if client.send(&reply).is_err() {
                             return ClientState::Closed;
@@ -1392,7 +2368,9 @@ fn resolve_head(
                 kind,
                 pending,
                 error,
+                skipped,
             } => {
+                let degrade = !matches!(kind, FanKind::Snapshot { .. });
                 let mut progressed = true;
                 while progressed && !pending.is_empty() {
                     progressed = false;
@@ -1407,9 +2385,14 @@ fn resolve_head(
                             }
                             Polled::Pending => index += 1,
                             Polled::Eof | Polled::Dead => {
-                                let reason =
-                                    format!("ERR shard {shard} unavailable (connection lost)");
-                                error.get_or_insert(reason);
+                                inner.note_failure(&shard, false);
+                                if degrade {
+                                    skipped.push(shard.clone());
+                                } else {
+                                    error.get_or_insert_with(|| {
+                                        format!("ERR shard {shard} unavailable (connection lost)")
+                                    });
+                                }
                                 pending.remove(index);
                                 progressed = true;
                             }
@@ -1419,11 +2402,23 @@ fn resolve_head(
                 if !pending.is_empty() {
                     return ClientState::Open;
                 }
-                let reply = match (&*kind, error.take()) {
-                    (_, Some(err)) => err,
-                    (FanKind::Run { total } | FanKind::Snapshot { total }, None) => {
-                        format!("OK {total}")
+                let reply = match (&mut *kind, error.take()) {
+                    (FanKind::Snapshot { base, written, .. }, Some(err)) => {
+                        // A failed fan-out must not leave partial
+                        // per-shard files behind: remove what was written.
+                        for shard in written.drain(..) {
+                            let _ = std::fs::remove_file(format!("{base}.{shard}"));
+                        }
+                        err
                     }
+                    (_, Some(err)) => err,
+                    (FanKind::Run { total }, None) => {
+                        // The cluster's queues drained: replica caches can
+                        // be refreshed on the next flush.
+                        inner.promote_dirty();
+                        format!("OK {total}{}", degraded_suffix(inner, skipped))
+                    }
+                    (FanKind::Snapshot { total, .. }, None) => format!("OK {total}"),
                     (FanKind::Stats { sums }, None) => {
                         let shard_count = inner.lock_topology().map.len();
                         let mut out = String::from("STATS");
@@ -1431,6 +2426,7 @@ fn resolve_head(
                             out.push_str(&format!(" {key}={value}"));
                         }
                         out.push_str(&format!(" cluster_shards={shard_count}"));
+                        out.push_str(&degraded_suffix(inner, skipped));
                         out
                     }
                 };
@@ -1446,12 +2442,28 @@ fn resolve_head(
                     }
                 }
                 let mut any_pending = false;
-                for part in parts.iter_mut() {
-                    while part.remaining > 0 {
-                        match poll_shard(inner, pool, &part.shard, part.epoch) {
+                let mut i = 0;
+                while i < parts.len() {
+                    while !parts[i].globals.is_empty() {
+                        let shard = parts[i].shard.clone();
+                        let epoch = parts[i].epoch;
+                        match poll_shard(inner, pool, &shard, epoch) {
                             Polled::Line(line) => {
-                                part.remaining -= 1;
-                                let reply = rewrite_wait_line(inner, &part.shard, &line);
+                                let (reply, resolved) = rewrite_wait_line(inner, &shard, &line);
+                                let part = &mut parts[i];
+                                match resolved
+                                    .and_then(|g| part.globals.iter().position(|x| *x == g))
+                                {
+                                    Some(pos) => {
+                                        part.globals.remove(pos);
+                                    }
+                                    None => {
+                                        // A line we cannot attribute
+                                        // (e.g. a shard-side error)
+                                        // consumes one owed slot.
+                                        part.globals.remove(0);
+                                    }
+                                }
                                 if client.send(&reply).is_err() {
                                     return ClientState::Closed;
                                 }
@@ -1461,19 +2473,76 @@ fn resolve_head(
                                 break;
                             }
                             Polled::Eof | Polled::Dead => {
-                                let reply = format!(
-                                    "ERR shard {} unavailable (connection lost)",
-                                    part.shard
-                                );
-                                for _ in 0..part.remaining {
-                                    if client.send(&reply).is_err() {
-                                        return ClientState::Closed;
+                                // The shard died mid-WAIT: re-home every
+                                // still-owed ticket on a live replica and
+                                // resume waiting there.
+                                inner.note_failure(&shard, false);
+                                let orphans: Vec<u64> = std::mem::take(&mut parts[i].globals);
+                                let mut regroup: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
+                                for global in orphans {
+                                    let entry = inner.lock_tickets().lookup(global);
+                                    let failure = match entry {
+                                        Some(entry) => {
+                                            match inner.failover_ticket(global, &entry) {
+                                                Ok(rehomed) => {
+                                                    match regroup
+                                                        .iter_mut()
+                                                        .find(|(s, _)| *s == rehomed.shard)
+                                                    {
+                                                        Some((_, items)) => {
+                                                            items.push((global, rehomed.local))
+                                                        }
+                                                        None => regroup.push((
+                                                            rehomed.shard.clone(),
+                                                            vec![(global, rehomed.local)],
+                                                        )),
+                                                    }
+                                                    None
+                                                }
+                                                Err(line) => Some(line),
+                                            }
+                                        }
+                                        None => Some(format!("ERR unknown ticket {global}")),
+                                    };
+                                    if let Some(line) = failure {
+                                        if client.send(&line).is_err() {
+                                            return ClientState::Closed;
+                                        }
                                     }
                                 }
-                                part.remaining = 0;
+                                for (new_shard, items) in regroup {
+                                    let locals_line = items
+                                        .iter()
+                                        .map(|(_, local)| local.to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(" ");
+                                    match forward(
+                                        inner,
+                                        pool,
+                                        &new_shard,
+                                        &format!("WAIT {locals_line}"),
+                                    ) {
+                                        Ok(epoch) => parts.push(WaitPart {
+                                            shard: new_shard,
+                                            epoch,
+                                            globals: items
+                                                .iter()
+                                                .map(|(global, _)| *global)
+                                                .collect(),
+                                        }),
+                                        Err(err) => {
+                                            for _ in &items {
+                                                if client.send(&err).is_err() {
+                                                    return ClientState::Closed;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
+                    i += 1;
                 }
                 if any_pending {
                     return ClientState::Open;
@@ -1541,14 +2610,18 @@ fn resolve_head(
 /// Applies a single-line response rewrite.
 fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line: &str) -> String {
     match rewrite {
-        Rewrite::Submit => match line
+        Rewrite::Submit { scenario, degraded } => match line
             .strip_prefix("TICKET ")
             .and_then(|s| s.parse::<u64>().ok())
         {
             Some(local) => {
-                let global = inner
-                    .lock_tickets()
-                    .allocate(shard, local, inner.config.max_tickets);
+                let global = inner.lock_tickets().allocate(
+                    shard,
+                    local,
+                    scenario,
+                    *degraded,
+                    inner.config.max_tickets,
+                );
                 inner.remaps.inc();
                 format!("TICKET {global}")
             }
@@ -1563,9 +2636,16 @@ fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line:
         }
         Rewrite::Result { global } => {
             if let Some(rest) = line.strip_prefix("RESULT ") {
+                // Stand-in service is flagged: the payload is correct
+                // (warm replica cache) but served by a non-primary.
+                let flag = if inner.lock_tickets().degraded(*global) {
+                    format!(" degraded={shard}")
+                } else {
+                    String::new()
+                };
                 match rest.split_once(' ') {
-                    Some((_, payload)) => format!("RESULT {global} {payload}"),
-                    None => format!("RESULT {global}"),
+                    Some((_, payload)) => format!("RESULT {global} {payload}{flag}"),
+                    None => format!("RESULT {global}{flag}"),
                 }
             } else if line.starts_with("ERR unknown ticket") {
                 format!("ERR unknown ticket {global}")
@@ -1587,9 +2667,22 @@ fn fold_fan_line(kind: &mut FanKind, error: &mut Option<String>, shard: &str, li
         return;
     }
     match kind {
-        FanKind::Run { total } | FanKind::Snapshot { total } => {
+        FanKind::Run { total } => {
             match line.strip_prefix("OK ").and_then(|s| s.parse::<u64>().ok()) {
                 Some(n) => *total += n,
+                None => {
+                    error.get_or_insert_with(|| {
+                        format!("ERR shard {shard}: unexpected reply {line:?}")
+                    });
+                }
+            }
+        }
+        FanKind::Snapshot { total, written, .. } => {
+            match line.strip_prefix("OK ").and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => {
+                    *total += n;
+                    written.push(shard.to_string());
+                }
                 None => {
                     error.get_or_insert_with(|| {
                         format!("ERR shard {shard}: unexpected reply {line:?}")
@@ -1618,19 +2711,162 @@ fn fold_fan_line(kind: &mut FanKind, error: &mut Option<String>, shard: &str, li
 }
 
 /// Rewrites one streamed `WAIT` line (`DONE <local> …` or an error) to
-/// cluster ticket ids.
-fn rewrite_wait_line(inner: &Arc<RouterInner>, shard: &str, line: &str) -> String {
+/// cluster ticket ids, returning the rewritten line and the cluster id it
+/// resolved, when attributable.
+fn rewrite_wait_line(inner: &Arc<RouterInner>, shard: &str, line: &str) -> (String, Option<u64>) {
     let translate = |local: u64| inner.lock_tickets().global_for(shard, local);
     if let Some(rest) = line.strip_prefix("DONE ") {
         if let Some((id, payload)) = rest.split_once(' ') {
             if let Some(global) = id.parse::<u64>().ok().and_then(translate) {
-                return format!("DONE {global} {payload}");
+                return (format!("DONE {global} {payload}"), Some(global));
             }
         }
     } else if let Some(rest) = line.strip_prefix("ERR unknown ticket ") {
         if let Some(global) = rest.trim().parse::<u64>().ok().and_then(translate) {
-            return format!("ERR unknown ticket {global}");
+            return (format!("ERR unknown ticket {global}"), Some(global));
         }
     }
-    line.to_string()
+    (line.to_string(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_grow_and_stay_inside_the_jitter_window() {
+        let config = RouterConfig::default();
+        let mut rng = jitter_rng();
+        let mut caps = Vec::new();
+        for attempt in 1..=8u32 {
+            let cap = config
+                .backoff_base
+                .saturating_mul(1 << (attempt - 1))
+                .min(config.backoff_max);
+            caps.push(cap);
+            for _ in 0..32 {
+                let delay = backoff_delay(&config, attempt, &mut rng);
+                assert!(delay <= cap, "attempt {attempt}: {delay:?} > cap {cap:?}");
+                let floor = Duration::from_micros(cap.as_micros() as u64 / 2);
+                assert!(
+                    delay >= floor,
+                    "attempt {attempt}: {delay:?} < jitter floor {floor:?}"
+                );
+            }
+        }
+        // Exponential until the cap, then flat.
+        assert!(caps[0] < caps[1] && caps[1] < caps[2]);
+        assert_eq!(*caps.last().expect("caps"), config.backoff_max);
+    }
+
+    #[test]
+    fn circuit_breaker_walks_closed_open_half_open_closed() {
+        let mut health = ShardHealth::default();
+        assert_eq!(health.state, CircuitState::Closed);
+        health.on_failure(3);
+        health.on_failure(3);
+        assert_eq!(health.state, CircuitState::Closed, "below the threshold");
+        health.on_failure(3);
+        assert_eq!(health.state, CircuitState::Open, "threshold reached");
+        assert!(
+            !health.allow_attempt(Duration::from_secs(3600)),
+            "open circuit fails fast inside the cooldown"
+        );
+        assert!(
+            health.allow_attempt(Duration::ZERO),
+            "cooldown elapsed: one trial goes through"
+        );
+        assert_eq!(health.state, CircuitState::HalfOpen);
+        health.on_failure(3);
+        assert_eq!(health.state, CircuitState::Open, "failed trial re-opens");
+        assert!(health.allow_attempt(Duration::ZERO));
+        health.on_success();
+        assert_eq!(
+            health.state,
+            CircuitState::HalfOpen,
+            "one success is not enough to close"
+        );
+        health.on_success();
+        assert_eq!(
+            health.state,
+            CircuitState::Closed,
+            "two consecutive successes close the breaker"
+        );
+        assert_eq!(health.misses, 0);
+    }
+
+    #[test]
+    fn ticket_table_remaps_onto_a_replica_and_flags_degraded() {
+        let mut table = TicketTable::default();
+        let global = table.allocate("a", 7, "scen", false, 8);
+        assert_eq!(table.global_for("a", 7), Some(global));
+        assert!(!table.degraded(global));
+
+        assert!(table.remap(global, "b", 3), "known id remaps");
+        let entry = table.lookup(global).expect("remapped entry");
+        assert_eq!((entry.shard.as_str(), entry.local), ("b", 3));
+        assert_eq!(entry.scenario, "scen");
+        assert!(entry.degraded && table.degraded(global));
+        assert_eq!(
+            table.global_for("a", 7),
+            None,
+            "the old reverse mapping is gone"
+        );
+        assert_eq!(table.global_for("b", 3), Some(global));
+
+        table.purge_shard("b");
+        assert!(table.lookup(global).is_none());
+        assert!(!table.remap(999, "c", 1), "unknown ids do not remap");
+    }
+
+    #[test]
+    fn hex_decode_round_trips_and_rejects_garbage() {
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+        assert_eq!(hex_decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex digit");
+    }
+
+    /// The four failover telemetry families render — at zero, with the
+    /// shard label — from the moment the router binds, so a scrape never
+    /// misses them just because nothing failed yet (satellite: telemetry
+    /// for heartbeat misses, failovers, backoff and circuit state).
+    #[test]
+    fn per_shard_failover_families_render_from_bind() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind responder");
+        let addr = listener.local_addr().expect("responder addr");
+        // A minimal PING responder so heartbeat probes succeed. The
+        // thread parks in accept() and dies with the test process.
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let mut buf = [0u8; 64];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(b"PONG\n");
+            }
+        });
+        let spec = ClusterSpec::new([("scen", "ns")]).expect("spec");
+        let config = RouterConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(200),
+            ..RouterConfig::default()
+        };
+        let router = Router::bind_with(spec, vec![("s0".to_string(), addr)], "127.0.0.1:0", config)
+            .expect("bind router");
+        let lines = router.metrics().render();
+        for needle in [
+            "router_circuit_state{shard=\"s0\"} 0",
+            "router_heartbeat_misses_total{shard=\"s0\"} 0",
+            "router_failovers_total{shard=\"s0\"} 0",
+            "router_backoff_ms_bucket{shard=\"s0\"",
+        ] {
+            assert!(
+                lines.iter().any(|l| l.starts_with(needle)),
+                "family {needle:?} missing from the bind-time exposition:\n{lines:#?}"
+            );
+        }
+        assert_eq!(router.circuit_state("s0"), CircuitState::Closed);
+        assert_eq!(router.circuit_state("ghost"), CircuitState::Closed);
+        router.stop();
+    }
 }

@@ -558,6 +558,38 @@ impl Service {
         )?)
     }
 
+    /// Encodes the given cache namespaces (plus their guard pairs and a
+    /// manifest of the names) as in-memory shipment bytes — the payload
+    /// the `SHIP` wire verb carries shard-to-shard without touching a
+    /// shared filesystem. Identical format to
+    /// [`Service::snapshot_namespaces_to`], minus the file.
+    pub fn shipment_bytes(&self, namespaces: &[String]) -> Vec<u8> {
+        let keys: Vec<u64> = namespaces
+            .iter()
+            .map(|ns| modis_engine::SharedEvalCache::namespace_key(ns))
+            .collect();
+        let guards: Vec<(u64, u64)> = self
+            .engine
+            .namespace_fingerprints()
+            .into_iter()
+            .filter(|(key, _)| keys.contains(key))
+            .collect();
+        snapshot::encode_shipment(namespaces, self.engine.cache(), &keys, &guards)
+    }
+
+    /// The stable content digest of the given cache namespaces
+    /// ([`modis_engine::SharedEvalCache::namespace_digest`]): equal
+    /// digests on two shards mean their resident state for those
+    /// namespaces is identical, so a replication driver can skip the
+    /// shipment entirely.
+    pub fn namespace_digest(&self, namespaces: &[String]) -> u64 {
+        let keys: Vec<u64> = namespaces
+            .iter()
+            .map(|ns| modis_engine::SharedEvalCache::namespace_key(ns))
+            .collect();
+        self.engine.cache().namespace_digest(&keys)
+    }
+
     /// Merges a snapshot or namespace shipment from `path` into the live
     /// cache (hashed insertion — no slot-geometry replay, safe while
     /// serving), returning the number of evaluations merged.
@@ -568,9 +600,16 @@ impl Service {
     /// same namespace describes a different search space, and merging it
     /// would poison valuations — the whole file is rejected instead.
     pub fn restore_from(&self, path: &Path) -> Result<usize, ServiceError> {
-        let _span = self.engine.tracer().span("restore");
         let bytes = std::fs::read(path).map_err(snapshot::SnapshotError::Io)?;
-        let decoded = snapshot::decode_any(&bytes)?;
+        self.restore_from_bytes(&bytes)
+    }
+
+    /// [`Service::restore_from`] for in-memory bytes — the receive side of
+    /// the `SHIP` wire verb. Same wholesale guard validation: a
+    /// fingerprint conflict rejects the entire payload and merges nothing.
+    pub fn restore_from_bytes(&self, bytes: &[u8]) -> Result<usize, ServiceError> {
+        let _span = self.engine.tracer().span("restore");
+        let decoded = snapshot::decode_any(bytes)?;
         for &(key, fingerprint) in &decoded.namespace_fingerprints {
             if let Some(recorded) = self.engine.namespace_fingerprint(key) {
                 if recorded != fingerprint {

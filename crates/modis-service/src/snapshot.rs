@@ -393,7 +393,13 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
         std::process::id(),
         TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
     ));
-    std::fs::write(&tmp, bytes)?;
+    if let Err(err) = std::fs::write(&tmp, bytes) {
+        // A failed write (disk full, permissions revoked mid-write) can
+        // still have created a partial temp file — remove it so error
+        // paths leave no litter next to the real snapshot.
+        let _ = std::fs::remove_file(&tmp);
+        return Err(err.into());
+    }
     if let Err(err) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(err.into());
@@ -636,6 +642,23 @@ mod tests {
         assert_eq!(partial.stats().entries, 20);
         std::fs::remove_file(&snap).unwrap();
         std::fs::remove_file(&ship).unwrap();
+    }
+
+    #[test]
+    fn failed_saves_leave_no_temp_files_behind() {
+        let cache = populated_cache();
+        let dir = std::env::temp_dir().join(format!("modis_atomic_fail_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("occupied").join("inner")).unwrap();
+        // The target is a non-empty directory, so the final rename must
+        // fail — and the uniquely-named temp sibling must be cleaned up.
+        assert!(save_to_path(&cache, &[], &dir.join("occupied")).is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

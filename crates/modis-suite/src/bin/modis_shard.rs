@@ -17,6 +17,13 @@
 //! Each shard serves its own `METRICS` / `TRACE DUMP` exposition (see
 //! `docs/OBSERVABILITY.md`); a fronting router merges those into one
 //! cluster-wide scrape with `shard="…"` labels.
+//!
+//! A shard needs no replication configuration of its own: the router's
+//! K-way placement drives everything through the ordinary wire protocol.
+//! `PING` answers the router's heartbeat probes, `EXPORT` serializes
+//! namespaces into a wire shipment on a primary, and `SHIP` installs a
+//! shipment pushed to a replica — so any shard can be promoted to serve a
+//! dead primary's namespaces from its warm replica cache.
 
 use std::io::Read;
 use std::sync::Arc;

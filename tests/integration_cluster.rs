@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
@@ -33,7 +33,8 @@ use modis_core::substrate::mock::MockSubstrate;
 use modis_core::substrate::Substrate;
 use modis_engine::{Algorithm, Scenario, SharedEvalCache};
 use modis_service::{
-    result_line, ClusterSpec, Daemon, JobState, Router, Service, ServiceConfig, ShardMap,
+    result_line, CircuitState, ClusterSpec, Daemon, JobState, Router, RouterConfig, Service,
+    ServiceConfig, ShardMap,
 };
 
 static TEMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -120,6 +121,52 @@ proptest! {
             back.remove("joiner");
             for &key in &keys {
                 prop_assert_eq!(back.owner_of(key), before.owner_of(key));
+            }
+        }
+    }
+
+    /// The K-way generalisation: replica sets are always `min(K, shards)`
+    /// *distinct* shards, and a topology change moves replica sets
+    /// minimally — a join gains only the joiner (displacing at most one
+    /// rank) with a warm surviving source to ship from; a leave loses only
+    /// the leaver, promoting at most one stand-in.
+    #[test]
+    fn top_k_owner_sets_stay_distinct_and_move_minimally(
+        keys in prop::collection::vec(any::<u64>(), 1..150),
+        shard_count in 1usize..8,
+        k in 1usize..4,
+    ) {
+        let names: Vec<String> = (0..shard_count).map(|i| format!("s{i}")).collect();
+        let before = ShardMap::from_names(names.clone());
+        for &key in &keys {
+            let owners = before.owners_of(key, k);
+            prop_assert_eq!(owners.len(), k.min(shard_count), "min(K, shards) owners");
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), owners.len(), "owners are distinct");
+            prop_assert_eq!(owners.first().copied(), before.owner_of(key), "rank 0 is the primary");
+        }
+
+        // Join: every changed replica set gains exactly the joiner.
+        let mut joined = before.clone();
+        joined.add("joiner".to_string());
+        for mv in before.reassigned_replicas(&joined, keys.iter().copied(), k) {
+            prop_assert_eq!(&mv.gained, &vec!["joiner".to_string()], "only the joiner gains");
+            prop_assert!(mv.lost.len() <= 1, "at most the displaced rank leaves");
+            let source = mv.source.clone().expect("warm source");
+            prop_assert!(names.contains(&source), "the source survives the join");
+        }
+
+        // Leave: every changed replica set loses exactly the leaver.
+        if shard_count > 1 {
+            let victim = names[0].clone();
+            let mut left = before.clone();
+            left.remove(&victim);
+            for mv in before.reassigned_replicas(&left, keys.iter().copied(), k) {
+                prop_assert_eq!(&mv.lost, &vec![victim.clone()], "only the leaver loses");
+                prop_assert!(mv.gained.len() <= 1, "at most one stand-in is promoted");
+                prop_assert!(mv.source.is_some());
             }
         }
     }
@@ -718,4 +765,167 @@ fn killed_shard_restarts_from_snapshot_with_byte_identical_skylines() {
     for shard in ["s1", "s2"] {
         let _ = std::fs::remove_file(format!("{}.{shard}", base.display()));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Failover: SIGKILL a primary, replicas serve with zero operator action
+// ---------------------------------------------------------------------------
+
+/// Strips the ` degraded=<shard>` marker a failed-over response carries.
+fn strip_degraded(payload: &str) -> &str {
+    match payload.rfind(" degraded=") {
+        Some(cut) => &payload[..cut],
+        None => payload,
+    }
+}
+
+/// The HA tentpole's acceptance path: a 3-shard cluster with K=2
+/// replication runs the T3 suite, the router pushes every namespace delta
+/// to its replica, and then the primary of one pool is SIGKILLed. With
+/// **no operator action** — no `set_shard_addr`, no revival — the
+/// heartbeat declares it dead, pre-crash tickets transparently re-home
+/// onto the warm replica, the full suite keeps serving byte-identical
+/// skylines at zero paid valuations, and the degradation is visible
+/// (`degraded=` flags, `router_failovers_total`).
+#[test]
+fn primary_sigkill_fails_over_to_warm_replica_without_operator_action() {
+    let seeds = [5u64, 9];
+    let max_states = 12;
+    let names = t3_cluster_scenarios(&seeds);
+
+    let mut shards: Vec<(String, ShardProc)> = (1..=3)
+        .map(|i| (format!("s{i}"), ShardProc::spawn("5,9", max_states, None)))
+        .collect();
+    let config = RouterConfig {
+        replication: 2,
+        heartbeat_interval: Duration::from_millis(40),
+        heartbeat_timeout: Duration::from_millis(150),
+        heartbeat_misses: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        open_cooldown: Duration::from_millis(250),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind_with(
+        t3_cluster_spec(&seeds),
+        shards
+            .iter()
+            .map(|(name, proc_)| (name.clone(), proc_.addr))
+            .collect(),
+        "127.0.0.1:0",
+        config,
+    )
+    .unwrap();
+
+    // Cold suite, then make sure every completed namespace's delta has
+    // reached its replica owner *before* the crash.
+    let first = drive_suite(router.addr(), &names);
+    let warm_copies = router.flush_replication();
+    assert!(warm_copies > 0, "no replica received a namespace delta");
+
+    // SIGKILL the primary of the seed-9 pool. From here on the router is
+    // on its own: the test never rewires or revives anything.
+    let victim = router
+        .owner_of(&t3_cluster_namespace(9))
+        .expect("namespace owned");
+    shards
+        .iter_mut()
+        .find(|(name, _)| *name == victim)
+        .expect("victim process")
+        .1
+        .kill();
+
+    // The heartbeat must declare the victim dead unaided.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.circuit_state(&victim) == CircuitState::Closed {
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never declared {victim} dead"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A pre-crash ticket homed on the victim: RESULT re-homes it onto the
+    // warm replica — byte-identical payload, flagged as stand-in service.
+    let victim_outcome = first
+        .iter()
+        .find(|outcome| {
+            let seed: u64 = outcome.scenario[3..outcome.scenario.find('/').unwrap()]
+                .parse()
+                .unwrap();
+            router.owner_of(&t3_cluster_namespace(seed)).as_deref() == Some(victim.as_str())
+        })
+        .expect("the victim owned some pool");
+    let stream = TcpStream::connect(router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "RESULT {}", victim_outcome.ticket).unwrap();
+    let reply = recv(&mut reader);
+    let rest = reply
+        .strip_prefix("RESULT ")
+        .unwrap_or_else(|| panic!("failover RESULT: {reply}"));
+    let (id, payload) = rest.split_once(' ').expect("RESULT payload");
+    assert_eq!(
+        id.parse::<u64>().expect("numeric id"),
+        victim_outcome.ticket
+    );
+    assert!(
+        payload.contains(" degraded="),
+        "stand-in service must be flagged: {payload}"
+    );
+    assert_eq!(
+        strip_degraded(payload),
+        victim_outcome.result,
+        "{}: failed-over skyline must be byte-identical",
+        victim_outcome.scenario
+    );
+    let _ = writeln!(writer, "QUIT");
+
+    // The full suite keeps serving through the degraded cluster:
+    // byte-identical skylines, zero paid valuations (the replica answers
+    // from the shipped warm cache — nothing retrains).
+    let second = drive_suite(router.addr(), &names);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(
+            strip_degraded(&b.result),
+            a.result,
+            "{}: degraded-cluster skyline must be byte-identical",
+            a.scenario
+        );
+        assert_eq!(
+            done_field(&b.done, "cost"),
+            0,
+            "{}: failover retrained something ({})",
+            a.scenario,
+            b.done
+        );
+    }
+    assert!(
+        second.iter().any(|o| o.result.contains(" degraded=")),
+        "no response carried the degraded flag"
+    );
+
+    // The degradation is observable: the failover counter moved and the
+    // cluster STATS line names the dead shard.
+    let failovers: u64 = router
+        .metrics()
+        .render()
+        .iter()
+        .find_map(|line| {
+            line.strip_prefix(&format!("router_failovers_total{{shard=\"{victim}\"}} "))
+                .and_then(|value| value.trim().parse().ok())
+        })
+        .expect("failover counter rendered");
+    assert!(failovers >= 1, "no failover counted for {victim}");
+    let stats = fetch_stats(router.addr());
+    assert!(
+        stats.contains(&format!("degraded={victim}")),
+        "STATS must flag the dead shard: {stats}"
+    );
+
+    router.stop();
 }
