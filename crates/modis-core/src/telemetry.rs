@@ -12,8 +12,20 @@
 //!   estimation and lossless [`Histogram::merge`] — rendered on demand as
 //!   Prometheus-style text exposition ([`MetricsRegistry::render`]);
 //! * a fixed-capacity ring-buffer span [`Tracer`] with scoped [`Span`]
-//!   guards (start, duration, parent, thread), cheap enough to leave on
-//!   in production and dumped over the wire by the `TRACE DUMP` verb.
+//!   guards (start, duration, parent, thread, trace), cheap enough to
+//!   leave on in production and dumped over the wire by the `TRACE DUMP`
+//!   verb.
+//!
+//! Spans stitch across threads and processes through an explicit
+//! [`TraceContext`]: a `(trace_id, span_id, parent_id)` triple minted
+//! once per request, carried through job queues onto executor threads
+//! ([`Tracer::span_with`]) and across the wire as a fixed-width hex
+//! token ([`TraceContext::encode`] / [`TraceContext::decode`]). Every
+//! span recorded under a context lands in a bounded per-trace index
+//! ([`Tracer::trace_spans`]) so the `EXPLAIN` verb can answer one
+//! request's complete, time-ordered timeline; the slowest stitched
+//! traces over a caller-chosen threshold are additionally kept in a
+//! slow-request ring ([`Tracer::note_slow`] / [`Tracer::slowest`]).
 //!
 //! Instruments are registered once (idempotently) and the returned
 //! `Arc` handles are updated with single relaxed atomic operations — the
@@ -23,10 +35,10 @@
 //! telemetry installed by [`with_ambient`] for the current call tree.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Number of log2 buckets a [`Histogram`] keeps: one per possible bit
 /// width of a `u64` sample (0 has width 0), so every sample maps to
@@ -459,14 +471,91 @@ fn merge_inf(block: &str) -> String {
     }
 }
 
+/// An explicit trace context: the identity a request carries across
+/// thread hops (reactor → executor) and process hops (router → shard) so
+/// spans recorded anywhere stitch into one timeline.
+///
+/// `trace_id` names the whole request tree (`0` = untraced); `span_id`
+/// names the span the carrier is currently *inside*, which becomes the
+/// parent of any span opened under this context ([`Tracer::span_with`]);
+/// `parent_id` is that span's own parent. On the wire a context is 48
+/// fixed-width lowercase hex digits — the argument of the optional
+/// `CTX <hex>` request prefix.
+///
+/// ```
+/// use modis_core::telemetry::TraceContext;
+/// let ctx = TraceContext { trace_id: 0xabc, span_id: 7, parent_id: 0 };
+/// let hex = ctx.encode();
+/// assert_eq!(hex.len(), TraceContext::WIRE_LEN);
+/// assert_eq!(TraceContext::decode(&hex), Some(ctx));
+/// assert_eq!(TraceContext::decode("not hex"), None);
+/// assert_eq!(TraceContext::decode(&hex[..40]), None, "truncated");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies the whole request tree (0 = untraced).
+    pub trace_id: u64,
+    /// The span this context is currently inside: spans opened under the
+    /// context record it as their parent.
+    pub span_id: u64,
+    /// The parent of `span_id` (0 = root).
+    pub parent_id: u64,
+}
+
+impl TraceContext {
+    /// Length of the wire encoding, in hex digits.
+    pub const WIRE_LEN: usize = 48;
+
+    /// The untraced context (all zeros): spans opened under it are kept
+    /// in the retention rings but never indexed into a trace timeline.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        parent_id: 0,
+    };
+
+    /// Whether this is the untraced context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// The fixed-width wire form: `trace_id`, `span_id` and `parent_id`
+    /// as three concatenated 16-digit lowercase hex fields.
+    pub fn encode(&self) -> String {
+        format!(
+            "{:016x}{:016x}{:016x}",
+            self.trace_id, self.span_id, self.parent_id
+        )
+    }
+
+    /// Strict inverse of [`TraceContext::encode`]: exactly
+    /// [`TraceContext::WIRE_LEN`] hex digits (case-insensitive), anything
+    /// else — wrong length, stray characters, truncation — answers
+    /// `None`. Decoding never panics on any input.
+    pub fn decode(hex: &str) -> Option<TraceContext> {
+        if hex.len() != Self::WIRE_LEN || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let field = |i: usize| u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).ok();
+        Some(TraceContext {
+            trace_id: field(0)?,
+            span_id: field(1)?,
+            parent_id: field(2)?,
+        })
+    }
+}
+
 /// One completed span captured by a [`Tracer`].
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
     /// Unique id within the tracer's lifetime (never 0).
     pub id: u64,
     /// Id of the span that was open on the same thread when this one
-    /// started, or 0 for a root span.
+    /// started (or the explicit [`TraceContext::span_id`] for spans
+    /// opened with [`Tracer::span_with`]), or 0 for a root span.
     pub parent: u64,
+    /// The trace this span belongs to, or 0 for an untraced span.
+    pub trace: u64,
     /// A stable per-thread discriminator (hash of the thread id).
     pub thread: u64,
     /// Static name given at [`Tracer::span`] time.
@@ -477,48 +566,99 @@ pub struct SpanRecord {
     pub dur_us: u64,
 }
 
+/// One entry of the slow-request log: a stitched trace whose end-to-end
+/// duration crossed the caller's threshold (see [`Tracer::note_slow`]).
+#[derive(Debug, Clone)]
+pub struct SlowTrace {
+    /// The trace id of the slow request.
+    pub trace: u64,
+    /// End-to-end duration the caller observed, microseconds.
+    pub dur_us: u64,
+    /// Spans indexed for the trace when it was noted.
+    pub spans: usize,
+    /// Caller-supplied label (e.g. the scenario name).
+    pub label: String,
+}
+
 /// How many ring shards a [`Tracer`] spreads completed spans over: spans
 /// completing on different threads usually land in different shards, so
 /// the (tiny) critical section is rarely contended.
 const TRACER_SHARDS: usize = 8;
 
+/// Most traces the per-trace span index retains, FIFO-evicted: the
+/// newest `TRACE_INDEX_TRACES` distinct trace ids stay explainable.
+const TRACE_INDEX_TRACES: usize = 256;
+
+/// Most spans indexed per trace. Later spans of an over-long trace stay
+/// in the retention rings (and in `TRACE DUMP`) but leave the stitched
+/// `EXPLAIN` timeline — the bound keeps a runaway trace from pinning
+/// unbounded memory.
+const TRACE_INDEX_SPANS: usize = 128;
+
+/// How many traces the slow-request ring retains (the N slowest).
+const SLOW_TRACES: usize = 32;
+
 /// A fixed-capacity ring buffer of completed [`SpanRecord`]s.
 ///
 /// Scoped [`Span`] guards record start/end/parent on drop; the newest
-/// `capacity` completed spans are retained, oldest evicted first. Parent
-/// linkage is tracked per thread (a span's parent is whatever span was
-/// open on the same thread when it started), so nesting works without
-/// any explicit context passing. Recording costs one `Instant::now()`,
-/// one sharded mutex lock and a `VecDeque` push — spans are for
-/// *operations* (a drain, a job, a snapshot), not per-request hot paths;
-/// those use [`Histogram`]s.
+/// `capacity` completed spans are retained, oldest evicted first (each
+/// eviction counted by [`Tracer::dropped_spans`]). Parent linkage is
+/// implicit within a thread (a span's parent is whatever span was open
+/// on the same thread when it started) and *explicit* across hops:
+/// [`Tracer::span_with`] parents a span under a [`TraceContext`] carried
+/// over from another thread or process, and spans opened implicitly
+/// inside it inherit its trace id. Recording costs one `Instant::now()`,
+/// one sharded mutex lock and a `VecDeque` push (traced spans pay one
+/// more small lock for the per-trace index) — spans are for *operations*
+/// (a drain, a job, a scenario), not per-request hot paths; those use
+/// [`Histogram`]s.
 ///
 /// ```
 /// use std::sync::Arc;
 /// use modis_core::telemetry::Tracer;
 /// let tracer = Arc::new(Tracer::with_capacity(16));
+/// let ctx = tracer.mint_context();
 /// {
-///     let _outer = tracer.span("outer");
-///     let _inner = tracer.span("inner");
+///     let outer = tracer.span_with("outer", ctx);
+///     let _inner = tracer.span("inner"); // implicit child of outer
+///     assert_eq!(outer.context().trace_id, ctx.trace_id);
 /// } // guards drop here, inner first
-/// let spans = tracer.recent(16);
+/// let spans = tracer.trace_spans(ctx.trace_id);
 /// assert_eq!(spans.len(), 2);
 /// let inner = spans.iter().find(|s| s.name == "inner").unwrap();
 /// let outer = spans.iter().find(|s| s.name == "outer").unwrap();
 /// assert_eq!(inner.parent, outer.id);
-/// assert_eq!(outer.parent, 0);
+/// assert_eq!(outer.parent, ctx.span_id);
+/// assert_eq!(inner.trace, outer.trace);
 /// ```
 #[derive(Debug)]
 pub struct Tracer {
-    shards: [Mutex<std::collections::VecDeque<SpanRecord>>; TRACER_SHARDS],
+    shards: [Mutex<VecDeque<SpanRecord>>; TRACER_SHARDS],
     per_shard_capacity: usize,
     epoch: Instant,
+    /// Microseconds since the Unix epoch at construction: added to
+    /// `start_us` offsets when timelines from several processes must
+    /// sort against each other (`EXPLAIN` stitching).
+    wall_anchor_us: u64,
     next_id: AtomicU64,
+    next_trace: AtomicU64,
+    /// Spans evicted from the retention rings (silent loss made visible).
+    dropped: AtomicU64,
+    traces: Mutex<TraceIndex>,
+    slow: Mutex<Vec<SlowTrace>>,
+}
+
+/// The bounded trace-id → spans index behind [`Tracer::trace_spans`].
+#[derive(Debug, Default)]
+struct TraceIndex {
+    spans: HashMap<u64, Vec<SpanRecord>>,
+    order: VecDeque<u64>,
 }
 
 thread_local! {
-    /// Ids of the spans currently open on this thread, innermost last.
-    static OPEN_SPANS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// `(id, trace)` of the spans currently open on this thread,
+    /// innermost last — implicit children inherit the trace id.
+    static OPEN_SPANS: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A stable discriminator for the current thread.
@@ -531,46 +671,140 @@ fn thread_token() -> u64 {
 
 impl Tracer {
     /// Creates a tracer retaining (about) the newest `capacity` completed
-    /// spans across all threads.
+    /// spans across all threads. Span and trace ids are salted with the
+    /// process id so ids minted by different processes of one cluster
+    /// never collide in a stitched timeline.
     pub fn with_capacity(capacity: usize) -> Tracer {
+        let salt = (std::process::id() as u64) << 40;
         Tracer {
-            shards: std::array::from_fn(|_| Mutex::new(std::collections::VecDeque::new())),
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
             per_shard_capacity: capacity.div_ceil(TRACER_SHARDS).max(1),
             epoch: Instant::now(),
-            next_id: AtomicU64::new(1),
+            wall_anchor_us: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+            next_id: AtomicU64::new(salt | 1),
+            next_trace: AtomicU64::new(salt | 1),
+            dropped: AtomicU64::new(0),
+            traces: Mutex::new(TraceIndex::default()),
+            slow: Mutex::new(Vec::new()),
         }
     }
 
     /// Opens a scoped span: the returned guard records a [`SpanRecord`]
     /// when dropped. Spans opened while this one is open (on the same
-    /// thread) record it as their parent.
+    /// thread) record it as their parent and inherit its trace id.
     pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let parent = OPEN_SPANS.with(|stack| {
+        let (parent, trace) = OPEN_SPANS.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let parent = stack.last().copied().unwrap_or(0);
-            stack.push(id);
-            parent
+            let (parent, trace) = stack.last().copied().unwrap_or((0, 0));
+            stack.push((id, trace));
+            (parent, trace)
         });
         Span {
             tracer: Arc::clone(self),
             name,
             id,
             parent,
+            trace,
             start: Instant::now(),
         }
     }
 
+    /// Opens a scoped span under an explicit [`TraceContext`] — the hop
+    /// closer: the span parents under `ctx.span_id` regardless of what
+    /// is open on the current thread, and implicit spans opened inside
+    /// it inherit `ctx.trace_id`.
+    pub fn span_with(self: &Arc<Self>, name: &'static str, ctx: TraceContext) -> Span {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        OPEN_SPANS.with(|stack| stack.borrow_mut().push((id, ctx.trace_id)));
+        Span {
+            tracer: Arc::clone(self),
+            name,
+            id,
+            parent: ctx.span_id,
+            trace: ctx.trace_id,
+            start: Instant::now(),
+        }
+    }
+
+    /// Mints a fresh root context: a new (process-salted) trace id and a
+    /// new root span id with no parent. One per traced request.
+    pub fn mint_context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.next_trace.fetch_add(1, Ordering::Relaxed),
+            span_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent_id: 0,
+        }
+    }
+
+    /// Derives a child context of `ctx`: same trace, a fresh span id
+    /// parented under `ctx.span_id`. The child names a span that has not
+    /// been recorded yet — record it retroactively with
+    /// [`Tracer::record_at`] (e.g. a forward round-trip timed at the
+    /// call site), or hand it to a downstream hop whose spans should
+    /// parent under it.
+    pub fn child_context(&self, ctx: TraceContext) -> TraceContext {
+        TraceContext {
+            trace_id: ctx.trace_id,
+            span_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent_id: ctx.span_id,
+        }
+    }
+
+    /// Records a span retroactively: `ctx.span_id` becomes the recorded
+    /// span's own id, `ctx.parent_id` its parent. This is how spans whose
+    /// extent is only known after the fact enter a timeline — a queue
+    /// wait (`submitted_at` → execution start) or a forward round-trip
+    /// (send → reply). A `start` before the tracer existed clamps to the
+    /// tracer's epoch.
+    pub fn record_at(&self, name: &'static str, ctx: TraceContext, start: Instant, dur: Duration) {
+        let start_us = start
+            .saturating_duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        self.record(SpanRecord {
+            id: ctx.span_id,
+            parent: ctx.parent_id,
+            trace: ctx.trace_id,
+            thread: thread_token(),
+            name,
+            start_us,
+            dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+        });
+    }
+
     /// Records a completed span (called by the [`Span`] guard's drop).
     fn record(&self, record: SpanRecord) {
-        let shard = (record.thread as usize) % TRACER_SHARDS;
-        let mut ring = self.shards[shard]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if ring.len() >= self.per_shard_capacity {
-            ring.pop_front();
+        let indexed = (record.trace != 0).then(|| record.clone());
+        {
+            let shard = (record.thread as usize) % TRACER_SHARDS;
+            let mut ring = self.shards[shard]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if ring.len() >= self.per_shard_capacity {
+                ring.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(record);
         }
-        ring.push_back(record);
+        let Some(record) = indexed else { return };
+        let mut index = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+        if !index.spans.contains_key(&record.trace) {
+            if index.order.len() >= TRACE_INDEX_TRACES {
+                if let Some(evicted) = index.order.pop_front() {
+                    index.spans.remove(&evicted);
+                }
+            }
+            index.order.push_back(record.trace);
+            index.spans.insert(record.trace, Vec::new());
+        }
+        let spans = index.spans.get_mut(&record.trace).expect("just inserted");
+        if spans.len() < TRACE_INDEX_SPANS {
+            spans.push(record);
+        }
     }
 
     /// The newest `n` completed spans across all threads, oldest first
@@ -592,6 +826,75 @@ impl Tracer {
         }
         all
     }
+
+    /// Spans evicted from the retention rings over the tracer's lifetime
+    /// — the loss the `tracer_dropped_spans_total` counter exposes.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Completed spans currently retained across the rings.
+    pub fn retained_spans(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Microseconds since the Unix epoch when this tracer was created.
+    /// Adding it to a [`SpanRecord::start_us`] offset yields an absolute
+    /// wall-clock microsecond — what lets timelines from several
+    /// processes (router + shards) sort against each other.
+    pub fn wall_anchor_us(&self) -> u64 {
+        self.wall_anchor_us
+    }
+
+    /// Every indexed span of `trace`, sorted by start time (ties by id).
+    /// Empty for an unknown (or evicted, or untraced) trace id.
+    pub fn trace_spans(&self, trace: u64) -> Vec<SpanRecord> {
+        let index = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut spans = index.spans.get(&trace).cloned().unwrap_or_default();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        spans
+    }
+
+    /// Notes a completed traced request for the slow-request log. The
+    /// caller decides the threshold; the tracer keeps the 32 slowest
+    /// distinct traces (a trace noted twice keeps its slower
+    /// observation). Untraced requests are ignored.
+    pub fn note_slow(&self, trace: u64, dur: Duration, label: &str) {
+        if trace == 0 {
+            return;
+        }
+        let dur_us = dur.as_micros().min(u64::MAX as u128) as u64;
+        let spans = {
+            let index = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+            index.spans.get(&trace).map(Vec::len).unwrap_or(0)
+        };
+        let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = slow.iter_mut().find(|e| e.trace == trace) {
+            if dur_us > entry.dur_us {
+                entry.dur_us = dur_us;
+                entry.spans = spans;
+                entry.label = label.to_string();
+            }
+        } else {
+            slow.push(SlowTrace {
+                trace,
+                dur_us,
+                spans,
+                label: label.to_string(),
+            });
+        }
+        slow.sort_by_key(|entry| std::cmp::Reverse(entry.dur_us));
+        slow.truncate(SLOW_TRACES);
+    }
+
+    /// The `n` slowest noted traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<SlowTrace> {
+        let slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        slow.iter().take(n).cloned().collect()
+    }
 }
 
 /// A scoped span guard (see [`Tracer::span`]); records on drop.
@@ -601,7 +904,20 @@ pub struct Span {
     name: &'static str,
     id: u64,
     parent: u64,
+    trace: u64,
     start: Instant,
+}
+
+impl Span {
+    /// This span's own context: handing it to a downstream layer parents
+    /// that layer's spans under this span, in this span's trace.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace,
+            span_id: self.id,
+            parent_id: self.parent,
+        }
+    }
 }
 
 impl Drop for Span {
@@ -609,7 +925,7 @@ impl Drop for Span {
         OPEN_SPANS.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Scoped guards drop LIFO; tolerate out-of-order drops anyway.
-            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == self.id) {
                 stack.remove(pos);
             }
         });
@@ -622,6 +938,7 @@ impl Drop for Span {
         self.tracer.record(SpanRecord {
             id: self.id,
             parent: self.parent,
+            trace: self.trace,
             thread: thread_token(),
             name: self.name,
             start_us,
@@ -788,6 +1105,134 @@ mod tests {
             assert!(pair[0].start_us + pair[0].dur_us <= pair[1].start_us + pair[1].dur_us);
         }
         assert_eq!(tracer.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn trace_context_encodes_fixed_width_and_decodes_strictly() {
+        let ctx = TraceContext {
+            trace_id: u64::MAX,
+            span_id: 1,
+            parent_id: 0,
+        };
+        let hex = ctx.encode();
+        assert_eq!(hex.len(), TraceContext::WIRE_LEN);
+        assert_eq!(TraceContext::decode(&hex), Some(ctx));
+        assert_eq!(TraceContext::decode(&hex.to_uppercase()), Some(ctx));
+        assert_eq!(TraceContext::decode(&hex[1..]), None, "truncated");
+        assert_eq!(TraceContext::decode(&format!("{hex}0")), None, "over-long");
+        assert_eq!(
+            TraceContext::decode(&hex.replace('f', "g")),
+            None,
+            "non-hex"
+        );
+        assert_eq!(TraceContext::decode(""), None);
+        // 24 two-byte chars: 48 *bytes*, so the length check passes and
+        // the hex check must reject without slicing mid-character.
+        assert_eq!(TraceContext::decode(&"é".repeat(24)), None, "non-ascii");
+        assert!(TraceContext::NONE.is_none());
+        assert!(!ctx.is_none());
+    }
+
+    #[test]
+    fn explicit_contexts_stitch_across_threads() {
+        let tracer = Arc::new(Tracer::with_capacity(64));
+        let ctx = tracer.mint_context();
+        assert_ne!(ctx.trace_id, 0);
+        assert_eq!(ctx.parent_id, 0);
+        let child = tracer.child_context(ctx);
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_eq!(child.parent_id, ctx.span_id);
+        // The hop: open the span under the context on a *different*
+        // thread — exactly what the executor does with a queued request.
+        let worker = {
+            let tracer = Arc::clone(&tracer);
+            std::thread::spawn(move || {
+                let job = tracer.span_with("job", child);
+                let _inner = tracer.span("scenario");
+                drop(_inner);
+                job.context()
+            })
+        };
+        let job_ctx = worker.join().expect("traced worker");
+        let spans = tracer.trace_spans(ctx.trace_id);
+        assert_eq!(spans.len(), 2);
+        let job = spans.iter().find(|s| s.name == "job").unwrap();
+        let scenario = spans.iter().find(|s| s.name == "scenario").unwrap();
+        assert_eq!(job.parent, child.span_id);
+        assert_eq!(job.trace, ctx.trace_id);
+        assert_eq!(scenario.parent, job.id);
+        assert_eq!(scenario.trace, ctx.trace_id, "implicit child inherits");
+        assert_eq!(job_ctx.span_id, job.id);
+        // Retroactive span: the queue wait recorded after the fact.
+        let wait = tracer.child_context(ctx);
+        tracer.record_at("queue_wait", wait, Instant::now(), Duration::from_micros(5));
+        let spans = tracer.trace_spans(ctx.trace_id);
+        let wait_span = spans.iter().find(|s| s.name == "queue_wait").unwrap();
+        assert_eq!(wait_span.id, wait.span_id);
+        assert_eq!(wait_span.parent, ctx.span_id);
+        assert_eq!(wait_span.dur_us, 5);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_and_retention_reported() {
+        let tracer = Arc::new(Tracer::with_capacity(8));
+        assert_eq!(tracer.dropped_spans(), 0);
+        for _ in 0..100 {
+            let _span = tracer.span("op");
+        }
+        // All spans complete on this thread → one ring of capacity 1.
+        assert_eq!(tracer.retained_spans(), 1);
+        assert_eq!(tracer.dropped_spans(), 99);
+    }
+
+    #[test]
+    fn trace_index_is_bounded_and_time_sorted() {
+        let tracer = Arc::new(Tracer::with_capacity(1 << 16));
+        let first = tracer.mint_context();
+        {
+            let _span = tracer.span_with("keep", first);
+        }
+        // Evict `first` by flooding the index with fresh traces.
+        for _ in 0..TRACE_INDEX_TRACES {
+            let ctx = tracer.mint_context();
+            let _span = tracer.span_with("flood", ctx);
+        }
+        assert!(
+            tracer.trace_spans(first.trace_id).is_empty(),
+            "oldest trace evicted"
+        );
+        // Per-trace span cap: later spans leave the timeline silently.
+        let big = tracer.mint_context();
+        for _ in 0..(TRACE_INDEX_SPANS + 10) {
+            let _span = tracer.span_with("op", big);
+        }
+        let spans = tracer.trace_spans(big.trace_id);
+        assert_eq!(spans.len(), TRACE_INDEX_SPANS);
+        for pair in spans.windows(2) {
+            assert!((pair[0].start_us, pair[0].id) <= (pair[1].start_us, pair[1].id));
+        }
+    }
+
+    #[test]
+    fn slow_log_keeps_the_slowest_distinct_traces() {
+        let tracer = Arc::new(Tracer::with_capacity(64));
+        for i in 1..=40u64 {
+            tracer.note_slow(i, Duration::from_micros(i), "job");
+        }
+        tracer.note_slow(0, Duration::from_secs(99), "untraced-ignored");
+        let slowest = tracer.slowest(100);
+        assert_eq!(slowest.len(), SLOW_TRACES);
+        assert_eq!(slowest[0].trace, 40, "slowest first");
+        assert_eq!(slowest[0].dur_us, 40);
+        for pair in slowest.windows(2) {
+            assert!(pair[0].dur_us >= pair[1].dur_us);
+        }
+        // A repeat observation keeps the slower duration.
+        tracer.note_slow(40, Duration::from_micros(7), "job");
+        assert_eq!(tracer.slowest(1)[0].dur_us, 40);
+        tracer.note_slow(40, Duration::from_micros(500), "job");
+        assert_eq!(tracer.slowest(1)[0].dur_us, 500);
+        assert_eq!(tracer.slowest(2).len(), 2);
     }
 
     #[test]

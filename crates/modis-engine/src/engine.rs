@@ -9,7 +9,7 @@ use modis_core::bimodis::bi_modis_with_context;
 use modis_core::divmodis::div_modis_with_context;
 use modis_core::estimator::{EstimatorMode, EvaluationHook, SharedEvaluation, ValuationContext};
 use modis_core::substrate::Substrate;
-use modis_core::telemetry::{self, MetricsRegistry, Telemetry, Tracer};
+use modis_core::telemetry::{self, MetricsRegistry, Telemetry, TraceContext, Tracer};
 use modis_data::StateBitmap;
 
 use crate::cache::{CacheStats, SharedEvalCache};
@@ -360,6 +360,10 @@ impl Engine {
     ) -> BatchValuation {
         self.guard_namespace(namespace, substrate.as_ref());
         self.track_memo_source(substrate);
+        // Implicit parentage: a batch valuated from inside a traced call
+        // tree (prewarm under a drain span, a traced job) inherits that
+        // trace from the thread-local span stack.
+        let _span = self.telemetry.tracer.span("valuation");
         let hook = self.cache.handle(namespace);
         let mut unique: Vec<&StateBitmap> = Vec::new();
         let mut index_of: HashMap<&StateBitmap, usize> = HashMap::new();
@@ -432,6 +436,16 @@ impl Engine {
     /// Runs one scenario on the calling thread (the wave expander may still
     /// fan out to [`EngineConfig::worker_threads`]).
     pub fn run_scenario(&self, scenario: &Scenario) -> ScenarioOutcome {
+        self.run_scenario_traced(scenario, TraceContext::NONE)
+    }
+
+    /// [`Engine::run_scenario`] under an explicit trace context: the
+    /// scenario span (and every wave/valuation span opened beneath it)
+    /// stitches into `trace`'s trace instead of starting an orphan — the
+    /// engine end of the request path the service carries across its
+    /// executor thread hop. [`TraceContext::NONE`] falls back to the
+    /// implicit thread-local parentage.
+    pub fn run_scenario_traced(&self, scenario: &Scenario, trace: TraceContext) -> ScenarioOutcome {
         let start = Instant::now();
         self.guard_namespace(scenario.namespace(), scenario.substrate.as_ref());
         self.track_memo_source(&scenario.substrate);
@@ -445,7 +459,11 @@ impl Engine {
         };
         let ctx = ValuationContext::new(substrate, mode).with_hook(hook);
         let threads = self.config.worker_threads;
-        let _span = self.telemetry.tracer.span("scenario");
+        let _span = if trace.is_none() {
+            self.telemetry.tracer.span("scenario")
+        } else {
+            self.telemetry.tracer.span_with("scenario", trace)
+        };
         // Install the engine's telemetry as the ambient for the algorithm
         // call tree, so deep layers (the wave expander) can time themselves
         // without any signature changes.

@@ -156,8 +156,16 @@ fn process_schedule<S, F>(
         }
         let wave = &schedule[i..end];
         let wave_start = Instant::now();
+        // Spans open on the coordinator thread, so they inherit the
+        // enclosing scenario span's trace through the thread-local stack;
+        // "valuation" times the thread-pool pass itself, "wave" adds the
+        // scatter/commit bookkeeping around it.
+        let ambient = modis_core::telemetry::ambient();
+        let _wave_span = ambient.as_ref().map(|t| t.tracer.span("wave"));
+        let valuation_span = ambient.as_ref().map(|t| t.tracer.span("valuation"));
         let results = evaluate_wave(ctx, wave, threads);
-        if let Some(telemetry) = modis_core::telemetry::ambient() {
+        drop(valuation_span);
+        if let Some(telemetry) = ambient {
             telemetry
                 .metrics
                 .histogram(

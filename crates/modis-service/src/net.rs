@@ -20,6 +20,12 @@
 //! |                    | lines rendered from the daemon's metrics registry               |
 //! | `TRACE DUMP <n>`   | `SPANS <k>` followed by `k` (≤ n) `SPAN id=… parent=… …`        |
 //! |                    | lines — the most recent completed tracer spans                  |
+//! | `TRACE SLOW <n>`   | `SLOW <k>` followed by `k` (≤ n) `TRACE <id> dur_us=… …`        |
+//! |                    | lines — the slowest stitched traces over the service threshold  |
+//! | `EXPLAIN <ticket>` | `TIMELINE <k>` followed by `k` time-ordered `EVENT trace=… …`   |
+//! |                    | lines — the ticket's stitched trace (queue wait, job, engine)   |
+//! | `EXPLAIN TRACE <t>`| same timeline, addressed by hex trace id (the router fan-out    |
+//! |                    | form; an unindexed trace answers `TIMELINE 0`, not an error)    |
 //! | `RESULT <id>`      | `RESULT <id> entries=… <entry>…` — the finished skyline,        |
 //! |                    | byte-exactly encoded (f64 bit patterns, not decimal)            |
 //! | `SNAPSHOT <path>`  | `OK <bytes>` — persist the evaluation cache                     |
@@ -31,6 +37,12 @@
 //! | `SHIP <ns>… <len>` | `OK <entries>` — `<len>` raw shipment bytes follow the line;    |
 //! |                    | merged into the live cache (wire-shipped rebalancing/replication)|
 //! | `QUIT`             | `BYE` (connection closes)                                       |
+//!
+//! Any request line may carry an optional `CTX <48-hex-digit>` prefix — a
+//! wire-encoded [`TraceContext`] stitching the request's spans into the
+//! sender's distributed trace (the router injects one on every forwarded
+//! verb). A malformed prefix answers `ERR …`; peers that predate the
+//! prefix never see it, so the protocol stays backward-compatible.
 //!
 //! Anything else answers `ERR …`. Registration stays in-process (substrates
 //! are live objects); the wire protocol only *drives* registered scenarios.
@@ -45,6 +57,7 @@ use std::thread::JoinHandle;
 
 use crate::reactor::{wakeup_pair, Executor, Reactor, ReactorConfig, Wakeup};
 use crate::service::{JobState, Service, Ticket};
+use modis_core::telemetry::{SpanRecord, TraceContext};
 use modis_engine::ScenarioOutcome;
 
 /// Outcome of one protocol line.
@@ -224,10 +237,69 @@ fn restore_reply(service: &Service, path: &str) -> String {
     }
 }
 
+/// Resident set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`), or 0 where procfs is unavailable (non-Linux).
+fn process_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Open file descriptors of this process (entries of `/proc/self/fd`), or
+/// 0 where procfs is unavailable (non-Linux).
+fn process_open_fds() -> u64 {
+    match std::fs::read_dir("/proc/self/fd") {
+        Ok(entries) => entries.count() as u64,
+        Err(_) => 0,
+    }
+}
+
+/// Registers (first call) and refreshes the observability instruments
+/// whose truth lives outside the registry: tracer span-retention
+/// accounting and process vitals from `/proc/self`. Called at bind time —
+/// so the gauges exist in every exposition — and again on each `METRICS`
+/// scrape so the values are current.
+pub fn sync_observability_metrics(service: &Service) {
+    let registry = service.engine().metrics();
+    let tracer = service.engine().tracer();
+    let dropped = registry.counter(
+        "tracer_dropped_spans_total",
+        "Completed spans evicted from the tracer's retention rings (ring overflow).",
+    );
+    // The counter trails the tracer's monotonic drop count; top it up to
+    // match rather than re-adding the full total on every scrape.
+    dropped.add(tracer.dropped_spans().saturating_sub(dropped.get()));
+    registry
+        .gauge(
+            "tracer_retained_spans",
+            "Completed spans currently held in the tracer's retention rings.",
+        )
+        .set(tracer.retained_spans() as i64);
+    registry
+        .gauge(
+            "process_rss_bytes",
+            "Resident set size of this process in bytes (0 where /proc is unavailable).",
+        )
+        .set(process_rss_bytes() as i64);
+    registry
+        .gauge(
+            "process_open_fds",
+            "Open file descriptors of this process (0 where /proc is unavailable).",
+        )
+        .set(process_open_fds() as i64);
+}
+
 /// Renders the `METRICS` response: a `METRICS <n>` header followed by `n`
 /// Prometheus-style exposition lines, all in one count-prefixed reply (the
 /// framing the router's fan-in relies on — see `docs/PROTOCOL.md` §7).
 fn metrics_reply(service: &Service) -> String {
+    sync_observability_metrics(service);
     let lines = service.engine().metrics().render();
     let mut out = format!("METRICS {}", lines.len());
     for line in &lines {
@@ -246,18 +318,96 @@ fn trace_dump_reply(service: &Service, n: usize) -> String {
     for span in &spans {
         out.push('\n');
         out.push_str(&format!(
-            "SPAN id={} parent={} thread={:x} name={} start_us={} dur_us={}",
-            span.id, span.parent, span.thread, span.name, span.start_us, span.dur_us
+            "SPAN id={} parent={} trace={:016x} thread={:x} name={} start_us={} dur_us={}",
+            span.id, span.parent, span.trace, span.thread, span.name, span.start_us, span.dur_us
         ));
     }
     out
+}
+
+/// Renders one stitched-timeline line of an `EXPLAIN` response. Start
+/// times are shifted by the tracer's wall anchor to absolute microseconds
+/// since the Unix epoch, so timelines gathered from different processes
+/// sort on one shared axis.
+pub fn render_event(anchor_us: u64, span: &SpanRecord) -> String {
+    format!(
+        "EVENT trace={:016x} span={} parent={} name={} thread={:x} start_us={} dur_us={}",
+        span.trace,
+        span.id,
+        span.parent,
+        span.name,
+        span.thread,
+        anchor_us + span.start_us,
+        span.dur_us
+    )
+}
+
+/// Renders the stitched timeline of one trace: a `TIMELINE <k>` header
+/// followed by `k` time-ordered `EVENT …` lines. An unindexed trace
+/// renders `TIMELINE 0` — deliberately not an error, so the router can
+/// fan `EXPLAIN TRACE` out to every shard and keep only the ones that
+/// hold spans.
+fn explain_reply(service: &Service, trace: u64) -> String {
+    let tracer = service.engine().tracer();
+    let anchor = tracer.wall_anchor_us();
+    let spans = tracer.trace_spans(trace);
+    let mut out = format!("TIMELINE {}", spans.len());
+    for span in &spans {
+        out.push('\n');
+        out.push_str(&render_event(anchor, span));
+    }
+    out
+}
+
+/// Renders the `TRACE SLOW <n>` response: a `SLOW <k>` header (`k ≤ n`)
+/// followed by one line per slow stitched trace, slowest first.
+fn trace_slow_reply(service: &Service, n: usize) -> String {
+    let slow = service.engine().tracer().slowest(n);
+    let mut out = format!("SLOW {}", slow.len());
+    for entry in &slow {
+        out.push('\n');
+        out.push_str(&format!(
+            "TRACE {:016x} dur_us={} spans={} scenario={}",
+            entry.trace, entry.dur_us, entry.spans, entry.label
+        ));
+    }
+    out
+}
+
+/// Splits an optional `CTX <48-hex-digit>` prefix off a request line,
+/// returning the decoded context (if any) and the remaining command.
+/// A present-but-malformed prefix is an error *line* — never a panic,
+/// whatever bytes arrive on the wire.
+fn strip_ctx(line: &str) -> Result<(Option<TraceContext>, &str), String> {
+    let trimmed = line.trim();
+    let Some((verb, rest)) = trimmed.split_once(char::is_whitespace) else {
+        if trimmed.eq_ignore_ascii_case("CTX") {
+            return Err("ERR CTX expects a 48-hex-digit trace context".to_string());
+        }
+        return Ok((None, trimmed));
+    };
+    if !verb.eq_ignore_ascii_case("CTX") {
+        return Ok((None, trimmed));
+    }
+    let rest = rest.trim_start();
+    let (hex, tail) = match rest.split_once(char::is_whitespace) {
+        Some((hex, tail)) => (hex, tail.trim_start()),
+        None => (rest, ""),
+    };
+    match TraceContext::decode(hex) {
+        Some(ctx) => Ok((Some(ctx), tail)),
+        None => Err("ERR CTX expects a 48-hex-digit trace context".to_string()),
+    }
 }
 
 /// Classifies one protocol line for the reactor, without blocking on any
 /// background work. Synchronous verbs are answered inline via the same
 /// code paths as [`handle_command`].
 pub fn dispatch(service: &Service, line: &str) -> Request {
-    let trimmed = line.trim();
+    let (ctx, trimmed) = match strip_ctx(line) {
+        Ok(stripped) => stripped,
+        Err(err) => return Request::Immediate(err),
+    };
     let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
         None => (trimmed, ""),
@@ -313,7 +463,7 @@ pub fn dispatch(service: &Service, line: &str) -> Request {
             }
             Request::Wait(tickets)
         }
-        _ => match handle_command(service, trimmed) {
+        _ => match handle_line(service, ctx, trimmed) {
             Reply::Line(text) => Request::Immediate(text),
             Reply::Close(text) => Request::CloseAfter(text),
         },
@@ -329,6 +479,15 @@ pub fn dispatch(service: &Service, line: &str) -> Request {
 /// thread; a synchronous `WAIT` is rejected (it only makes sense where
 /// deferred responses exist).
 pub fn handle_command(service: &Service, line: &str) -> Reply {
+    match strip_ctx(line) {
+        Ok((ctx, rest)) => handle_line(service, ctx, rest),
+        Err(err) => Reply::Line(err),
+    }
+}
+
+/// [`handle_command`] after the `CTX` prefix has been split off: `ctx` is
+/// the trace context the request arrived under, if any.
+fn handle_line(service: &Service, ctx: Option<TraceContext>, line: &str) -> Reply {
     let line = line.trim();
     let (verb, rest) = match line.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
@@ -344,10 +503,16 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
             }
             out
         }
-        "SUBMIT" if !rest.is_empty() => match service.submit(rest) {
-            Ok(ticket) => format!("TICKET {}", ticket.0),
-            Err(err) => format!("ERR {err}"),
-        },
+        "SUBMIT" if !rest.is_empty() => {
+            let submitted = match ctx {
+                Some(ctx) => service.submit_traced(rest, ctx),
+                None => service.submit(rest),
+            };
+            match submitted {
+                Ok(ticket) => format!("TICKET {}", ticket.0),
+                Err(err) => format!("ERR {err}"),
+            }
+        }
         "RUN" => format!("OK {}", service.run_pending()),
         "WAIT" => "ERR WAIT requires the reactor front-end".to_string(),
         "POLL" => match rest.parse::<u64>() {
@@ -391,6 +556,39 @@ pub fn handle_command(service: &Service, line: &str) -> Reply {
             match args.trim().parse::<usize>() {
                 Ok(n) => trace_dump_reply(service, n),
                 Err(_) => "ERR TRACE DUMP expects a numeric span count".to_string(),
+            }
+        }
+        "TRACE"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("SLOW")) =>
+        {
+            let args = rest.split_once(char::is_whitespace).map_or("", |(_, r)| r);
+            match args.trim().parse::<usize>() {
+                Ok(n) => trace_slow_reply(service, n),
+                Err(_) => "ERR TRACE SLOW expects a numeric trace count".to_string(),
+            }
+        }
+        "EXPLAIN" => {
+            let mut tokens = rest.split_whitespace();
+            match tokens.next() {
+                // `EXPLAIN TRACE <hex>` — the router's fan-out form,
+                // addressing the trace directly (tickets are local ids).
+                Some(token) if token.eq_ignore_ascii_case("TRACE") => {
+                    match tokens.next().map(|hex| u64::from_str_radix(hex, 16)) {
+                        Some(Ok(trace)) => explain_reply(service, trace),
+                        _ => "ERR EXPLAIN TRACE expects a hex trace id".to_string(),
+                    }
+                }
+                Some(token) => match token.parse::<u64>() {
+                    Ok(id) => match service.trace_of(Ticket(id)) {
+                        Some(trace) => explain_reply(service, trace),
+                        None => format!("ERR unknown ticket {id}"),
+                    },
+                    Err(_) => "ERR EXPLAIN expects a ticket or TRACE <trace-id>".to_string(),
+                },
+                None => "ERR EXPLAIN expects a ticket or TRACE <trace-id>".to_string(),
             }
         }
         "RESULT" => match rest.parse::<u64>() {
@@ -506,6 +704,11 @@ impl Daemon {
             config,
         )?;
         let addr = reactor.local_addr()?;
+
+        // Register the tracer-retention and process-vitals instruments now
+        // (refreshed again on every METRICS scrape): a daemon that has not
+        // been scraped yet still exposes them in its first exposition.
+        sync_observability_metrics(&service);
 
         // Registered only after every fallible step: a failed bind must
         // not leave a dead notifier on the service. Completions anywhere
@@ -685,7 +888,15 @@ mod tests {
         assert_eq!(body.len(), count);
         assert!(count >= 1, "the RUN drain must have recorded spans");
         assert!(body.iter().all(|l| l.starts_with("SPAN id=")), "{dump}");
+        assert!(body.iter().all(|l| l.contains(" trace=")), "{dump}");
         assert!(dump.contains("name=scenario"), "{dump}");
+        assert!(
+            reply.contains("tracer_retained_spans "),
+            "retention gauge registered by the METRICS scrape: {reply}"
+        );
+        assert!(reply.contains("tracer_dropped_spans_total "), "{reply}");
+        assert!(reply.contains("process_rss_bytes "), "{reply}");
+        assert!(reply.contains("process_open_fds "), "{reply}");
 
         assert!(handle_command(&service, "TRACE DUMP many")
             .text()
@@ -703,6 +914,137 @@ mod tests {
         ] {
             assert!(stats.contains(key), "missing {key}: {stats}");
         }
+    }
+
+    #[test]
+    fn ctx_prefix_explain_and_slow_log_cover_the_trace_protocol() {
+        use std::time::Duration;
+        let service =
+            Service::new(ServiceConfig::default().with_slow_request_threshold(Duration::ZERO));
+        let substrate: Arc<dyn Substrate> = Arc::new(MockSubstrate::new(6));
+        let config = ModisConfig::default()
+            .with_estimator(EstimatorMode::Oracle)
+            .with_max_states(40);
+        service
+            .register(
+                Scenario::new("apx", substrate, Algorithm::Apx, config)
+                    .with_cache_namespace("pool"),
+            )
+            .unwrap();
+
+        // A CTX prefix on any verb is transparent; malformed ones answer
+        // ERR (never a panic), whatever bytes arrive.
+        let ctx = service.engine().tracer().mint_context();
+        assert_eq!(
+            handle_command(&service, &format!("ctx {} PING", ctx.encode())).text(),
+            "PONG"
+        );
+        for bad in ["CTX short PING", "CTX 123 PING", "CTX", "CTX zz PING"] {
+            assert!(
+                handle_command(&service, bad)
+                    .text()
+                    .starts_with("ERR CTX expects"),
+                "{bad}"
+            );
+        }
+
+        // A traced SUBMIT stitches queue wait, job, scenario, and
+        // valuation spans under the submitter's trace id.
+        assert_eq!(
+            handle_command(&service, &format!("CTX {} SUBMIT apx", ctx.encode())).text(),
+            "TICKET 1"
+        );
+        assert_eq!(handle_command(&service, "RUN").text(), "OK 1");
+        let timeline = handle_command(&service, "EXPLAIN 1").text().to_string();
+        let mut lines = timeline.lines();
+        let count: usize = lines
+            .next()
+            .and_then(|h| h.strip_prefix("TIMELINE "))
+            .expect("TIMELINE header")
+            .parse()
+            .expect("numeric count");
+        let events: Vec<&str> = lines.collect();
+        assert_eq!(events.len(), count);
+        let id = format!("trace={:016x}", ctx.trace_id);
+        assert!(
+            events
+                .iter()
+                .all(|e| e.starts_with("EVENT ") && e.contains(&id)),
+            "{timeline}"
+        );
+        for name in [
+            "name=queue_wait",
+            "name=job",
+            "name=scenario",
+            "name=valuation",
+        ] {
+            assert!(timeline.contains(name), "missing {name}: {timeline}");
+        }
+        // The job span hangs directly off the wire context…
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("name=job") && e.contains(&format!("parent={}", ctx.span_id))),
+            "{timeline}"
+        );
+        // …and the timeline is time-ordered.
+        let starts: Vec<u64> = events
+            .iter()
+            .map(|e| {
+                e.split_whitespace()
+                    .find_map(|t| t.strip_prefix("start_us="))
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{timeline}");
+
+        // The fan-out form addresses the same trace by hex id; an
+        // unknown trace is an *empty* timeline, not an error.
+        assert_eq!(
+            handle_command(&service, &format!("EXPLAIN TRACE {:x}", ctx.trace_id)).text(),
+            timeline
+        );
+        assert_eq!(
+            handle_command(&service, "EXPLAIN TRACE deadbeef").text(),
+            "TIMELINE 0"
+        );
+        assert!(handle_command(&service, "EXPLAIN TRACE zz!")
+            .text()
+            .starts_with("ERR EXPLAIN TRACE expects"));
+        assert!(handle_command(&service, "EXPLAIN 99")
+            .text()
+            .starts_with("ERR unknown ticket 99"));
+        assert!(handle_command(&service, "EXPLAIN nope")
+            .text()
+            .starts_with("ERR EXPLAIN expects"));
+        assert!(handle_command(&service, "EXPLAIN")
+            .text()
+            .starts_with("ERR EXPLAIN expects"));
+
+        // The zero-threshold service logged the run as slow.
+        let slow = handle_command(&service, "TRACE SLOW 8").text().to_string();
+        let mut lines = slow.lines();
+        let count: usize = lines
+            .next()
+            .and_then(|h| h.strip_prefix("SLOW "))
+            .expect("SLOW header")
+            .parse()
+            .unwrap();
+        assert!(count >= 1, "{slow}");
+        assert_eq!(lines.clone().count(), count);
+        assert!(
+            lines.all(|l| l.starts_with("TRACE ") && l.contains("scenario=")),
+            "{slow}"
+        );
+        assert!(
+            slow.contains(&format!("TRACE {:016x}", ctx.trace_id)),
+            "{slow}"
+        );
+        assert!(handle_command(&service, "TRACE SLOW many")
+            .text()
+            .starts_with("ERR TRACE SLOW expects"));
     }
 
     #[test]

@@ -305,13 +305,14 @@ enum VerbClass {
     Quit,
     Metrics,
     Trace,
+    Explain,
     Export,
     Ship,
     Other,
 }
 
 /// Number of [`VerbClass`] variants (instrument array size).
-const VERB_CLASSES: usize = 16;
+const VERB_CLASSES: usize = 17;
 
 impl VerbClass {
     /// The exposition label value of this class.
@@ -330,6 +331,7 @@ impl VerbClass {
             VerbClass::Quit => "quit",
             VerbClass::Metrics => "metrics",
             VerbClass::Trace => "trace",
+            VerbClass::Explain => "explain",
             VerbClass::Export => "export",
             VerbClass::Ship => "ship",
             VerbClass::Other => "other",
@@ -352,15 +354,22 @@ impl VerbClass {
             VerbClass::Quit,
             VerbClass::Metrics,
             VerbClass::Trace,
+            VerbClass::Explain,
             VerbClass::Export,
             VerbClass::Ship,
             VerbClass::Other,
         ]
     }
 
-    /// Classifies a request line by its first token.
+    /// Classifies a request line by its first token, skipping over an
+    /// optional `CTX <hex>` trace-context prefix so a routed request is
+    /// counted under its real verb rather than lumped into `other`.
     fn classify(line: &str) -> VerbClass {
-        let verb = line.split_whitespace().next().unwrap_or("");
+        let mut tokens = line.split_whitespace();
+        let mut verb = tokens.next().unwrap_or("");
+        if verb.eq_ignore_ascii_case("CTX") {
+            verb = tokens.nth(1).unwrap_or("");
+        }
         for class in VerbClass::all() {
             if class != VerbClass::Other && verb.eq_ignore_ascii_case(class.label()) {
                 return class;

@@ -73,7 +73,7 @@ use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use modis_core::telemetry::{Counter, MetricsRegistry};
+use modis_core::telemetry::{Counter, MetricsRegistry, TraceContext, Tracer};
 
 use crate::cluster::{validate_token, ClusterSpec, ShardMap};
 use crate::error::ServiceError;
@@ -364,6 +364,10 @@ struct TicketEntry {
     /// flagged ` degraded=<shard>` so the client can tell stand-in
     /// service from primary service.
     degraded: bool,
+    /// The distributed trace id the submission was forwarded under —
+    /// `EXPLAIN <ticket>` resolves the cluster id to this trace and fans
+    /// the timeline in from every shard.
+    trace: u64,
 }
 
 /// Cluster-wide ticket table: router ids ↔ per-shard local ids, retained
@@ -387,6 +391,7 @@ impl TicketTable {
         local: u64,
         scenario: &str,
         degraded: bool,
+        trace: u64,
         retention: usize,
     ) -> u64 {
         self.next += 1;
@@ -398,6 +403,7 @@ impl TicketTable {
                 local,
                 scenario: scenario.to_string(),
                 degraded,
+                trace,
             },
         );
         self.reverse.insert((shard.to_string(), local), global);
@@ -490,6 +496,11 @@ struct RouterInner {
     health: Mutex<HashMap<String, ShardHealth>>,
     /// Replication push queue and per-replica freshness.
     replication: Mutex<ReplicationState>,
+    /// The router's own span recorder: per-client trace roots, forward
+    /// round-trips and failover re-homes, stitched into the same traces
+    /// as the shard-side spans and rendered into `EXPLAIN` timelines
+    /// with a `shard=router` suffix.
+    tracer: Arc<Tracer>,
 }
 
 impl RouterInner {
@@ -863,8 +874,21 @@ impl RouterInner {
                 )
             });
         }
+        // The re-submission rides on the original submission's trace, so
+        // the `failover` span (and the replacement shard's spans) stitch
+        // into the same EXPLAIN timeline as the first attempt.
+        let ctx = self.tracer.child_context(TraceContext {
+            trace_id: entry.trace,
+            span_id: 0,
+            parent_id: 0,
+        });
+        let failover_start = Instant::now();
         for (name, addr) in candidates {
-            let submitted = match self.ask(&name, addr, &format!("SUBMIT {}", entry.scenario)) {
+            let submitted = match self.ask(
+                &name,
+                addr,
+                &with_ctx(ctx, &format!("SUBMIT {}", entry.scenario)),
+            ) {
                 Ok(reply) => reply,
                 Err(_) => {
                     self.note_failure(&name, false);
@@ -877,7 +901,7 @@ impl RouterInner {
             else {
                 continue;
             };
-            let ran = match self.ask(&name, addr, "RUN") {
+            let ran = match self.ask(&name, addr, &with_ctx(ctx, "RUN")) {
                 Ok(reply) => reply,
                 Err(_) => continue,
             };
@@ -888,11 +912,16 @@ impl RouterInner {
                 return Err(format!("ERR unknown ticket {global}"));
             }
             self.count_failover(&dead);
+            if entry.trace != 0 {
+                self.tracer
+                    .record_at("failover", ctx, failover_start, failover_start.elapsed());
+            }
             return Ok(TicketEntry {
                 shard: name,
                 local,
                 scenario: entry.scenario.clone(),
                 degraded: true,
+                trace: entry.trace,
             });
         }
         Err(no_replica())
@@ -990,6 +1019,7 @@ impl Router {
             remaps,
             health: Mutex::new(HashMap::new()),
             replication: Mutex::new(ReplicationState::default()),
+            tracer: Arc::new(Tracer::with_capacity(4096)),
         });
         {
             let topology = inner.lock_topology();
@@ -1541,6 +1571,9 @@ enum Rewrite {
         scenario: String,
         /// Routed to a replica because the primary was down.
         degraded: bool,
+        /// The trace context the submission was forwarded under; its
+        /// trace id is remembered in the ticket table for `EXPLAIN`.
+        ctx: TraceContext,
     },
     /// `POLL`: pass through, but re-express `ERR unknown ticket` with the
     /// cluster id the client asked about.
@@ -1608,6 +1641,18 @@ enum GatherKind {
     /// `TRACE DUMP <n>`: per-shard header `SPANS <k>`, merged with a
     /// `shard=` suffix; an unreachable shard fails the whole reply.
     Trace,
+    /// `EXPLAIN` (fanned out as `EXPLAIN TRACE <id>`): per-shard header
+    /// `TIMELINE <k>`, merged time-ordered with a `shard=` suffix plus
+    /// the router's own spans for the trace; an unreachable shard fails
+    /// the whole reply (a partial timeline silently lies).
+    Explain {
+        /// The trace id being stitched.
+        trace: u64,
+    },
+    /// `TRACE SLOW <n>`: per-shard header `SLOW <k>`, merged
+    /// slowest-first with a `shard=` suffix; an unreachable shard fails
+    /// the whole reply.
+    Slow,
 }
 
 impl GatherKind {
@@ -1616,6 +1661,8 @@ impl GatherKind {
         match self {
             GatherKind::Metrics => "METRICS",
             GatherKind::Trace => "SPANS",
+            GatherKind::Explain { .. } => "TIMELINE",
+            GatherKind::Slow => "SLOW",
         }
     }
 }
@@ -1660,6 +1707,11 @@ enum Expect {
         request: String,
         /// Remaining re-dispatch budget for this pipeline position.
         retries_left: u8,
+        /// The trace context this forward was sent under
+        /// ([`TraceContext::NONE`] when untraced): its round-trip is
+        /// recorded as a `forward` span — the parent of every shard-side
+        /// span the request produced — when the response arrives.
+        trace: TraceContext,
     },
     /// One line owed by each listed shard, folded into one response.
     FanOut {
@@ -1690,6 +1742,11 @@ fn serve_client(inner: Arc<RouterInner>, stream: TcpStream) {
     let Ok(mut client) = LineConn::new(stream, poll) else {
         return;
     };
+    // One distributed trace per client connection: every request routed
+    // on this connection forwards under a child of this context, so a
+    // SUBMIT/RUN/WAIT conversation stitches into a single EXPLAIN
+    // timeline across the router and every shard it touched.
+    let conn = inner.tracer.mint_context();
     let mut pool = ConnPool::default();
     let mut expects: VecDeque<Expect> = VecDeque::new();
     let mut discarding = false;
@@ -1713,7 +1770,7 @@ fn serve_client(inner: Arc<RouterInner>, stream: TcpStream) {
                             inner.config.max_line_len
                         )));
                     } else {
-                        let expect = route_request(&inner, &mut pool, &line);
+                        let expect = route_request(&inner, &mut pool, conn, &line);
                         expects.push_back(expect);
                     }
                 }
@@ -1734,7 +1791,7 @@ fn serve_client(inner: Arc<RouterInner>, stream: TcpStream) {
             }
         }
         // 2. Resolve the head of the pipeline as far as it goes.
-        match resolve_head(&inner, &mut pool, &mut expects, &mut client) {
+        match resolve_head(&inner, &mut pool, conn, &mut expects, &mut client) {
             ClientState::Open => {}
             ClientState::Closed => return,
         }
@@ -1750,8 +1807,15 @@ enum ClientState {
 }
 
 /// Classifies and forwards one request, returning the expectation that
-/// will produce its response.
-fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> Expect {
+/// will produce its response. `conn` is the connection's trace context:
+/// every forwarded line is prefixed with `CTX <hex>` carrying a fresh
+/// child of it (or of the submitting trace, for ticket verbs).
+fn route_request(
+    inner: &Arc<RouterInner>,
+    pool: &mut ConnPool,
+    conn: TraceContext,
+    line: &str,
+) -> Expect {
     let trimmed = line.trim();
     let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
@@ -1810,9 +1874,12 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
             if candidates.is_empty() {
                 candidates.push(primary.clone());
             }
+            // One `forward` span per submission; its id becomes the
+            // parent of every span the shard records for this request.
+            let child = inner.tracer.child_context(conn);
             let mut last_err = None;
             for owner in candidates {
-                match forward(inner, pool, &owner, trimmed) {
+                match forward(inner, pool, &owner, &with_ctx(child, trimmed)) {
                     Ok(epoch) => {
                         let degraded = owner != primary;
                         if degraded {
@@ -1825,10 +1892,12 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                             rewrite: Rewrite::Submit {
                                 scenario: rest.to_string(),
                                 degraded,
+                                ctx: child,
                             },
                             sent: Instant::now(),
                             request: trimmed.to_string(),
                             retries_left: 1,
+                            trace: child,
                         };
                     }
                     Err(err) => last_err = Some(err),
@@ -1863,11 +1932,22 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     Err(line) => return Expect::Local(line),
                 }
             }
+            // Ticket verbs ride on the *submitting* trace, not the
+            // connection's: the poll round-trip shows up on the same
+            // EXPLAIN timeline as the submission it asks about.
+            let ticket_trace = |trace: u64| {
+                inner.tracer.child_context(TraceContext {
+                    trace_id: trace,
+                    span_id: 0,
+                    parent_id: 0,
+                })
+            };
+            let child = ticket_trace(entry.trace);
             match forward(
                 inner,
                 pool,
                 &entry.shard,
-                &format!("{upper} {}", entry.local),
+                &with_ctx(child, &format!("{upper} {}", entry.local)),
             ) {
                 Ok(epoch) => Expect::Forward {
                     shard: entry.shard.clone(),
@@ -1876,16 +1956,18 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     sent: Instant::now(),
                     request: trimmed.to_string(),
                     retries_left: 1,
+                    trace: child,
                 },
                 Err(err) => match inner.failover_ticket(global, &entry) {
                     // The forward just failed — maybe the shard died
                     // between heartbeats. One immediate failover attempt.
                     Ok(rehomed) => {
+                        let retry = ticket_trace(rehomed.trace);
                         match forward(
                             inner,
                             pool,
                             &rehomed.shard,
-                            &format!("{upper} {}", rehomed.local),
+                            &with_ctx(retry, &format!("{upper} {}", rehomed.local)),
                         ) {
                             Ok(epoch) => Expect::Forward {
                                 shard: rehomed.shard.clone(),
@@ -1894,6 +1976,7 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                                 sent: Instant::now(),
                                 request: trimmed.to_string(),
                                 retries_left: 1,
+                                trace: retry,
                             },
                             Err(err2) => Expect::Local(err2),
                         }
@@ -1902,8 +1985,10 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                 },
             }
         }
-        "RUN" => fan_out(inner, pool, FanKind::Run { total: 0 }, |_| "RUN".into()),
-        "METRICS" => gather(inner, pool, GatherKind::Metrics, "METRICS"),
+        "RUN" => fan_out(inner, pool, conn, FanKind::Run { total: 0 }, |_| {
+            "RUN".into()
+        }),
+        "METRICS" => gather(inner, pool, conn, GatherKind::Metrics, "METRICS"),
         "TRACE"
             if rest
                 .split_whitespace()
@@ -1914,12 +1999,57 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
             if count.is_some_and(|t| t.parse::<u64>().is_ok()) {
                 // Each shard returns up to <n> spans; the merged dump may
                 // carry up to <n> per shard (documented in the protocol).
-                gather(inner, pool, GatherKind::Trace, trimmed)
+                gather(inner, pool, conn, GatherKind::Trace, trimmed)
             } else {
                 Expect::Local("ERR TRACE DUMP expects a numeric span count".into())
             }
         }
-        "STATS" => fan_out(inner, pool, FanKind::Stats { sums: [0; 6] }, |_| {
+        "TRACE"
+            if rest
+                .split_whitespace()
+                .next()
+                .is_some_and(|t| t.eq_ignore_ascii_case("SLOW")) =>
+        {
+            let count = rest.split_whitespace().nth(1);
+            if count.is_some_and(|t| t.parse::<u64>().is_ok()) {
+                // Each shard returns up to <n> slow traces; the merge
+                // keeps them all, slowest first.
+                gather(inner, pool, conn, GatherKind::Slow, trimmed)
+            } else {
+                Expect::Local("ERR TRACE SLOW expects a numeric trace count".into())
+            }
+        }
+        "EXPLAIN" if !rest.is_empty() => {
+            let mut tokens = rest.split_whitespace();
+            let first = tokens.next().expect("rest is non-empty");
+            let trace = if first.eq_ignore_ascii_case("TRACE") {
+                match tokens
+                    .next()
+                    .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                {
+                    Some(trace) => trace,
+                    None => {
+                        return Expect::Local("ERR EXPLAIN TRACE expects a hex trace id".into())
+                    }
+                }
+            } else if let Ok(global) = first.parse::<u64>() {
+                match inner.lock_tickets().lookup(global) {
+                    Some(entry) => entry.trace,
+                    None => return Expect::Local(format!("ERR unknown ticket {global}")),
+                }
+            } else {
+                return Expect::Local("ERR EXPLAIN expects a ticket or TRACE <trace-id>".into());
+            };
+            gather(
+                inner,
+                pool,
+                conn,
+                GatherKind::Explain { trace },
+                &format!("EXPLAIN TRACE {trace:016x}"),
+            )
+        }
+        "EXPLAIN" => Expect::Local("ERR EXPLAIN expects a ticket or TRACE <trace-id>".into()),
+        "STATS" => fan_out(inner, pool, conn, FanKind::Stats { sums: [0; 6] }, |_| {
             "STATS".into()
         }),
         "SNAPSHOT" if !rest.is_empty() => {
@@ -1928,6 +2058,7 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
             fan_out(
                 inner,
                 pool,
+                conn,
                 FanKind::Snapshot {
                     total: 0,
                     base,
@@ -1979,7 +2110,15 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
                     .map(|(_, local)| local.to_string())
                     .collect::<Vec<_>>()
                     .join(" ");
-                match forward(inner, pool, &shard, &format!("WAIT {locals_line}")) {
+                match forward(
+                    inner,
+                    pool,
+                    &shard,
+                    &with_ctx(
+                        inner.tracer.child_context(conn),
+                        &format!("WAIT {locals_line}"),
+                    ),
+                ) {
                     Ok(epoch) => parts.push(WaitPart {
                         shard,
                         epoch,
@@ -2007,6 +2146,7 @@ fn route_request(inner: &Arc<RouterInner>, pool: &mut ConnPool, line: &str) -> E
 fn fan_out(
     inner: &Arc<RouterInner>,
     pool: &mut ConnPool,
+    conn: TraceContext,
     kind: FanKind,
     render: impl Fn(&str) -> String,
 ) -> Expect {
@@ -2019,7 +2159,8 @@ fn fan_out(
     let mut error = None;
     let mut skipped = Vec::new();
     for shard in shards {
-        match forward(inner, pool, &shard, &render(&shard)) {
+        let line = with_ctx(inner.tracer.child_context(conn), &render(&shard));
+        match forward(inner, pool, &shard, &line) {
             Ok(epoch) => pending.push((shard, epoch)),
             Err(err) => {
                 error.get_or_insert(err);
@@ -2047,14 +2188,21 @@ fn fan_out(
 /// shard, returning the merging expectation. A shard that cannot even be
 /// reached starts out failed; the merge policy per failure lives in
 /// [`GatherKind`].
-fn gather(inner: &Arc<RouterInner>, pool: &mut ConnPool, kind: GatherKind, line: &str) -> Expect {
+fn gather(
+    inner: &Arc<RouterInner>,
+    pool: &mut ConnPool,
+    conn: TraceContext,
+    kind: GatherKind,
+    line: &str,
+) -> Expect {
     let shards: Vec<String> = inner.lock_topology().map.shards().to_vec();
     if shards.is_empty() {
         return Expect::Local("ERR cluster has no shards".into());
     }
     let mut parts = Vec::new();
     for shard in shards {
-        let part = match forward(inner, pool, &shard, line) {
+        let prefixed = with_ctx(inner.tracer.child_context(conn), line);
+        let part = match forward(inner, pool, &shard, &prefixed) {
             Ok(epoch) => GatherPart {
                 shard,
                 epoch,
@@ -2177,7 +2325,77 @@ fn render_gather(inner: &Arc<RouterInner>, kind: GatherKind, parts: &[GatherPart
             }
             reply
         }
+        GatherKind::Explain { trace } => {
+            if let Some(part) = parts.iter().find(|p| p.failed.is_some()) {
+                // A partial timeline silently lies about where the time
+                // went — fail the whole EXPLAIN instead.
+                return part.failed.clone().expect("found a failed part");
+            }
+            let mut out = Vec::new();
+            for part in parts {
+                for line in &part.lines {
+                    out.push(format!("{line} shard={}", part.shard));
+                }
+            }
+            // The router contributes its own spans for the trace — the
+            // `forward` round-trips that parent each shard's spans.
+            let anchor = inner.tracer.wall_anchor_us();
+            for span in inner.tracer.trace_spans(trace) {
+                out.push(format!(
+                    "{} shard=router",
+                    crate::net::render_event(anchor, &span)
+                ));
+            }
+            // Wall-clock anchoring makes start times comparable across
+            // processes; the stable sort keeps intra-process order for
+            // ties.
+            out.sort_by_key(|line| field_of(line, "start_us="));
+            let mut reply = format!("TIMELINE {}", out.len());
+            for line in out {
+                reply.push('\n');
+                reply.push_str(&line);
+            }
+            reply
+        }
+        GatherKind::Slow => {
+            if let Some(part) = parts.iter().find(|p| p.failed.is_some()) {
+                return part.failed.clone().expect("found a failed part");
+            }
+            let mut out = Vec::new();
+            for part in parts {
+                for line in &part.lines {
+                    out.push(format!("{line} shard={}", part.shard));
+                }
+            }
+            out.sort_by_key(|line| std::cmp::Reverse(field_of(line, "dur_us=")));
+            let mut reply = format!("SLOW {}", out.len());
+            for line in out {
+                reply.push('\n');
+                reply.push_str(&line);
+            }
+            reply
+        }
     }
+}
+
+/// Prefixes `line` with the `CTX <hex>` wire header when `ctx` carries a
+/// real trace, and leaves it untouched otherwise — a shard that never
+/// sees the prefix behaves exactly as it did before the tracing upgrade.
+fn with_ctx(ctx: TraceContext, line: &str) -> String {
+    if ctx.trace_id == 0 {
+        return line.to_string();
+    }
+    format!("CTX {} {line}", ctx.encode())
+}
+
+/// Extracts the numeric value of the `<key><value>` token (e.g.
+/// `start_us=173…`) from a rendered timeline or slow-trace line, or 0
+/// when absent — the merge sort keys of [`render_gather`].
+fn field_of(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Sends one line to `shard`, (re)connecting as needed with bounded
@@ -2292,6 +2510,7 @@ fn poll_shard(inner: &Arc<RouterInner>, pool: &mut ConnPool, shard: &str, epoch:
 fn resolve_head(
     inner: &Arc<RouterInner>,
     pool: &mut ConnPool,
+    conn: TraceContext,
     expects: &mut VecDeque<Expect>,
     client: &mut LineConn,
 ) -> ClientState {
@@ -2319,9 +2538,11 @@ fn resolve_head(
                 sent,
                 request,
                 retries_left,
+                trace,
             } => {
                 let shard_name = shard.clone();
                 let sent_at = *sent;
+                let trace = *trace;
                 match poll_shard(inner, pool, &shard_name, *epoch) {
                     Polled::Line(line) => {
                         inner
@@ -2333,6 +2554,14 @@ fn resolve_head(
                                 &[("shard", &shard_name)],
                             )
                             .record_duration(sent_at.elapsed());
+                        if trace.trace_id != 0 {
+                            // Recorded with the context it was *sent*
+                            // under, so this span's id is the parent the
+                            // shard stitched its own spans to.
+                            inner
+                                .tracer
+                                .record_at("forward", trace, sent_at, sent_at.elapsed());
+                        }
                         let reply = apply_rewrite(inner, &shard_name, rewrite, &line);
                         expects.pop_front();
                         if client.send(&reply).is_err() {
@@ -2350,7 +2579,7 @@ fn resolve_head(
                         let request = request.clone();
                         expects.pop_front();
                         if retries > 0 {
-                            let mut replacement = route_request(inner, pool, &request);
+                            let mut replacement = route_request(inner, pool, conn, &request);
                             if let Expect::Forward { retries_left, .. } = &mut replacement {
                                 *retries_left = retries - 1;
                             }
@@ -2520,7 +2749,10 @@ fn resolve_head(
                                         inner,
                                         pool,
                                         &new_shard,
-                                        &format!("WAIT {locals_line}"),
+                                        &with_ctx(
+                                            inner.tracer.child_context(conn),
+                                            &format!("WAIT {locals_line}"),
+                                        ),
                                     ) {
                                         Ok(epoch) => parts.push(WaitPart {
                                             shard: new_shard,
@@ -2610,7 +2842,11 @@ fn resolve_head(
 /// Applies a single-line response rewrite.
 fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line: &str) -> String {
     match rewrite {
-        Rewrite::Submit { scenario, degraded } => match line
+        Rewrite::Submit {
+            scenario,
+            degraded,
+            ctx,
+        } => match line
             .strip_prefix("TICKET ")
             .and_then(|s| s.parse::<u64>().ok())
         {
@@ -2620,6 +2856,7 @@ fn apply_rewrite(inner: &Arc<RouterInner>, shard: &str, rewrite: &Rewrite, line:
                     local,
                     scenario,
                     *degraded,
+                    ctx.trace_id,
                     inner.config.max_tickets,
                 );
                 inner.remaps.inc();
@@ -2798,7 +3035,7 @@ mod tests {
     #[test]
     fn ticket_table_remaps_onto_a_replica_and_flags_degraded() {
         let mut table = TicketTable::default();
-        let global = table.allocate("a", 7, "scen", false, 8);
+        let global = table.allocate("a", 7, "scen", false, 0x77, 8);
         assert_eq!(table.global_for("a", 7), Some(global));
         assert!(!table.degraded(global));
 
@@ -2806,6 +3043,7 @@ mod tests {
         let entry = table.lookup(global).expect("remapped entry");
         assert_eq!((entry.shard.as_str(), entry.local), ("b", 3));
         assert_eq!(entry.scenario, "scen");
+        assert_eq!(entry.trace, 0x77, "remap keeps the submitting trace");
         assert!(entry.degraded && table.degraded(global));
         assert_eq!(
             table.global_for("a", 7),

@@ -16,6 +16,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use modis_core::telemetry::TraceContext;
+
 /// Exponentially weighted per-scenario cost estimates.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -75,6 +77,10 @@ pub struct QueuedRequest {
     pub bypassed: u32,
     /// When the request was enqueued (feeds the queue-wait histogram).
     pub submitted_at: Instant,
+    /// The trace context the request arrived under: carried through the
+    /// queue onto the executor thread so the job's spans (queue wait,
+    /// run, scenario, waves) stitch into the submitter's trace.
+    pub trace: TraceContext,
 }
 
 /// The namespace-aware cost priority queue.
@@ -175,6 +181,7 @@ mod tests {
             estimated_cost: cost,
             bypassed: 0,
             submitted_at: Instant::now(),
+            trace: TraceContext::NONE,
         }
     }
 

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use modis_core::estimator::SharedEvaluation;
-use modis_core::telemetry::{Counter, Gauge, Histogram};
+use modis_core::telemetry::{Counter, Gauge, Histogram, TraceContext};
 use modis_data::StateBitmap;
 use modis_engine::{BatchValuation, CacheStats, Engine, EngineConfig, Scenario, ScenarioOutcome};
 
@@ -48,6 +48,10 @@ pub struct ServiceConfig {
     /// skyline result per submission forever; once a run's outcome is
     /// evicted, polling its ticket answers `UnknownTicket`.
     pub completed_retention: usize,
+    /// End-to-end latency (queue wait + execution) at or above which a
+    /// finished run's trace is recorded in the tracer's slow-request ring
+    /// (dumped via the `TRACE SLOW` wire verb).
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +62,7 @@ impl Default for ServiceConfig {
             prewarm_start_states: true,
             worker_poll: Duration::from_millis(20),
             completed_retention: 4096,
+            slow_request_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -78,6 +83,12 @@ impl ServiceConfig {
     /// Builder-style completed-outcome retention setter (0 = unbounded).
     pub fn with_completed_retention(mut self, retention: usize) -> Self {
         self.completed_retention = retention;
+        self
+    }
+
+    /// Builder-style slow-request threshold setter.
+    pub fn with_slow_request_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_request_threshold = threshold;
         self
     }
 }
@@ -114,6 +125,9 @@ struct Inner {
     jobs: HashMap<u64, JobState>,
     /// Finished tickets in completion order, for bounded retention.
     completed: VecDeque<u64>,
+    /// Ticket → trace id, for `EXPLAIN <ticket>`; evicted alongside the
+    /// completed-outcome retention window so the map stays bounded.
+    traces: HashMap<u64, u64>,
     next_ticket: u64,
     next_seq: u64,
 }
@@ -128,6 +142,7 @@ impl Inner {
             while self.completed.len() > retention {
                 if let Some(oldest) = self.completed.pop_front() {
                     self.jobs.remove(&oldest);
+                    self.traces.remove(&oldest);
                 }
             }
         }
@@ -202,6 +217,7 @@ impl Service {
                 costs: CostModel::new(config.cost_smoothing),
                 jobs: HashMap::new(),
                 completed: VecDeque::new(),
+                traces: HashMap::new(),
                 next_ticket: 1,
                 next_seq: 0,
             }),
@@ -288,7 +304,21 @@ impl Service {
     /// Enqueues a run of a registered scenario and returns its ticket.
     /// Rejected once [`Service::shutdown`] has been called — no worker will
     /// drain the queue any more, so the ticket would hang forever.
+    ///
+    /// A fresh trace is minted for the run; to stitch it into a trace the
+    /// caller already carries (a routed request arriving with a `CTX` wire
+    /// prefix), use [`Service::submit_traced`].
     pub fn submit(&self, name: &str) -> Result<Ticket, ServiceError> {
+        let ctx = self.engine.tracer().mint_context();
+        self.submit_traced(name, ctx)
+    }
+
+    /// [`Service::submit`] under an explicit trace context: the request is
+    /// carried through the queue onto the executor thread under `ctx`, so
+    /// its queue-wait, job, scenario, and valuation spans all stitch into
+    /// the submitter's trace — across the thread hop and, when `ctx`
+    /// arrived over the wire, across the process hop too.
+    pub fn submit_traced(&self, name: &str, ctx: TraceContext) -> Result<Ticket, ServiceError> {
         let mut inner = self.lock();
         // Checked *under* the inner lock: shutdown() also takes it while
         // setting the flag, so a submission either completes before the
@@ -315,8 +345,10 @@ impl Service {
             estimated_cost,
             bypassed: 0,
             submitted_at: Instant::now(),
+            trace: ctx,
         });
         inner.jobs.insert(ticket.0, JobState::Queued);
+        inner.traces.insert(ticket.0, ctx.trace_id);
         self.metrics.jobs_submitted.inc();
         self.metrics.queue_depth.set(inner.scheduler.len() as i64);
         Ok(ticket)
@@ -337,6 +369,13 @@ impl Service {
             .get(&ticket.0)
             .cloned()
             .ok_or(ServiceError::UnknownTicket(ticket.0))
+    }
+
+    /// The trace id the ticket's run was submitted under (`EXPLAIN`
+    /// resolves tickets to traces through this). `None` once the ticket
+    /// has fallen off the completed-outcome retention window.
+    pub fn trace_of(&self, ticket: Ticket) -> Option<u64> {
+        self.lock().traces.get(&ticket.0).copied()
     }
 
     /// Number of runs waiting in the queue.
@@ -372,12 +411,21 @@ impl Service {
                 inner.jobs.insert(request.ticket, JobState::Running);
                 (request, scenario)
             };
-            self.metrics
-                .job_queue_wait_us
-                .record_duration(request.submitted_at.elapsed());
+            let tracer = self.engine.tracer();
+            let queue_wait = request.submitted_at.elapsed();
+            self.metrics.job_queue_wait_us.record_duration(queue_wait);
+            // Retroactive span: the wait already happened, so record it with
+            // its true start instant rather than opening a live span now.
+            tracer.record_at(
+                "queue_wait",
+                tracer.child_context(request.trace),
+                request.submitted_at,
+                queue_wait,
+            );
             let run_start = Instant::now();
-            let job_span = self.engine.tracer().span("job");
-            let outcome = self.engine.run_scenario(&scenario);
+            let job_span = tracer.span_with("job", request.trace);
+            let job_ctx = job_span.context();
+            let outcome = self.engine.run_scenario_traced(&scenario, job_ctx);
             drop(job_span);
             self.metrics.job_run_us.record_duration(run_start.elapsed());
             self.metrics.jobs_completed.inc();
@@ -405,6 +453,12 @@ impl Service {
                 let mut inner = self.lock();
                 inner.costs.observe(&request.scenario, observed);
                 inner.finish_job(request.ticket, outcome, self.config.completed_retention);
+            }
+            // End-to-end latency (wait + run) against the slow threshold:
+            // the trace id is enough to stitch the full timeline later.
+            let total = request.submitted_at.elapsed();
+            if total >= self.config.slow_request_threshold {
+                tracer.note_slow(request.trace.trace_id, total, &request.scenario);
             }
             // Per-job (not per-drain), so `WAIT` watchers stream each
             // completion as it happens instead of at the end of the wave.

@@ -8,7 +8,11 @@
 //!    telemetry, then scrape the cluster-wide `METRICS` exposition (every
 //!    shard's instruments behind one scrape, labeled `shard="…"`) and the
 //!    merged `TRACE DUMP` spans,
-//! 4. grow the cluster: a third shard joins, the namespaces it now owns
+//! 4. submit two scenarios owned by different shards on one connection and
+//!    `EXPLAIN` the first ticket — the router stitches its own forward
+//!    spans and both shards' queue-wait/engine spans into one
+//!    wall-clock-ordered timeline under a single trace id,
+//! 5. grow the cluster: a third shard joins, the namespaces it now owns
 //!    are shipped as snapshot shipments, and its **first** request is
 //!    answered entirely from the shipped warm cache (zero paid
 //!    valuations).
@@ -123,6 +127,66 @@ fn main() {
     for _ in 0..spans {
         println!("  {}", recv());
     }
+
+    // ── EXPLAIN: one distributed trace, stitched across the cluster ───────
+    // Two scenarios on differently-owned namespaces, submitted on this same
+    // connection, ride one trace; EXPLAIN merges the router's forward spans
+    // with both shards' queue-wait and engine spans into one wall-clock
+    // timeline.
+    let owners: Vec<String> = (0..workload.namespaces)
+        .map(|i| {
+            cluster
+                .router
+                .owner_of(&workload.namespace(i))
+                .expect("owned")
+        })
+        .collect();
+    let pool_of = |name: &str| -> usize { name[2..name.find('/').unwrap()].parse().unwrap() };
+    let (first, second) = names
+        .iter()
+        .flat_map(|a| names.iter().map(move |b| (a, b)))
+        .find(|(a, b)| owners[pool_of(a)] != owners[pool_of(b)])
+        .expect("two scenarios on differently-owned namespaces");
+    writeln!(writer, "SUBMIT {first}").expect("send SUBMIT");
+    let reply = recv();
+    let ticket: u64 = reply
+        .strip_prefix("TICKET ")
+        .expect("TICKET reply")
+        .parse()
+        .expect("ticket id");
+    writeln!(writer, "SUBMIT {second}").expect("send SUBMIT");
+    let reply = recv();
+    let partner: u64 = reply
+        .strip_prefix("TICKET ")
+        .expect("TICKET reply")
+        .parse()
+        .expect("ticket id");
+    writeln!(writer, "RUN").expect("send RUN");
+    assert!(recv().starts_with("OK "), "RUN reply");
+    writeln!(writer, "WAIT {ticket} {partner}").expect("send WAIT");
+    for _ in 0..2 {
+        assert!(recv().starts_with("DONE "), "WAIT reply");
+    }
+    writeln!(writer, "EXPLAIN {ticket}").expect("send EXPLAIN");
+    let header = recv();
+    let events: usize = header
+        .strip_prefix("TIMELINE ")
+        .expect("TIMELINE header")
+        .parse()
+        .expect("event count");
+    println!("\nEXPLAIN {ticket} — stitched timeline, {events} events:");
+    let mut shards_seen = std::collections::HashSet::new();
+    for _ in 0..events {
+        let line = recv();
+        if let Some(shard) = line.rsplit(" shard=").next() {
+            shards_seen.insert(shard.to_string());
+        }
+        println!("  {line}");
+    }
+    assert!(
+        shards_seen.len() >= 3,
+        "expected router + 2 shards in the timeline: {shards_seen:?}"
+    );
 
     // ── Grow the cluster: join a shard, ship its namespaces' caches ───────
     // Pick a joiner name that rendezvous-owns at least one namespace

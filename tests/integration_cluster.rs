@@ -768,6 +768,179 @@ fn killed_shard_restarts_from_snapshot_with_byte_identical_skylines() {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed tracing: one trace id stitched across real OS processes
+// ---------------------------------------------------------------------------
+
+/// A numeric `key=` field of an `EVENT`/`TRACE` line.
+fn event_field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key}= in {line:?}"))
+}
+
+/// A string `key=` field of an `EVENT`/`TRACE` line.
+fn event_str_field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+}
+
+/// The tracing tentpole's acceptance path, against **real OS processes**:
+/// two scenarios submitted on one router connection land on two different
+/// shard processes, and `EXPLAIN <ticket>` stitches a single-trace-id,
+/// time-ordered timeline covering the router's `forward` round-trips,
+/// each shard's queue wait and the engine's scenario/valuation spans —
+/// with every shard-side span parented to the router's forward span for
+/// that request.
+#[test]
+fn explain_stitches_one_trace_across_router_and_two_shard_processes() {
+    let seeds = [5u64, 9];
+    let max_states = 8;
+
+    // Pick a shard-name pair that rendezvous-splits the two pools, so the
+    // trace provably crosses two distinct OS processes (ownership is a
+    // pure function of the name set — derive it, don't hope).
+    let keys: Vec<u64> = seeds
+        .iter()
+        .map(|&s| SharedEvalCache::namespace_key(&t3_cluster_namespace(s)))
+        .collect();
+    let partner = (2..100)
+        .map(|i| format!("s{i}"))
+        .find(|candidate| {
+            let map = ShardMap::from_names(["s1".to_string(), candidate.clone()]);
+            map.owner_of(keys[0]) != map.owner_of(keys[1])
+        })
+        .expect("some pair splits the pools");
+
+    let s1 = ShardProc::spawn("5,9", max_states, None);
+    let s2 = ShardProc::spawn("5,9", max_states, None);
+    let router = Router::bind(
+        t3_cluster_spec(&seeds),
+        vec![("s1".to_string(), s1.addr), (partner.clone(), s2.addr)],
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(router.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Submit one scenario per pool (hence per shard process) on the SAME
+    // connection — the router threads one distributed trace through both.
+    writer
+        .write_all(b"SUBMIT t3s5/apx\nSUBMIT t3s9/apx\nRUN\nWAIT 1 2\n")
+        .unwrap();
+    for ticket in 1..=2u64 {
+        assert_eq!(recv(&mut reader), format!("TICKET {ticket}"));
+    }
+    assert!(recv(&mut reader).starts_with("OK "));
+    for _ in 0..2 {
+        assert!(recv(&mut reader).starts_with("DONE "));
+    }
+
+    writeln!(writer, "EXPLAIN 1").unwrap();
+    let header = recv(&mut reader);
+    let count: usize = header
+        .strip_prefix("TIMELINE ")
+        .unwrap_or_else(|| panic!("bad EXPLAIN header {header:?}"))
+        .parse()
+        .expect("numeric event count");
+    assert!(count > 0, "empty timeline");
+    let events: Vec<String> = (0..count).map(|_| recv(&mut reader)).collect();
+
+    // One trace id across every event, router and shards alike.
+    let trace = event_str_field(&events[0], "trace").to_string();
+    assert_eq!(trace.len(), 16, "16-hex-digit trace id: {trace}");
+    for event in &events {
+        assert!(event.starts_with("EVENT "), "{event}");
+        assert_eq!(event_str_field(event, "trace"), trace, "{event}");
+    }
+
+    // The timeline covers the router and both shard processes.
+    let shards_seen: std::collections::HashSet<&str> = events
+        .iter()
+        .map(|event| event_str_field(event, "shard"))
+        .collect();
+    assert!(shards_seen.contains("router"), "{shards_seen:?}");
+    assert!(
+        shards_seen.len() >= 3,
+        "expected router + 2 shard processes, saw {shards_seen:?}"
+    );
+
+    // The router recorded one `forward` round-trip per submission, and
+    // every shard-side queue wait is parented to one of them — the link
+    // that stitches the processes together.
+    let forward_ids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| event_str_field(e, "name") == "forward")
+        .inspect(|e| assert_eq!(event_str_field(e, "shard"), "router", "{e}"))
+        .map(|e| event_field(e, "span"))
+        .collect();
+    assert!(forward_ids.len() >= 2, "{events:#?}");
+    let queue_waits: Vec<&String> = events
+        .iter()
+        .filter(|e| event_str_field(e, "name") == "queue_wait")
+        .collect();
+    assert_eq!(queue_waits.len(), 2, "{events:#?}");
+    for event in &queue_waits {
+        assert!(
+            forward_ids.contains(&event_field(event, "parent")),
+            "queue wait not parented to a router forward: {event}"
+        );
+        assert!(
+            event_field(event, "dur_us") > 0,
+            "zero queue wait over a network round-trip: {event}"
+        );
+        assert_ne!(event_str_field(event, "shard"), "router", "{event}");
+    }
+    // The engine's own spans made it into the same timeline.
+    for name in ["job", "scenario", "valuation"] {
+        assert!(
+            events.iter().any(|e| event_str_field(e, "name") == name),
+            "no {name} span in {events:#?}"
+        );
+    }
+
+    // Time-ordered by wall-clock-anchored start, across processes.
+    let starts: Vec<u64> = events.iter().map(|e| event_field(e, "start_us")).collect();
+    assert!(
+        starts.windows(2).all(|pair| pair[0] <= pair[1]),
+        "timeline out of order: {starts:?}"
+    );
+
+    // `EXPLAIN TRACE <id>` names the same trace directly; the submitting
+    // ticket and the raw trace id resolve to the same timeline.
+    writeln!(writer, "EXPLAIN TRACE {trace}").unwrap();
+    let direct = recv(&mut reader);
+    assert_eq!(direct, header, "ticket and trace-id EXPLAIN disagree");
+    for _ in 0..count {
+        recv(&mut reader);
+    }
+
+    // Error paths hold their pipeline position.
+    writer
+        .write_all(b"EXPLAIN 999\nEXPLAIN TRACE zz\nEXPLAIN\nPING\nQUIT\n")
+        .unwrap();
+    assert_eq!(recv(&mut reader), "ERR unknown ticket 999");
+    assert_eq!(
+        recv(&mut reader),
+        "ERR EXPLAIN TRACE expects a hex trace id"
+    );
+    assert_eq!(
+        recv(&mut reader),
+        "ERR EXPLAIN expects a ticket or TRACE <trace-id>"
+    );
+    assert_eq!(recv(&mut reader), "PONG");
+    assert_eq!(recv(&mut reader), "BYE");
+    router.stop();
+}
+
+// ---------------------------------------------------------------------------
 // Failover: SIGKILL a primary, replicas serve with zero operator action
 // ---------------------------------------------------------------------------
 

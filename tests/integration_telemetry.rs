@@ -1,7 +1,8 @@
 //! Integration tests of the telemetry spine: histogram algebra under
-//! arbitrary inputs (property tests), registry behavior under real
-//! thread contention, and the `METRICS` exposition of a live reactor
-//! daemon accounting for every request actually sent.
+//! arbitrary inputs (property tests), trace-context wire encoding under
+//! arbitrary (mal)formed inputs, registry behavior under real thread
+//! contention, and the `METRICS` exposition of a live reactor daemon
+//! accounting for every request actually sent.
 
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
@@ -9,8 +10,8 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use modis_core::telemetry::{Histogram, MetricsRegistry};
-use modis_service::{Daemon, Service, ServiceConfig};
+use modis_core::telemetry::{Histogram, MetricsRegistry, TraceContext};
+use modis_service::{handle_command, Daemon, Service, ServiceConfig};
 
 // ---------------------------------------------------------------------------
 // Histogram algebra (property tests)
@@ -83,6 +84,79 @@ proptest! {
         prop_assert_eq!(ab.snapshot(), combined.snapshot());
         prop_assert_eq!(ab.value_sum(), ba.value_sum());
         prop_assert_eq!(ab.count(), (left.len() + right.len()) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context wire encoding (property tests)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every context — all 2^192 of them — survives the hex wire encoding
+    /// bit-exactly, and the encoding is always exactly `WIRE_LEN` bytes.
+    #[test]
+    fn trace_context_hex_encoding_round_trips(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        parent_id in any::<u64>(),
+    ) {
+        let ctx = TraceContext { trace_id, span_id, parent_id };
+        let wire = ctx.encode();
+        prop_assert_eq!(wire.len(), TraceContext::WIRE_LEN);
+        prop_assert_eq!(TraceContext::decode(&wire), Some(ctx));
+    }
+
+    /// An arbitrary token in `CTX` position never panics the decoder or
+    /// the protocol: exactly the 48-hex-digit tokens decode, and on the
+    /// wire a bad token answers `ERR …` while a good one lets the request
+    /// through (`PONG`). Covers truncations, wrong lengths, non-hex ASCII
+    /// and multibyte UTF-8 whose *byte* length is a deceptive exact 48.
+    #[test]
+    fn ctx_prefix_rejects_malformed_tokens_without_panicking(
+        mode in 0usize..4,
+        words in prop::collection::vec(any::<u64>(), 4usize),
+        len in 0usize..64,
+    ) {
+        let hex: String = words.iter().map(|w| format!("{w:016x}")).collect();
+        let token: String = match mode {
+            // Exactly valid: 48 hex digits.
+            0 => hex[..48].to_string(),
+            // Right alphabet, arbitrary length (48 stays valid — the
+            // oracle below decides, not the mode).
+            1 => hex[..len].to_string(),
+            // Printable non-space ASCII junk.
+            2 => words
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .take(len.min(32))
+                .map(|b| (33 + b % 94) as char)
+                .collect(),
+            // 24 two-byte chars (U+0100..U+04FF — no whitespace, no hex):
+            // exactly 48 *bytes*, which a byte-count check alone would
+            // wave through.
+            _ => words
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .take(24)
+                .map(|b| char::from_u32(0x100 + (b as u32 % 0x400)).expect("valid scalar"))
+                .collect(),
+        };
+        let decoded = TraceContext::decode(&token);
+        let wellformed = token.len() == TraceContext::WIRE_LEN
+            && token.bytes().all(|b| b.is_ascii_hexdigit());
+        prop_assert_eq!(decoded.is_some(), wellformed, "token {:?}", token);
+
+        let service = Service::new(ServiceConfig::default());
+        let reply = handle_command(&service, &format!("CTX {token} PING"))
+            .text()
+            .to_string();
+        if wellformed {
+            prop_assert_eq!(reply, "PONG");
+        } else {
+            prop_assert!(reply.starts_with("ERR"), "reply {:?}", reply);
+        }
     }
 }
 
