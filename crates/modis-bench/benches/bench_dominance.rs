@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the dominance kernels: pairwise baseline vs the
+//! sorted, indexed (u64 level-mask), block and wave-parallel skylines over
+//! the standard frontier families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use modis_bench::dominance_workload::{frontier_points, Frontier};
+use modis_core::dominance::skyline_pairwise_baseline;
+use modis_core::dominance_index::{skyline_blocks, skyline_indexed, skyline_sorted};
+use modis_engine::parallel_skyline;
+
+fn bench_dominance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance");
+    group.sample_size(20);
+
+    for frontier in [Frontier::Uniform, Frontier::AntiCorrelated] {
+        for &n in &[500usize, 2000] {
+            let pts = frontier_points(n, 4, frontier, 0xD0B1);
+            let tag = format!("{}_d4", frontier.name());
+            group.bench_with_input(
+                BenchmarkId::new(format!("pairwise_{tag}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| skyline_pairwise_baseline(&pts));
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("sorted_{tag}"), n), &n, |b, _| {
+                b.iter(|| skyline_sorted(&pts));
+            });
+            group.bench_with_input(BenchmarkId::new(format!("indexed_{tag}"), n), &n, |b, _| {
+                b.iter(|| skyline_indexed(&pts));
+            });
+            group.bench_with_input(BenchmarkId::new(format!("blocks8_{tag}"), n), &n, |b, _| {
+                b.iter(|| skyline_blocks(&pts, 8));
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel4_{tag}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| parallel_skyline(&pts, 4));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dominance);
+criterion_main!(benches);

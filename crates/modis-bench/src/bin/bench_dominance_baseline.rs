@@ -1,0 +1,139 @@
+//! Save-baseline runner for the skyline dominance kernels: differentially
+//! verifies every fast kernel against the retained pairwise baseline on
+//! each frontier family, times them, and writes the numbers to
+//! `BENCH_dominance.json` — the committed evidence that the indexed kernel
+//! clears the ≥10× bar on wide (≥4-measure, ≥2k-point) frontiers.
+//!
+//! Usage: `bench_dominance_baseline [--rows N] [--iters N] [--out PATH]
+//! [--quick]` — `--quick` shrinks the workloads to a smoke run (still
+//! differentially verified, no timing assertions, nothing written).
+
+use std::time::Instant;
+
+use modis_bench::dominance_workload::{frontier_points, Frontier};
+use modis_core::dominance::{skyline_pairwise_baseline, skyline_with_stats};
+use modis_core::dominance_index::{skyline_blocks, skyline_indexed, skyline_sorted};
+use modis_engine::parallel_skyline;
+
+/// Median wall-clock microseconds of `iters` runs of `f`.
+fn median_micros<O, F: FnMut() -> O>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: String,
+    n: usize,
+    dims: usize,
+    skyline_len: usize,
+    pairwise_us: f64,
+    sorted_us: f64,
+    indexed_us: f64,
+    blocks_us: f64,
+    parallel_us: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale: usize = flag_value("--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 300 } else { 2500 });
+    let iters: usize = flag_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 9 });
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_dominance.json".into());
+
+    let workloads: Vec<(&str, usize, usize, Frontier)> = vec![
+        ("wide_anti_4d", scale, 4, Frontier::AntiCorrelated),
+        ("uniform_6d", scale * 2, 6, Frontier::Uniform),
+        ("correlated_4d", scale, 4, Frontier::Correlated),
+        ("dup_heavy_4d", scale, 4, Frontier::DuplicateHeavy),
+        ("nan_laced_4d", scale, 4, Frontier::NanLaced),
+        ("uniform_2d", scale * 2, 2, Frontier::Uniform),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, n, dims, frontier) in workloads {
+        eprintln!("workload {name}: n={n} dims={dims} ({})…", frontier.name());
+        let pts = frontier_points(n, dims, frontier, 0xD0B1);
+
+        // Differential gate first: every kernel must return the identical
+        // index set before any of its timings mean anything.
+        let base = skyline_pairwise_baseline(&pts);
+        assert_eq!(skyline_sorted(&pts), base, "{name}: sorted diverged");
+        assert_eq!(skyline_indexed(&pts), base, "{name}: indexed diverged");
+        assert_eq!(skyline_blocks(&pts, 8), base, "{name}: blocks diverged");
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                parallel_skyline(&pts, threads),
+                base,
+                "{name}: parallel({threads}) diverged"
+            );
+        }
+        assert_eq!(
+            skyline_with_stats(&pts).0,
+            base,
+            "{name}: dispatch diverged"
+        );
+
+        rows.push(Row {
+            name: name.to_string(),
+            n,
+            dims,
+            skyline_len: base.len(),
+            pairwise_us: median_micros(iters, || skyline_pairwise_baseline(&pts)),
+            sorted_us: median_micros(iters, || skyline_sorted(&pts)),
+            indexed_us: median_micros(iters, || skyline_indexed(&pts)),
+            blocks_us: median_micros(iters, || skyline_blocks(&pts, 8)),
+            parallel_us: median_micros(iters, || parallel_skyline(&pts, 4)),
+        });
+    }
+
+    let wide = rows.iter().find(|r| r.name == "wide_anti_4d").unwrap();
+    let indexed_vs_pairwise_wide = wide.pairwise_us / wide.indexed_us.max(1e-3);
+    let parallel_vs_pairwise_wide = wide.pairwise_us / wide.parallel_us.max(1e-3);
+
+    let mut json = String::from("{\n  \"bench\": \"dominance\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"n\": {}, \"dims\": {}, \"skyline\": {}, \"pairwise_us\": {:.3}, \"sorted_us\": {:.3}, \"indexed_us\": {:.3}, \"blocks_us\": {:.3}, \"parallel_us\": {:.3}, \"indexed_speedup\": {:.2} }}{}\n",
+            r.name,
+            r.n,
+            r.dims,
+            r.skyline_len,
+            r.pairwise_us,
+            r.sorted_us,
+            r.indexed_us,
+            r.blocks_us,
+            r.parallel_us,
+            r.pairwise_us / r.indexed_us.max(1e-3),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup\": {{\n    \"indexed_vs_pairwise_wide\": {indexed_vs_pairwise_wide:.2},\n    \"parallel_vs_pairwise_wide\": {parallel_vs_pairwise_wide:.2}\n  }}\n}}\n"
+    ));
+    println!("{json}");
+    if !quick {
+        std::fs::write(&out, &json).expect("write baseline json");
+        eprintln!("baseline written to {out}");
+    }
+    assert!(
+        quick || indexed_vs_pairwise_wide >= 10.0,
+        "indexed kernel speedup {indexed_vs_pairwise_wide:.2}x on the wide frontier is below the 10x acceptance bar"
+    );
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster_workload;
+pub mod dominance_workload;
 pub mod reactor_workload;
 pub mod report;
 pub mod service_workload;

@@ -4,8 +4,13 @@
 //!   performance vectors;
 //! * [`epsilon_dominates`] — the `(1+ε)` relaxation used by the
 //!   `(N, ε)`-approximation;
-//! * [`skyline`] — exact Pareto front (Kung-style divide and conquer for
-//!   2–3 measures, simple filtering otherwise);
+//! * [`skyline`] — exact Pareto front, dispatching to the fast kernels of
+//!   [`crate::dominance_index`] (exact 2D sort-and-scan, sum-sorted scans
+//!   with early termination, u64 level-mask pre-filters);
+//! * [`skyline_pairwise_baseline`] — the retained `O(n²·|P|)` reference
+//!   kernel every fast kernel is differentially tested against;
+//! * [`dominated_flags`] — the dominance-only predicate (no duplicate rule)
+//!   used by skyline finalisation;
 //! * [`epsilon_skyline_cover`] — verifies the ε-skyline covering property.
 
 /// Strict Pareto dominance: `a ≺ b` means `b` dominates `a`.
@@ -47,26 +52,31 @@ pub fn epsilon_dominates(b: &[f64], a: &[f64], epsilon: f64) -> bool {
     some_no_worse
 }
 
-/// Exact skyline (Pareto front) of a set of performance vectors; returns the
-/// indices of non-dominated vectors, preserving input order.
+/// Retained pairwise reference skyline (`O(n²·|P|)`): the indices of
+/// vectors no other vector [`dominates`], minus exact duplicates of earlier
+/// vectors, preserving input order.
 ///
-/// For two objectives the classic Kung sort-and-scan algorithm is used
-/// (`O(n log n)`); otherwise a pairwise filter (`O(n²·|P|)`) is used, which
-/// is adequate for the bounded state counts explored by MODis.
-pub fn skyline(points: &[Vec<f64>]) -> Vec<usize> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let dims = points[0].len();
-    if dims == 2 {
-        return skyline_2d(points);
-    }
+/// Every fast kernel in [`crate::dominance_index`] is differentially tested
+/// to return a byte-identical index set; this baseline **is** the public
+/// contract of [`skyline`] and must not be "optimised".
+pub fn skyline_pairwise_baseline<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    skyline_pairwise_with_stats(points).0
+}
+
+/// [`skyline_pairwise_baseline`] with comparison counting.
+pub(crate) fn skyline_pairwise_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+) -> (Vec<usize>, crate::dominance_index::DominanceStats) {
+    let mut stats = crate::dominance_index::DominanceStats::new("pairwise");
     let mut result = Vec::new();
     'outer: for (i, p) in points.iter().enumerate() {
+        let p = p.as_ref();
         for (j, q) in points.iter().enumerate() {
             if i == j {
                 continue;
             }
+            let q = q.as_ref();
+            stats.comparisons += 1;
             if dominates(q, p) {
                 continue 'outer;
             }
@@ -77,32 +87,86 @@ pub fn skyline(points: &[Vec<f64>]) -> Vec<usize> {
         }
         result.push(i);
     }
-    result
+    stats.finish(points.len());
+    (result, stats)
 }
 
-/// Kung's algorithm specialised to two minimised objectives.
-fn skyline_2d(points: &[Vec<f64>]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..points.len()).collect();
-    idx.sort_by(|&a, &b| {
-        points[a][0]
-            .partial_cmp(&points[b][0])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                points[a][1]
-                    .partial_cmp(&points[b][1])
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-    });
-    let mut best_second = f64::INFINITY;
-    let mut keep = Vec::new();
-    for &i in &idx {
-        if points[i][1] < best_second - 1e-12 {
-            keep.push(i);
-            best_second = points[i][1];
-        }
-    }
-    keep.sort_unstable();
+/// Pairwise dominance-only flags (no duplicate rule): `flags[i]` is true
+/// iff some other vector dominates vector `i`.
+pub(crate) fn pairwise_flags_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+) -> (Vec<bool>, crate::dominance_index::DominanceStats) {
+    let mut stats = crate::dominance_index::DominanceStats::new("pairwise");
+    let flags = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            points.iter().enumerate().any(|(j, q)| {
+                if i == j {
+                    return false;
+                }
+                stats.comparisons += 1;
+                dominates(q.as_ref(), p.as_ref())
+            })
+        })
+        .collect();
+    stats.finish(points.len());
+    (flags, stats)
+}
+
+/// Exact skyline (Pareto front) of a set of performance vectors; returns the
+/// indices of non-dominated vectors, preserving input order.
+///
+/// Dispatches to the fastest applicable kernel of
+/// [`crate::dominance_index`] — all byte-identical to
+/// [`skyline_pairwise_baseline`] — and flushes the kernel's work statistics
+/// into the ambient telemetry (when a scope is open) and the thread-local
+/// dominance tally.
+pub fn skyline<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let (keep, stats) = skyline_with_stats(points);
+    crate::dominance_index::record_stats(&stats);
     keep
+}
+
+/// [`skyline`] returning the kernel's work statistics without flushing them.
+pub fn skyline_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+) -> (Vec<usize>, crate::dominance_index::DominanceStats) {
+    use crate::dominance_index as dx;
+    match dx::uniform_dims(points) {
+        None => skyline_pairwise_with_stats(points),
+        Some(_) if points.len() < 2 => skyline_pairwise_with_stats(points),
+        Some(2) => dx::skyline_scan_2d_with_stats(points),
+        Some(_) if points.len() >= dx::MASK_MIN_POINTS => dx::skyline_indexed_with_stats(points),
+        Some(_) => dx::skyline_sorted_with_stats(points),
+    }
+}
+
+/// Dominance-only flags: `flags[i]` is true iff some *other* vector
+/// dominates vector `i` (exact duplicates are not flagged — they do not
+/// dominate each other). Kernel-accelerated like [`skyline`]; flushes work
+/// statistics the same way.
+pub fn dominated_flags<P: AsRef<[f64]>>(points: &[P]) -> Vec<bool> {
+    let (flags, stats) = dominated_flags_with_stats(points);
+    crate::dominance_index::record_stats(&stats);
+    flags
+}
+
+/// [`dominated_flags`] returning the kernel's work statistics without
+/// flushing them.
+pub fn dominated_flags_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+) -> (Vec<bool>, crate::dominance_index::DominanceStats) {
+    use crate::dominance_index as dx;
+    match dx::uniform_dims(points) {
+        None => pairwise_flags_with_stats(points),
+        Some(_) if points.len() < 2 => pairwise_flags_with_stats(points),
+        Some(2) => match dx::flags_scan_2d(points) {
+            Some(res) => res,
+            None => pairwise_flags_with_stats(points),
+        },
+        Some(_) => dx::indexed_flags_with_stats(points, points.len() >= dx::MASK_MIN_POINTS),
+    }
 }
 
 /// Checks the ε-skyline covering property: every vector in `all` is
@@ -213,5 +277,69 @@ mod tests {
         let pts = vec![vec![0.1, 0.5], vec![0.2, 0.6], vec![0.5, 0.1]];
         let pruned = prune_dominated(&pts, &[0, 1, 2]);
         assert_eq!(pruned, vec![0, 2]);
+    }
+
+    /// Pins the NaN/∞ semantics of [`dominates`] that every kernel must
+    /// reproduce: a NaN coordinate passes both the "no worse" and the
+    /// "strictly better" checks vacuously in *both* directions, so a
+    /// NaN-laced vector can dominate (and escape domination selectively).
+    #[test]
+    fn nan_dominance_semantics_are_pinned() {
+        // NaN on one coordinate, strictly better on the other: dominates.
+        assert!(dominates(&[f64::NAN, 0.1], &[0.5, 0.5]));
+        // All-NaN never dominates (no strict win anywhere).
+        assert!(!dominates(&[f64::NAN, f64::NAN], &[0.5, 0.5]));
+        // A NaN coordinate in the dominated point imposes no constraint.
+        assert!(dominates(&[0.1, 0.1], &[f64::NAN, 0.5]));
+        // NaN-containing vectors are never exact duplicates.
+        let pts = vec![vec![f64::NAN, 0.5], vec![f64::NAN, 0.5]];
+        assert_eq!(skyline(&pts), vec![0, 1]);
+    }
+
+    /// Regression for the seed-era 2D kernel, whose
+    /// `partial_cmp(..).unwrap_or(Equal)` sort silently misordered NaN
+    /// points: the dispatcher's 2D scan must agree with the pairwise
+    /// baseline on NaN- and ∞-laced two-measure inputs.
+    #[test]
+    fn skyline_2d_nan_and_infinite_regression() {
+        let pts = vec![
+            vec![f64::NAN, 0.2],
+            vec![0.3, 0.4],
+            vec![f64::NAN, f64::NAN],
+            vec![0.1, f64::NAN],
+            vec![f64::INFINITY, 0.05],
+            vec![f64::NEG_INFINITY, 0.9],
+            vec![0.2, 0.5],
+        ];
+        let base = skyline_pairwise_baseline(&pts);
+        assert_eq!(skyline(&pts), base);
+        // Pin the exact set. Vacuous NaN checks make dominance cyclic here:
+        // [inf, 0.05] beats [NaN, 0.2] on y, [0.1, NaN] beats [inf, 0.05]
+        // on x, [-inf, 0.9] beats [0.1, NaN] on x, and [NaN, 0.2] beats
+        // [-inf, 0.9] (and every finite point) on y — so only the all-NaN
+        // vector, which nothing strictly beats, survives.
+        assert_eq!(base, vec![2]);
+    }
+
+    /// Two points closer than the dominance tolerance on every coordinate
+    /// do not dominate each other — both must survive, in 2D and beyond.
+    #[test]
+    fn sub_tolerance_pairs_both_survive() {
+        let pts2 = vec![vec![0.1, 0.5], vec![0.1, 0.5 - 5e-13]];
+        assert_eq!(skyline(&pts2), vec![0, 1]);
+        let pts3 = vec![vec![0.1, 0.5, 0.2], vec![0.1, 0.5 - 5e-13, 0.2 + 5e-13]];
+        assert_eq!(skyline(&pts3), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominated_flags_match_pairwise_definition() {
+        let pts = vec![
+            vec![0.1, 0.5, 0.3],
+            vec![0.2, 0.6, 0.4],
+            vec![0.1, 0.5, 0.3],
+            vec![0.5, 0.1, 0.9],
+        ];
+        // Index 1 is dominated by 0 (and 2); duplicates are not flagged.
+        assert_eq!(dominated_flags(&pts), vec![false, true, false, false]);
     }
 }

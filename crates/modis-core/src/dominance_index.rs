@@ -1,0 +1,763 @@
+//! Indexed, word-parallel skyline kernels.
+//!
+//! The seed implementation of [`crate::dominance::skyline`] compared every
+//! pair of points (`O(n²·|P|)` f64 comparisons). This module provides the
+//! fast kernels behind the same public contract — **byte-identical index
+//! sets** to the retained pairwise baseline
+//! ([`crate::dominance::skyline_pairwise_baseline`]) on any input, including
+//! NaN-laced, duplicate-heavy and near-tolerance adversarial frontiers:
+//!
+//! * [`skyline_sorted`] — SFS/SaLSa-style kernel: candidates sorted by
+//!   ascending coordinate sum so that (a) likely dominators are met first and
+//!   dominated points exit after a handful of comparisons, and (b) a sorted
+//!   prefix bound terminates the scan early for surviving points;
+//! * [`skyline_indexed`] — the sorted kernel plus the u64 level-mask
+//!   pre-filter: each measure is quantised into [`LEVELS`] quantile cuts and
+//!   a per-level bitmask over the sorted point order, so a single `AND` over
+//!   packed words refutes dominance for 64 candidates at a time before any
+//!   f64 is touched;
+//! * [`skyline_scan_2d`] — exact two-measure sort-and-scan (prefix-minimum
+//!   formulation) that reproduces the tolerance semantics of
+//!   [`crate::dominance::dominates`] bit for bit;
+//! * [`skyline_blocks`] — block-partitioned merge: each contiguous block of
+//!   the sorted order rejects locally (a same-block dominator is a global
+//!   dominator, so local rejections are final), then the few survivors are
+//!   verified against the full index. The engine wave-parallelises the same
+//!   two phases across its thread pool.
+//!
+//! ## Why the kernels cannot take shortcuts
+//!
+//! [`crate::dominance::dominates`] is tolerance-based (`1e-12` margins),
+//! which makes it **non-transitive**: `q` may dominate `p` while a dominator
+//! of `q` does not dominate `p` (margins add up). Classic SFS — comparing
+//! candidates only against already-accepted skyline members — is therefore
+//! *not* equivalent to the pairwise baseline. Every kernel here evaluates the
+//! baseline's per-point predicate exactly ("no other point dominates `p`, and
+//! no earlier point equals `p`"); sorting, masks and blocks only *narrow the
+//! candidate set* with provably complete filters, never replace the final
+//! f64 verdict.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+use crate::dominance::{dominates, pairwise_flags_with_stats, skyline_pairwise_with_stats};
+use crate::measure::quantile_cuts;
+use crate::telemetry;
+
+/// Absolute comparison tolerance of [`crate::dominance::dominates`].
+pub const TOLERANCE: f64 = 1e-12;
+
+/// Quantisation levels per measure in the word-parallel pre-filter.
+pub const LEVELS: usize = 8;
+
+/// Minimum point count before the level-mask pre-filter pays for itself;
+/// below it the plain sorted kernel is used.
+pub const MASK_MIN_POINTS: usize = 256;
+
+/// Metric name for total f64 dominance comparisons performed by kernels.
+pub const COMPARISONS_TOTAL: &str = "dominance_comparisons_total";
+/// Help text for [`COMPARISONS_TOTAL`].
+pub const COMPARISONS_HELP: &str = "Full f64 dominance comparisons performed by skyline kernels.";
+/// Metric name for comparisons avoided relative to the pairwise bound.
+pub const PRUNED_TOTAL: &str = "dominance_pruned_total";
+/// Help text for [`PRUNED_TOTAL`].
+pub const PRUNED_HELP: &str =
+    "Dominance comparisons avoided relative to the full n*(n-1) pairwise bound.";
+/// Metric name for per-kernel selection counts.
+pub const KERNEL_SELECTIONS_TOTAL: &str = "dominance_kernel_selections_total";
+/// Help text for [`KERNEL_SELECTIONS_TOTAL`].
+pub const KERNEL_SELECTIONS_HELP: &str = "Skyline kernel selections by kernel name.";
+
+/// Work statistics of one skyline kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DominanceStats {
+    /// Kernel that produced the result (`pairwise`, `scan2d`, `sorted`,
+    /// `indexed`, `blocks` or `parallel`).
+    pub kernel: &'static str,
+    /// Full f64 [`dominates`] evaluations performed.
+    pub comparisons: u64,
+    /// Comparisons avoided relative to the full `n·(n−1)` pairwise bound.
+    pub pruned: u64,
+}
+
+impl DominanceStats {
+    /// Fresh zeroed statistics for `kernel`.
+    pub fn new(kernel: &'static str) -> Self {
+        DominanceStats {
+            kernel,
+            comparisons: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Adds another run's comparison count (used when merging per-worker
+    /// statistics of a parallel kernel).
+    pub fn absorb(&mut self, other: &DominanceStats) {
+        self.comparisons += other.comparisons;
+    }
+
+    /// Derives `pruned` from the full `n·(n−1)` pairwise bound once the
+    /// kernel has finished its comparisons over `n` points.
+    pub fn finish(&mut self, n: usize) {
+        let n = n as u64;
+        self.pruned = (n * n.saturating_sub(1)).saturating_sub(self.comparisons);
+    }
+}
+
+thread_local! {
+    static TALLY: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Takes (and resets) this thread's accumulated `(comparisons, pruned)`
+/// tally. The engine brackets an algorithm run with this to attribute
+/// dominance work to a namespace without threading stats through every
+/// signature.
+pub fn take_tally() -> (u64, u64) {
+    TALLY.with(|t| t.replace((0, 0)))
+}
+
+/// Flushes one kernel run's statistics into the thread-local tally and —
+/// when an ambient [`telemetry`] scope is open — the ambient metrics
+/// registry (`dominance_comparisons_total`, `dominance_pruned_total`,
+/// `dominance_kernel_selections_total{kernel}`).
+pub fn record_stats(stats: &DominanceStats) {
+    TALLY.with(|t| {
+        let (c, p) = t.get();
+        t.set((c + stats.comparisons, p + stats.pruned));
+    });
+    if let Some(t) = telemetry::ambient() {
+        t.metrics
+            .counter(COMPARISONS_TOTAL, COMPARISONS_HELP)
+            .add(stats.comparisons);
+        t.metrics
+            .counter(PRUNED_TOTAL, PRUNED_HELP)
+            .add(stats.pruned);
+        t.metrics
+            .counter_with(
+                KERNEL_SELECTIONS_TOTAL,
+                KERNEL_SELECTIONS_HELP,
+                &[("kernel", stats.kernel)],
+            )
+            .inc();
+    }
+}
+
+/// `Some(dims)` when `points` is a non-empty rectangular matrix with at
+/// least one measure; `None` sends the input to the pairwise baseline.
+pub(crate) fn uniform_dims<P: AsRef<[f64]>>(points: &[P]) -> Option<usize> {
+    let dims = points.first()?.as_ref().len();
+    if dims == 0 || points.iter().any(|p| p.as_ref().len() != dims) {
+        return None;
+    }
+    Some(dims)
+}
+
+/// Flags rows that are exact duplicates (`==` on every coordinate) of an
+/// earlier row. Matches slice `PartialEq`: `-0.0 == 0.0`, and any row with a
+/// NaN coordinate equals nothing (including itself).
+pub(crate) fn dup_earlier_flags<P: AsRef<[f64]>>(points: &[P]) -> Vec<bool> {
+    let mut flags = vec![false; points.len()];
+    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let row = p.as_ref();
+        if row.iter().any(|v| v.is_nan()) {
+            continue;
+        }
+        let key: Vec<u64> = row
+            .iter()
+            .map(|&v| (if v == 0.0 { 0.0f64 } else { v }).to_bits())
+            .collect();
+        if !seen.insert(key) {
+            flags[i] = true;
+        }
+    }
+    flags
+}
+
+/// A reusable dominance acceleration structure over one point set.
+///
+/// Layout: **clean** points (no NaN coordinate, non-NaN coordinate sum) are
+/// sorted by ascending coordinate sum; **dirty** points follow in input
+/// order. A clean dominator `q` of a clean point `p` satisfies
+/// `sum(q) ≤ sum(p) + margin(p)` (the tolerance plus a rigorous floating
+/// point slack), so candidate dominators of a clean point form a *prefix* of
+/// the sorted order plus the dirty tail — dirty points can dominate anything
+/// because NaN coordinates pass both dominance checks vacuously.
+///
+/// On top of the order sit the u64 level masks: per measure `m` and level
+/// `ℓ`, bit `k` of `mask[m][ℓ]` is set iff sorted point `k` has
+/// `value ≤ cuts[m][ℓ]` or a NaN value there. A query widens each
+/// constraint `q_m ≤ p_m + tolerance` up to the next cut, so `AND`-ing the
+/// constrained masks can only *keep* true dominators — zero words refute 64
+/// candidates at once without touching an f64.
+#[derive(Debug, Clone)]
+pub struct DominanceIndex {
+    dims: usize,
+    n: usize,
+    /// Row-major values by original index.
+    values: Vec<f64>,
+    /// Position → original index.
+    order: Vec<u32>,
+    /// Original index → position.
+    pos_of: Vec<u32>,
+    /// Coordinate sum by position (clean prefix is ascending).
+    sums: Vec<f64>,
+    /// Per-original-index sum slack covering tolerance and fp rounding.
+    margins: Vec<f64>,
+    clean_len: usize,
+    words: usize,
+    /// Per-measure ascending quantile cuts.
+    cuts: Vec<Vec<f64>>,
+    /// `[(m*LEVELS + ℓ)*words + w]`, bits indexed by position.
+    masks: Vec<u64>,
+    dup_earlier: Vec<bool>,
+}
+
+impl DominanceIndex {
+    /// Builds the index; `None` when `points` is empty, has zero measures or
+    /// is ragged (those inputs go to the pairwise baseline).
+    pub fn build<P: AsRef<[f64]>>(points: &[P]) -> Option<DominanceIndex> {
+        let n = points.len();
+        let dims = uniform_dims(points)?;
+        let mut values = Vec::with_capacity(n * dims);
+        for p in points {
+            values.extend_from_slice(p.as_ref());
+        }
+
+        let mut sums_by_orig = vec![0.0f64; n];
+        let mut margins = vec![0.0f64; n];
+        let mut clean = vec![false; n];
+        for i in 0..n {
+            let row = &values[i * dims..(i + 1) * dims];
+            let mut sum = 0.0f64;
+            let mut abs = 0.0f64;
+            let mut has_nan = false;
+            for &v in row {
+                sum += v;
+                abs += v.abs();
+                has_nan |= v.is_nan();
+            }
+            clean[i] = !has_nan && !sum.is_nan();
+            sums_by_orig[i] = sum;
+            // Sum slack: d·tolerance for the dominance margins themselves,
+            // plus a generous bound on the rounding error of both prefix
+            // sums (recursive summation error ≤ (d−1)·ε·Σ|v|).
+            margins[i] = dims as f64 * TOLERANCE + 4.0 * dims as f64 * f64::EPSILON * (abs + 1.0);
+        }
+
+        let mut order: Vec<u32> = (0..n as u32).filter(|&i| clean[i as usize]).collect();
+        order.sort_unstable_by(|&a, &b| {
+            sums_by_orig[a as usize]
+                .total_cmp(&sums_by_orig[b as usize])
+                .then(a.cmp(&b))
+        });
+        let clean_len = order.len();
+        order.extend((0..n as u32).filter(|&i| !clean[i as usize]));
+        let mut pos_of = vec![0u32; n];
+        for (pos, &orig) in order.iter().enumerate() {
+            pos_of[orig as usize] = pos as u32;
+        }
+        let sums: Vec<f64> = order.iter().map(|&o| sums_by_orig[o as usize]).collect();
+
+        let dup_earlier = dup_earlier_flags(points);
+
+        let mut cuts = Vec::with_capacity(dims);
+        for m in 0..dims {
+            let mut vals: Vec<f64> = (0..n)
+                .filter_map(|i| {
+                    let v = values[i * dims + m];
+                    (!v.is_nan()).then_some(v)
+                })
+                .collect();
+            vals.sort_unstable_by(f64::total_cmp);
+            cuts.push(quantile_cuts(&vals, LEVELS));
+        }
+
+        let words = n.div_ceil(64);
+        let mut masks = vec![0u64; dims * LEVELS * words];
+        for (pos, &orig) in order.iter().enumerate() {
+            let row = &values[orig as usize * dims..orig as usize * dims + dims];
+            let (w, b) = (pos / 64, pos % 64);
+            for (m, row_v) in row.iter().enumerate() {
+                for (l, &cut) in cuts[m].iter().enumerate() {
+                    if row_v.is_nan() || *row_v <= cut {
+                        masks[(m * LEVELS + l) * words + w] |= 1u64 << b;
+                    }
+                }
+            }
+        }
+
+        Some(DominanceIndex {
+            dims,
+            n,
+            values,
+            order,
+            pos_of,
+            sums,
+            margins,
+            clean_len,
+            words,
+            cuts,
+            masks,
+            dup_earlier,
+        })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index holds no points (never true — `build` returns
+    /// `None` for empty inputs — but part of the `len` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether point `i` is an exact duplicate of an earlier point.
+    pub fn is_dup_of_earlier(&self, i: usize) -> bool {
+        self.dup_earlier[i]
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// End (exclusive, in sorted positions) of the clean candidate prefix
+    /// that can contain a dominator of point `i`.
+    fn candidate_limit(&self, i: usize) -> usize {
+        let pos = self.pos_of[i] as usize;
+        if pos >= self.clean_len {
+            return self.clean_len;
+        }
+        let bound = self.sums[pos] + self.margins[i];
+        if bound.is_nan() {
+            return self.clean_len;
+        }
+        self.sums[..self.clean_len].partition_point(|&s| s <= bound)
+    }
+
+    /// Mask slices constraining candidates for query point `p`: one per
+    /// measure whose bound `p_m + tolerance` falls below the top cut. A NaN
+    /// coordinate constrains nothing (any value passes its dominance check).
+    fn constrained_masks(&self, p: &[f64]) -> Vec<&[u64]> {
+        let mut constrained = Vec::with_capacity(self.dims);
+        for (m, &pm) in p.iter().enumerate() {
+            if pm.is_nan() {
+                continue;
+            }
+            let bound = pm + TOLERANCE;
+            let cm = &self.cuts[m];
+            let l = cm.partition_point(|&c| c < bound);
+            if l < cm.len() {
+                let base = (m * LEVELS + l) * self.words;
+                constrained.push(&self.masks[base..base + self.words]);
+            }
+        }
+        constrained
+    }
+
+    fn scan_plain(
+        &self,
+        i: usize,
+        p: &[f64],
+        ranges: [(usize, usize); 2],
+        stats: &mut DominanceStats,
+    ) -> bool {
+        for (start, end) in ranges {
+            for pos in start..end {
+                let orig = self.order[pos] as usize;
+                if orig == i {
+                    continue;
+                }
+                stats.comparisons += 1;
+                if dominates(self.row(orig), p) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn scan_masked(
+        &self,
+        i: usize,
+        p: &[f64],
+        ranges: [(usize, usize); 2],
+        stats: &mut DominanceStats,
+    ) -> bool {
+        let constrained = self.constrained_masks(p);
+        if constrained.is_empty() {
+            return self.scan_plain(i, p, ranges, stats);
+        }
+        for (start, end) in ranges {
+            if start >= end {
+                continue;
+            }
+            let (w0, w1) = (start / 64, (end - 1) / 64);
+            for w in w0..=w1 {
+                let mut bits = !0u64;
+                if w == w0 {
+                    bits &= !0u64 << (start % 64);
+                }
+                if w == w1 {
+                    let top = end - w * 64;
+                    if top < 64 {
+                        bits &= (1u64 << top) - 1;
+                    }
+                }
+                for mask in &constrained {
+                    bits &= mask[w];
+                }
+                while bits != 0 {
+                    let pos = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let orig = self.order[pos] as usize;
+                    if orig == i {
+                        continue;
+                    }
+                    stats.comparisons += 1;
+                    if dominates(self.row(orig), p) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether some other point dominates point `i` (exact: same verdict as
+    /// scanning every other point with [`dominates`]).
+    pub fn dominated(&self, i: usize, use_masks: bool, stats: &mut DominanceStats) -> bool {
+        if self.n <= 1 {
+            return false;
+        }
+        let p = self.row(i);
+        let limit = self.candidate_limit(i);
+        let ranges = [(0, limit), (self.clean_len, self.n)];
+        if use_masks {
+            self.scan_masked(i, p, ranges, stats)
+        } else {
+            self.scan_plain(i, p, ranges, stats)
+        }
+    }
+
+    /// Phase 1 of the block kernel: evaluates sorted positions
+    /// `[start, end)` against candidates *within the block only* (clipped to
+    /// each query's global candidate window) and returns the original
+    /// indices that survive. A same-block dominator is a global dominator
+    /// and global duplicate flags are precomputed, so every rejection here
+    /// is final; survivors still need [`DominanceIndex::dominated`] against
+    /// the full index.
+    pub fn local_pass(
+        &self,
+        start: usize,
+        end: usize,
+        use_masks: bool,
+        stats: &mut DominanceStats,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        for pos in start..end {
+            let orig = self.order[pos] as usize;
+            if self.dup_earlier[orig] {
+                continue;
+            }
+            let p = self.row(orig);
+            let limit = self.candidate_limit(orig);
+            let clean_hi = limit.min(end).min(self.clean_len);
+            let ranges = [
+                (start.min(clean_hi), clean_hi),
+                (start.max(self.clean_len), end),
+            ];
+            let hit = if use_masks {
+                self.scan_masked(orig, p, ranges, stats)
+            } else {
+                self.scan_plain(orig, p, ranges, stats)
+            };
+            if !hit {
+                out.push(orig as u32);
+            }
+        }
+        out
+    }
+}
+
+fn index_flags_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+    use_masks: bool,
+) -> (Vec<bool>, DominanceStats) {
+    let kernel = if use_masks { "indexed" } else { "sorted" };
+    let Some(index) = DominanceIndex::build(points) else {
+        return pairwise_flags_with_stats(points);
+    };
+    let mut stats = DominanceStats::new(kernel);
+    let flags: Vec<bool> = (0..index.n)
+        .map(|i| index.dominated(i, use_masks, &mut stats))
+        .collect();
+    stats.finish(index.n);
+    (flags, stats)
+}
+
+fn index_skyline_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+    use_masks: bool,
+) -> (Vec<usize>, DominanceStats) {
+    let kernel = if use_masks { "indexed" } else { "sorted" };
+    let Some(index) = DominanceIndex::build(points) else {
+        return skyline_pairwise_with_stats(points);
+    };
+    let mut stats = DominanceStats::new(kernel);
+    let mut keep = Vec::new();
+    for i in 0..index.n {
+        if !index.is_dup_of_earlier(i) && !index.dominated(i, use_masks, &mut stats) {
+            keep.push(i);
+        }
+    }
+    stats.finish(index.n);
+    (keep, stats)
+}
+
+/// SFS/SaLSa-style sorted kernel: sum-sorted candidate order with early
+/// termination, no masks. Byte-identical to the pairwise baseline.
+pub fn skyline_sorted<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let (keep, stats) = skyline_sorted_with_stats(points);
+    record_stats(&stats);
+    keep
+}
+
+/// [`skyline_sorted`] returning work statistics without flushing them.
+pub fn skyline_sorted_with_stats<P: AsRef<[f64]>>(points: &[P]) -> (Vec<usize>, DominanceStats) {
+    index_skyline_with_stats(points, false)
+}
+
+/// Sorted kernel plus u64 level-mask pre-filter. Byte-identical to the
+/// pairwise baseline.
+pub fn skyline_indexed<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let (keep, stats) = skyline_indexed_with_stats(points);
+    record_stats(&stats);
+    keep
+}
+
+/// [`skyline_indexed`] returning work statistics without flushing them.
+pub fn skyline_indexed_with_stats<P: AsRef<[f64]>>(points: &[P]) -> (Vec<usize>, DominanceStats) {
+    index_skyline_with_stats(points, true)
+}
+
+/// Dominance-only flags via the index (no duplicate rule): `flags[i]` is
+/// true iff some other point dominates point `i`.
+pub fn indexed_flags_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+    use_masks: bool,
+) -> (Vec<bool>, DominanceStats) {
+    index_flags_with_stats(points, use_masks)
+}
+
+fn flags_scan_2d_core<P: AsRef<[f64]>>(points: &[P]) -> Option<(Vec<bool>, DominanceStats)> {
+    if uniform_dims(points)? != 2 {
+        return None;
+    }
+    let n = points.len();
+    let mut stats = DominanceStats::new("scan2d");
+    let mut clean: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let mut dirty: Vec<usize> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let row = p.as_ref();
+        if row[0].is_nan() || row[1].is_nan() {
+            dirty.push(i);
+        } else {
+            clean.push((row[0], row[1]));
+        }
+    }
+    clean.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let xs: Vec<f64> = clean.iter().map(|c| c.0).collect();
+    let mut prefmin = Vec::with_capacity(clean.len() + 1);
+    prefmin.push(f64::INFINITY);
+    let mut cur = f64::INFINITY;
+    for &(_, y) in &clean {
+        if y < cur {
+            cur = y;
+        }
+        prefmin.push(cur);
+    }
+    let flags: Vec<bool> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let row = p.as_ref();
+            if row[0].is_nan() || row[1].is_nan() {
+                // A dirty point imposes almost no constraints, but can
+                // still be dominated; check it pairwise.
+                return points.iter().enumerate().any(|(j, q)| {
+                    if j == i {
+                        return false;
+                    }
+                    stats.comparisons += 1;
+                    dominates(q.as_ref(), row)
+                });
+            }
+            let (px, py) = (row[0], row[1]);
+            // A1: some clean q with q_x < p_x − t and q_y ≤ p_y + t
+            // (strictly better on x, no worse on y).
+            let a = xs.partition_point(|&x| x < px - TOLERANCE);
+            if a > 0 && prefmin[a] <= py + TOLERANCE {
+                return true;
+            }
+            // A2: some clean q with q_x ≤ p_x + t and q_y < p_y − t
+            // (no worse on x, strictly better on y).
+            let b = xs.partition_point(|&x| x <= px + TOLERANCE);
+            if b > 0 && prefmin[b] < py - TOLERANCE {
+                return true;
+            }
+            // Dirty points dominate through vacuous NaN checks; scan them.
+            dirty.iter().any(|&j| {
+                stats.comparisons += 1;
+                dominates(points[j].as_ref(), row)
+            })
+        })
+        .collect();
+    stats.finish(n);
+    Some((flags, stats))
+}
+
+/// Dominance-only flags for two-measure inputs via the exact prefix-minimum
+/// scan; `None` when the input is not a rectangular two-measure matrix.
+pub(crate) fn flags_scan_2d<P: AsRef<[f64]>>(points: &[P]) -> Option<(Vec<bool>, DominanceStats)> {
+    flags_scan_2d_core(points)
+}
+
+/// Exact two-measure sort-and-scan skyline (`O(n log n)`), byte-identical
+/// to the pairwise baseline including its `1e-12` tolerance and NaN
+/// semantics. Falls back to the sorted kernel for non-two-measure inputs.
+pub fn skyline_scan_2d<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let (keep, stats) = skyline_scan_2d_with_stats(points);
+    record_stats(&stats);
+    keep
+}
+
+/// [`skyline_scan_2d`] returning work statistics without flushing them.
+pub fn skyline_scan_2d_with_stats<P: AsRef<[f64]>>(points: &[P]) -> (Vec<usize>, DominanceStats) {
+    let Some((flags, stats)) = flags_scan_2d_core(points) else {
+        return skyline_sorted_with_stats(points);
+    };
+    let dup = dup_earlier_flags(points);
+    let keep = flags
+        .iter()
+        .zip(dup.iter())
+        .enumerate()
+        .filter(|(_, (&d, &e))| !d && !e)
+        .map(|(i, _)| i)
+        .collect();
+    (keep, stats)
+}
+
+/// Block-partitioned skyline merge: partial (locally filtered) skylines per
+/// contiguous block of the sorted order, then survivors verified against
+/// the full index. Byte-identical to the pairwise baseline for any block
+/// count; `modis-engine`'s `parallel_skyline` runs the same phases on its
+/// thread pool.
+pub fn skyline_blocks<P: AsRef<[f64]>>(points: &[P], blocks: usize) -> Vec<usize> {
+    let (keep, stats) = skyline_blocks_with_stats(points, blocks);
+    record_stats(&stats);
+    keep
+}
+
+/// [`skyline_blocks`] returning work statistics without flushing them.
+pub fn skyline_blocks_with_stats<P: AsRef<[f64]>>(
+    points: &[P],
+    blocks: usize,
+) -> (Vec<usize>, DominanceStats) {
+    let Some(index) = DominanceIndex::build(points) else {
+        return skyline_pairwise_with_stats(points);
+    };
+    let n = index.len();
+    let use_masks = n >= MASK_MIN_POINTS;
+    let blocks = blocks.clamp(1, n);
+    let mut stats = DominanceStats::new("blocks");
+    let mut survivors: Vec<u32> = Vec::new();
+    let per = n.div_ceil(blocks);
+    let mut start = 0;
+    while start < n {
+        let end = (start + per).min(n);
+        survivors.extend(index.local_pass(start, end, use_masks, &mut stats));
+        start = end;
+    }
+    let mut keep: Vec<usize> = survivors
+        .into_iter()
+        .map(|orig| orig as usize)
+        .filter(|&orig| !index.dominated(orig, use_masks, &mut stats))
+        .collect();
+    keep.sort_unstable();
+    stats.finish(n);
+    (keep, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::skyline_pairwise_baseline;
+
+    fn lcg_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..dims).map(|_| next()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn kernels_match_baseline_on_random_inputs() {
+        for &(n, dims, seed) in &[
+            (0usize, 3usize, 1u64),
+            (1, 4, 2),
+            (7, 1, 3),
+            (64, 3, 4),
+            (300, 4, 5),
+            (129, 6, 6),
+        ] {
+            let pts = lcg_points(n, dims, seed);
+            let base = skyline_pairwise_baseline(&pts);
+            assert_eq!(skyline_sorted(&pts), base, "sorted n={n} d={dims}");
+            assert_eq!(skyline_indexed(&pts), base, "indexed n={n} d={dims}");
+            for blocks in [1, 2, 3, 7] {
+                assert_eq!(skyline_blocks(&pts, blocks), base, "blocks={blocks}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_2d_matches_baseline_including_sub_tolerance_pairs() {
+        // Within-tolerance pair: neither dominates, both survive.
+        let pts = vec![vec![0.1, 0.5], vec![0.1, 0.5 - 5e-13], vec![0.3, 0.1]];
+        let base = skyline_pairwise_baseline(&pts);
+        assert_eq!(base, vec![0, 1, 2]);
+        assert_eq!(skyline_scan_2d(&pts), base);
+        let rnd = lcg_points(400, 2, 9);
+        assert_eq!(skyline_scan_2d(&rnd), skyline_pairwise_baseline(&rnd));
+    }
+
+    #[test]
+    fn masked_scan_prunes_but_agrees() {
+        let pts = lcg_points(1000, 4, 11);
+        let (a, sa) = skyline_indexed_with_stats(&pts);
+        let (b, sb) = skyline_sorted_with_stats(&pts);
+        assert_eq!(a, b);
+        assert!(sa.comparisons <= sb.comparisons);
+        assert!(sa.pruned >= sb.pruned);
+        assert!(sa.pruned > 0);
+    }
+
+    #[test]
+    fn quantile_cut_levels_cover_dominator_bounds() {
+        let pts = lcg_points(500, 3, 13);
+        let index = DominanceIndex::build(&pts).unwrap();
+        for cuts in &index.cuts {
+            assert!(!cuts.is_empty());
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use modis_data::StateBitmap;
 
 use crate::config::SkylineEntry;
-use crate::dominance::{dominates, epsilon_dominates};
+use crate::dominance::{dominated_flags, epsilon_dominates};
 use crate::measure::{position, MeasureSet};
 
 /// A cell-indexed ε-skyline under construction.
@@ -119,19 +119,18 @@ impl EpsilonSkyline {
 
     /// Final clean-up: removes members dominated (exactly) by another member,
     /// so the output satisfies the mutual non-dominance property of §4.
+    ///
+    /// Runs through the kernel-accelerated [`dominated_flags`], which is
+    /// differentially tested to match the pairwise definition exactly.
     pub fn finalize(&self) -> Vec<SkylineEntry> {
         let entries = self.entries();
-        let perfs: Vec<&Vec<f64>> = entries.iter().map(|e| &e.perf).collect();
+        let perfs: Vec<&[f64]> = entries.iter().map(|e| e.perf.as_slice()).collect();
+        let flags = dominated_flags(&perfs);
         entries
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| {
-                !perfs
-                    .iter()
-                    .enumerate()
-                    .any(|(j, q)| j != *i && dominates(q, perfs[*i]))
-            })
-            .map(|(_, e)| e.clone())
+            .into_iter()
+            .zip(flags)
+            .filter(|(_, dominated)| !dominated)
+            .map(|(e, _)| e)
             .collect()
     }
 }

@@ -1,0 +1,148 @@
+//! Wave-parallel skyline computation over the engine thread pool.
+//!
+//! [`parallel_skyline`] runs the two phases of the block-partitioned kernel
+//! of [`modis_core::dominance_index`] across the engine's scoped thread
+//! pool:
+//!
+//! 1. **local pass** — each contiguous block of the sum-sorted candidate
+//!    order rejects points dominated *within the block's own candidate
+//!    window*. A same-block dominator is a global dominator and duplicate
+//!    flags are precomputed globally, so every local rejection is final;
+//! 2. **verify pass** — the few survivors (≈ the skyline itself) are
+//!    checked against the full index, in parallel chunks.
+//!
+//! Because phase 1 only ever narrows the candidate set with sound
+//! rejections and phase 2 evaluates the exact per-point predicate, the
+//! result is byte-identical to
+//! [`modis_core::dominance::skyline_pairwise_baseline`] for **any** thread
+//! count and any block partitioning — the engine's standing determinism
+//! contract.
+
+use modis_core::dominance::skyline_with_stats;
+use modis_core::dominance_index::{record_stats, DominanceIndex, DominanceStats, MASK_MIN_POINTS};
+
+use crate::pool::parallel_map;
+
+/// Points below which forking the pool costs more than the scan itself.
+const PARALLEL_MIN_POINTS: usize = 512;
+
+/// Blocks per worker in the local pass (smaller blocks reject more cheaply,
+/// more blocks amortise worse).
+const BLOCKS_PER_WORKER: usize = 4;
+
+/// Exact skyline of `points` computed across up to `threads` pool workers;
+/// byte-identical to [`modis_core::dominance::skyline`] (and therefore to
+/// the pairwise baseline) at every thread count. Flushes kernel statistics
+/// into the ambient telemetry like the core dispatcher does.
+pub fn parallel_skyline(points: &[Vec<f64>], threads: usize) -> Vec<usize> {
+    let (keep, stats) = parallel_skyline_with_stats(points, threads);
+    record_stats(&stats);
+    keep
+}
+
+/// [`parallel_skyline`] returning the kernel's work statistics without
+/// flushing them.
+pub fn parallel_skyline_with_stats(
+    points: &[Vec<f64>],
+    threads: usize,
+) -> (Vec<usize>, DominanceStats) {
+    let n = points.len();
+    let workers = threads.max(1);
+    if workers == 1 || n < PARALLEL_MIN_POINTS {
+        return skyline_with_stats(points);
+    }
+    let Some(index) = DominanceIndex::build(points) else {
+        // Degenerate shapes (ragged/zero-measure) go to the core dispatcher,
+        // which routes them to the pairwise baseline.
+        return skyline_with_stats(points);
+    };
+    let use_masks = n >= MASK_MIN_POINTS;
+    let blocks = (workers * BLOCKS_PER_WORKER).min(n);
+    let per = n.div_ceil(blocks);
+    let ranges: Vec<(usize, usize)> = (0..blocks)
+        .map(|b| (b * per, ((b + 1) * per).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect();
+
+    let local: Vec<(Vec<u32>, u64)> = parallel_map(ranges.len(), workers, |b| {
+        let (start, end) = ranges[b];
+        let mut stats = DominanceStats::new("parallel");
+        let survivors = index.local_pass(start, end, use_masks, &mut stats);
+        (survivors, stats.comparisons)
+    });
+    let mut stats = DominanceStats::new("parallel");
+    let mut survivors: Vec<u32> = Vec::new();
+    for (block_survivors, comparisons) in local {
+        survivors.extend(block_survivors);
+        stats.comparisons += comparisons;
+    }
+
+    let chunk = survivors.len().div_ceil(workers).max(1);
+    let chunks: Vec<&[u32]> = survivors.chunks(chunk).collect();
+    let verified: Vec<(Vec<u32>, u64)> = parallel_map(chunks.len(), workers, |c| {
+        let mut stats = DominanceStats::new("parallel");
+        let kept = chunks[c]
+            .iter()
+            .copied()
+            .filter(|&orig| !index.dominated(orig as usize, use_masks, &mut stats))
+            .collect();
+        (kept, stats.comparisons)
+    });
+    let mut keep: Vec<usize> = Vec::new();
+    for (kept, comparisons) in verified {
+        keep.extend(kept.into_iter().map(|orig| orig as usize));
+        stats.comparisons += comparisons;
+    }
+    keep.sort_unstable();
+    stats.finish(n);
+    (keep, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modis_core::dominance::skyline_pairwise_baseline;
+
+    fn lcg_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..dims).map(|_| next()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identical_at_every_thread_count() {
+        for &(n, dims) in &[(0usize, 3usize), (1, 2), (40, 4), (700, 4), (1200, 3)] {
+            let pts = lcg_points(n, dims, n as u64 + 17);
+            let base = skyline_pairwise_baseline(&pts);
+            for threads in [1, 2, 3, 4, 8] {
+                assert_eq!(
+                    parallel_skyline(&pts, threads),
+                    base,
+                    "n={n} dims={dims} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_duplicate_inputs_stay_identical() {
+        let mut pts = lcg_points(900, 4, 99);
+        for i in (0..900).step_by(7) {
+            pts[i][i % 4] = f64::NAN;
+        }
+        for i in (1..900).step_by(13) {
+            pts[i] = pts[i - 1].clone();
+        }
+        let base = skyline_pairwise_baseline(&pts);
+        for threads in [1, 2, 4] {
+            assert_eq!(parallel_skyline(&pts, threads), base);
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! |                    | completion order as the jobs finish                             |
 //! | `STATS`            | `STATS hits=… misses=… entries=… evictions=… memo_entries=…`    |
 //! |                    | `… hit_rate=… uptime_s=… jobs_completed=… jobs_pending=…`       |
+//! |                    | `… dominance_comparisons=… dominance_pruned=…` (kernel work     |
+//! |                    | done vs avoided relative to the pairwise `n·(n−1)` bound)       |
 //! | `METRICS`          | `METRICS <n>` followed by `n` Prometheus-style exposition       |
 //! |                    | lines rendered from the daemon's metrics registry               |
 //! | `TRACE DUMP <n>`   | `SPANS <k>` followed by `k` (≤ n) `SPAN id=… parent=… …`        |
@@ -527,10 +529,13 @@ fn handle_line(service: &Service, ctx: Option<TraceContext>, line: &str) -> Repl
         "STATS" => {
             let stats = service.cache_stats();
             let cache = service.engine().cache();
+            let metrics = service.engine().metrics();
+            use modis_core::dominance_index as dx;
             format!(
                 "STATS hits={} misses={} entries={} evictions={} memo_entries={} \
                  memo_evictions={} shards={} shard_capacity={} hit_rate={:.4} \
-                 uptime_s={} jobs_completed={} jobs_pending={}",
+                 uptime_s={} jobs_completed={} jobs_pending={} \
+                 dominance_comparisons={} dominance_pruned={}",
                 stats.hits,
                 stats.misses,
                 stats.entries,
@@ -543,6 +548,10 @@ fn handle_line(service: &Service, ctx: Option<TraceContext>, line: &str) -> Repl
                 service.uptime().as_secs(),
                 service.jobs_completed(),
                 service.pending(),
+                metrics
+                    .counter(dx::COMPARISONS_TOTAL, dx::COMPARISONS_HELP)
+                    .get(),
+                metrics.counter(dx::PRUNED_TOTAL, dx::PRUNED_HELP).get(),
             )
         }
         "METRICS" => metrics_reply(service),
@@ -835,9 +844,13 @@ mod tests {
         assert!(handle_command(&service, "POLL 1")
             .text()
             .starts_with("DONE entries="));
-        assert!(handle_command(&service, "STATS")
-            .text()
-            .starts_with("STATS hits="));
+        let stats_reply = handle_command(&service, "STATS");
+        let stats_line = stats_reply.text();
+        assert!(stats_line.starts_with("STATS hits="));
+        // The dominance kernel counters ride on the same line so the
+        // skyline win is observable per shard and cluster-aggregated.
+        assert!(stats_line.contains(" dominance_comparisons="));
+        assert!(stats_line.contains(" dominance_pruned="));
         assert!(handle_command(&service, "SUBMIT ghost")
             .text()
             .starts_with("ERR "));

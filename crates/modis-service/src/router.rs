@@ -1611,18 +1611,20 @@ enum FanKind {
     /// `STATS`: sum the per-shard cache counters.
     Stats {
         /// Running sums in [`STAT_KEYS`] order.
-        sums: [u64; 6],
+        sums: [u64; 8],
     },
 }
 
 /// STATS keys aggregated cluster-wide, in output order.
-const STAT_KEYS: [&str; 6] = [
+const STAT_KEYS: [&str; 8] = [
     "hits",
     "misses",
     "entries",
     "evictions",
     "memo_entries",
     "memo_evictions",
+    "dominance_comparisons",
+    "dominance_pruned",
 ];
 
 /// One pending `WAIT` slice on one shard: the cluster ids still owed.
@@ -2049,7 +2051,7 @@ fn route_request(
             )
         }
         "EXPLAIN" => Expect::Local("ERR EXPLAIN expects a ticket or TRACE <trace-id>".into()),
-        "STATS" => fan_out(inner, pool, conn, FanKind::Stats { sums: [0; 6] }, |_| {
+        "STATS" => fan_out(inner, pool, conn, FanKind::Stats { sums: [0; 8] }, |_| {
             "STATS".into()
         }),
         "SNAPSHOT" if !rest.is_empty() => {

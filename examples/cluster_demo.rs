@@ -114,6 +114,25 @@ fn main() {
         }),
         "no shard reported paid valuations: {paid:?}"
     );
+    // The dominance kernels ran inside every shard's scenario runs; the
+    // merged scrape must show them pruning comparisons somewhere.
+    let pruned: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("dominance_pruned_total{"))
+        .collect();
+    println!("  dominance-kernel pruning counters:");
+    for line in &pruned {
+        println!("  {line}");
+    }
+    assert!(
+        pruned.iter().any(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|v| v > 0)
+        }),
+        "no shard reported pruned dominance comparisons: {pruned:?}"
+    );
 
     // ── Merged trace dump: the newest spans across the cluster ────────────
     writeln!(writer, "TRACE DUMP 4").expect("send TRACE DUMP");
