@@ -10,13 +10,82 @@
 //! Usage: `bench_reactor_baseline [--clients N] [--requests N]
 //! [--window N] [--iters N] [--out PATH] [--quick]` — `--quick` shrinks
 //! the workload to one short iteration for the CI smoke step.
+//!
+//! A fourth section sweeps **idle connection count**: the O(ready) claim
+//! is that sweep cost tracks ready fds, not open fds, so a fixed hot set
+//! is driven while 10² → 10⁴ mostly-idle connections sit registered, and
+//! the mean per-sweep cost (`Δreactor_sweep_us_sum / Δcount` between two
+//! `METRICS` scrapes bracketing the drive) must stay flat. The idle mass
+//! is held by a re-invoked child process (hidden `--idle-holder` mode) so
+//! neither side of the bench trips the per-process fd limit.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
 use std::sync::Arc;
 
 use modis_bench::{
-    drive_clients, drive_clients_timed, requests_per_sec, BlockingDaemon, ClientMode,
+    drive_clients, drive_clients_timed, max_open_files, open_idle_connections, requests_per_sec,
+    scrape_sweep_totals, BlockingDaemon, ClientMode,
 };
 use modis_service::{Daemon, Service, ServiceConfig};
+
+/// Hidden child mode: hold `count` idle connections to `addr` open until
+/// the parent closes our stdin, then drop them and exit. Prints `READY
+/// <count>` once the mass is connected.
+fn run_idle_holder(addr: &str, count: usize) {
+    let addr: SocketAddr = addr.parse().expect("idle-holder addr");
+    let conns = open_idle_connections(addr, count).expect("open idle connections");
+    println!("READY {}", conns.len());
+    std::io::stdout().flush().expect("flush READY");
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(conns);
+}
+
+/// One sweep-cost point: boot a reactor daemon, park `idle` connections
+/// on it via the holder child, drive the fixed hot set, and return
+/// `(mean per-sweep µs, hot req/s)` for the drive window.
+fn sweep_point(idle: usize, hot_clients: usize, hot_requests: usize, window: usize) -> (f64, f64) {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let daemon = Daemon::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut holder = Command::new(exe)
+        .args([
+            "--idle-holder",
+            &daemon.addr().to_string(),
+            &idle.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn idle holder");
+    let mut ready = String::new();
+    BufReader::new(holder.stdout.take().expect("holder stdout"))
+        .read_line(&mut ready)
+        .expect("holder READY");
+    assert!(ready.starts_with("READY "), "holder said {ready:?}");
+
+    let (sum0, count0) = scrape_sweep_totals(daemon.addr()).expect("scrape before drive");
+    let elapsed = drive_clients(
+        daemon.addr(),
+        hot_clients,
+        hot_requests,
+        ClientMode::Pipelined { window },
+    );
+    let (sum1, count1) = scrape_sweep_totals(daemon.addr()).expect("scrape after drive");
+
+    drop(holder.stdin.take());
+    holder.wait().expect("join idle holder");
+    daemon.stop();
+
+    let sweeps = count1.saturating_sub(count0).max(1);
+    let per_sweep_us = sum1.saturating_sub(sum0) as f64 / sweeps as f64;
+    (
+        per_sweep_us,
+        requests_per_sec(hot_clients, hot_requests, elapsed),
+    )
+}
 
 /// Median of `iters` samples produced by `f`.
 fn median_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
@@ -33,6 +102,15 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if let Some(i) = args.iter().position(|a| a == "--idle-holder") {
+        let addr = args.get(i + 1).expect("--idle-holder <addr> <count>");
+        let count = args
+            .get(i + 2)
+            .and_then(|v| v.parse().ok())
+            .expect("--idle-holder <addr> <count>");
+        run_idle_holder(addr, count);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let clients: usize = flag_value("--clients")
         .and_then(|v| v.parse().ok())
@@ -111,10 +189,57 @@ fn main() {
     let (sequential_p50, sequential_p99) = latency_of(ClientMode::Sequential, true);
     let (pipelined_p50, pipelined_p99) = latency_of(ClientMode::Pipelined { window }, true);
 
+    // (4) Connection-count sweep: fixed hot set, growing idle mass. The
+    // fd budget must fit every idle connection's *server* side in this
+    // process (the client sides live in the holder child), so points the
+    // limit cannot hold are skipped out loud rather than silently capped.
+    let sweep_idle: Vec<usize> = if quick {
+        vec![100, 400]
+    } else {
+        vec![100, 1_000, 10_000]
+    };
+    let hot_clients = 4;
+    // The drive must be long enough that Δsweep-count between the two
+    // scrapes dwarfs setup noise (client accepts, the scrape conns).
+    let hot_requests = if quick { 512 } else { 100_000 };
+    let sweep_iters = if quick { 1 } else { 3 };
+    let fd_cap = max_open_files();
+    let mut sweep_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &idle in &sweep_idle {
+        if idle + hot_clients + 64 > fd_cap {
+            eprintln!("skipping {idle}-idle-connection point: fd limit {fd_cap} too low");
+            continue;
+        }
+        eprintln!("timing sweep cost under {idle} idle connections…");
+        let mut samples: Vec<(f64, f64)> = (0..sweep_iters)
+            .map(|_| sweep_point(idle, hot_clients, hot_requests, window))
+            .collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let (per_sweep_us, hot_rps) = samples[samples.len() / 2];
+        sweep_rows.push((idle, per_sweep_us, hot_rps));
+    }
+    let sweep_costs: Vec<f64> = sweep_rows.iter().map(|r| r.1).collect();
+    let sweep_flat = match (
+        sweep_costs.iter().cloned().reduce(f64::min),
+        sweep_costs.iter().cloned().reduce(f64::max),
+    ) {
+        (Some(lo), Some(hi)) if lo > 0.0 => hi / lo <= 2.0,
+        _ => false,
+    };
+    let sweep_points_json = sweep_rows
+        .iter()
+        .map(|(idle, cost, rps)| {
+            format!(
+                "      {{ \"idle_connections\": {idle}, \"sweep_cost_us\": {cost:.1}, \"hot_requests_per_sec\": {rps:.0} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let speedup_pipelined = reactor_pipelined_rps / blocking_rps.max(1e-9);
     let speedup_sequential = reactor_sequential_rps / blocking_rps.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"reactor\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"thread_per_connection_sequential\": {blocking_rps:.0},\n    \"reactor_sequential\": {reactor_sequential_rps:.0},\n    \"reactor_pipelined\": {reactor_pipelined_rps:.0}\n  }},\n  \"request_latency_us\": {{\n    \"thread_per_connection_sequential\": {{ \"p50\": {blocking_p50}, \"p99\": {blocking_p99} }},\n    \"reactor_sequential\": {{ \"p50\": {sequential_p50}, \"p99\": {sequential_p99} }},\n    \"reactor_pipelined\": {{ \"p50\": {pipelined_p50}, \"p99\": {pipelined_p99} }}\n  }},\n  \"speedup_vs_thread_per_connection\": {{\n    \"reactor_pipelined\": {speedup_pipelined:.2},\n    \"reactor_sequential\": {speedup_sequential:.2}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"reactor\",\n  \"workload\": {{ \"clients\": {clients}, \"requests_per_client\": {requests}, \"pipeline_window\": {window}, \"iters\": {iters}, \"request\": \"PING\" }},\n  \"requests_per_sec\": {{\n    \"thread_per_connection_sequential\": {blocking_rps:.0},\n    \"reactor_sequential\": {reactor_sequential_rps:.0},\n    \"reactor_pipelined\": {reactor_pipelined_rps:.0}\n  }},\n  \"request_latency_us\": {{\n    \"thread_per_connection_sequential\": {{ \"p50\": {blocking_p50}, \"p99\": {blocking_p99} }},\n    \"reactor_sequential\": {{ \"p50\": {sequential_p50}, \"p99\": {sequential_p99} }},\n    \"reactor_pipelined\": {{ \"p50\": {pipelined_p50}, \"p99\": {pipelined_p99} }}\n  }},\n  \"speedup_vs_thread_per_connection\": {{\n    \"reactor_pipelined\": {speedup_pipelined:.2},\n    \"reactor_sequential\": {speedup_sequential:.2}\n  }},\n  \"connection_sweep\": {{\n    \"hot_clients\": {hot_clients},\n    \"hot_requests_per_client\": {hot_requests},\n    \"pipeline_window\": {window},\n    \"points\": [\n{sweep_points_json}\n    ],\n    \"sweep_flat_within_2x\": {sweep_flat}\n  }}\n}}\n"
     );
     println!("{json}");
     if !quick {
@@ -125,5 +250,10 @@ fn main() {
         quick || speedup_pipelined > 1.0,
         "pipelined reactor {reactor_pipelined_rps:.0} req/s must beat \
          thread-per-connection {blocking_rps:.0} req/s"
+    );
+    assert!(
+        quick || sweep_flat,
+        "per-sweep cost must stay flat (within 2x) across the idle-connection \
+         sweep; measured {sweep_costs:?} µs"
     );
 }

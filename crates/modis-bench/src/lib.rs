@@ -20,7 +20,8 @@ pub use cluster_workload::{
     DrivenOutcome,
 };
 pub use reactor_workload::{
-    drive_clients, drive_clients_timed, requests_per_sec, BlockingDaemon, ClientMode, DriveReport,
+    drive_clients, drive_clients_timed, max_open_files, open_idle_connections, requests_per_sec,
+    scrape_sweep_totals, BlockingDaemon, ClientMode, DriveReport,
 };
 pub use report::{print_method_table, print_series, print_table, Row};
 pub use service_workload::{

@@ -175,6 +175,84 @@ pub fn requests_per_sec(clients: usize, requests: usize, elapsed: Duration) -> f
     (clients * requests) as f64 / elapsed.as_secs_f64().max(1e-9)
 }
 
+/// Soft `RLIMIT_NOFILE` for this process, from `/proc/self/limits`
+/// (1,024 when the file is unreadable — the conservative kernel default).
+pub fn max_open_files() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|line| line.starts_with("Max open files"))
+                .and_then(|line| line.split_whitespace().nth(3))
+                .and_then(|soft| soft.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
+/// Opens `count` connections to `addr` and leaves them idle (connected,
+/// no request in flight). Connects in batches with one `PING` round-trip
+/// per batch so the listener's accept queue is drained as fast as it is
+/// filled — 10,000 raw `connect(2)`s against a 128-entry backlog would
+/// otherwise shed SYNs.
+pub fn open_idle_connections(addr: SocketAddr, count: usize) -> std::io::Result<Vec<TcpStream>> {
+    const BATCH: usize = 128;
+    let mut conns = Vec::with_capacity(count);
+    while conns.len() < count {
+        let batch = BATCH.min(count - conns.len());
+        for _ in 0..batch {
+            conns.push(TcpStream::connect(addr)?);
+        }
+        let probe = conns.last().expect("batch is non-empty");
+        let mut writer = probe.try_clone()?;
+        writer.write_all(b"PING\n")?;
+        let mut reader = BufReader::new(probe.try_clone()?);
+        let mut reply = String::new();
+        reader.read_line(&mut reply)?;
+        assert_eq!(reply, "PONG\n", "idle-holder probe deviation");
+    }
+    Ok(conns)
+}
+
+/// One `METRICS` scrape of the daemon at `addr`, reduced to the reactor
+/// sweep totals: `(sum of reactor_sweep_us_sum, sum of
+/// reactor_sweep_us_count)` across every `reactor="<n>"` series. Two
+/// scrapes bracketing a drive give the mean per-sweep cost of the window
+/// as `Δsum / Δcount`.
+pub fn scrape_sweep_totals(addr: SocketAddr) -> std::io::Result<(u64, u64)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"METRICS\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let n: usize = header
+        .trim_end()
+        .strip_prefix("METRICS ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("malformed METRICS header {header:?}"));
+    let (mut sum_us, mut count) = (0u64, 0u64);
+    let mut line = String::new();
+    for _ in 0..n {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        let value = || -> u64 {
+            trimmed
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("malformed exposition line {trimmed:?}"))
+        };
+        if trimmed.starts_with("reactor_sweep_us_sum") {
+            sum_us += value();
+        } else if trimmed.starts_with("reactor_sweep_us_count") {
+            count += value();
+        }
+    }
+    Ok((sum_us, count))
+}
+
 /// A timed conversation: wall-clock plus the merged per-request latency
 /// distribution across every client.
 pub struct DriveReport {

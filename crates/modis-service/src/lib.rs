@@ -42,12 +42,18 @@
 //! * [`net`] — the TCP line protocol (`SUBMIT` / `POLL` / `WAIT` / `RUN`
 //!   / `STATS` / `SNAPSHOT`) so the service runs as a daemon in tests and
 //!   examples; the formal spec lives in `docs/PROTOCOL.md`.
-//! * [`reactor`] — the non-blocking front-end behind [`Daemon`]: one
-//!   reactor thread drives every connection (`std::net` sockets in
-//!   non-blocking mode, timed readiness sweep), requests pipeline freely
-//!   with strictly ordered responses, `RUN` drains and `SNAPSHOT` writes
-//!   execute on a companion executor thread, and a wakeup socket pair connects job completions
-//!   and shutdown to a parked reactor.
+//! * [`poller`] — readiness discovery with zero dependencies: a thin safe
+//!   wrapper over `epoll(7)` via direct syscalls (with a `poll(2)`
+//!   fallback), so a sweep touches only *ready* connections instead of
+//!   attempting a syscall on every open one.
+//! * [`reactor`] — the non-blocking front-end behind [`Daemon`]: N
+//!   reactor threads (default `min(4, cores)`) share one accept socket,
+//!   each driving its pinned connections through a [`poller::Poller`]
+//!   (`std::net` sockets in non-blocking mode, O(ready) sweeps), requests
+//!   pipeline freely with strictly ordered responses, `RUN` drains and
+//!   `SNAPSHOT` writes execute on a companion executor thread, and
+//!   per-reactor wakeup socket pairs connect job completions and shutdown
+//!   to reactors parked in `epoll_wait`.
 //! * [`cluster`] + [`router`] — the horizontal scaling layer: cache
 //!   namespaces are partitioned across shard daemons by rendezvous
 //!   hashing ([`cluster::ShardMap`]), and a [`Router`] fronts the shard
@@ -95,6 +101,7 @@ pub mod batch;
 pub mod cluster;
 pub mod error;
 pub mod net;
+pub mod poller;
 pub mod reactor;
 pub mod registry;
 pub mod router;

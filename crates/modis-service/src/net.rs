@@ -638,17 +638,21 @@ fn handle_line(service: &Service, ctx: Option<TraceContext>, line: &str) -> Repl
     Reply::Line(reply)
 }
 
-/// The daemon's two worker threads, `take`n exactly once during stop.
-type DaemonThreads = (Option<JoinHandle<()>>, Option<JoinHandle<()>>);
+/// The daemon's worker threads — N reactors plus the drain executor —
+/// `take`n exactly once during stop.
+type DaemonThreads = (Vec<JoinHandle<()>>, Option<JoinHandle<()>>);
 
-/// A running TCP front-end: the bound address plus the reactor and drain
-/// executor threads.
+/// A running TCP front-end: the bound address plus the reactor pool and
+/// drain executor threads.
 ///
-/// Unlike the seed's thread-per-connection daemon, a `Daemon` serves every
-/// connection from **one** non-blocking reactor thread (see
-/// [`crate::reactor`]): clients may pipeline requests, `RUN` drains
-/// execute on the companion executor thread, and [`Daemon::stop`] tears
-/// everything down deterministically through the wakeup channel.
+/// Unlike the seed's thread-per-connection daemon, a `Daemon` serves its
+/// connections from a small pool of non-blocking reactor threads
+/// ([`ReactorConfig::reactors`], default `min(4, cores)`) sharing one
+/// accept socket (see [`crate::reactor`]): each connection is pinned to
+/// the reactor that accepted it, clients may pipeline requests, `RUN`
+/// drains execute on the companion executor thread, and [`Daemon::stop`]
+/// tears everything down deterministically through the per-reactor
+/// wakeup channels.
 ///
 /// ```
 /// use std::io::{BufRead, BufReader, Write};
@@ -676,7 +680,7 @@ pub struct Daemon {
     service: Arc<Service>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    wakeup: Wakeup,
+    wakeups: Vec<Wakeup>,
     executor: Arc<Executor>,
     /// Reactor + executor join handles, taken exactly once. The mutex is
     /// what makes [`Daemon::stop`] idempotent under concurrent double-stop
@@ -701,18 +705,30 @@ impl Daemon {
         config: ReactorConfig,
     ) -> io::Result<Daemon> {
         let listener = TcpListener::bind(addr)?;
-        let (wakeup, wakeup_rx) = wakeup_pair(config.idle_park)?;
+        let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let executor = Arc::new(Executor::new());
-        let reactor = Reactor::new(
-            listener,
-            Arc::clone(&service),
-            Arc::clone(&executor),
-            wakeup_rx,
-            Arc::clone(&stop),
-            config,
-        )?;
-        let addr = reactor.local_addr()?;
+        // N reactors behind one accept socket: each gets its own dup of
+        // the listening fd (shared kernel accept queue) and its own
+        // wakeup channel; the kernel spreads incoming connections over
+        // whichever reactors are waiting in their pollers.
+        let reactor_count = config.reactors.max(1);
+        let mut wakeups = Vec::with_capacity(reactor_count);
+        let mut reactors = Vec::with_capacity(reactor_count);
+        for index in 0..reactor_count {
+            let (wakeup, wakeup_rx) = wakeup_pair()?;
+            let reactor = Reactor::new(
+                listener.try_clone()?,
+                Arc::clone(&service),
+                Arc::clone(&executor),
+                wakeup_rx,
+                Arc::clone(&stop),
+                config.clone(),
+                index,
+            )?;
+            wakeups.push(wakeup);
+            reactors.push(reactor);
+        }
 
         // Register the tracer-retention and process-vitals instruments now
         // (refreshed again on every METRICS scrape): a daemon that has not
@@ -720,30 +736,39 @@ impl Daemon {
         sync_observability_metrics(&service);
 
         // Registered only after every fallible step: a failed bind must
-        // not leave a dead notifier on the service. Completions anywhere
+        // not leave dead notifiers on the service. Completions anywhere
         // (the drain executor, an external `spawn_worker` thread,
-        // in-process `run_pending` calls) wake a parked reactor so `WAIT`
-        // responses stream immediately. One front-end per service: a
-        // later registration replaces an earlier one.
-        service.set_completion_notifier({
+        // in-process `run_pending` calls) wake every parked reactor so
+        // `WAIT` responses stream immediately — the service cannot know
+        // which reactor pins the waiting connection. One front-end per
+        // service: the first registration replaces any earlier front-end's
+        // notifiers wholesale, the rest fan out alongside it.
+        for (index, wakeup) in wakeups.iter().enumerate() {
             let wakeup = wakeup.clone();
-            Arc::new(move || wakeup.notify())
-        });
+            if index == 0 {
+                service.set_completion_notifier(Arc::new(move || wakeup.notify()));
+            } else {
+                service.add_completion_notifier(Arc::new(move || wakeup.notify()));
+            }
+        }
 
-        let reactor_thread = std::thread::spawn(move || reactor.run());
+        let reactor_threads: Vec<JoinHandle<()>> = reactors
+            .into_iter()
+            .map(|reactor| std::thread::spawn(move || reactor.run()))
+            .collect();
         let executor_thread = {
             let service = Arc::clone(&service);
             let executor = Arc::clone(&executor);
-            let wakeup = wakeup.clone();
-            std::thread::spawn(move || executor.run(&service, &wakeup))
+            let wakeups = wakeups.clone();
+            std::thread::spawn(move || executor.run(&service, &wakeups))
         };
         Ok(Daemon {
             service,
             addr,
             stop,
-            wakeup,
+            wakeups,
             executor,
-            threads: Mutex::new((Some(reactor_thread), Some(executor_thread))),
+            threads: Mutex::new((reactor_threads, Some(executor_thread))),
         })
     }
 
@@ -759,11 +784,12 @@ impl Daemon {
     /// [`Service::spawn_worker`] thread exits its loop. Read-only calls
     /// (`poll`, `cache_stats`, `snapshot_to`) remain usable in-process.
     ///
-    /// The shutdown path is the wakeup channel: the stop flag is set, a
-    /// wakeup byte interrupts the reactor's idle park, and the reactor
-    /// closes its listener and connections before exiting — no throwaway
-    /// connection, no waiting for a future client. Once `stop` returns,
-    /// the listening port is fully released and immediately rebindable.
+    /// The shutdown path is the wakeup channels: the stop flag is set, a
+    /// wakeup byte interrupts every reactor's poller wait, and each
+    /// reactor closes its listener dup and pinned connections before
+    /// exiting — no throwaway connection, no waiting for a future client.
+    /// Once `stop` returns, the listening port is fully released and
+    /// immediately rebindable.
     ///
     /// `stop` is **idempotent, including under concurrency**: any number
     /// of callers (say two threads sharing an `Arc<Daemon>`, or a manual
@@ -777,17 +803,19 @@ impl Daemon {
 
     fn stop_inner(&self) {
         let mut threads = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
-        if threads.0.is_none() && threads.1.is_none() {
+        if threads.0.is_empty() && threads.1.is_none() {
             return;
         }
         self.service.shutdown();
         self.stop.store(true, Ordering::SeqCst);
         self.executor.stop();
         // Notified under the lock: a racing second stopper cannot interleave
-        // between the flag store and the wakeup byte (the race that could
+        // between the flag store and the wakeup bytes (the race that could
         // previously leave a parked reactor sleeping out its timeout).
-        self.wakeup.notify();
-        if let Some(handle) = threads.0.take() {
+        for wakeup in &self.wakeups {
+            wakeup.notify();
+        }
+        for handle in threads.0.drain(..) {
             let _ = handle.join();
         }
         if let Some(handle) = threads.1.take() {
@@ -959,6 +987,20 @@ mod tests {
                     .starts_with("ERR CTX expects"),
                 "{bad}"
             );
+        }
+
+        // A bare, *well-formed* CTX prefix with no verb after it strips
+        // down to the empty verb — which must answer a clean protocol ERR
+        // (not a silent fallthrough), on both the blocking and the
+        // reactor dispatch paths.
+        let bare = format!("CTX {}", ctx.encode());
+        assert_eq!(
+            handle_command(&service, &bare).text(),
+            "ERR unknown command \"\""
+        );
+        match dispatch(&service, &bare) {
+            Request::Immediate(text) => assert_eq!(text, "ERR unknown command \"\""),
+            _ => panic!("bare CTX must resolve to an immediate error line"),
         }
 
         // A traced SUBMIT stitches queue wait, job, scenario, and

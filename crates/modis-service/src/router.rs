@@ -58,10 +58,14 @@
 //!   shard death are re-homed and the wait resumes on the replica.
 //!
 //! The router itself holds no evaluation state and does no search work —
-//! it is a thin I/O forwarder, so a plain thread-per-connection design is
-//! deliberate (the CPU-heavy side, the shard daemons, already runs on the
-//! non-blocking reactor; routing hundreds of client connections through
-//! one process is the reactor follow-up in the ROADMAP).
+//! it is a thin I/O forwarder. Its client-facing side runs on the same
+//! readiness core as the daemon front-end: **one** front thread drives
+//! every client connection through a [`crate::poller::Poller`] (listener,
+//! wakeup channel and all clients registered; a sweep touches only ready
+//! sockets), instead of the former thread-per-connection handler model.
+//! Shard-side connections stay blocking with a short read timeout
+//! ([`RouterConfig::poll_interval`]), polled from the same thread as the
+//! expectations owed on them come due.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
@@ -77,6 +81,8 @@ use modis_core::telemetry::{Counter, MetricsRegistry, TraceContext, Tracer};
 
 use crate::cluster::{validate_token, ClusterSpec, ShardMap};
 use crate::error::ServiceError;
+use crate::poller::{self, Interest, Poller};
+use crate::reactor::{drain_wakeup, wakeup_pair, Wakeup};
 
 /// Help text of the `router_heartbeat_misses_total{shard}` counter.
 const HEARTBEAT_MISS_HELP: &str = "Heartbeat probes (PING) a shard failed to answer in time.";
@@ -941,14 +947,17 @@ pub struct ShippedNamespace {
     pub to: String,
 }
 
-/// A running cluster router: the bound address, the accept thread, the
-/// heartbeat thread and one handler thread per client connection.
+/// A running cluster router: the bound address, the front thread (which
+/// accepts and serves every client connection through one poller) and
+/// the heartbeat thread.
 pub struct Router {
     inner: Arc<RouterInner>,
     addr: SocketAddr,
-    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    front_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Interrupts the front thread's poller wait so [`Router::stop`]
+    /// never waits out a full timeout.
+    front_wakeup: Wakeup,
     heartbeat_thread: Mutex<Option<JoinHandle<()>>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     /// Serialises join/leave/rewire so two topology changes cannot
     /// interleave their shipping phases.
     lifecycle: Mutex<()>,
@@ -1029,11 +1038,22 @@ impl Router {
                 inner.register_shard_metrics(&name);
             }
         }
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
+        // The client-facing front runs on one poller-driven thread (the
+        // same readiness core as the daemon's reactor); its poller and
+        // wakeup channel are built here so a failure surfaces as a bind
+        // error instead of a silently dead thread.
+        let (front_wakeup, front_wakeup_rx) = wakeup_pair()?;
+        front_wakeup_rx.set_nonblocking(true)?;
+        let mut front_poller = Poller::new()?;
+        front_poller.register(
+            poller::source(&front_wakeup_rx),
+            FRONT_WAKEUP,
+            Interest::READ,
+        )?;
+        front_poller.register(poller::source(&listener), FRONT_LISTENER, Interest::READ)?;
+        let front_thread = {
             let inner = Arc::clone(&inner);
-            let handlers = Arc::clone(&handlers);
-            std::thread::spawn(move || accept_loop(listener, inner, handlers))
+            std::thread::spawn(move || front_loop(front_poller, listener, front_wakeup_rx, inner))
         };
         let heartbeat_thread = {
             let inner = Arc::clone(&inner);
@@ -1042,9 +1062,9 @@ impl Router {
         Ok(Router {
             inner,
             addr,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            front_thread: Mutex::new(Some(front_thread)),
+            front_wakeup,
             heartbeat_thread: Mutex::new(Some(heartbeat_thread)),
-            handlers,
             lifecycle: Mutex::new(()),
         })
     }
@@ -1294,34 +1314,30 @@ impl Router {
         Ok(())
     }
 
-    /// Stops the router: the accept loop exits, the heartbeat thread
-    /// exits, every client handler flushes a final protocol error and
-    /// exits, all threads are joined. Idempotent, including under
-    /// concurrent callers (same discipline as [`crate::Daemon::stop`]).
-    /// Shard daemons are *not* stopped — they are independent processes.
+    /// Stops the router: the front thread flushes a final protocol error
+    /// to every open client and exits, the heartbeat thread exits, both
+    /// are joined. Idempotent, including under concurrent callers (same
+    /// discipline as [`crate::Daemon::stop`]). Shard daemons are *not*
+    /// stopped — they are independent processes.
     pub fn stop(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        let mut accept = self
-            .accept_thread
+        let mut front = self
+            .front_thread
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some(handle) = accept.take() {
+        // Notified under the lock, after the flag store: the wakeup byte
+        // interrupts the front thread's poller wait so stop never sleeps
+        // out a full timeout.
+        self.front_wakeup.notify();
+        if let Some(handle) = front.take() {
             let _ = handle.join();
         }
-        drop(accept);
+        drop(front);
         let mut heartbeat = self
             .heartbeat_thread
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(handle) = heartbeat.take() {
-            let _ = handle.join();
-        }
-        drop(heartbeat);
-        let handles: Vec<JoinHandle<()>> = {
-            let mut handlers = self.handlers.lock().unwrap_or_else(PoisonError::into_inner);
-            handlers.drain(..).collect()
-        };
-        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -1434,29 +1450,17 @@ fn heartbeat_loop(inner: Arc<RouterInner>) {
     }
 }
 
-/// Accepts client connections until stopped, pruning finished handlers.
-fn accept_loop(
-    listener: TcpListener,
-    inner: Arc<RouterInner>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !inner.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let inner = Arc::clone(&inner);
-                let handle = std::thread::spawn(move || serve_client(inner, stream));
-                let mut handlers = handlers.lock().unwrap_or_else(PoisonError::into_inner);
-                handlers.retain(|h| !h.is_finished());
-                handlers.push(handle);
-            }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
-            }
-            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
-    }
-}
+/// Poller token of the front thread's wakeup receiver.
+const FRONT_WAKEUP: usize = 0;
+/// Poller token of the front thread's listening socket.
+const FRONT_LISTENER: usize = 1;
+/// Front poller tokens at and above this are client slots.
+const FRONT_BASE: usize = 2;
+
+/// Backstop poller timeout while no client owes any response: nothing can
+/// come due spontaneously, so the wait only needs to re-check the stop
+/// flag now and then (readiness interrupts it for real work).
+const FRONT_IDLE_PARK: Duration = Duration::from_millis(10);
 
 /// A line-buffered connection polled with a read timeout.
 struct LineConn {
@@ -1738,68 +1742,267 @@ enum Expect {
     },
 }
 
-/// Serves one client connection until QUIT/EOF/stop.
-fn serve_client(inner: Arc<RouterInner>, stream: TcpStream) {
-    let poll = inner.config.poll_interval;
-    let Ok(mut client) = LineConn::new(stream, poll) else {
-        return;
-    };
-    // One distributed trace per client connection: every request routed
-    // on this connection forwards under a child of this context, so a
-    // SUBMIT/RUN/WAIT conversation stitches into a single EXPLAIN
-    // timeline across the router and every shard it touched.
-    let conn = inner.tracer.mint_context();
-    let mut pool = ConnPool::default();
-    let mut expects: VecDeque<Expect> = VecDeque::new();
-    let mut discarding = false;
-    let mut client_eof = false;
-    loop {
+/// One client connection on the router's front thread: the buffered line
+/// connection, its pinned shard-connection pool, the ordered pipeline of
+/// owed responses, and the registration state mirrored from the poller.
+struct FrontClient {
+    conn: LineConn,
+    /// One distributed trace per client connection: every request routed
+    /// on this connection forwards under a child of this context, so a
+    /// SUBMIT/RUN/WAIT conversation stitches into a single EXPLAIN
+    /// timeline across the router and every shard it touched.
+    ctx: TraceContext,
+    pool: ConnPool,
+    expects: VecDeque<Expect>,
+    /// An oversized line is being discarded up to its terminator.
+    discarding: bool,
+    /// No more requests will arrive; pending expectations still resolve.
+    eof: bool,
+    /// The interest currently registered with the front poller.
+    interest: Interest,
+}
+
+/// The router's front thread: accepts and serves **every** client
+/// connection through one poller — the same O(ready) readiness core as
+/// the daemon's reactor, replacing the former thread-per-connection
+/// handler model. Client sockets stay *blocking* with the
+/// [`RouterConfig::poll_interval`] read timeout (multi-line responses are
+/// written with plain `write_all`, which must not fail mid-reply on a
+/// slow reader); the poller decides *which* clients are worth reading, so
+/// idle clients cost nothing per sweep.
+fn front_loop(
+    mut front: Poller,
+    listener: TcpListener,
+    mut wakeup_rx: TcpStream,
+    inner: Arc<RouterInner>,
+) {
+    let mut clients: Vec<Option<FrontClient>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut events: Vec<poller::Event> = Vec::new();
+    let mut touched: HashSet<usize> = HashSet::new();
+    while !inner.stop.load(Ordering::SeqCst) {
+        // While any client owes a shard-side response, the wait ticks at
+        // the poll interval so shard replies (which are not registered
+        // with the poller) are polled promptly; otherwise nothing can
+        // come due without readiness, and a long backstop suffices.
+        let waiting = clients.iter().flatten().any(|c| !c.expects.is_empty());
+        let timeout = if waiting {
+            inner.config.poll_interval.max(Duration::from_micros(1))
+        } else {
+            FRONT_IDLE_PARK
+        };
+        let _ = front.wait(&mut events, Some(timeout));
         if inner.stop.load(Ordering::SeqCst) {
-            let _ = client.send("ERR service is shut down");
-            return;
+            break;
         }
-        // 1. Read and immediately dispatch client requests (pipelining:
-        // every parsed request is forwarded before earlier responses are
-        // read back), under the same backpressure rule as the reactor.
-        if !client_eof && expects.len() < inner.config.max_pipelined {
-            match client.poll_line() {
-                Polled::Line(line) => {
-                    if discarding {
-                        discarding = false;
-                    } else if line.len() > inner.config.max_line_len {
-                        expects.push_back(Expect::Local(format!(
-                            "ERR line too long (max {} bytes)",
-                            inner.config.max_line_len
-                        )));
-                    } else {
-                        let expect = route_request(&inner, &mut pool, conn, &line);
-                        expects.push_back(expect);
-                    }
+        touched.clear();
+        for event in &events {
+            match event.token {
+                FRONT_WAKEUP => drain_wakeup(&mut wakeup_rx),
+                FRONT_LISTENER => {
+                    accept_clients(&mut front, &listener, &inner, &mut clients, &mut free_slots)
                 }
-                Polled::Pending => {
-                    // An oversized partial line is rejected eagerly and
-                    // discarded through its eventual terminator.
-                    if !discarding && client.buf.len() > inner.config.max_line_len {
-                        discarding = true;
-                        client.buf.clear();
-                        expects.push_back(Expect::Local(format!(
-                            "ERR line too long (max {} bytes)",
-                            inner.config.max_line_len
-                        )));
-                    }
+                token => {
+                    touched.insert(token - FRONT_BASE);
                 }
-                Polled::Eof => client_eof = true,
-                Polled::Dead => return,
             }
         }
-        // 2. Resolve the head of the pipeline as far as it goes.
-        match resolve_head(&inner, &mut pool, conn, &mut expects, &mut client) {
+        // Step every client with something actionable: flagged readable
+        // by the poller, holding buffered bytes, or owing responses that
+        // may have come due on its shard connections.
+        for index in 0..clients.len() {
+            let actionable = match &clients[index] {
+                Some(client) => {
+                    touched.contains(&index)
+                        || !client.expects.is_empty()
+                        || !client.conn.buf.is_empty()
+                        || client.eof
+                }
+                None => false,
+            };
+            if actionable {
+                let readable = touched.contains(&index);
+                step_client(
+                    &inner,
+                    &mut front,
+                    &mut clients,
+                    &mut free_slots,
+                    index,
+                    readable,
+                );
+            }
+        }
+    }
+    // Deterministic teardown: every open client gets a final protocol
+    // error, exactly as the per-connection handlers used to send.
+    for client in clients.iter_mut().flatten() {
+        let _ = client.conn.send("ERR service is shut down");
+    }
+}
+
+/// Accepts every ready client connection and registers it with the front
+/// poller under a slab slot.
+fn accept_clients(
+    front: &mut Poller,
+    listener: &TcpListener,
+    inner: &Arc<RouterInner>,
+    clients: &mut Vec<Option<FrontClient>>,
+    free_slots: &mut Vec<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let Ok(conn) = LineConn::new(stream, inner.config.poll_interval) else {
+                    continue;
+                };
+                let slot = free_slots.pop().unwrap_or_else(|| {
+                    clients.push(None);
+                    clients.len() - 1
+                });
+                if front
+                    .register(
+                        poller::source(&conn.stream),
+                        FRONT_BASE + slot,
+                        Interest::READ,
+                    )
+                    .is_err()
+                {
+                    free_slots.push(slot);
+                    continue;
+                }
+                clients[slot] = Some(FrontClient {
+                    conn,
+                    ctx: inner.tracer.mint_context(),
+                    pool: ConnPool::default(),
+                    expects: VecDeque::new(),
+                    discarding: false,
+                    eof: false,
+                    interest: Interest::READ,
+                });
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// One scheduling step for one client: parse and dispatch what it sent
+/// (pipelining: every parsed request is forwarded before earlier
+/// responses are read back, under the same backpressure rule as the
+/// reactor), resolve the head of its pipeline as far as it goes, then
+/// settle its poller registration — or reap it on QUIT/EOF/death.
+fn step_client(
+    inner: &Arc<RouterInner>,
+    front: &mut Poller,
+    clients: &mut [Option<FrontClient>],
+    free_slots: &mut Vec<usize>,
+    index: usize,
+    readable: bool,
+) {
+    let client = clients[index].as_mut().expect("stepped slot is live");
+    let mut closed = false;
+    // The read phase runs only when the poller flagged the socket (or
+    // lines are already buffered): a client merely waiting on shard
+    // responses must not pay a blocking read timeout per tick. Lines are
+    // parsed one at a time with a resolve pass between them — a pipelined
+    // ticket verb (`WAIT 1` right behind `SUBMIT …`) must observe the
+    // ticket mappings that resolving its predecessor's response creates —
+    // and the step is capped so one firehose client cannot monopolise the
+    // front thread.
+    let mut budget = inner.config.max_pipelined.max(1);
+    while (readable || !client.conn.buf.is_empty())
+        && !closed
+        && !client.eof
+        && budget > 0
+        && client.expects.len() < inner.config.max_pipelined
+    {
+        budget -= 1;
+        match client.conn.poll_line() {
+            Polled::Line(line) => {
+                if client.discarding {
+                    client.discarding = false;
+                } else if line.len() > inner.config.max_line_len {
+                    client.expects.push_back(Expect::Local(format!(
+                        "ERR line too long (max {} bytes)",
+                        inner.config.max_line_len
+                    )));
+                } else {
+                    let expect = route_request(inner, &mut client.pool, client.ctx, &line);
+                    client.expects.push_back(expect);
+                }
+            }
+            Polled::Pending => {
+                // An oversized partial line is rejected eagerly and
+                // discarded through its eventual terminator.
+                if !client.discarding && client.conn.buf.len() > inner.config.max_line_len {
+                    client.discarding = true;
+                    client.conn.buf.clear();
+                    client.expects.push_back(Expect::Local(format!(
+                        "ERR line too long (max {} bytes)",
+                        inner.config.max_line_len
+                    )));
+                }
+                break;
+            }
+            Polled::Eof => {
+                client.eof = true;
+                break;
+            }
+            Polled::Dead => {
+                closed = true;
+                break;
+            }
+        }
+        match resolve_head(
+            inner,
+            &mut client.pool,
+            client.ctx,
+            &mut client.expects,
+            &mut client.conn,
+        ) {
             ClientState::Open => {}
-            ClientState::Closed => return,
+            ClientState::Closed => {
+                closed = true;
+                break;
+            }
         }
-        if client_eof && expects.is_empty() {
-            return;
+    }
+    if !closed {
+        match resolve_head(
+            inner,
+            &mut client.pool,
+            client.ctx,
+            &mut client.expects,
+            &mut client.conn,
+        ) {
+            ClientState::Open => {}
+            ClientState::Closed => closed = true,
         }
+    }
+    if closed || (client.eof && client.expects.is_empty()) {
+        let _ = front.deregister(poller::source(&client.conn.stream));
+        clients[index] = None;
+        free_slots.push(index);
+        return;
+    }
+    // Backpressure mirror of the reactor: while the pipeline is at max
+    // depth (or after EOF), drop read interest so level-triggered
+    // readiness does not spin on bytes this step refuses to parse.
+    let want = Interest {
+        read: !client.eof && client.expects.len() < inner.config.max_pipelined,
+        write: false,
+    };
+    if want != client.interest
+        && front
+            .reregister(
+                poller::source(&client.conn.stream),
+                FRONT_BASE + index,
+                want,
+            )
+            .is_ok()
+    {
+        client.interest = want;
     }
 }
 

@@ -200,7 +200,7 @@ pub struct Service {
     engine: Engine,
     inner: Mutex<Inner>,
     stop: AtomicBool,
-    notifier: Mutex<Option<CompletionNotifier>>,
+    notifiers: Mutex<Vec<CompletionNotifier>>,
     metrics: ServiceMetrics,
     started: Instant,
 }
@@ -224,7 +224,7 @@ impl Service {
             engine,
             config,
             stop: AtomicBool::new(false),
-            notifier: Mutex::new(None),
+            notifiers: Mutex::new(Vec::new()),
             metrics,
             started: Instant::now(),
         }
@@ -468,26 +468,46 @@ impl Service {
         executed
     }
 
-    /// Registers the callback invoked after every finished job and on
-    /// shutdown (the reactor's wakeup channel). One notifier at a time:
-    /// a later registration replaces an earlier one.
+    /// Registers the callbacks invoked after every finished job and on
+    /// shutdown (the reactor wakeup channels). One *front-end* at a time:
+    /// a later registration replaces every earlier notifier, so a daemon
+    /// that re-binds does not leave stale wakeup handles behind. A
+    /// multi-reactor front-end registers its first wakeup here and fans
+    /// the rest out via [`add_completion_notifier`](Self::add_completion_notifier).
     pub fn set_completion_notifier(&self, notifier: CompletionNotifier) {
-        *self.notifier.lock().unwrap_or_else(PoisonError::into_inner) = Some(notifier);
+        *self
+            .notifiers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = vec![notifier];
     }
 
-    /// Removes the completion notifier (a stopping front-end detaching
-    /// its wakeup channel).
+    /// Appends one more completion notifier without disturbing the ones
+    /// already registered — the fan-out path for a front-end with N
+    /// reactor wakeup channels (every reactor must wake: the service
+    /// cannot know which one pins the waiting connection).
+    pub fn add_completion_notifier(&self, notifier: CompletionNotifier) {
+        self.notifiers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(notifier);
+    }
+
+    /// Removes every completion notifier (a stopping front-end detaching
+    /// its wakeup channels).
     pub fn clear_completion_notifier(&self) {
-        *self.notifier.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        self.notifiers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     fn notify_completion(&self) {
-        let notifier = self
-            .notifier
+        let notifiers = self
+            .notifiers
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
-        if let Some(notify) = notifier {
+        for notify in &notifiers {
             notify();
         }
     }
